@@ -1,0 +1,54 @@
+//! Cost of building OPTWIN's pre-computed cut tables (§3.4: the ν, t_ppf and
+//! f_ppf values are computed once per window length, not per element), and an
+//! ablation over the robustness parameter ρ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use optwin_core::{CutTable, OptwinConfig};
+
+fn bench_cut_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cut_table_precompute");
+    group.sample_size(10);
+    for (rho, w_max) in [(0.5, 1_000usize), (0.5, 4_000), (0.1, 4_000), (1.0, 4_000)] {
+        let label = format!("rho={rho}_wmax={w_max}");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(rho, w_max),
+            |b, &(rho, w_max)| {
+                let config = OptwinConfig::builder()
+                    .robustness(rho)
+                    .max_window(w_max)
+                    .build()
+                    .unwrap();
+                b.iter(|| {
+                    let table = CutTable::new(&config).unwrap();
+                    table.precompute_all().unwrap();
+                    table.cached_entries()
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Single-entry lookup cost once cached (the per-element cost inside the
+    // detector).
+    let mut group = c.benchmark_group("cut_table_lookup");
+    let config = OptwinConfig::builder()
+        .robustness(0.5)
+        .max_window(4_000)
+        .build()
+        .unwrap();
+    let table = CutTable::new(&config).unwrap();
+    table.precompute_all().unwrap();
+    group.bench_function("cached_entry", |b| {
+        let mut w = 30usize;
+        b.iter(|| {
+            w = if w >= 4_000 { 30 } else { w + 1 };
+            table.entry(w).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cut_tables);
+criterion_main!(benches);

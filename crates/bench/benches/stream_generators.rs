@@ -1,0 +1,67 @@
+//! Throughput of the stream substrate: synthetic generators and the
+//! Naive-Bayes prequential loop that feeds the classification experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use optwin_learners::{NaiveBayes, OnlineLearner};
+use optwin_stream::generators::{
+    Agrawal, AgrawalFunction, RandomRbf, RandomRbfConfig, Stagger, StaggerConcept,
+};
+use optwin_stream::InstanceStream;
+
+const N: usize = 10_000;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators_10k_instances");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(10);
+
+    group.bench_function("STAGGER", |b| {
+        b.iter(|| {
+            let mut g = Stagger::new(StaggerConcept::SizeSmallAndColorRed, 1);
+            for _ in 0..N {
+                black_box(g.next_instance());
+            }
+        });
+    });
+    group.bench_function("AGRAWAL", |b| {
+        b.iter(|| {
+            let mut g = Agrawal::new(AgrawalFunction::F7, 1);
+            for _ in 0..N {
+                black_box(g.next_instance());
+            }
+        });
+    });
+    group.bench_function("RandomRBF", |b| {
+        b.iter(|| {
+            let mut g = RandomRbf::new(RandomRbfConfig::default(), 1);
+            for _ in 0..N {
+                black_box(g.next_instance());
+            }
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("naive_bayes_prequential_10k");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(10);
+    group.bench_function("AGRAWAL+NB", |b| {
+        b.iter(|| {
+            let mut g = Agrawal::new(AgrawalFunction::F2, 1);
+            let mut nb = NaiveBayes::new(&g.schema(), g.n_classes());
+            let mut errors = 0u32;
+            for _ in 0..N {
+                let inst = g.next_instance();
+                if nb.predict(&inst) != inst.label {
+                    errors += 1;
+                }
+                nb.learn(&inst);
+            }
+            black_box(errors)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

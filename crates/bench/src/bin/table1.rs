@@ -1,0 +1,87 @@
+//! Reproduces **Table 1** of the OPTWIN paper: drift-identification
+//! statistics (delay, FP, precision, recall, F1) for every detector over the
+//! seven synthetic experiment configurations.
+//!
+//! ```text
+//! cargo run --release -p optwin-bench --bin table1                 # quick run
+//! cargo run --release -p optwin-bench --bin table1 -- --full       # paper scale (30 reps, 100k streams)
+//! cargo run --release -p optwin-bench --bin table1 -- --experiment sudden-binary
+//! cargo run --release -p optwin-bench --bin table1 -- --json results/table1.json
+//! ```
+
+use optwin_bench::{Args, RunScale};
+use optwin_eval::experiment::{run_table1_experiment, Table1Experiment};
+use optwin_eval::report::{render_table1, to_json};
+use optwin_eval::DetectorFactory;
+
+fn experiment_by_name(name: &str) -> Option<Table1Experiment> {
+    match name {
+        "gradual-binary" => Some(Table1Experiment::GradualBinary),
+        "gradual-nonbinary" => Some(Table1Experiment::GradualNonBinary),
+        "sudden-binary" => Some(Table1Experiment::SuddenBinary),
+        "sudden-nonbinary" => Some(Table1Experiment::SuddenNonBinary),
+        "stagger" => Some(Table1Experiment::Stagger),
+        "random-rbf" => Some(Table1Experiment::RandomRbf),
+        "agrawal" => Some(Table1Experiment::Agrawal),
+        _ => None,
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = RunScale::from_args(&args);
+
+    let experiments: Vec<Table1Experiment> = match args.get("experiment") {
+        Some("all") | None => Table1Experiment::all().to_vec(),
+        Some(name) => match experiment_by_name(name) {
+            Some(e) => vec![e],
+            None => {
+                eprintln!(
+                    "unknown experiment `{name}`; expected one of: gradual-binary, \
+                     gradual-nonbinary, sudden-binary, sudden-nonbinary, stagger, \
+                     random-rbf, agrawal, all"
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+
+    println!(
+        "Table 1 reproduction — {} repetition(s) per experiment, seed {}, \
+         OPTWIN w_max {}, stream length {}",
+        scale.repetitions,
+        scale.seed,
+        scale.optwin_w_max,
+        scale
+            .stream_len
+            .map_or_else(|| "paper default".to_string(), |l| l.to_string()),
+    );
+    println!();
+
+    let mut factory = DetectorFactory::with_optwin_window(scale.optwin_w_max);
+    let mut all_rows = Vec::new();
+    for experiment in experiments {
+        let rows = run_table1_experiment(
+            experiment,
+            &mut factory,
+            scale.repetitions,
+            scale.stream_len,
+            scale.seed,
+        );
+        println!("{}", render_table1(&rows));
+        all_rows.extend(rows);
+    }
+
+    if let Some(path) = args.get("json") {
+        match to_json(&all_rows) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("failed to write {path}: {e}");
+                } else {
+                    println!("wrote JSON results to {path}");
+                }
+            }
+            Err(e) => eprintln!("failed to serialise results: {e}"),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Reproduces **Table 2** of the OPTWIN paper: prequential Naive-Bayes
+//! accuracy per drift detector on the synthetic datasets (sudden and gradual
+//! drifts) and the real-world stand-in streams.
+//!
+//! ```text
+//! cargo run --release -p optwin-bench --bin table2                 # quick run
+//! cargo run --release -p optwin-bench --bin table2 -- --full       # paper scale
+//! cargo run --release -p optwin-bench --bin table2 -- --realworld  # only the real-world columns
+//! ```
+
+use optwin_bench::{Args, RunScale};
+use optwin_eval::classification::{run_classification_column, ClassificationExperiment};
+use optwin_eval::report::{render_table2, to_json};
+use optwin_eval::DetectorFactory;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = RunScale::from_args(&args);
+
+    let experiments: Vec<ClassificationExperiment> = if args.has_flag("realworld") {
+        vec![
+            ClassificationExperiment::Electricity,
+            ClassificationExperiment::Covertype,
+        ]
+    } else if args.has_flag("synthetic") {
+        ClassificationExperiment::all()
+            .into_iter()
+            .filter(ClassificationExperiment::has_known_drifts)
+            .collect()
+    } else {
+        ClassificationExperiment::all().to_vec()
+    };
+
+    println!(
+        "Table 2 reproduction — seed {}, OPTWIN w_max {}, stream length {}",
+        scale.seed,
+        scale.optwin_w_max,
+        scale
+            .stream_len
+            .map_or_else(|| "paper default".to_string(), |l| l.to_string()),
+    );
+    println!();
+
+    let mut factory = DetectorFactory::with_optwin_window(scale.optwin_w_max);
+    let mut all_rows = Vec::new();
+    for experiment in experiments {
+        let rows =
+            run_classification_column(experiment, &mut factory, scale.stream_len, scale.seed);
+        println!("{}", render_table2(&rows));
+        all_rows.extend(rows);
+    }
+
+    if let Some(path) = args.get("json") {
+        match to_json(&all_rows) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("failed to write {path}: {e}");
+                } else {
+                    println!("wrote JSON results to {path}");
+                }
+            }
+            Err(e) => eprintln!("failed to serialise results: {e}"),
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! # optwin-bench — benchmark and reproduction harness
+//!
+//! This crate hosts:
+//!
+//! * **Reproduction binaries**, one per table/figure of the paper:
+//!   * `table1` — drift-identification statistics on the seven synthetic
+//!     configurations (Table 1),
+//!   * `table2` — Naive-Bayes accuracy per detector per dataset (Table 2),
+//!   * `figures` — the per-run detection/FP/delay series behind Figures 2–4
+//!     and the optimal-cut ν(|W|) curves (§3.3 discussion),
+//!   * `fig5_nn` — the neural-network pipeline comparison (Figure 5),
+//!   * `significance` — the one-tailed Wilcoxon signed-rank comparison of F1
+//!     scores (§4.1).
+//! * **Criterion benches** for the runtime claims of §3.4 (per-element
+//!   detector cost, optimal-cut table construction, generator throughput,
+//!   end-to-end experiment cost).
+//!
+//! All binaries accept `--repetitions`, `--stream-len`, and `--seed` flags so
+//! that quick smoke runs and full paper-scale runs (`--full`) use the same
+//! code path.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use std::collections::HashMap;
+
+/// Minimal command-line flag parser shared by the reproduction binaries.
+///
+/// Flags are of the form `--name value` or boolean `--name`; anything else is
+/// ignored. This avoids a CLI dependency while keeping the binaries
+/// scriptable.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses flags from an iterator of arguments (typically
+    /// `std::env::args().skip(1)`).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let is_value = iter
+                    .peek()
+                    .map(|next| !next.starts_with("--"))
+                    .unwrap_or(false);
+                if is_value {
+                    values.insert(name.to_string(), iter.next().unwrap_or_default());
+                } else {
+                    flags.push(name.to_string());
+                }
+            }
+        }
+        Self { values, flags }
+    }
+
+    /// Parses the process's own command line.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Returns the string value of `--name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Returns `--name` parsed as the requested type, or the default.
+    #[must_use]
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `true` when the boolean flag `--name` was given.
+    #[must_use]
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Common run-scale settings derived from the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunScale {
+    /// Number of repetitions per (experiment, detector) pair.
+    pub repetitions: usize,
+    /// Stream length override (`None` = the experiment's paper-scale value).
+    pub stream_len: Option<usize>,
+    /// Maximum OPTWIN window size.
+    pub optwin_w_max: usize,
+    /// Base random seed.
+    pub seed: u64,
+}
+
+impl RunScale {
+    /// Derives the run scale from parsed arguments. Without `--full` the
+    /// defaults are sized for a quick (< 1 min) laptop run; with `--full` the
+    /// paper-scale settings (30 repetitions, 100 000-element streams,
+    /// `w_max = 25 000`) are used.
+    #[must_use]
+    pub fn from_args(args: &Args) -> Self {
+        let full = args.has_flag("full");
+        let repetitions_default = if full { 30 } else { 5 };
+        let optwin_w_max_default = if full { 25_000 } else { 4_000 };
+        let stream_len = args.get("stream-len").and_then(|v| v.parse().ok()).or({
+            if full {
+                None
+            } else {
+                Some(20_000)
+            }
+        });
+        Self {
+            repetitions: args.get_parsed("repetitions", repetitions_default),
+            stream_len,
+            optwin_w_max: args.get_parsed("optwin-w-max", optwin_w_max_default),
+            seed: args.get_parsed("seed", 20_240_614),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args_of(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|s| (*s).to_string()))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let args = args_of(&["--repetitions", "10", "--full", "--seed", "7"]);
+        assert_eq!(args.get("repetitions"), Some("10"));
+        assert_eq!(args.get_parsed("repetitions", 0usize), 10);
+        assert_eq!(args.get_parsed("seed", 0u64), 7);
+        assert!(args.has_flag("full"));
+        assert!(!args.has_flag("quick"));
+        assert_eq!(args.get("missing"), None);
+        assert_eq!(args.get_parsed("missing", 42u32), 42);
+    }
+
+    #[test]
+    fn run_scale_quick_defaults() {
+        let scale = RunScale::from_args(&args_of(&[]));
+        assert_eq!(scale.repetitions, 5);
+        assert_eq!(scale.stream_len, Some(20_000));
+        assert_eq!(scale.optwin_w_max, 4_000);
+    }
+
+    #[test]
+    fn run_scale_full_defaults() {
+        let scale = RunScale::from_args(&args_of(&["--full"]));
+        assert_eq!(scale.repetitions, 30);
+        assert_eq!(scale.stream_len, None);
+        assert_eq!(scale.optwin_w_max, 25_000);
+    }
+
+    #[test]
+    fn run_scale_overrides() {
+        let scale = RunScale::from_args(&args_of(&[
+            "--full",
+            "--repetitions",
+            "3",
+            "--stream-len",
+            "1000",
+            "--optwin-w-max",
+            "500",
+        ]));
+        assert_eq!(scale.repetitions, 3);
+        assert_eq!(scale.stream_len, Some(1_000));
+        assert_eq!(scale.optwin_w_max, 500);
+    }
+}

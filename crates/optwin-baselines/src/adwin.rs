@@ -1,0 +1,476 @@
+//! ADWIN — ADaptive WINdowing (Bifet & Gavaldà, 2007).
+//!
+//! ADWIN maintains a variable-length window `W` of the most recent
+//! observations compressed into an *exponential histogram*: a list of bucket
+//! rows where row `r` holds buckets that each summarise `2^r` elements (only
+//! their count, sum and internal variance are stored, never the raw values).
+//! After each insertion the detector scans the possible cut points between
+//! buckets, from oldest to newest, and checks whether the two resulting
+//! sub-windows have means that differ by more than `ε_cut`. If so, the oldest
+//! bucket is dropped (repeatedly) and a drift is reported.
+//!
+//! This implementation follows the MOA/River version used by the paper:
+//! `ε_cut` uses the normal-approximation bound
+//!
+//! ```text
+//! ε_cut = sqrt( (2/m) · σ²_W · ln(2/δ') ) + (2/(3m)) · ln(2/δ'),
+//!     m  = 1 / (1/n₀ + 1/n₁),       δ' = δ / ln(n)
+//! ```
+//!
+//! and the window is only inspected every `clock` insertions (default 32),
+//! giving O(log |W|) amortized work per element.
+
+use optwin_core::{DriftDetector, DriftStatus};
+
+/// Maximum number of buckets per row before two are merged into the next row
+/// (the `M` parameter of the paper; MOA uses 5).
+const MAX_BUCKETS_PER_ROW: usize = 5;
+
+/// Configuration for [`Adwin`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdwinConfig {
+    /// Confidence parameter δ ∈ (0, 1); smaller values make the detector more
+    /// conservative. MOA's default is `0.002`.
+    pub delta: f64,
+    /// Number of insertions between change checks (MOA default 32).
+    pub clock: u32,
+    /// Minimum window length before any cut is considered.
+    pub min_window_len: usize,
+    /// Minimum sub-window length on each side of a candidate cut.
+    pub min_sub_window_len: usize,
+}
+
+impl Default for AdwinConfig {
+    fn default() -> Self {
+        Self {
+            delta: 0.002,
+            clock: 32,
+            min_window_len: 10,
+            min_sub_window_len: 5,
+        }
+    }
+}
+
+/// One bucket of the exponential histogram: `count` elements summarised by
+/// their sum and the internal variance contribution.
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    count: u64,
+    sum: f64,
+    /// Sum of squared deviations from the bucket mean (i.e. `n · Var`).
+    variance: f64,
+}
+
+impl Bucket {
+    fn single(value: f64) -> Self {
+        Self {
+            count: 1,
+            sum: value,
+            variance: 0.0,
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges two buckets (parallel-variance formula).
+    fn merge(a: &Bucket, b: &Bucket) -> Bucket {
+        if a.count == 0 {
+            return *b;
+        }
+        if b.count == 0 {
+            return *a;
+        }
+        let n1 = a.count as f64;
+        let n2 = b.count as f64;
+        let delta = b.mean() - a.mean();
+        Bucket {
+            count: a.count + b.count,
+            sum: a.sum + b.sum,
+            variance: a.variance + b.variance + delta * delta * n1 * n2 / (n1 + n2),
+        }
+    }
+}
+
+/// The ADWIN drift detector.
+#[derive(Debug, Clone)]
+pub struct Adwin {
+    config: AdwinConfig,
+    /// `rows[r]` holds the buckets of capacity `2^r`, newest first.
+    rows: Vec<Vec<Bucket>>,
+    /// Total element count in the window.
+    total_count: u64,
+    /// Total sum over the window.
+    total_sum: f64,
+    /// Total `n · Var` over the window.
+    total_variance: f64,
+    elements_since_check: u32,
+    elements_seen: u64,
+    drifts_detected: u64,
+    last_status: DriftStatus,
+}
+
+impl Adwin {
+    /// Creates a detector with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not in `(0, 1)` or `clock` is zero.
+    #[must_use]
+    pub fn new(config: AdwinConfig) -> Self {
+        assert!(
+            config.delta > 0.0 && config.delta < 1.0,
+            "ADWIN delta must be in (0, 1), got {}",
+            config.delta
+        );
+        assert!(config.clock > 0, "ADWIN clock must be positive");
+        Self {
+            config,
+            rows: vec![Vec::new()],
+            total_count: 0,
+            total_sum: 0.0,
+            total_variance: 0.0,
+            elements_since_check: 0,
+            elements_seen: 0,
+            drifts_detected: 0,
+            last_status: DriftStatus::Stable,
+        }
+    }
+
+    /// Creates a detector with MOA's default parameters (δ = 0.002).
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(AdwinConfig::default())
+    }
+
+    /// Creates a detector with a custom confidence δ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not in `(0, 1)`.
+    #[must_use]
+    pub fn with_delta(delta: f64) -> Self {
+        Self::new(AdwinConfig {
+            delta,
+            ..AdwinConfig::default()
+        })
+    }
+
+    /// Current window length.
+    #[must_use]
+    pub fn window_len(&self) -> u64 {
+        self.total_count
+    }
+
+    /// Mean of the current window.
+    #[must_use]
+    pub fn window_mean(&self) -> f64 {
+        if self.total_count == 0 {
+            0.0
+        } else {
+            self.total_sum / self.total_count as f64
+        }
+    }
+
+    /// Variance (population) of the current window.
+    #[must_use]
+    pub fn window_variance(&self) -> f64 {
+        if self.total_count == 0 {
+            0.0
+        } else {
+            (self.total_variance / self.total_count as f64).max(0.0)
+        }
+    }
+
+    /// Inserts a single-element bucket and compresses rows as needed.
+    fn insert(&mut self, value: f64) {
+        // New elements enter at the front of row 0.
+        self.rows[0].insert(0, Bucket::single(value));
+        self.total_count += 1;
+        // Update total variance incrementally (Welford-style on the window
+        // aggregate): contribution of the new point relative to the old mean.
+        if self.total_count > 1 {
+            let old_mean = (self.total_sum) / (self.total_count - 1) as f64;
+            let delta = value - old_mean;
+            self.total_variance +=
+                delta * delta * (self.total_count - 1) as f64 / self.total_count as f64;
+        }
+        self.total_sum += value;
+
+        // Compress: whenever a row exceeds MAX_BUCKETS_PER_ROW buckets, merge
+        // its two oldest buckets into one bucket of the next row.
+        let mut row = 0;
+        loop {
+            if self.rows[row].len() <= MAX_BUCKETS_PER_ROW {
+                break;
+            }
+            if row + 1 == self.rows.len() {
+                self.rows.push(Vec::new());
+            }
+            let oldest = self.rows[row].pop().expect("row length checked above");
+            let second_oldest = self.rows[row].pop().expect("row length checked above");
+            let merged = Bucket::merge(&second_oldest, &oldest);
+            self.rows[row + 1].insert(0, merged);
+            row += 1;
+        }
+    }
+
+    /// Removes the oldest bucket from the window.
+    fn drop_oldest_bucket(&mut self) {
+        // The oldest bucket lives at the back of the highest non-empty row.
+        let row = match self.rows.iter().rposition(|r| !r.is_empty()) {
+            Some(r) => r,
+            None => return,
+        };
+        let bucket = self.rows[row].pop().expect("row is non-empty");
+        let n = bucket.count as f64;
+        if bucket.count >= self.total_count {
+            self.total_count = 0;
+            self.total_sum = 0.0;
+            self.total_variance = 0.0;
+            return;
+        }
+        // Remove the bucket's contribution from the window aggregates.
+        let remaining = self.total_count - bucket.count;
+        let window_mean = self.window_mean();
+        let delta = bucket.mean() - window_mean;
+        self.total_variance -= bucket.variance
+            + delta * delta * n * remaining as f64 / self.total_count as f64;
+        self.total_variance = self.total_variance.max(0.0);
+        self.total_sum -= bucket.sum;
+        self.total_count = remaining;
+    }
+
+    /// Scans the cut points and returns `true` if a cut (drift) was found,
+    /// shrinking the window accordingly.
+    fn detect_and_shrink(&mut self) -> bool {
+        if self.total_count < self.config.min_window_len as u64 {
+            return false;
+        }
+        let mut change = false;
+        let mut reduced = true;
+        // Repeat until no further cut is found (ADWIN may shrink repeatedly).
+        while reduced {
+            reduced = false;
+            let n = self.total_count as f64;
+            if n < self.config.min_window_len as f64 {
+                break;
+            }
+            let delta_prime = self.config.delta / n.ln().max(1.0);
+            let ln_term = (2.0 / delta_prime).ln();
+            let total_var = self.window_variance();
+
+            // Walk buckets from oldest to newest accumulating the "old"
+            // sub-window W0; the complement is W1.
+            let mut n0 = 0.0f64;
+            let mut sum0 = 0.0f64;
+            let mut found_cut = false;
+            'outer: for row in (0..self.rows.len()).rev() {
+                for bucket in self.rows[row].iter().rev() {
+                    n0 += bucket.count as f64;
+                    sum0 += bucket.sum;
+                    let n1 = self.total_count as f64 - n0;
+                    if n0 < self.config.min_sub_window_len as f64 {
+                        continue;
+                    }
+                    if n1 < self.config.min_sub_window_len as f64 {
+                        break 'outer;
+                    }
+                    let mean0 = sum0 / n0;
+                    let mean1 = (self.total_sum - sum0) / n1;
+                    let m = 1.0 / (1.0 / n0 + 1.0 / n1);
+                    let eps_cut = (2.0 / m * total_var * ln_term).sqrt() + 2.0 / (3.0 * m) * ln_term;
+                    if (mean0 - mean1).abs() > eps_cut {
+                        found_cut = true;
+                        break 'outer;
+                    }
+                }
+            }
+            if found_cut {
+                self.drop_oldest_bucket();
+                change = true;
+                reduced = true;
+            }
+        }
+        change
+    }
+}
+
+impl DriftDetector for Adwin {
+    fn add_element(&mut self, value: f64) -> DriftStatus {
+        self.elements_seen += 1;
+        self.insert(value);
+        self.elements_since_check += 1;
+
+        let mut status = DriftStatus::Stable;
+        if self.elements_since_check >= self.config.clock {
+            self.elements_since_check = 0;
+            if self.detect_and_shrink() {
+                self.drifts_detected += 1;
+                status = DriftStatus::Drift;
+            }
+        }
+        self.last_status = status;
+        status
+    }
+
+    fn reset(&mut self) {
+        let config = self.config.clone();
+        let elements_seen = self.elements_seen;
+        let drifts = self.drifts_detected;
+        *self = Self::new(config);
+        self.elements_seen = elements_seen;
+        self.drifts_detected = drifts;
+    }
+
+    fn name(&self) -> &'static str {
+        "ADWIN"
+    }
+
+    fn elements_seen(&self) -> u64 {
+        self.elements_seen
+    }
+
+    fn drifts_detected(&self) -> u64 {
+        self.drifts_detected
+    }
+
+    fn supports_real_valued_input(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{bernoulli, jitter};
+
+    #[test]
+    #[should_panic(expected = "delta must be in")]
+    fn rejects_bad_delta() {
+        let _ = Adwin::with_delta(0.0);
+    }
+
+    #[test]
+    fn window_statistics_track_inputs() {
+        let mut a = Adwin::with_defaults();
+        for i in 0..1_000u64 {
+            a.add_element(0.3 + 0.1 * jitter(i));
+        }
+        assert_eq!(a.elements_seen(), 1_000);
+        assert!((a.window_mean() - 0.3).abs() < 0.02);
+        assert!(a.window_variance() < 0.01);
+        // The exponential histogram stores far fewer buckets than elements.
+        let total_buckets: usize = a.rows.iter().map(Vec::len).sum();
+        assert!(total_buckets < 80, "buckets = {total_buckets}");
+    }
+
+    #[test]
+    fn stationary_stream_rarely_fires() {
+        let mut a = Adwin::with_defaults();
+        let mut drifts = 0;
+        for i in 0..20_000u64 {
+            if a.add_element(bernoulli(i, 0.2)) == DriftStatus::Drift {
+                drifts += 1;
+            }
+        }
+        // δ = 0.002 gives a very low false-positive rate.
+        assert!(drifts <= 2, "too many false positives: {drifts}");
+    }
+
+    #[test]
+    fn sudden_mean_shift_detected() {
+        let mut a = Adwin::with_defaults();
+        let mut detected_at = None;
+        for i in 0..6_000u64 {
+            let p = if i < 3_000 { 0.05 } else { 0.5 };
+            if a.add_element(bernoulli(i, p)) == DriftStatus::Drift {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        let at = detected_at.expect("ADWIN must detect a large mean shift");
+        assert!(at >= 3_000, "false positive at {at}");
+        assert!(at < 3_500, "delay too large: {}", at - 3_000);
+        // The window shrank after the cut.
+        assert!(a.window_len() < 3_500);
+    }
+
+    #[test]
+    fn real_valued_shift_detected() {
+        let mut a = Adwin::with_defaults();
+        let mut detected = false;
+        for i in 0..4_000u64 {
+            let base = if i < 2_000 { 0.2 } else { 0.6 };
+            let x = (base + 0.1 * jitter(i)).clamp(0.0, 1.0);
+            if a.add_element(x) == DriftStatus::Drift {
+                detected = true;
+                assert!(i >= 2_000, "false positive at {i}");
+                break;
+            }
+        }
+        assert!(detected);
+    }
+
+    #[test]
+    fn mean_preserving_variance_change_not_detected() {
+        // The paper's argument for OPTWIN: ADWIN only looks at means, so a
+        // pure variance change goes unnoticed.
+        let mut a = Adwin::with_defaults();
+        let mut drifts = 0;
+        for i in 0..8_000u64 {
+            let x = if i < 4_000 {
+                0.5 + 0.05 * jitter(i)
+            } else if i % 2 == 0 {
+                0.0
+            } else {
+                1.0
+            };
+            if a.add_element(x) == DriftStatus::Drift {
+                drifts += 1;
+            }
+        }
+        assert_eq!(drifts, 0, "ADWIN unexpectedly reacted to a variance-only change");
+    }
+
+    #[test]
+    fn reset_clears_window_keeps_counters() {
+        let mut a = Adwin::with_defaults();
+        for i in 0..500u64 {
+            a.add_element(bernoulli(i, 0.3));
+        }
+        let seen = a.elements_seen();
+        a.reset();
+        assert_eq!(a.window_len(), 0);
+        assert_eq!(a.elements_seen(), seen);
+        assert_eq!(a.name(), "ADWIN");
+    }
+
+    #[test]
+    fn bucket_merge_preserves_moments() {
+        let a = Bucket {
+            count: 4,
+            sum: 2.0,
+            variance: 0.25,
+        };
+        let b = Bucket {
+            count: 4,
+            sum: 3.0,
+            variance: 0.3,
+        };
+        let m = Bucket::merge(&a, &b);
+        assert_eq!(m.count, 8);
+        assert!((m.sum - 5.0).abs() < 1e-12);
+        // Parallel-variance: v = va + vb + d²·n1·n2/(n1+n2), d = 0.75 − 0.5
+        assert!((m.variance - (0.25 + 0.3 + 0.0625 * 2.0)).abs() < 1e-12);
+        // Merging with an empty bucket is the identity.
+        let empty = Bucket::default();
+        let same = Bucket::merge(&a, &empty);
+        assert_eq!(same.count, a.count);
+    }
+}

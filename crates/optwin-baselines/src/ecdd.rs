@@ -1,0 +1,374 @@
+//! ECDD — EWMA charts for Concept Drift Detection (Ross et al., 2012).
+//!
+//! ECDD feeds the binary error stream into an exponentially weighted moving
+//! average `Z_t = (1 − λ) Z_{t−1} + λ X_t` and flags a drift when `Z_t`
+//! exceeds a control limit calibrated so that the *average run length*
+//! between false positives on a stationary stream is approximately a target
+//! `ARL₀`.
+//!
+//! The original paper calibrates the control limit with Monte-Carlo
+//! simulations and publishes fitted polynomials in the estimated error rate
+//! `p̂_t`. Those polynomial coefficients are not reproduced here; instead the
+//! control limit is derived analytically from a **Chernoff bound** on the
+//! exceedance probability of the EWMA of Bernoulli variables:
+//!
+//! ```text
+//! P(Z_t > c)  ≤  exp( −sup_s [ s·c − Σ_k ln(1 − p + p·e^{s·w_k}) ] ),
+//!     w_k = λ (1 − λ)^k   (k over the observations since the last reset)
+//! ```
+//!
+//! and `c` is chosen so that this bound equals `1/ARL₀`. The bound respects
+//! the strong right-skew of the EWMA at small error rates (where a normal
+//! approximation badly underestimates the tail), while remaining slightly
+//! conservative; qualitatively the detector keeps the behaviour the OPTWIN
+//! paper measured for ECDD — very fast reactions and the highest
+//! false-positive count of the line-up.
+
+use optwin_core::{DriftDetector, DriftStatus};
+use optwin_stats::incremental::Ewma;
+
+/// Configuration for [`Ecdd`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcddConfig {
+    /// EWMA smoothing factor λ (the paper recommends 0.2).
+    pub lambda: f64,
+    /// Target average run length between false positives (paper default 400).
+    pub arl0: f64,
+    /// Minimum number of observations before detection starts.
+    pub min_instances: u64,
+    /// Fraction of the distance between `p̂` and the drift threshold at which
+    /// a warning is reported (0.5 in the reference implementations).
+    pub warning_fraction: f64,
+}
+
+impl Default for EcddConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 0.2,
+            arl0: 400.0,
+            min_instances: 30,
+            warning_fraction: 0.5,
+        }
+    }
+}
+
+/// The ECDD drift detector.
+#[derive(Debug, Clone)]
+pub struct Ecdd {
+    config: EcddConfig,
+    ewma: Ewma,
+    /// Cache of control limits keyed by the rounded error-rate estimate
+    /// (index = round(p̂ / P_RESOLUTION)), so the Chernoff calibration runs at
+    /// most once per distinct rounded rate.
+    limit_cache: Vec<Option<f64>>,
+    elements_seen: u64,
+    drifts_detected: u64,
+    last_status: DriftStatus,
+}
+
+/// Resolution at which the error-rate estimate is rounded for the control
+/// limit cache.
+const P_RESOLUTION: f64 = 0.005;
+
+impl Ecdd {
+    /// Creates a detector with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is outside `(0, 1]`, `arl0` is not at least 2, or
+    /// `warning_fraction` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(config: EcddConfig) -> Self {
+        assert!(
+            config.warning_fraction > 0.0 && config.warning_fraction <= 1.0,
+            "ECDD warning fraction must be in (0, 1]"
+        );
+        assert!(config.arl0 >= 2.0, "ECDD ARL0 must be at least 2");
+        let cache_len = (1.0 / P_RESOLUTION) as usize + 2;
+        Self {
+            ewma: Ewma::new(config.lambda),
+            config,
+            limit_cache: vec![None; cache_len],
+            elements_seen: 0,
+            drifts_detected: 0,
+            last_status: DriftStatus::Stable,
+        }
+    }
+
+    /// Creates a detector with the defaults used in the paper's experiments
+    /// (λ = 0.2, ARL₀ = 400).
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(EcddConfig::default())
+    }
+
+    /// Current EWMA value of the error stream (diagnostics).
+    #[must_use]
+    pub fn ewma_value(&self) -> f64 {
+        self.ewma.value()
+    }
+
+    /// Current running error-rate estimate (diagnostics).
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        self.ewma.mean()
+    }
+
+    /// Chernoff cumulant `K(s) = Σ_k ln(1 − p + p e^{s w_k})` for the EWMA
+    /// weights of a geometric window (truncated when weights become
+    /// negligible).
+    fn cumulant(p: f64, lambda: f64, s: f64) -> f64 {
+        let mut k = 0.0;
+        let mut w = lambda;
+        // Truncate once the weight is negligible; with λ = 0.2 this is ~45
+        // terms.
+        while w > 1e-4 {
+            k += (1.0 - p + p * (s * w).exp()).ln();
+            w *= 1.0 - lambda;
+        }
+        k
+    }
+
+    /// The Chernoff upper bound on `ln P(Z > c)` (the best exponent over s).
+    fn ln_tail_bound(p: f64, lambda: f64, c: f64) -> f64 {
+        // Minimise s·c − K(s) over s ≥ 0 by golden-section search; the
+        // objective is convex in s.
+        let objective = |s: f64| Self::cumulant(p, lambda, s) - s * c;
+        let (mut lo, mut hi) = (0.0_f64, 200.0_f64);
+        let phi = 0.5 * (5.0_f64.sqrt() - 1.0);
+        let mut x1 = hi - phi * (hi - lo);
+        let mut x2 = lo + phi * (hi - lo);
+        let mut f1 = objective(x1);
+        let mut f2 = objective(x2);
+        for _ in 0..60 {
+            if f1 > f2 {
+                lo = x1;
+                x1 = x2;
+                f1 = f2;
+                x2 = lo + phi * (hi - lo);
+                f2 = objective(x2);
+            } else {
+                hi = x2;
+                x2 = x1;
+                f2 = f1;
+                x1 = hi - phi * (hi - lo);
+                f1 = objective(x1);
+            }
+        }
+        f1.min(f2).min(0.0)
+    }
+
+    /// Control limit `c` such that the Chernoff bound on `P(Z > c)` equals
+    /// `1 / ARL0` for error rate `p`.
+    fn control_limit(p: f64, lambda: f64, arl0: f64) -> f64 {
+        let target = -(arl0.ln());
+        if p <= 0.0 {
+            // Degenerate: no errors observed yet; any error is an excursion.
+            return lambda * 0.5;
+        }
+        if p >= 1.0 {
+            return 1.0;
+        }
+        // Binary search for c in (p, 1]. ln_tail_bound is decreasing in c.
+        let (mut lo, mut hi) = (p, 1.0_f64);
+        for _ in 0..50 {
+            let mid = 0.5 * (lo + hi);
+            if Self::ln_tail_bound(p, lambda, mid) > target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Cached lookup of the control limit for the current error-rate
+    /// estimate.
+    fn cached_limit(&mut self, p: f64) -> f64 {
+        let idx = ((p / P_RESOLUTION).round() as usize).min(self.limit_cache.len() - 1);
+        if let Some(c) = self.limit_cache[idx] {
+            return c;
+        }
+        let rounded_p = idx as f64 * P_RESOLUTION;
+        let c = Self::control_limit(rounded_p, self.config.lambda, self.config.arl0);
+        self.limit_cache[idx] = Some(c);
+        c
+    }
+}
+
+impl DriftDetector for Ecdd {
+    fn add_element(&mut self, value: f64) -> DriftStatus {
+        self.elements_seen += 1;
+        let error = if value > 0.0 { 1.0 } else { 0.0 };
+        self.ewma.push(error);
+
+        if self.ewma.count() < self.config.min_instances {
+            self.last_status = DriftStatus::Stable;
+            return self.last_status;
+        }
+
+        let p = self.ewma.mean();
+        let z = self.ewma.value();
+        let drift_limit = self.cached_limit(p);
+        let warning_limit = p + self.config.warning_fraction * (drift_limit - p);
+
+        let status = if z > drift_limit {
+            self.drifts_detected += 1;
+            self.ewma.reset();
+            DriftStatus::Drift
+        } else if z > warning_limit {
+            DriftStatus::Warning
+        } else {
+            DriftStatus::Stable
+        };
+        self.last_status = status;
+        status
+    }
+
+    fn reset(&mut self) {
+        self.ewma.reset();
+        self.last_status = DriftStatus::Stable;
+    }
+
+    fn name(&self) -> &'static str {
+        "ECDD"
+    }
+
+    fn elements_seen(&self) -> u64 {
+        self.elements_seen
+    }
+
+    fn drifts_detected(&self) -> u64 {
+        self.drifts_detected
+    }
+
+    fn supports_real_valued_input(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::bernoulli;
+
+    #[test]
+    fn control_limit_above_error_rate_and_monotone_in_arl0() {
+        for &p in &[0.01, 0.05, 0.1, 0.2, 0.3, 0.5] {
+            let c100 = Ecdd::control_limit(p, 0.2, 100.0);
+            let c400 = Ecdd::control_limit(p, 0.2, 400.0);
+            let c1000 = Ecdd::control_limit(p, 0.2, 1000.0);
+            assert!(c100 > p, "p={p} c100={c100}");
+            assert!(c400 >= c100, "p={p}");
+            assert!(c1000 >= c400, "p={p}");
+            assert!(c1000 <= 1.0);
+        }
+    }
+
+    #[test]
+    fn chernoff_bound_is_negative_above_mean() {
+        // For c above the mean p the exponent must be strictly negative.
+        for &p in &[0.05, 0.2, 0.4] {
+            let bound = Ecdd::ln_tail_bound(p, 0.2, p + 0.2);
+            assert!(bound < 0.0, "p={p} bound={bound}");
+        }
+        // At c = p it is (close to) zero.
+        assert!(Ecdd::ln_tail_bound(0.3, 0.2, 0.3) > -1e-6);
+    }
+
+    #[test]
+    fn stationary_stream_false_positive_rate_is_bounded() {
+        // ECDD is, by design and by the OPTWIN paper's own measurements, the
+        // noisiest detector in the line-up; bound the rate loosely and check
+        // that a more conservative ARL0 fires no more often.
+        let run = |arl0: f64| {
+            let mut d = Ecdd::new(EcddConfig {
+                arl0,
+                ..EcddConfig::default()
+            });
+            let mut drifts = 0usize;
+            for i in 0..40_000u64 {
+                if d.add_element(bernoulli(i, 0.2)) == DriftStatus::Drift {
+                    drifts += 1;
+                }
+            }
+            drifts
+        };
+        let fp_100 = run(100.0);
+        let fp_1000 = run(1_000.0);
+        assert!(fp_1000 <= fp_100, "fp_1000={fp_1000} fp_100={fp_100}");
+        assert!(fp_1000 < 40_000 / 100, "fp_1000 = {fp_1000}");
+    }
+
+    #[test]
+    fn error_increase_detected_fast() {
+        let mut d = Ecdd::with_defaults();
+        let mut detected_after_drift = None;
+        for i in 0..3_000u64 {
+            let p = if i < 2_000 { 0.05 } else { 0.5 };
+            if d.add_element(bernoulli(i, p)) == DriftStatus::Drift && i >= 2_000 {
+                detected_after_drift = Some(i);
+                break;
+            }
+        }
+        let at = detected_after_drift.expect("ECDD must react to the error increase");
+        assert!(at < 2_100, "ECDD should react within ~100 elements, got {at}");
+    }
+
+    #[test]
+    fn improvement_fires_far_less_than_degradation() {
+        // The chart is one-sided (upward): after the error rate improves the
+        // detector may still produce occasional false alarms, but no more
+        // than during an actual degradation of the same magnitude.
+        let count_drifts = |before: f64, after: f64| {
+            let mut d = Ecdd::with_defaults();
+            let mut drifts = 0usize;
+            for i in 0..4_000u64 {
+                let p = if i < 2_000 { before } else { after };
+                if d.add_element(bernoulli(i, p)) == DriftStatus::Drift && i >= 2_000 {
+                    drifts += 1;
+                }
+            }
+            drifts
+        };
+        let improvement = count_drifts(0.5, 0.05);
+        let degradation = count_drifts(0.05, 0.5);
+        assert!(degradation >= 1);
+        assert!(
+            improvement <= degradation,
+            "improvement={improvement} degradation={degradation}"
+        );
+    }
+
+    #[test]
+    fn diagnostics_and_reset() {
+        let mut d = Ecdd::with_defaults();
+        for i in 0..1_000u64 {
+            d.add_element(bernoulli(i, 0.3));
+        }
+        assert!((d.error_rate() - 0.3).abs() < 0.1);
+        assert!(d.ewma_value() >= 0.0 && d.ewma_value() <= 1.0);
+        d.reset();
+        assert_eq!(d.ewma_value(), 0.0);
+        assert_eq!(d.name(), "ECDD");
+        assert!(!d.supports_real_valued_input());
+    }
+
+    #[test]
+    #[should_panic(expected = "warning fraction")]
+    fn rejects_bad_warning_fraction() {
+        let _ = Ecdd::new(EcddConfig {
+            warning_fraction: 0.0,
+            ..EcddConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "ARL0 must be at least")]
+    fn rejects_bad_arl0() {
+        let _ = Ecdd::new(EcddConfig {
+            arl0: 1.0,
+            ..EcddConfig::default()
+        });
+    }
+}

@@ -1,0 +1,247 @@
+//! KSWIN — Kolmogorov–Smirnov WINdowing (extension detector).
+//!
+//! KSWIN keeps a window of the most recent `window_size` observations and
+//! tests, with the two-sample Kolmogorov–Smirnov statistic, whether the most
+//! recent `stat_size` observations come from the same distribution as the
+//! older part of the window. Because the KS test is distribution-free it
+//! reacts to any change of the error distribution, not just mean shifts.
+//!
+//! This implementation compares the recent slice against the *entire* older
+//! portion of the window (instead of a random sub-sample as in some reference
+//! implementations), which keeps the detector fully deterministic.
+
+use std::collections::VecDeque;
+
+use optwin_core::{DriftDetector, DriftStatus};
+use optwin_stats::tests::ks_two_sample;
+
+/// Configuration for [`Kswin`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KswinConfig {
+    /// Total sliding-window size (default 300).
+    pub window_size: usize,
+    /// Size of the recent slice compared against the rest (default 30).
+    pub stat_size: usize,
+    /// Significance level α for the KS test (default `1e-4`).
+    ///
+    /// The test runs after every ingested element, so α must be chosen with
+    /// the implied multiple-testing in mind; `1e-4` keeps the false-positive
+    /// rate low while still reacting to genuine shifts within a few dozen
+    /// elements.
+    pub alpha: f64,
+}
+
+impl Default for KswinConfig {
+    fn default() -> Self {
+        Self {
+            window_size: 300,
+            stat_size: 30,
+            alpha: 1e-4,
+        }
+    }
+}
+
+/// The KSWIN drift detector.
+#[derive(Debug, Clone)]
+pub struct Kswin {
+    config: KswinConfig,
+    window: VecDeque<f64>,
+    elements_seen: u64,
+    drifts_detected: u64,
+    last_status: DriftStatus,
+}
+
+impl Kswin {
+    /// Creates a detector with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stat_size` is zero, `window_size <= 2 * stat_size`, or
+    /// `alpha` is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(config: KswinConfig) -> Self {
+        assert!(config.stat_size > 0, "KSWIN stat_size must be positive");
+        assert!(
+            config.window_size > 2 * config.stat_size,
+            "KSWIN window_size must exceed twice the stat_size"
+        );
+        assert!(
+            config.alpha > 0.0 && config.alpha < 1.0,
+            "KSWIN alpha must lie in (0, 1)"
+        );
+        Self {
+            window: VecDeque::with_capacity(config.window_size),
+            config,
+            elements_seen: 0,
+            drifts_detected: 0,
+            last_status: DriftStatus::Stable,
+        }
+    }
+
+    /// Creates a detector with the defaults (window 300, slice 30,
+    /// α = 1e-4).
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(KswinConfig::default())
+    }
+
+    /// Number of elements currently buffered.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+}
+
+impl DriftDetector for Kswin {
+    fn add_element(&mut self, value: f64) -> DriftStatus {
+        self.elements_seen += 1;
+        if self.window.len() == self.config.window_size {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+
+        if self.window.len() < self.config.window_size {
+            self.last_status = DriftStatus::Stable;
+            return self.last_status;
+        }
+
+        let split = self.window.len() - self.config.stat_size;
+        let older: Vec<f64> = self.window.iter().copied().take(split).collect();
+        let recent: Vec<f64> = self.window.iter().copied().skip(split).collect();
+
+        let status = match ks_two_sample(&recent, &older) {
+            Ok(r) if r.p_value < self.config.alpha => {
+                self.drifts_detected += 1;
+                // Keep only the recent slice: it represents the new concept.
+                let keep: Vec<f64> = recent;
+                self.window.clear();
+                self.window.extend(keep);
+                DriftStatus::Drift
+            }
+            Ok(r) if r.p_value < self.config.alpha * 10.0 => DriftStatus::Warning,
+            _ => DriftStatus::Stable,
+        };
+        self.last_status = status;
+        status
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.last_status = DriftStatus::Stable;
+    }
+
+    fn name(&self) -> &'static str {
+        "KSWIN"
+    }
+
+    fn elements_seen(&self) -> u64 {
+        self.elements_seen
+    }
+
+    fn drifts_detected(&self) -> u64 {
+        self.drifts_detected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::jitter;
+
+    #[test]
+    #[should_panic(expected = "window_size must exceed")]
+    fn rejects_window_smaller_than_slices() {
+        let _ = Kswin::new(KswinConfig {
+            window_size: 50,
+            stat_size: 30,
+            alpha: 0.005,
+        });
+    }
+
+    #[test]
+    fn no_detection_until_window_full() {
+        let mut d = Kswin::with_defaults();
+        for i in 0..299u64 {
+            assert_eq!(d.add_element(0.3 + 0.1 * jitter(i)), DriftStatus::Stable);
+        }
+        assert_eq!(d.window_len(), 299);
+    }
+
+    #[test]
+    fn stationary_stream_is_mostly_stable() {
+        let mut d = Kswin::with_defaults();
+        let mut drifts = 0;
+        for i in 0..20_000u64 {
+            if d.add_element(0.3 + 0.2 * jitter(i)) == DriftStatus::Drift {
+                drifts += 1;
+            }
+        }
+        assert!(drifts <= 4, "drifts = {drifts}");
+    }
+
+    #[test]
+    fn distribution_shift_detected() {
+        let mut d = Kswin::with_defaults();
+        let mut detected_at = None;
+        for i in 0..6_000u64 {
+            let x = if i < 3_000 {
+                0.2 + 0.1 * jitter(i)
+            } else {
+                0.7 + 0.1 * jitter(i)
+            };
+            if d.add_element(x) == DriftStatus::Drift {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        let at = detected_at.expect("KSWIN must detect a distribution shift");
+        assert!(at >= 3_000, "false positive at {at}");
+        assert!(at < 3_100, "delay = {}", at - 3_000);
+    }
+
+    #[test]
+    fn variance_change_detected() {
+        // KS reacts to shape changes, not only mean shifts.
+        let mut d = Kswin::with_defaults();
+        let mut detected = false;
+        for i in 0..6_000u64 {
+            let x = if i < 3_000 {
+                0.5 + 0.02 * jitter(i)
+            } else {
+                0.5 + 0.9 * jitter(i)
+            };
+            if d.add_element(x) == DriftStatus::Drift {
+                detected = true;
+                assert!(i >= 3_000, "false positive at {i}");
+                break;
+            }
+        }
+        assert!(detected);
+    }
+
+    #[test]
+    fn window_shrinks_after_detection() {
+        let mut d = Kswin::with_defaults();
+        for i in 0..3_200u64 {
+            let x = if i < 3_000 { 0.1 } else { 0.9 } + 0.05 * jitter(i);
+            d.add_element(x);
+            if d.drifts_detected() > 0 {
+                break;
+            }
+        }
+        assert!(d.drifts_detected() > 0);
+        assert_eq!(d.window_len(), 30);
+    }
+
+    #[test]
+    fn reset_and_metadata() {
+        let mut d = Kswin::with_defaults();
+        for i in 0..500u64 {
+            d.add_element(0.5 + 0.1 * jitter(i));
+        }
+        d.reset();
+        assert_eq!(d.window_len(), 0);
+        assert_eq!(d.name(), "KSWIN");
+        assert!(d.supports_real_valued_input());
+    }
+}

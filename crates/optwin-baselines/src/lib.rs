@@ -1,0 +1,174 @@
+//! # optwin-baselines — baseline concept-drift detectors
+//!
+//! Re-implementations of the drift detectors the OPTWIN paper compares
+//! against (all of them originally available in the MOA framework), plus a
+//! few extensions used for ablation studies:
+//!
+//! | Detector | Module | Input | Paper reference |
+//! |----------|--------|-------|-----------------|
+//! | ADWIN    | [`adwin`] | real-valued in `[0, 1]` | Bifet & Gavaldà, 2007 |
+//! | DDM      | [`ddm`]   | binary | Gama et al., 2004 |
+//! | EDDM     | [`eddm`]  | binary | Baena-García et al., 2006 |
+//! | STEPD    | [`stepd`] | binary (accuracy) | Nishida & Yamauchi, 2007 |
+//! | ECDD     | [`ecdd`]  | binary | Ross et al., 2012 |
+//! | Page–Hinkley | [`page_hinkley`] | real-valued | extension |
+//! | KSWIN    | [`kswin`] | real-valued | extension |
+//!
+//! Every detector implements [`optwin_core::DriftDetector`], so they are
+//! interchangeable with OPTWIN throughout the evaluation harness.
+//!
+//! ```
+//! use optwin_core::{DriftDetector, DriftStatus};
+//! use optwin_baselines::{Adwin, Ddm};
+//!
+//! let mut adwin = Adwin::with_defaults();
+//! let mut ddm = Ddm::with_defaults();
+//! for i in 0..2_000u32 {
+//!     let error = if i < 1_000 { 0.0 } else { f64::from(i % 2) };
+//!     adwin.add_element(error);
+//!     ddm.add_element(error);
+//! }
+//! assert!(adwin.drifts_detected() + ddm.drifts_detected() > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod adwin;
+pub mod ddm;
+pub mod ecdd;
+pub mod eddm;
+pub mod kswin;
+pub mod page_hinkley;
+pub mod stepd;
+
+pub use adwin::{Adwin, AdwinConfig};
+pub use ddm::{Ddm, DdmConfig};
+pub use ecdd::{Ecdd, EcddConfig};
+pub use eddm::{Eddm, EddmConfig};
+pub use kswin::{Kswin, KswinConfig};
+pub use page_hinkley::{PageHinkley, PageHinkleyConfig};
+pub use stepd::{Stepd, StepdConfig};
+
+/// Identifier for every detector the workspace ships, used by the evaluation
+/// harness and the benchmark binaries to iterate "all detectors" uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorKind {
+    /// OPTWIN with a given robustness ρ (×1000, to stay `Eq`/`Hash`; e.g.
+    /// `OptwinRho(100)` is ρ = 0.1).
+    OptwinRho(u32),
+    /// ADWIN.
+    Adwin,
+    /// DDM.
+    Ddm,
+    /// EDDM.
+    Eddm,
+    /// STEPD.
+    Stepd,
+    /// ECDD.
+    Ecdd,
+    /// Page–Hinkley (extension).
+    PageHinkley,
+    /// KSWIN (extension).
+    Kswin,
+}
+
+impl DetectorKind {
+    /// The display name used in tables (matches the paper's labels).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            DetectorKind::OptwinRho(milli) => {
+                format!("OPTWIN rho={:.1}", *milli as f64 / 1000.0)
+            }
+            DetectorKind::Adwin => "ADWIN".to_string(),
+            DetectorKind::Ddm => "DDM".to_string(),
+            DetectorKind::Eddm => "EDDM".to_string(),
+            DetectorKind::Stepd => "STEPD".to_string(),
+            DetectorKind::Ecdd => "ECDD".to_string(),
+            DetectorKind::PageHinkley => "PageHinkley".to_string(),
+            DetectorKind::Kswin => "KSWIN".to_string(),
+        }
+    }
+
+    /// Whether the detector only accepts binary error indicators.
+    #[must_use]
+    pub fn binary_only(&self) -> bool {
+        matches!(
+            self,
+            DetectorKind::Ddm | DetectorKind::Eddm | DetectorKind::Ecdd
+        )
+    }
+
+    /// The detector line-up used throughout the paper's Table 1 and Table 2
+    /// (three OPTWIN configurations plus the five baselines).
+    #[must_use]
+    pub fn paper_lineup() -> Vec<DetectorKind> {
+        vec![
+            DetectorKind::Adwin,
+            DetectorKind::Ddm,
+            DetectorKind::Eddm,
+            DetectorKind::Stepd,
+            DetectorKind::Ecdd,
+            DetectorKind::OptwinRho(100),
+            DetectorKind::OptwinRho(500),
+            DetectorKind::OptwinRho(1000),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(DetectorKind::Adwin.label(), "ADWIN");
+        assert_eq!(DetectorKind::OptwinRho(100).label(), "OPTWIN rho=0.1");
+        assert_eq!(DetectorKind::OptwinRho(1000).label(), "OPTWIN rho=1.0");
+    }
+
+    #[test]
+    fn binary_only_flags() {
+        assert!(DetectorKind::Ddm.binary_only());
+        assert!(DetectorKind::Eddm.binary_only());
+        assert!(DetectorKind::Ecdd.binary_only());
+        assert!(!DetectorKind::Adwin.binary_only());
+        assert!(!DetectorKind::Stepd.binary_only());
+        assert!(!DetectorKind::OptwinRho(500).binary_only());
+    }
+
+    #[test]
+    fn paper_lineup_has_eight_entries() {
+        let lineup = DetectorKind::paper_lineup();
+        assert_eq!(lineup.len(), 8);
+        assert!(lineup.contains(&DetectorKind::OptwinRho(500)));
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    //! Deterministic pseudo-random streams shared by the detector tests.
+
+    /// SplitMix64 jitter in [-0.5, 0.5).
+    pub(crate) fn jitter(i: u64) -> f64 {
+        let mut x = i
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    /// Deterministic Bernoulli error stream with a given error probability.
+    pub(crate) fn bernoulli(i: u64, p: f64) -> f64 {
+        if jitter(i) + 0.5 < p {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}

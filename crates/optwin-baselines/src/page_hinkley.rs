@@ -1,0 +1,230 @@
+//! Page–Hinkley test (extension detector).
+//!
+//! The Page–Hinkley test is a sequential change-detection scheme for the mean
+//! of a signal. It maintains the cumulative difference between the
+//! observations and their running mean (minus a small tolerance `delta`) and
+//! compares it against its historical minimum; when the gap exceeds a
+//! threshold `lambda`, a change is flagged. It is not part of the paper's
+//! baseline set but is a classic single-pass detector useful for ablations.
+
+use optwin_core::{DriftDetector, DriftStatus};
+
+/// Configuration for [`PageHinkley`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageHinkleyConfig {
+    /// Minimum number of observations before detection starts.
+    pub min_instances: u64,
+    /// Magnitude tolerance: changes smaller than this are ignored.
+    pub delta: f64,
+    /// Detection threshold λ on the cumulative statistic.
+    pub lambda: f64,
+    /// Forgetting factor applied to the running mean (1.0 = plain mean).
+    pub alpha: f64,
+    /// Fraction of λ at which a warning is reported.
+    pub warning_fraction: f64,
+}
+
+impl Default for PageHinkleyConfig {
+    fn default() -> Self {
+        Self {
+            min_instances: 30,
+            delta: 0.005,
+            lambda: 50.0,
+            alpha: 0.9999,
+            warning_fraction: 0.5,
+        }
+    }
+}
+
+/// The Page–Hinkley drift detector (detects increases of the mean).
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    config: PageHinkleyConfig,
+    n: u64,
+    mean: f64,
+    cumulative: f64,
+    min_cumulative: f64,
+    elements_seen: u64,
+    drifts_detected: u64,
+    last_status: DriftStatus,
+}
+
+impl PageHinkley {
+    /// Creates a detector with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not positive or `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(config: PageHinkleyConfig) -> Self {
+        assert!(config.lambda > 0.0, "Page-Hinkley lambda must be positive");
+        assert!(
+            config.alpha > 0.0 && config.alpha <= 1.0,
+            "Page-Hinkley alpha must be in (0, 1]"
+        );
+        Self {
+            config,
+            n: 0,
+            mean: 0.0,
+            cumulative: 0.0,
+            min_cumulative: f64::MAX,
+            elements_seen: 0,
+            drifts_detected: 0,
+            last_status: DriftStatus::Stable,
+        }
+    }
+
+    /// Creates a detector with the classic defaults (δ = 0.005, λ = 50).
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(PageHinkleyConfig::default())
+    }
+
+    /// Current value of the cumulative test statistic minus its minimum.
+    #[must_use]
+    pub fn statistic(&self) -> f64 {
+        if self.min_cumulative == f64::MAX {
+            0.0
+        } else {
+            self.cumulative - self.min_cumulative
+        }
+    }
+
+    fn restart(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.cumulative = 0.0;
+        self.min_cumulative = f64::MAX;
+    }
+}
+
+impl DriftDetector for PageHinkley {
+    fn add_element(&mut self, value: f64) -> DriftStatus {
+        self.elements_seen += 1;
+        self.n += 1;
+        // Running (optionally fading) mean.
+        self.mean += (value - self.mean) / self.n as f64;
+        self.cumulative =
+            self.config.alpha * self.cumulative + (value - self.mean - self.config.delta);
+        self.min_cumulative = self.min_cumulative.min(self.cumulative);
+
+        if self.n < self.config.min_instances {
+            self.last_status = DriftStatus::Stable;
+            return self.last_status;
+        }
+
+        let stat = self.cumulative - self.min_cumulative;
+        let status = if stat > self.config.lambda {
+            self.drifts_detected += 1;
+            self.restart();
+            DriftStatus::Drift
+        } else if stat > self.config.warning_fraction * self.config.lambda {
+            DriftStatus::Warning
+        } else {
+            DriftStatus::Stable
+        };
+        self.last_status = status;
+        status
+    }
+
+    fn reset(&mut self) {
+        self.restart();
+        self.last_status = DriftStatus::Stable;
+    }
+
+    fn name(&self) -> &'static str {
+        "PageHinkley"
+    }
+
+    fn elements_seen(&self) -> u64 {
+        self.elements_seen
+    }
+
+    fn drifts_detected(&self) -> u64 {
+        self.drifts_detected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{bernoulli, jitter};
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn rejects_bad_lambda() {
+        let _ = PageHinkley::new(PageHinkleyConfig {
+            lambda: 0.0,
+            ..PageHinkleyConfig::default()
+        });
+    }
+
+    #[test]
+    fn stationary_stream_is_stable() {
+        let mut d = PageHinkley::with_defaults();
+        let mut drifts = 0;
+        for i in 0..30_000u64 {
+            if d.add_element(bernoulli(i, 0.2)) == DriftStatus::Drift {
+                drifts += 1;
+            }
+        }
+        assert!(drifts <= 1, "drifts = {drifts}");
+    }
+
+    #[test]
+    fn mean_increase_detected() {
+        let mut d = PageHinkley::with_defaults();
+        let mut detected_at = None;
+        for i in 0..6_000u64 {
+            let base = if i < 3_000 { 0.1 } else { 0.5 };
+            let x = (base + 0.1 * jitter(i)).clamp(0.0, 1.0);
+            if d.add_element(x) == DriftStatus::Drift {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        let at = detected_at.expect("Page-Hinkley must detect the mean increase");
+        assert!(at >= 3_000);
+        assert!(at < 3_400, "delay = {}", at - 3_000);
+    }
+
+    #[test]
+    fn statistic_resets_after_drift() {
+        let mut d = PageHinkley::with_defaults();
+        for i in 0..6_000u64 {
+            let base = if i < 3_000 { 0.1 } else { 0.5 };
+            d.add_element((base + 0.1 * jitter(i)).clamp(0.0, 1.0));
+        }
+        assert!(d.drifts_detected() >= 1);
+        // After the reset the statistic should be far from the threshold.
+        assert!(d.statistic() < 50.0);
+    }
+
+    #[test]
+    fn warning_zone_reported() {
+        let mut d = PageHinkley::new(PageHinkleyConfig {
+            lambda: 20.0,
+            ..PageHinkleyConfig::default()
+        });
+        let mut saw_warning = false;
+        for i in 0..6_000u64 {
+            let base = if i < 3_000 { 0.1 } else { 0.5 };
+            let status = d.add_element((base + 0.1 * jitter(i)).clamp(0.0, 1.0));
+            if status == DriftStatus::Warning {
+                saw_warning = true;
+            }
+            if status == DriftStatus::Drift {
+                break;
+            }
+        }
+        assert!(saw_warning, "warning zone should precede the drift");
+    }
+
+    #[test]
+    fn metadata() {
+        let d = PageHinkley::with_defaults();
+        assert_eq!(d.name(), "PageHinkley");
+        assert!(d.supports_real_valued_input());
+        assert_eq!(d.statistic(), 0.0);
+    }
+}

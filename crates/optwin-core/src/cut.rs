@@ -1,0 +1,600 @@
+//! Optimal-cut computation (Equation 1 of the paper) and the pre-computed
+//! per-window-length lookup table.
+//!
+//! For a window of length `|W|`, a candidate split ν partitions it into
+//! `W_hist` (the first `⌊ν|W|⌋` elements) and `W_new` (the rest). Equation 1
+//! expresses, for that split, the smallest mean shift (measured in units of
+//! `σ_hist`) that the Welch *t*-test is guaranteed to flag at confidence δ':
+//!
+//! ```text
+//! ρ(ν) = t_ppf(δ', df) · sqrt( 1/(ν|W|) + f_ppf(δ', df_new, df_hist) / ((1−ν)|W|) )
+//! ```
+//!
+//! The function ρ(ν) is U-shaped: it blows up when either sub-window becomes
+//! tiny. OPTWIN therefore uses the **highest** ν at which ρ(ν) is still at
+//! most the user-chosen robustness ρ — the smallest `W_new` that still
+//! guarantees detection — and falls back to ν = 0.5 while the window is too
+//! short for any split to satisfy the requirement (`|W| < w_proof`).
+//!
+//! Because ρ(ν) depends only on `|W|`, δ and ρ (never on the data), the split
+//! point and both critical values are pre-computed per window length, exactly
+//! as described in §3.4 of the paper. [`CutTable`] computes entries lazily,
+//! warm-starting each search from the neighbouring window length so that
+//! building the full `w_max = 25 000` table costs only a few probability
+//! point function evaluations per length.
+//!
+//! ## A note on the F-test degrees of freedom
+//!
+//! Algorithm 1 (line 11) writes `f_ppf(δ', ν|W|−1, (1−ν)|W|−1)` while the
+//! accompanying text of the proof says the numerator degrees of freedom come
+//! from `W_new` and the denominator from `W_hist`. Since the tested statistic
+//! is `σ²_new / σ²_hist`, the statistically correct parametrisation is
+//! `(|W_new|−1, |W_hist|−1)`, which is what this implementation uses — both
+//! for the runtime test and inside Equation 1.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use optwin_stats::dist::{ContinuousDistribution, FisherF, StudentsT};
+
+use crate::{CoreError, OptwinConfig, Result};
+
+/// Pre-computed quantities for one window length `|W|`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CutEntry {
+    /// Window length this entry was computed for.
+    pub window_len: usize,
+    /// Number of elements in `W_hist` (`⌊ν|W|⌋`).
+    pub split: usize,
+    /// The optimal splitting percentage ν = split / |W|.
+    pub nu: f64,
+    /// `true` when Equation 1 had a solution for this window length (i.e.
+    /// `|W| ≥ w_proof`); `false` when the ν = 0.5 fallback was used.
+    pub exact: bool,
+    /// Critical value of the Welch t-test at confidence δ'.
+    pub t_crit: f64,
+    /// Critical value of the f-test at confidence δ'
+    /// (degrees of freedom `|W_new|−1`, `|W_hist|−1`).
+    pub f_crit: f64,
+    /// Welch–Satterthwaite degrees of freedom used for `t_crit`
+    /// (Equation 2 of the paper).
+    pub df: f64,
+    /// Critical value of the t-test at the warning confidence, if enabled.
+    pub t_warn: Option<f64>,
+    /// Critical value of the f-test at the warning confidence, if enabled.
+    pub f_warn: Option<f64>,
+}
+
+/// The value of Equation 1's right-hand side for a concrete integer split.
+///
+/// `w` is the window length and `k` the number of elements in `W_hist`.
+/// Returns the guaranteed-detectable shift (in units of `σ_hist`) together
+/// with the Welch degrees of freedom and the two critical values, so callers
+/// can reuse them without re-evaluating the quantile functions.
+fn equation_one(w: usize, k: usize, delta_prime: f64) -> Result<(f64, f64, f64, f64)> {
+    debug_assert!(k >= 2 && w - k >= 2, "both sub-windows need >= 2 elements");
+    let n_hist = k as f64;
+    let n_new = (w - k) as f64;
+
+    // f_factor = f_ppf(δ', |W_new|−1, |W_hist|−1)  (Equation 8).
+    let f_dist = FisherF::new(n_new - 1.0, n_hist - 1.0)?;
+    let f_factor = f_dist.ppf(delta_prime)?;
+
+    // Welch–Satterthwaite degrees of freedom with σ²_new bounded by
+    // f_factor·σ²_hist (Equation 2).
+    let a = 1.0 / n_hist;
+    let b = f_factor / n_new;
+    let df = ((a + b) * (a + b)) / (a * a / (n_hist - 1.0) + b * b / (n_new - 1.0));
+    let df = df.max(1.0);
+
+    let t_dist = StudentsT::new(df)?;
+    let t_crit = t_dist.ppf(delta_prime)?;
+
+    let rho = t_crit * (a + b).sqrt();
+    Ok((rho, df, t_crit, f_factor))
+}
+
+/// Smallest admissible `W_hist` size (both tests need at least two elements
+/// per sub-window to have defined variances).
+const MIN_SUB_WINDOW: usize = 2;
+
+/// Computes the optimal cut for window length `w`: the largest split `k` such
+/// that Equation 1's guaranteed-detectable shift is at most `rho`.
+///
+/// `hint` optionally provides the split found for a nearby window length; the
+/// search then only probes a local neighbourhood before falling back to a
+/// full scan, which makes sequential table construction cheap.
+///
+/// Returns `(split, exact)` where `exact` is `false` when no split satisfies
+/// the requirement and the ν = 0.5 fallback was applied.
+fn optimal_split(
+    w: usize,
+    rho: f64,
+    delta_prime: f64,
+    hint: Option<usize>,
+) -> Result<(usize, bool)> {
+    let k_min = MIN_SUB_WINDOW;
+    let k_max = w - MIN_SUB_WINDOW;
+    if k_min > k_max {
+        return Ok((w / 2, false));
+    }
+
+    let satisfies = |k: usize| -> Result<bool> {
+        let (r, _, _, _) = equation_one(w, k, delta_prime)?;
+        Ok(r <= rho)
+    };
+
+    // Fast path: walk locally from the hint. The admissible region
+    // {k : ρ(k) ≤ rho} is an interval because ρ(k) is U-shaped, so the
+    // largest admissible k is characterised by ρ(k) ≤ rho < ρ(k+1).
+    if let Some(h) = hint {
+        let mut k = h.clamp(k_min, k_max);
+        if satisfies(k)? {
+            while k < k_max && satisfies(k + 1)? {
+                k += 1;
+            }
+            return Ok((k, true));
+        }
+        // The hint overshoots; walk down a bounded number of steps before
+        // giving up and scanning.
+        let mut down = k;
+        for _ in 0..8 {
+            if down == k_min {
+                break;
+            }
+            down -= 1;
+            if satisfies(down)? {
+                return Ok((down, true));
+            }
+        }
+    }
+
+    // Full search: find the largest admissible k by scanning from the top.
+    // ρ(k) is decreasing-then-increasing in k; scanning from k_max downwards
+    // and returning the first admissible k therefore yields the maximum.
+    // To avoid O(w) quantile evaluations for large windows we first probe a
+    // geometric grid to find a coarse bracket, then binary-search inside it.
+    let mut probe = k_max;
+    let mut last_bad = k_max + 1;
+    let mut found: Option<usize> = None;
+    let mut step = 1usize;
+    loop {
+        if satisfies(probe)? {
+            found = Some(probe);
+            break;
+        }
+        last_bad = probe;
+        if probe <= k_min {
+            break;
+        }
+        probe = probe.saturating_sub(step).max(k_min);
+        // Geometric acceleration, capped so that a narrow admissible interval
+        // (which occurs just above w_proof) cannot be stepped over.
+        step = (step * 2).min(32);
+    }
+
+    let Some(lo_good) = found else {
+        // No admissible split at all: |W| < w_proof, fall back to ν = 0.5.
+        return Ok((w / 2, false));
+    };
+
+    // Binary search for the boundary in (lo_good, last_bad).
+    let mut lo = lo_good;
+    let mut hi = last_bad; // exclusive: known to violate (or k_max + 1)
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if mid > k_max {
+            break;
+        }
+        if satisfies(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok((lo, true))
+}
+
+/// Lazily built, thread-safe lookup table of [`CutEntry`] values for every
+/// window length in `[w_min, w_max]`.
+///
+/// The table is keyed by the OPTWIN configuration it was built from and can
+/// be shared between detector instances with [`Arc`] (e.g. when running the
+/// 30-repetition experiments of the paper, all repetitions reuse one table).
+#[derive(Debug)]
+pub struct CutTable {
+    delta_prime: f64,
+    warning_delta_prime: Option<f64>,
+    rho: f64,
+    w_min: usize,
+    w_max: usize,
+    cache: RwLock<Vec<Option<CutEntry>>>,
+    /// Lazily computed proof window `w_proof`: the smallest window length at
+    /// which Equation 1 has a solution (`None` when even `w_max` has none).
+    /// Admissibility is monotone in `|W|` (larger windows can only make a
+    /// ρ-shift easier to certify), so lengths below `w_proof` take the
+    /// ν = 0.5 fallback without running the split search at all.
+    proof_window: RwLock<Option<Option<usize>>>,
+}
+
+impl CutTable {
+    /// Creates an empty table for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: &OptwinConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            delta_prime: config.delta_prime(),
+            warning_delta_prime: config.warning_delta_prime(),
+            rho: config.rho,
+            w_min: config.w_min,
+            w_max: config.w_max,
+            cache: RwLock::new(vec![None; config.w_max - config.w_min + 1]),
+            proof_window: RwLock::new(None),
+        })
+    }
+
+    /// Creates the table and wraps it in an [`Arc`] for sharing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the configuration is invalid.
+    pub fn shared(config: &OptwinConfig) -> Result<Arc<Self>> {
+        Ok(Arc::new(Self::new(config)?))
+    }
+
+    /// Smallest window length covered by the table.
+    #[must_use]
+    pub fn w_min(&self) -> usize {
+        self.w_min
+    }
+
+    /// Largest window length covered by the table.
+    #[must_use]
+    pub fn w_max(&self) -> usize {
+        self.w_max
+    }
+
+    /// The robustness parameter ρ the table was built for.
+    #[must_use]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Returns the entry for window length `w`, computing and caching it (and
+    /// nothing else) on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `w` is outside
+    /// `[w_min, w_max]`, or a wrapped statistics error if a quantile
+    /// evaluation fails (practically unreachable for valid configurations).
+    pub fn entry(&self, w: usize) -> Result<CutEntry> {
+        if w < self.w_min || w > self.w_max {
+            return Err(CoreError::InvalidConfig {
+                field: "window_len",
+                message: format!(
+                    "length {w} outside the table range [{}, {}]",
+                    self.w_min, self.w_max
+                ),
+            });
+        }
+        let idx = w - self.w_min;
+        if let Some(entry) = self.cache.read()[idx] {
+            return Ok(entry);
+        }
+        // Warm-start from the nearest cached neighbour below, if any.
+        let hint = {
+            let cache = self.cache.read();
+            cache[..idx]
+                .iter()
+                .rev()
+                .take(16)
+                .flatten()
+                .map(|e| e.split + (w - e.window_len))
+                .next()
+        };
+        let entry = self.compute_entry(w, hint)?;
+        self.cache.write()[idx] = Some(entry);
+        Ok(entry)
+    }
+
+    /// Eagerly computes every entry in `[w_min, w_max]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first computation error encountered.
+    pub fn precompute_all(&self) -> Result<()> {
+        let mut hint: Option<usize> = None;
+        for w in self.w_min..=self.w_max {
+            let idx = w - self.w_min;
+            if let Some(e) = self.cache.read()[idx] {
+                hint = Some(e.split + 1);
+                continue;
+            }
+            let entry = self.compute_entry(w, hint)?;
+            hint = Some(entry.split + 1);
+            self.cache.write()[idx] = Some(entry);
+        }
+        Ok(())
+    }
+
+    /// Number of entries currently cached (diagnostics).
+    #[must_use]
+    pub fn cached_entries(&self) -> usize {
+        self.cache.read().iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether Equation 1 has any admissible split for window length `w`
+    /// (evaluated at the U-shaped function's minimum via ternary search).
+    fn solution_exists(&self, w: usize) -> Result<bool> {
+        let k_min = MIN_SUB_WINDOW;
+        let k_max = w.saturating_sub(MIN_SUB_WINDOW);
+        if k_min >= k_max {
+            return Ok(false);
+        }
+        let mut lo = k_min;
+        let mut hi = k_max;
+        while hi - lo > 2 {
+            let m1 = lo + (hi - lo) / 3;
+            let m2 = hi - (hi - lo) / 3;
+            let (r1, _, _, _) = equation_one(w, m1, self.delta_prime)?;
+            let (r2, _, _, _) = equation_one(w, m2, self.delta_prime)?;
+            if r1 <= self.rho || r2 <= self.rho {
+                return Ok(true);
+            }
+            if r1 < r2 {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        for k in lo..=hi {
+            let (r, _, _, _) = equation_one(w, k, self.delta_prime)?;
+            if r <= self.rho {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Lazily computes the proof window (smallest `w` with a solution) by
+    /// bisection over `[w_min, w_max]`.
+    fn proof_window(&self) -> Result<Option<usize>> {
+        if let Some(cached) = *self.proof_window.read() {
+            return Ok(cached);
+        }
+        let result = if !self.solution_exists(self.w_max)? {
+            None
+        } else if self.solution_exists(self.w_min)? {
+            Some(self.w_min)
+        } else {
+            let mut lo = self.w_min; // no solution
+            let mut hi = self.w_max; // solution
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if self.solution_exists(mid)? {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            Some(hi)
+        };
+        *self.proof_window.write() = Some(result);
+        Ok(result)
+    }
+
+    fn compute_entry(&self, w: usize, hint: Option<usize>) -> Result<CutEntry> {
+        let below_proof = match self.proof_window()? {
+            Some(w_proof) => w < w_proof,
+            None => true,
+        };
+        let (split, exact) = if below_proof {
+            // Below the proof window: Equation 1 has no solution, use ν = 0.5.
+            (w / 2, false)
+        } else {
+            optimal_split(w, self.rho, self.delta_prime, hint)?
+        };
+        let split = split.clamp(MIN_SUB_WINDOW, w.saturating_sub(MIN_SUB_WINDOW).max(MIN_SUB_WINDOW));
+        let (_, df, t_crit, f_crit) = equation_one(w, split, self.delta_prime)?;
+        let (t_warn, f_warn) = match self.warning_delta_prime {
+            Some(dw) => {
+                let (_, _, t_w, f_w) = equation_one(w, split, dw)?;
+                (Some(t_w), Some(f_w))
+            }
+            None => (None, None),
+        };
+        Ok(CutEntry {
+            window_len: w,
+            split,
+            nu: split as f64 / w as f64,
+            exact,
+            t_crit,
+            f_crit,
+            df,
+            t_warn,
+            f_warn,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OptwinConfig;
+
+    fn config(rho: f64, w_max: usize) -> OptwinConfig {
+        OptwinConfig::builder()
+            .robustness(rho)
+            .max_window(w_max)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn equation_one_is_u_shaped() {
+        let w = 400;
+        let dp = 0.99_f64.powf(0.25);
+        let mut values = Vec::new();
+        for k in (2..=w - 2).step_by(7) {
+            let (r, _, _, _) = equation_one(w, k, dp).unwrap();
+            values.push(r);
+        }
+        // Endpoints are larger than the interior minimum.
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(values[0] > min);
+        assert!(values[values.len() - 1] > min);
+        assert!(min > 0.0);
+    }
+
+    #[test]
+    fn small_windows_fall_back_to_half() {
+        // With ρ = 0.1 a window of 200 elements is far below w_proof, so the
+        // fallback ν = 0.5 must be used.
+        let table = CutTable::new(&config(0.1, 500)).unwrap();
+        let entry = table.entry(200).unwrap();
+        assert!(!entry.exact);
+        assert_eq!(entry.split, 100);
+        assert!((entry.nu - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_windows_get_exact_cut_for_loose_rho() {
+        // With ρ = 1.0 a few dozen elements suffice (w_proof ≈ 36).
+        let table = CutTable::new(&config(1.0, 400)).unwrap();
+        let entry = table.entry(300).unwrap();
+        assert!(entry.exact);
+        // The optimal cut keeps W_new small: the split lies past the middle.
+        assert!(entry.split > 150, "split = {}", entry.split);
+        assert!(entry.split <= 298);
+        // The guaranteed shift at the returned split must not exceed ρ.
+        let dp = 0.99_f64.powf(0.25);
+        let (r, _, _, _) = equation_one(300, entry.split, dp).unwrap();
+        assert!(r <= 1.0 + 1e-9);
+        // And the next split (one further right) must violate it, otherwise
+        // the returned split would not be maximal.
+        let (r_next, _, _, _) = equation_one(300, entry.split + 1, dp).unwrap();
+        assert!(r_next > 1.0);
+    }
+
+    #[test]
+    fn split_is_maximal_for_various_lengths() {
+        let table = CutTable::new(&config(0.5, 1200)).unwrap();
+        let dp = 0.99_f64.powf(0.25);
+        for &w in &[150, 300, 600, 1200] {
+            let entry = table.entry(w).unwrap();
+            if entry.exact {
+                let (r, _, _, _) = equation_one(w, entry.split, dp).unwrap();
+                assert!(r <= 0.5 + 1e-9, "w={w}");
+                if entry.split + MIN_SUB_WINDOW < w {
+                    let (r_next, _, _, _) = equation_one(w, entry.split + 1, dp).unwrap();
+                    assert!(r_next > 0.5, "w={w}: split not maximal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hint_and_full_scan_agree() {
+        let dp = 0.99_f64.powf(0.25);
+        // Compute without a hint, then with deliberately wrong hints.
+        for &w in &[200usize, 350, 500] {
+            let (k_ref, exact_ref) = optimal_split(w, 0.5, dp, None).unwrap();
+            for hint in [Some(2), Some(w / 2), Some(w - 3), Some(k_ref)] {
+                let (k, exact) = optimal_split(w, 0.5, dp, hint).unwrap();
+                assert_eq!(k, k_ref, "w={w} hint={hint:?}");
+                assert_eq!(exact, exact_ref);
+            }
+        }
+    }
+
+    #[test]
+    fn new_window_size_shrinks_relative_to_w_as_w_grows() {
+        // §3.3: with larger windows the optimal |W_new| stays roughly stable,
+        // so ν grows towards 1.
+        let table = CutTable::new(&config(1.0, 2000)).unwrap();
+        let e_small = table.entry(200).unwrap();
+        let e_large = table.entry(2000).unwrap();
+        assert!(e_small.exact && e_large.exact);
+        assert!(e_large.nu > e_small.nu);
+        let new_small = 200 - e_small.split;
+        let new_large = 2000 - e_large.split;
+        // |W_new| grows far more slowly than |W| itself.
+        assert!(new_large < new_small * 4, "new_small={new_small} new_large={new_large}");
+    }
+
+    #[test]
+    fn entries_are_cached_and_shared() {
+        let table = CutTable::shared(&config(0.5, 100)).unwrap();
+        assert_eq!(table.cached_entries(), 0);
+        let a = table.entry(60).unwrap();
+        let b = table.entry(60).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(table.cached_entries(), 1);
+
+        let clone = Arc::clone(&table);
+        let handle = std::thread::spawn(move || clone.entry(80).unwrap());
+        let from_thread = handle.join().unwrap();
+        assert_eq!(from_thread, table.entry(80).unwrap());
+    }
+
+    #[test]
+    fn precompute_all_fills_every_entry() {
+        let table = CutTable::new(&config(0.5, 120)).unwrap();
+        table.precompute_all().unwrap();
+        assert_eq!(table.cached_entries(), 120 - 30 + 1);
+        for w in 30..=120 {
+            let e = table.entry(w).unwrap();
+            assert_eq!(e.window_len, w);
+            assert!(e.split >= MIN_SUB_WINDOW);
+            assert!(e.split <= w - MIN_SUB_WINDOW);
+            assert!(e.t_crit > 0.0);
+            assert!(e.f_crit > 1.0);
+            assert!(e.df >= 1.0);
+            // Warning thresholds are strictly looser than drift thresholds.
+            assert!(e.t_warn.unwrap() < e.t_crit);
+            assert!(e.f_warn.unwrap() < e.f_crit);
+        }
+    }
+
+    #[test]
+    fn out_of_range_window_rejected() {
+        let table = CutTable::new(&config(0.5, 100)).unwrap();
+        assert!(table.entry(29).is_err());
+        assert!(table.entry(101).is_err());
+        assert!(table.entry(30).is_ok());
+        assert!(table.entry(100).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let table = CutTable::new(&config(0.25, 90)).unwrap();
+        assert_eq!(table.w_min(), 30);
+        assert_eq!(table.w_max(), 90);
+        assert!((table.rho() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn smaller_rho_means_larger_proof_window() {
+        // The window length at which an exact cut first exists grows as ρ
+        // shrinks (Theorem 3.1 / §3.3 discussion).
+        let first_exact = |rho: f64| -> usize {
+            let table = CutTable::new(&config(rho, 3000)).unwrap();
+            for w in (30..=3000).step_by(10) {
+                if table.entry(w).unwrap().exact {
+                    return w;
+                }
+            }
+            usize::MAX
+        };
+        let w_proof_rho_1 = first_exact(1.0);
+        let w_proof_rho_05 = first_exact(0.5);
+        assert!(w_proof_rho_1 < w_proof_rho_05);
+        assert!(w_proof_rho_1 <= 100, "w_proof(1.0) = {w_proof_rho_1}");
+        assert!(w_proof_rho_05 <= 300, "w_proof(0.5) = {w_proof_rho_05}");
+    }
+}

@@ -1,0 +1,161 @@
+//! The common drift-detector interface shared by OPTWIN and every baseline.
+//!
+//! All detectors in this workspace (OPTWIN in this crate; ADWIN, DDM, EDDM,
+//! STEPD, ECDD and the extensions in `optwin-baselines`) implement
+//! [`DriftDetector`]: they ingest one error observation at a time and report
+//! whether the stream is stable, in a warning zone, or has drifted.
+
+/// Outcome of ingesting one element into a drift detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DriftStatus {
+    /// No evidence of change.
+    #[default]
+    Stable,
+    /// The detector's warning threshold was exceeded, but not its drift
+    /// threshold. Callers typically start buffering data for a replacement
+    /// model when this is reported.
+    Warning,
+    /// A concept drift was detected. Detectors reset their internal state
+    /// when they report this, so the caller should likewise reset or retrain
+    /// its learner.
+    Drift,
+}
+
+impl DriftStatus {
+    /// `true` if this status is [`DriftStatus::Drift`].
+    #[must_use]
+    pub fn is_drift(self) -> bool {
+        self == DriftStatus::Drift
+    }
+
+    /// `true` if this status is [`DriftStatus::Warning`].
+    #[must_use]
+    pub fn is_warning(self) -> bool {
+        self == DriftStatus::Warning
+    }
+}
+
+/// An online, error-rate-based concept-drift detector.
+///
+/// Implementations observe one value per learner prediction — a binary error
+/// indicator (`0.0` = correct, `1.0` = wrong) or a real-valued loss — and
+/// decide whether the distribution of those values has changed.
+pub trait DriftDetector {
+    /// Ingests one observation and returns the detector's verdict.
+    ///
+    /// Implementations must reset their own internal state when they return
+    /// [`DriftStatus::Drift`] so that detection can resume immediately.
+    fn add_element(&mut self, value: f64) -> DriftStatus;
+
+    /// Resets the detector to its initial state (as right after
+    /// construction), discarding all buffered observations.
+    fn reset(&mut self);
+
+    /// A short, stable, human-readable name (e.g. `"OPTWIN"`, `"ADWIN"`).
+    fn name(&self) -> &'static str;
+
+    /// Total number of elements ingested since construction (not reset by
+    /// drift detections).
+    fn elements_seen(&self) -> u64;
+
+    /// Number of drifts flagged since construction.
+    fn drifts_detected(&self) -> u64;
+
+    /// `true` if the detector accepts real-valued (non-binary) inputs.
+    ///
+    /// DDM, EDDM and ECDD are only defined for binary error streams; OPTWIN,
+    /// ADWIN and STEPD accept arbitrary bounded real values.
+    fn supports_real_valued_input(&self) -> bool {
+        true
+    }
+}
+
+/// Extension helpers available on every [`DriftDetector`].
+pub trait DetectorExt: DriftDetector {
+    /// Feeds a whole slice of observations, returning the (0-based) indices
+    /// at which a drift was flagged.
+    fn scan(&mut self, values: &[f64]) -> Vec<usize> {
+        let mut detections = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            if self.add_element(v) == DriftStatus::Drift {
+                detections.push(i);
+            }
+        }
+        detections
+    }
+}
+
+impl<T: DriftDetector + ?Sized> DetectorExt for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial detector that fires every `period` elements, used to test
+    /// the trait helpers.
+    struct Periodic {
+        period: u64,
+        seen: u64,
+        drifts: u64,
+    }
+
+    impl DriftDetector for Periodic {
+        fn add_element(&mut self, _value: f64) -> DriftStatus {
+            self.seen += 1;
+            if self.seen % self.period == 0 {
+                self.drifts += 1;
+                DriftStatus::Drift
+            } else {
+                DriftStatus::Stable
+            }
+        }
+        fn reset(&mut self) {
+            self.seen = 0;
+        }
+        fn name(&self) -> &'static str {
+            "periodic"
+        }
+        fn elements_seen(&self) -> u64 {
+            self.seen
+        }
+        fn drifts_detected(&self) -> u64 {
+            self.drifts
+        }
+    }
+
+    #[test]
+    fn status_helpers() {
+        assert!(DriftStatus::Drift.is_drift());
+        assert!(!DriftStatus::Stable.is_drift());
+        assert!(DriftStatus::Warning.is_warning());
+        assert!(!DriftStatus::Drift.is_warning());
+        assert_eq!(DriftStatus::default(), DriftStatus::Stable);
+    }
+
+    #[test]
+    fn scan_reports_drift_indices() {
+        let mut d = Periodic {
+            period: 3,
+            seen: 0,
+            drifts: 0,
+        };
+        let hits = d.scan(&[0.0; 10]);
+        assert_eq!(hits, vec![2, 5, 8]);
+        assert_eq!(d.drifts_detected(), 3);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let mut d: Box<dyn DriftDetector> = Box::new(Periodic {
+            period: 2,
+            seen: 0,
+            drifts: 0,
+        });
+        assert_eq!(d.add_element(0.0), DriftStatus::Stable);
+        assert_eq!(d.add_element(0.0), DriftStatus::Drift);
+        assert!(d.supports_real_valued_input());
+        // DetectorExt::scan is usable through the trait object too.
+        let hits = d.scan(&[0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(hits, vec![1, 3]);
+    }
+}

@@ -1,0 +1,570 @@
+//! The OPTWIN drift detector (Algorithm 1 of the paper).
+
+use std::sync::Arc;
+
+use crate::config::{DriftDirection, OptwinConfig};
+use crate::cut::{CutEntry, CutTable};
+use crate::detector::{DriftDetector, DriftStatus};
+use crate::window::SplitWindow;
+use crate::Result;
+
+/// The OPTWIN ("OPTimal WINdow") concept-drift detector.
+///
+/// See the crate-level documentation for the algorithm overview and
+/// [`OptwinConfig`] for the tunable parameters. The detector ingests one
+/// error observation per learner prediction via
+/// [`DriftDetector::add_element`]; each call costs amortized O(1).
+#[derive(Debug, Clone)]
+pub struct Optwin {
+    config: OptwinConfig,
+    cut: Arc<CutTable>,
+    window: SplitWindow,
+    /// Number of window elements that are not exactly 0.0 or 1.0. When this
+    /// is zero the stream is binary and the variance-ratio test is skipped
+    /// (see `tests_reject` for the rationale).
+    non_binary_in_window: usize,
+    last_status: DriftStatus,
+    elements_seen: u64,
+    drifts_detected: u64,
+    warnings_detected: u64,
+}
+
+impl Optwin {
+    /// Creates a detector with the given configuration, building a private
+    /// cut table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn new(config: OptwinConfig) -> Result<Self> {
+        let cut = CutTable::shared(&config)?;
+        Self::with_cut_table(config, cut)
+    }
+
+    /// Creates a detector with the paper's default configuration
+    /// (`δ = 0.99`, `ρ = 0.5`, `w_max = 25 000`).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (the defaults are valid); the `Result` is kept
+    /// for signature uniformity.
+    pub fn with_defaults() -> Result<Self> {
+        Self::new(OptwinConfig::default())
+    }
+
+    /// Creates a detector that shares a pre-built [`CutTable`].
+    ///
+    /// Sharing the table across detectors with identical `(δ, ρ, w_min,
+    /// w_max)` avoids recomputing the per-window-length quantiles — the
+    /// evaluation harness does this when it runs the same configuration over
+    /// 30 stream repetitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidConfig`] if the configuration is
+    /// invalid or does not match the table's range.
+    pub fn with_cut_table(config: OptwinConfig, cut: Arc<CutTable>) -> Result<Self> {
+        config.validate()?;
+        if cut.w_min() != config.w_min || cut.w_max() != config.w_max {
+            return Err(crate::CoreError::InvalidConfig {
+                field: "cut_table",
+                message: format!(
+                    "table range [{}, {}] does not match configuration [{}, {}]",
+                    cut.w_min(),
+                    cut.w_max(),
+                    config.w_min,
+                    config.w_max
+                ),
+            });
+        }
+        let capacity = config.w_max;
+        Ok(Self {
+            config,
+            cut,
+            window: SplitWindow::with_capacity(capacity),
+            non_binary_in_window: 0,
+            last_status: DriftStatus::Stable,
+            elements_seen: 0,
+            drifts_detected: 0,
+            warnings_detected: 0,
+        })
+    }
+
+    /// The configuration this detector was built with.
+    #[must_use]
+    pub fn config(&self) -> &OptwinConfig {
+        &self.config
+    }
+
+    /// The cut table backing this detector (shareable with other instances).
+    #[must_use]
+    pub fn cut_table(&self) -> Arc<CutTable> {
+        Arc::clone(&self.cut)
+    }
+
+    /// Current window length.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// The most recent status reported by [`DriftDetector::add_element`].
+    #[must_use]
+    pub fn last_status(&self) -> DriftStatus {
+        self.last_status
+    }
+
+    /// Number of warnings reported since construction.
+    #[must_use]
+    pub fn warnings_detected(&self) -> u64 {
+        self.warnings_detected
+    }
+
+    /// Mean of the current `W_hist` sub-window (diagnostics).
+    #[must_use]
+    pub fn hist_mean(&self) -> f64 {
+        self.window.hist_mean()
+    }
+
+    /// Mean of the current `W_new` sub-window (diagnostics).
+    #[must_use]
+    pub fn new_mean(&self) -> f64 {
+        self.window.new_mean()
+    }
+
+    /// Evaluates the t- and f-tests for the current window split against the
+    /// supplied critical values. Returns `true` when either test rejects.
+    ///
+    /// Two interpretation choices (documented in DESIGN.md §5) are applied on
+    /// top of the literal Algorithm 1:
+    ///
+    /// * **Robustness margin for the mean test.** §3.1 defines ρ as "the
+    ///   minimum ratio by which μ_new has to vary in relation to σ_hist to
+    ///   count as a concept drift", so the t-test branch additionally
+    ///   requires `|μ_new − μ_hist| ≥ ρ·σ_hist`. Without this margin the
+    ///   t-test rejects on arbitrarily small (but statistically significant)
+    ///   fluctuations once the window is long, which contradicts both the
+    ///   definition of ρ and the near-zero false-positive rates reported in
+    ///   the paper.
+    /// * **Variance test only for non-binary streams.** For a Bernoulli
+    ///   error stream the variance is a deterministic function of the mean
+    ///   (σ² = p(1−p)), the sample variance ratio is far from
+    ///   F-distributed, and the f-test would fire on ordinary sampling
+    ///   noise. The f-test is therefore only applied when the window
+    ///   contains at least one non-{0,1} value; binary streams are covered
+    ///   by the (margin-gated) mean test, exactly like the binomial-based
+    ///   baselines (DDM, ECDD).
+    fn tests_reject(&self, entry: &CutEntry, t_crit: f64, f_crit: f64) -> bool {
+        let n_hist = entry.split as f64;
+        let n_new = (entry.window_len - entry.split) as f64;
+
+        let mean_hist = self.window.hist_mean();
+        let mean_new = self.window.new_mean();
+        let std_hist = self.window.hist_std();
+        let std_new = self.window.new_std();
+
+        // Optional degradation-only gate (§3.4): only changes where the error
+        // mean did not decrease are eligible.
+        if self.config.direction == DriftDirection::DegradationOnly && mean_new < mean_hist {
+            return false;
+        }
+
+        // f-test (Algorithm 1, line 11) with the η stabiliser; skipped for
+        // purely binary window contents (see above). The same §3.1 robustness
+        // margin is applied to the spread: the new standard deviation must
+        // exceed the historical one by at least ρ·σ_hist (or fall below it by
+        // that much in the symmetric configuration) before the statistical
+        // test is consulted.
+        if self.non_binary_in_window > 0 {
+            let eta = self.config.eta;
+            let f_value = (std_new + eta).powi(2) / (std_hist + eta).powi(2);
+            let margin_ok = match self.config.direction {
+                DriftDirection::DegradationOnly => {
+                    std_new - std_hist >= self.config.rho * std_hist
+                }
+                DriftDirection::Both => {
+                    (std_new - std_hist).abs() >= self.config.rho * std_hist
+                }
+            };
+            if margin_ok && f_value > f_crit {
+                return true;
+            }
+        }
+
+        // Robustness margin (§3.1): μ_new must differ from μ_hist by at least
+        // ρ·σ_hist before the mean-shift branch may flag a drift.
+        let mean_diff = (mean_hist - mean_new).abs();
+        if mean_diff < self.config.rho * std_hist {
+            return false;
+        }
+
+        // Welch t-test (Algorithm 1, line 14). The magnitude of the statistic
+        // is compared against the one-sided critical value; with the
+        // degradation gate above this amounts to testing μ_new > μ_hist.
+        let se = (std_hist * std_hist / n_hist + std_new * std_new / n_new).sqrt();
+        let t_value = if se > 0.0 {
+            mean_diff / se
+        } else if mean_diff == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        t_value > t_crit
+    }
+
+    /// `true` when a value is an exact binary error indicator.
+    fn is_binary(value: f64) -> bool {
+        value == 0.0 || value == 1.0
+    }
+}
+
+impl DriftDetector for Optwin {
+    fn add_element(&mut self, value: f64) -> DriftStatus {
+        self.elements_seen += 1;
+
+        // Keep the window bounded by w_max (Algorithm 1, lines 5–6).
+        if self.window.len() == self.config.w_max {
+            if let Some(popped) = self.window.pop_front() {
+                if !Self::is_binary(popped) {
+                    self.non_binary_in_window = self.non_binary_in_window.saturating_sub(1);
+                }
+            }
+        }
+        self.window.push(value);
+        if !Self::is_binary(value) {
+            self.non_binary_in_window += 1;
+        }
+
+        // Not enough data yet (Algorithm 1, lines 3–4).
+        if self.window.len() < self.config.w_min {
+            self.last_status = DriftStatus::Stable;
+            return self.last_status;
+        }
+
+        // Optimal cut lookup and split maintenance (lines 7–10).
+        let entry = match self.cut.entry(self.window.len()) {
+            Ok(e) => e,
+            Err(_) => {
+                // Unreachable for a validated configuration; degrade to the
+                // midpoint split rather than panicking on the hot path.
+                let w = self.window.len();
+                CutEntry {
+                    window_len: w,
+                    split: w / 2,
+                    nu: 0.5,
+                    exact: false,
+                    t_crit: f64::INFINITY,
+                    f_crit: f64::INFINITY,
+                    df: 1.0,
+                    t_warn: None,
+                    f_warn: None,
+                }
+            }
+        };
+        self.window.set_split(entry.split);
+
+        // Drift tests (lines 11–16).
+        if self.tests_reject(&entry, entry.t_crit, entry.f_crit) {
+            self.drifts_detected += 1;
+            self.window.clear();
+            self.non_binary_in_window = 0;
+            self.last_status = DriftStatus::Drift;
+            return self.last_status;
+        }
+
+        // Warning zone: the relaxed thresholds reject but the strict ones do
+        // not.
+        if let (Some(t_warn), Some(f_warn)) = (entry.t_warn, entry.f_warn) {
+            if self.tests_reject(&entry, t_warn, f_warn) {
+                self.warnings_detected += 1;
+                self.last_status = DriftStatus::Warning;
+                return self.last_status;
+            }
+        }
+
+        self.last_status = DriftStatus::Stable;
+        self.last_status
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.non_binary_in_window = 0;
+        self.last_status = DriftStatus::Stable;
+    }
+
+    fn name(&self) -> &'static str {
+        "OPTWIN"
+    }
+
+    fn elements_seen(&self) -> u64 {
+        self.elements_seen
+    }
+
+    fn drifts_detected(&self) -> u64 {
+        self.drifts_detected
+    }
+
+    fn supports_real_valued_input(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DetectorExt;
+
+    fn small_config(rho: f64) -> OptwinConfig {
+        OptwinConfig::builder()
+            .robustness(rho)
+            .max_window(1_000)
+            .build()
+            .unwrap()
+    }
+
+    /// Deterministic pseudo-noise in [-0.5, 0.5) used to avoid zero variances
+    /// without pulling in a RNG dependency.
+    fn jitter(i: u64) -> f64 {
+        let x = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    }
+
+    #[test]
+    fn no_detection_before_w_min() {
+        let mut d = Optwin::new(small_config(0.5)).unwrap();
+        for i in 0..29 {
+            assert_eq!(d.add_element(if i % 2 == 0 { 0.0 } else { 1.0 }), DriftStatus::Stable);
+        }
+        assert_eq!(d.window_len(), 29);
+    }
+
+    #[test]
+    fn stationary_stream_produces_no_drift() {
+        let mut d = Optwin::new(small_config(0.5)).unwrap();
+        // Stationary noisy error rate around 0.2.
+        for i in 0..5_000u64 {
+            let x = 0.2 + 0.05 * jitter(i);
+            let status = d.add_element(x);
+            assert_ne!(status, DriftStatus::Drift, "false positive at element {i}");
+        }
+        assert_eq!(d.drifts_detected(), 0);
+    }
+
+    #[test]
+    fn sudden_mean_increase_is_detected_quickly() {
+        let mut d = Optwin::new(small_config(0.5)).unwrap();
+        let mut detected_at = None;
+        for i in 0..3_000u64 {
+            let base = if i < 1_500 { 0.10 } else { 0.45 };
+            let x = base + 0.05 * jitter(i);
+            if d.add_element(x) == DriftStatus::Drift {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        let at = detected_at.expect("drift must be detected");
+        assert!(at >= 1_500, "false positive at {at}");
+        assert!(at < 1_500 + 400, "detection delay too large: {}", at - 1_500);
+    }
+
+    #[test]
+    fn variance_only_change_is_detected() {
+        // The paper's motivating example: identical means, very different
+        // spread. ADWIN-style mean-only detectors cannot see this.
+        let mut d = Optwin::new(
+            OptwinConfig::builder()
+                .robustness(0.5)
+                .max_window(1_000)
+                .direction(DriftDirection::Both)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut detected_at = None;
+        for i in 0..3_000u64 {
+            let x = if i < 1_500 {
+                // Mean 0.5, small spread.
+                0.5 + 0.1 * jitter(i)
+            } else {
+                // Mean 0.5, extreme spread (alternating 0 / 1).
+                if i % 2 == 0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            };
+            if d.add_element(x) == DriftStatus::Drift {
+                detected_at = Some(i);
+                break;
+            }
+        }
+        let at = detected_at.expect("variance drift must be detected");
+        assert!(at >= 1_500, "false positive at {at}");
+        assert!(at < 1_800, "variance detection delay too large: {at}");
+    }
+
+    #[test]
+    fn degradation_only_ignores_improvement() {
+        // Error rate drops sharply; with the default degradation-only gate no
+        // drift should be reported.
+        let mut d = Optwin::new(small_config(0.5)).unwrap();
+        for i in 0..3_000u64 {
+            let base = if i < 1_500 { 0.45 } else { 0.10 };
+            let x = base + 0.05 * jitter(i);
+            assert_ne!(
+                d.add_element(x),
+                DriftStatus::Drift,
+                "improvement flagged as drift at {i}"
+            );
+        }
+        // The symmetric configuration does flag it.
+        let mut d = Optwin::new(
+            OptwinConfig::builder()
+                .robustness(0.5)
+                .max_window(1_000)
+                .direction(DriftDirection::Both)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut found = false;
+        for i in 0..3_000u64 {
+            let base = if i < 1_500 { 0.45 } else { 0.10 };
+            let x = base + 0.05 * jitter(i);
+            if d.add_element(x) == DriftStatus::Drift {
+                found = true;
+                assert!(i >= 1_500);
+                break;
+            }
+        }
+        assert!(found, "symmetric detector must flag the improvement");
+    }
+
+    #[test]
+    fn detector_resets_after_drift_and_keeps_working() {
+        let mut d = Optwin::new(small_config(1.0)).unwrap();
+        let mut detections = Vec::new();
+        for i in 0..6_000u64 {
+            // Three regimes; two upward drifts.
+            let base = match i {
+                0..=1_999 => 0.05,
+                2_000..=3_999 => 0.30,
+                _ => 0.60,
+            };
+            let x = (base + 0.05 * jitter(i)).clamp(0.0, 1.0);
+            if d.add_element(x) == DriftStatus::Drift {
+                detections.push(i);
+            }
+        }
+        assert_eq!(d.drifts_detected() as usize, detections.len());
+        assert!(
+            detections.len() >= 2,
+            "expected both drifts, got {detections:?}"
+        );
+        assert!(detections.iter().any(|&i| (2_000..2_600).contains(&i)));
+        assert!(detections.iter().any(|&i| (4_000..4_600).contains(&i)));
+        // After a detection the window restarts.
+        assert!(d.window_len() < 6_000);
+    }
+
+    #[test]
+    fn warning_precedes_drift_for_gradual_change() {
+        let mut d = Optwin::new(small_config(0.5)).unwrap();
+        let mut first_warning = None;
+        let mut first_drift = None;
+        for i in 0..6_000u64 {
+            // Slow linear ramp from 0.1 to 0.5 between 2000 and 4000.
+            let base = if i < 2_000 {
+                0.1
+            } else if i < 4_000 {
+                0.1 + 0.4 * ((i - 2_000) as f64 / 2_000.0)
+            } else {
+                0.5
+            };
+            let x = (base + 0.04 * jitter(i)).clamp(0.0, 1.0);
+            match d.add_element(x) {
+                DriftStatus::Warning if first_warning.is_none() => first_warning = Some(i),
+                DriftStatus::Drift if first_drift.is_none() => {
+                    first_drift = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let drift = first_drift.expect("gradual drift must eventually be detected");
+        assert!(drift >= 2_000);
+        if let Some(w) = first_warning {
+            assert!(w <= drift, "warning should not come after the drift");
+        }
+        assert!(d.warnings_detected() > 0 || first_warning.is_none());
+    }
+
+    #[test]
+    fn shared_cut_table_between_detectors() {
+        let config = small_config(0.5);
+        let table = CutTable::shared(&config).unwrap();
+        let mut d1 = Optwin::with_cut_table(config.clone(), Arc::clone(&table)).unwrap();
+        let mut d2 = Optwin::with_cut_table(config, table).unwrap();
+        // Identical inputs produce identical outputs.
+        for i in 0..2_000u64 {
+            let base = if i < 1_000 { 0.1 } else { 0.5 };
+            let x = base + 0.05 * jitter(i);
+            assert_eq!(d1.add_element(x), d2.add_element(x));
+        }
+        assert_eq!(d1.drifts_detected(), d2.drifts_detected());
+    }
+
+    #[test]
+    fn mismatched_cut_table_rejected() {
+        let config_small = small_config(0.5);
+        let config_big = OptwinConfig::builder()
+            .robustness(0.5)
+            .max_window(2_000)
+            .build()
+            .unwrap();
+        let table = CutTable::shared(&config_small).unwrap();
+        assert!(Optwin::with_cut_table(config_big, table).is_err());
+    }
+
+    #[test]
+    fn manual_reset_clears_window_but_not_counters() {
+        let mut d = Optwin::new(small_config(0.5)).unwrap();
+        for i in 0..100u64 {
+            d.add_element(0.2 + 0.01 * jitter(i));
+        }
+        assert_eq!(d.elements_seen(), 100);
+        d.reset();
+        assert_eq!(d.window_len(), 0);
+        assert_eq!(d.elements_seen(), 100);
+        assert_eq!(d.last_status(), DriftStatus::Stable);
+    }
+
+    #[test]
+    fn scan_helper_reports_indices() {
+        let mut d = Optwin::new(small_config(1.0)).unwrap();
+        let stream: Vec<f64> = (0..2_000u64)
+            .map(|i| {
+                let base = if i < 1_000 { 0.05 } else { 0.6 };
+                (base + 0.05 * jitter(i)).clamp(0.0, 1.0)
+            })
+            .collect();
+        let hits = d.scan(&stream);
+        assert!(!hits.is_empty());
+        assert!(hits[0] >= 1_000);
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let d = Optwin::with_defaults().unwrap();
+        assert_eq!(d.name(), "OPTWIN");
+        assert!(d.supports_real_valued_input());
+        assert_eq!(d.config().w_max, 25_000);
+        assert_eq!(d.window_len(), 0);
+        assert_eq!(d.last_status(), DriftStatus::Stable);
+        assert_eq!(d.hist_mean(), 0.0);
+        assert_eq!(d.new_mean(), 0.0);
+        let table = d.cut_table();
+        assert_eq!(table.w_max(), 25_000);
+    }
+}

@@ -1,0 +1,139 @@
+//! Uniform construction of every detector in the paper's line-up.
+//!
+//! The experiment runners iterate over [`optwin_baselines::DetectorKind`]
+//! values and need fresh detector instances per run; OPTWIN's pre-computed
+//! cut tables are shared across runs with the same (δ, ρ, w_max) to avoid
+//! recomputing the quantile tables 30 times per experiment.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use optwin_baselines::{
+    Adwin, DetectorKind, Ddm, Ecdd, Eddm, Kswin, PageHinkley, Stepd,
+};
+use optwin_core::{CutTable, DriftDetector, Optwin, OptwinConfig};
+
+/// Builds detectors by [`DetectorKind`], caching OPTWIN cut tables.
+#[derive(Debug)]
+pub struct DetectorFactory {
+    /// Maximum OPTWIN window size (the paper uses 25 000; tests use smaller
+    /// values to keep the quantile tables cheap).
+    optwin_w_max: usize,
+    /// Cached cut tables keyed by ρ in thousandths.
+    cut_tables: HashMap<u32, Arc<CutTable>>,
+}
+
+impl DetectorFactory {
+    /// Creates a factory that builds OPTWIN instances with the paper's
+    /// default `w_max = 25 000`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_optwin_window(25_000)
+    }
+
+    /// Creates a factory with a custom OPTWIN `w_max` (useful for tests and
+    /// for the ablation benchmarks).
+    #[must_use]
+    pub fn with_optwin_window(w_max: usize) -> Self {
+        Self {
+            optwin_w_max: w_max,
+            cut_tables: HashMap::new(),
+        }
+    }
+
+    /// The OPTWIN window bound this factory applies.
+    #[must_use]
+    pub fn optwin_w_max(&self) -> usize {
+        self.optwin_w_max
+    }
+
+    /// Builds a fresh detector of the requested kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an OPTWIN configuration cannot be constructed, which only
+    /// happens for invalid ρ values encoded in the kind (e.g. 0).
+    pub fn build(&mut self, kind: DetectorKind) -> Box<dyn DriftDetector + Send> {
+        match kind {
+            DetectorKind::OptwinRho(milli) => {
+                let rho = f64::from(milli) / 1000.0;
+                let config = OptwinConfig::builder()
+                    .robustness(rho)
+                    .max_window(self.optwin_w_max)
+                    .build()
+                    .expect("valid OPTWIN configuration");
+                let table = self
+                    .cut_tables
+                    .entry(milli)
+                    .or_insert_with(|| {
+                        CutTable::shared(&config).expect("valid OPTWIN configuration")
+                    })
+                    .clone();
+                Box::new(
+                    Optwin::with_cut_table(config, table).expect("matching cut table"),
+                )
+            }
+            DetectorKind::Adwin => Box::new(Adwin::with_defaults()),
+            DetectorKind::Ddm => Box::new(Ddm::with_defaults()),
+            DetectorKind::Eddm => Box::new(Eddm::with_defaults()),
+            DetectorKind::Stepd => Box::new(Stepd::with_defaults()),
+            DetectorKind::Ecdd => Box::new(Ecdd::with_defaults()),
+            DetectorKind::PageHinkley => Box::new(PageHinkley::with_defaults()),
+            DetectorKind::Kswin => Box::new(Kswin::with_defaults()),
+        }
+    }
+}
+
+impl Default for DetectorFactory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optwin_core::DriftStatus;
+
+    #[test]
+    fn builds_every_kind_in_the_lineup() {
+        let mut factory = DetectorFactory::with_optwin_window(500);
+        for kind in DetectorKind::paper_lineup() {
+            let mut detector = factory.build(kind);
+            assert_eq!(detector.elements_seen(), 0);
+            // Smoke: feed a few elements without panicking.
+            for i in 0..50u32 {
+                let _ = detector.add_element(f64::from(i % 2));
+            }
+            assert_eq!(detector.elements_seen(), 50);
+        }
+        assert_eq!(factory.optwin_w_max(), 500);
+    }
+
+    #[test]
+    fn extension_detectors_also_build() {
+        let mut factory = DetectorFactory::with_optwin_window(200);
+        for kind in [DetectorKind::PageHinkley, DetectorKind::Kswin] {
+            let mut d = factory.build(kind);
+            assert_eq!(d.add_element(0.0), DriftStatus::Stable);
+        }
+    }
+
+    #[test]
+    fn optwin_cut_tables_are_shared() {
+        let mut factory = DetectorFactory::with_optwin_window(300);
+        let _ = factory.build(DetectorKind::OptwinRho(500));
+        let _ = factory.build(DetectorKind::OptwinRho(500));
+        let _ = factory.build(DetectorKind::OptwinRho(100));
+        assert_eq!(factory.cut_tables.len(), 2);
+    }
+
+    #[test]
+    fn detector_names_match_labels() {
+        let mut factory = DetectorFactory::with_optwin_window(200);
+        let d = factory.build(DetectorKind::Adwin);
+        assert_eq!(d.name(), "ADWIN");
+        let d = factory.build(DetectorKind::OptwinRho(1000));
+        assert_eq!(d.name(), "OPTWIN");
+    }
+}

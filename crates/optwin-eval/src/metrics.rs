@@ -1,0 +1,280 @@
+//! Drift-detection metrics.
+//!
+//! The paper scores detectors by their true-positive, false-positive and
+//! false-negative counts (and the precision / recall / F1 derived from them)
+//! plus the detection delay. The matching rule implemented here follows the
+//! common MOA evaluation convention the paper relies on:
+//!
+//! * the stream is divided into segments by the true drift positions;
+//! * the **first** detection inside the segment that starts at a true drift
+//!   is that drift's true positive, and its distance from the drift position
+//!   is the detection delay;
+//! * every additional detection in the same segment — and any detection
+//!   before the first true drift — is a false positive;
+//! * a true drift whose segment contains no detection is a false negative.
+
+use serde::{Deserialize, Serialize};
+
+use optwin_stream::DriftSchedule;
+
+/// Outcome of scoring one detector run against a ground-truth schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionOutcome {
+    /// Number of true drifts that were detected.
+    pub true_positives: usize,
+    /// Number of spurious detections.
+    pub false_positives: usize,
+    /// Number of missed drifts.
+    pub false_negatives: usize,
+    /// Detection delay (in elements) of every true positive.
+    pub delays: Vec<f64>,
+    /// Mean detection delay, if any drift was detected.
+    pub mean_delay: Option<f64>,
+}
+
+impl DetectionOutcome {
+    /// Precision `TP / (TP + FP)`; 1.0 when there are no detections at all
+    /// (the conventional value when the denominator is zero).
+    #[must_use]
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall `TP / (TP + FN)`; 1.0 when there were no true drifts.
+    #[must_use]
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    #[must_use]
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Scores a list of detection indices against the ground-truth schedule.
+#[must_use]
+pub fn score_detections(schedule: &DriftSchedule, detections: &[usize]) -> DetectionOutcome {
+    let positions = schedule.positions();
+    let mut true_positives = 0usize;
+    let mut false_positives = 0usize;
+    let mut false_negatives = 0usize;
+    let mut delays = Vec::new();
+
+    // Detections before the first drift are false positives.
+    let first_drift = positions.first().copied().unwrap_or(usize::MAX);
+    false_positives += detections.iter().filter(|&&d| d < first_drift).count();
+
+    for (k, &drift_pos) in positions.iter().enumerate() {
+        let segment_end = positions.get(k + 1).copied().unwrap_or(schedule.stream_len());
+        let mut in_segment = detections
+            .iter()
+            .filter(|&&d| d >= drift_pos && d < segment_end);
+        match in_segment.next() {
+            Some(&first) => {
+                true_positives += 1;
+                delays.push((first - drift_pos) as f64);
+                false_positives += in_segment.count();
+            }
+            None => {
+                false_negatives += 1;
+            }
+        }
+    }
+
+    let mean_delay = if delays.is_empty() {
+        None
+    } else {
+        Some(delays.iter().sum::<f64>() / delays.len() as f64)
+    };
+    DetectionOutcome {
+        true_positives,
+        false_positives,
+        false_negatives,
+        delays,
+        mean_delay,
+    }
+}
+
+/// Micro-averaged metrics over repeated runs (the paper repeats every
+/// experiment 30 times and reports micro-averaged precision / recall / F1,
+/// the average FP count per run and the average delay).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateMetrics {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Total true positives across runs.
+    pub true_positives: usize,
+    /// Total false positives across runs.
+    pub false_positives: usize,
+    /// Total false negatives across runs.
+    pub false_negatives: usize,
+    /// Average number of false positives per run (the paper's "FP" column).
+    pub mean_false_positives_per_run: f64,
+    /// Mean detection delay over all true positives of all runs.
+    pub mean_delay: Option<f64>,
+    /// Micro-averaged precision.
+    pub precision: f64,
+    /// Micro-averaged recall.
+    pub recall: f64,
+    /// Micro-averaged F1 score.
+    pub f1: f64,
+}
+
+impl AggregateMetrics {
+    /// Aggregates the outcomes of repeated runs.
+    #[must_use]
+    pub fn from_outcomes(outcomes: &[DetectionOutcome]) -> Self {
+        let runs = outcomes.len();
+        let tp: usize = outcomes.iter().map(|o| o.true_positives).sum();
+        let fp: usize = outcomes.iter().map(|o| o.false_positives).sum();
+        let fn_: usize = outcomes.iter().map(|o| o.false_negatives).sum();
+        let all_delays: Vec<f64> = outcomes.iter().flat_map(|o| o.delays.clone()).collect();
+        let mean_delay = if all_delays.is_empty() {
+            None
+        } else {
+            Some(all_delays.iter().sum::<f64>() / all_delays.len() as f64)
+        };
+        let precision = if tp + fp == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            1.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self {
+            runs,
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+            mean_false_positives_per_run: if runs == 0 { 0.0 } else { fp as f64 / runs as f64 },
+            mean_delay,
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule() -> DriftSchedule {
+        DriftSchedule::new(vec![1_000, 2_000, 3_000], 1, 4_000)
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let o = score_detections(&schedule(), &[1_010, 2_005, 3_100]);
+        assert_eq!(o.true_positives, 3);
+        assert_eq!(o.false_positives, 0);
+        assert_eq!(o.false_negatives, 0);
+        assert_eq!(o.precision(), 1.0);
+        assert_eq!(o.recall(), 1.0);
+        assert_eq!(o.f1(), 1.0);
+        assert!((o.mean_delay.unwrap() - (10.0 + 5.0 + 100.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_drifts_are_false_negatives() {
+        let o = score_detections(&schedule(), &[1_010]);
+        assert_eq!(o.true_positives, 1);
+        assert_eq!(o.false_negatives, 2);
+        assert_eq!(o.false_positives, 0);
+        assert!((o.recall() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(o.precision(), 1.0);
+    }
+
+    #[test]
+    fn extra_detections_are_false_positives() {
+        let o = score_detections(&schedule(), &[500, 1_010, 1_500, 1_700, 2_005, 3_001]);
+        assert_eq!(o.true_positives, 3);
+        // 500 (before any drift), 1500 and 1700 (after the TP of segment 1).
+        assert_eq!(o.false_positives, 3);
+        assert_eq!(o.false_negatives, 0);
+        assert!((o.precision() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_detections_at_all() {
+        let o = score_detections(&schedule(), &[]);
+        assert_eq!(o.true_positives, 0);
+        assert_eq!(o.false_negatives, 3);
+        assert_eq!(o.precision(), 1.0);
+        assert_eq!(o.recall(), 0.0);
+        assert_eq!(o.f1(), 0.0);
+        assert_eq!(o.mean_delay, None);
+    }
+
+    #[test]
+    fn stationary_stream_all_detections_are_fp() {
+        let s = DriftSchedule::stationary(5_000);
+        let o = score_detections(&s, &[100, 3_000]);
+        assert_eq!(o.true_positives, 0);
+        assert_eq!(o.false_positives, 2);
+        assert_eq!(o.false_negatives, 0);
+        assert_eq!(o.recall(), 1.0);
+        assert_eq!(o.precision(), 0.0);
+    }
+
+    #[test]
+    fn aggregation_micro_averages() {
+        let a = score_detections(&schedule(), &[1_010, 2_005, 3_100]);
+        let b = score_detections(&schedule(), &[500, 1_100]);
+        let agg = AggregateMetrics::from_outcomes(&[a, b]);
+        assert_eq!(agg.runs, 2);
+        assert_eq!(agg.true_positives, 4);
+        assert_eq!(agg.false_positives, 1);
+        assert_eq!(agg.false_negatives, 2);
+        assert!((agg.mean_false_positives_per_run - 0.5).abs() < 1e-12);
+        assert!((agg.precision - 4.0 / 5.0).abs() < 1e-12);
+        assert!((agg.recall - 4.0 / 6.0).abs() < 1e-12);
+        let expected_f1 = 2.0 * (0.8 * (4.0 / 6.0)) / (0.8 + 4.0 / 6.0);
+        assert!((agg.f1 - expected_f1).abs() < 1e-12);
+        // Mean delay over all TPs: (10 + 5 + 100 + 100) / 4
+        assert!((agg.mean_delay.unwrap() - 53.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregation_of_empty_list() {
+        let agg = AggregateMetrics::from_outcomes(&[]);
+        assert_eq!(agg.runs, 0);
+        assert_eq!(agg.precision, 1.0);
+        assert_eq!(agg.recall, 1.0);
+        assert_eq!(agg.mean_delay, None);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let o = score_detections(&schedule(), &[1_010, 2_600]);
+        let json = serde_json::to_string(&o).unwrap();
+        let back: DetectionOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(o, back);
+    }
+}

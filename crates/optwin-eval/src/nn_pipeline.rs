@@ -1,0 +1,238 @@
+//! The Figure 5 experiment: drift detection over the loss of a neural
+//! network with label-swap drifts.
+//!
+//! The paper pre-trains a CNN on CIFAR-10, then simulates an online-learning
+//! scenario: the stream consists of image batches (32 images each); every
+//! 20 % of the stream the labels of two classes are swapped (a sudden actual
+//! drift); at every iteration the model's batch loss is fed to a drift
+//! detector; whenever the detector fires, the next `fine_tune_batches`
+//! batches are used to fine-tune the model. The headline result is that
+//! OPTWIN's lower FP rate triggers far fewer unnecessary fine-tuning phases
+//! than ADWIN, making the whole pipeline ~21 % faster.
+//!
+//! As documented in DESIGN.md §3, the CNN/CIFAR-10 pair is replaced by a
+//! one-hidden-layer MLP over Gaussian class prototypes; the loss dynamics
+//! (low pre-trained loss → sharp jump at a label swap → decay during
+//! fine-tuning) are preserved, which is all the detectors observe.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use optwin_core::{DriftDetector, DriftStatus};
+use optwin_learners::{Mlp, MlpConfig, PrototypeTask};
+use optwin_stream::DriftSchedule;
+
+use crate::metrics::{score_detections, DetectionOutcome};
+
+/// Configuration of the neural-network pipeline experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NnPipelineConfig {
+    /// Number of streamed batches (the paper streams 312 400 batches; the
+    /// default here is smaller so the experiment completes in seconds while
+    /// preserving the structure — the binaries can override it).
+    pub total_batches: usize,
+    /// Batch size (32 in the paper).
+    pub batch_size: usize,
+    /// Number of label-swap drifts, evenly spaced (4 in the paper).
+    pub n_drifts: usize,
+    /// Number of batches used to pre-train the model before streaming.
+    pub pretrain_batches: usize,
+    /// Number of batches of fine-tuning triggered by each detection
+    /// (the paper fine-tunes for 3 epochs = 9 372 batches; scaled down
+    /// proportionally by default).
+    pub fine_tune_batches: usize,
+    /// Number of classes of the synthetic task.
+    pub n_classes: usize,
+    /// Input dimensionality of the synthetic task.
+    pub n_inputs: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for NnPipelineConfig {
+    fn default() -> Self {
+        Self {
+            total_batches: 15_000,
+            batch_size: 32,
+            n_drifts: 4,
+            pretrain_batches: 1_500,
+            fine_tune_batches: 450,
+            n_classes: 10,
+            n_inputs: 64,
+            seed: 17,
+        }
+    }
+}
+
+/// Outcome of one pipeline run with one detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NnPipelineOutcome {
+    /// Name of the detector driving the adaptation.
+    pub detector: String,
+    /// Batch indices at which the detector fired.
+    pub detections: Vec<usize>,
+    /// Scoring of the detections against the label-swap schedule.
+    pub outcome: DetectionOutcome,
+    /// Total number of fine-tuning batches triggered.
+    pub fine_tune_iterations: usize,
+    /// Wall-clock seconds of the whole streaming phase (detection +
+    /// fine-tuning), the quantity behind the paper's "21 % faster" claim.
+    pub wall_seconds: f64,
+    /// Mean wall-clock seconds per detector invocation.
+    pub seconds_per_detection_call: f64,
+    /// Mean batch loss observed right before the end of the run (diagnostic:
+    /// the model should have recovered from the last drift).
+    pub final_loss: f64,
+}
+
+/// Runs the Figure 5 pipeline with the given detector.
+pub fn run_nn_pipeline(
+    config: &NnPipelineConfig,
+    detector: &mut (impl DriftDetector + ?Sized),
+) -> NnPipelineOutcome {
+    let mut task = PrototypeTask::new(config.n_classes, config.n_inputs, 0.15, config.seed);
+    let mut model = Mlp::new(MlpConfig {
+        n_inputs: config.n_inputs,
+        n_hidden: 64,
+        n_classes: config.n_classes,
+        learning_rate: 0.05,
+        seed: config.seed ^ 0x5555,
+    });
+
+    // Pre-training phase (the paper: 100 epochs on CIFAR-10, ~89 % accuracy).
+    for _ in 0..config.pretrain_batches {
+        let batch = task.sample_batch(config.batch_size);
+        model.train_batch(&batch);
+    }
+
+    // Drift schedule: a label swap every total/(n_drifts+1) batches.
+    let interval = config.total_batches / (config.n_drifts + 1);
+    let schedule = DriftSchedule::every(interval, config.total_batches, 1);
+
+    let mut detections = Vec::new();
+    let mut fine_tune_remaining = 0usize;
+    let mut fine_tune_iterations = 0usize;
+    let mut detector_seconds = 0.0f64;
+    let mut last_loss = 0.0;
+
+    let start = Instant::now();
+    for batch_idx in 0..config.total_batches {
+        // Inject the label swaps at the scheduled positions.
+        if schedule.positions().contains(&batch_idx) {
+            let k = schedule.concept_at(batch_idx);
+            // Swap a different pair of classes at every drift.
+            let a = (2 * k) % config.n_classes;
+            let b = (2 * k + 1) % config.n_classes;
+            task.swap_labels(a, b);
+        }
+
+        let batch = task.sample_batch(config.batch_size);
+        let loss = if fine_tune_remaining > 0 {
+            // Fine-tuning: train on the batch (the paper fine-tunes for 3
+            // epochs after each detection).
+            fine_tune_remaining -= 1;
+            fine_tune_iterations += 1;
+            model.train_batch(&batch)
+        } else {
+            model.batch_loss(&batch)
+        };
+        last_loss = loss;
+
+        let t0 = Instant::now();
+        let status = detector.add_element(loss);
+        detector_seconds += t0.elapsed().as_secs_f64();
+        if status == DriftStatus::Drift {
+            detections.push(batch_idx);
+            fine_tune_remaining = config.fine_tune_batches;
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let outcome = score_detections(&schedule, &detections);
+    NnPipelineOutcome {
+        detector: detector.name().to_string(),
+        detections,
+        outcome,
+        fine_tune_iterations,
+        wall_seconds,
+        seconds_per_detection_call: detector_seconds / config.total_batches as f64,
+        final_loss: last_loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optwin_baselines::Adwin;
+    use optwin_core::{Optwin, OptwinConfig};
+
+    fn small_config() -> NnPipelineConfig {
+        NnPipelineConfig {
+            total_batches: 2_500,
+            batch_size: 16,
+            n_drifts: 4,
+            pretrain_batches: 300,
+            fine_tune_batches: 80,
+            n_classes: 6,
+            n_inputs: 32,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn optwin_detects_label_swaps_with_few_false_positives() {
+        let config = small_config();
+        let mut optwin = Optwin::new(
+            OptwinConfig::builder()
+                .robustness(0.5)
+                .max_window(1_000)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let outcome = run_nn_pipeline(&config, &mut optwin);
+        assert!(
+            outcome.outcome.true_positives >= 3,
+            "expected most swaps detected: {:?}",
+            outcome.outcome
+        );
+        assert!(
+            outcome.outcome.false_positives <= 2,
+            "too many FPs: {:?}",
+            outcome.outcome
+        );
+        assert!(outcome.fine_tune_iterations > 0);
+        assert_eq!(outcome.detector, "OPTWIN");
+    }
+
+    #[test]
+    fn adwin_also_detects_but_pipeline_structure_is_comparable() {
+        let config = small_config();
+        let mut adwin = Adwin::with_defaults();
+        let outcome = run_nn_pipeline(&config, &mut adwin);
+        assert!(outcome.outcome.true_positives >= 2, "{:?}", outcome.outcome);
+        assert!(outcome.wall_seconds > 0.0);
+        assert!(outcome.seconds_per_detection_call >= 0.0);
+    }
+
+    #[test]
+    fn fine_tuning_cost_scales_with_detections() {
+        let config = small_config();
+        let mut optwin = Optwin::new(
+            OptwinConfig::builder()
+                .robustness(0.5)
+                .max_window(1_000)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let outcome = run_nn_pipeline(&config, &mut optwin);
+        let expected_max = outcome.detections.len() * config.fine_tune_batches;
+        assert!(outcome.fine_tune_iterations <= expected_max);
+        assert!(
+            outcome.fine_tune_iterations >= outcome.detections.len().saturating_sub(1)
+                * config.fine_tune_batches.min(10),
+        );
+    }
+}

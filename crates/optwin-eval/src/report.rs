@@ -1,0 +1,137 @@
+//! Result rendering: plain-text tables (mirroring the paper's layout) and
+//! JSON persistence for the benchmark binaries.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+use crate::classification::ClassificationOutcome;
+use crate::experiment::Table1Aggregate;
+
+/// Renders a set of Table 1 rows (one experiment) as a fixed-width text
+/// table with the same columns as the paper: Delay, FP, P, R, F1.
+#[must_use]
+pub fn render_table1(rows: &[Table1Aggregate]) -> String {
+    let mut out = String::new();
+    if rows.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "Experiment: {}", rows[0].experiment.label());
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10} {:>8} {:>7} {:>7} {:>7}",
+        "Drift Detector", "Delay", "FP", "P", "R", "F1"
+    );
+    for row in rows {
+        let delay = row
+            .metrics
+            .mean_delay
+            .map_or_else(|| "-".to_string(), |d| format!("{d:.2}"));
+        let _ = writeln!(
+            out,
+            "{:<18} {:>10} {:>8.2} {:>6.0}% {:>6.0}% {:>6.0}%",
+            row.detector,
+            delay,
+            row.metrics.mean_false_positives_per_run,
+            row.metrics.precision * 100.0,
+            row.metrics.recall * 100.0,
+            row.metrics.f1 * 100.0,
+        );
+    }
+    out
+}
+
+/// Renders Table 2 rows (one experiment column) as a fixed-width text table.
+#[must_use]
+pub fn render_table2(rows: &[ClassificationOutcome]) -> String {
+    let mut out = String::new();
+    if rows.is_empty() {
+        return out;
+    }
+    let _ = writeln!(out, "Dataset: {}", rows[0].experiment.label());
+    let _ = writeln!(
+        out,
+        "{:<20} {:>10} {:>12}",
+        "Drift Detector", "Accuracy", "Detections"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9.2}% {:>12}",
+            row.detector,
+            row.accuracy * 100.0,
+            row.detections
+        );
+    }
+    out
+}
+
+/// Serialises any result record to pretty JSON (used by the binaries to dump
+/// machine-readable results next to the printed tables).
+///
+/// # Errors
+///
+/// Returns a `serde_json::Error` if serialisation fails (practically
+/// unreachable for the plain data types used here).
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classification::ClassificationExperiment;
+    use crate::experiment::Table1Experiment;
+    use crate::metrics::AggregateMetrics;
+    use crate::metrics::DetectionOutcome;
+
+    fn fake_row() -> Table1Aggregate {
+        let outcome = DetectionOutcome {
+            true_positives: 4,
+            false_positives: 1,
+            false_negatives: 0,
+            delays: vec![10.0, 20.0, 30.0, 40.0],
+            mean_delay: Some(25.0),
+        };
+        Table1Aggregate {
+            experiment: Table1Experiment::SuddenBinary,
+            detector: "OPTWIN rho=0.5".to_string(),
+            metrics: AggregateMetrics::from_outcomes(&[outcome]),
+            mean_detector_seconds: 0.01,
+        }
+    }
+
+    #[test]
+    fn table1_rendering_contains_all_columns() {
+        let text = render_table1(&[fake_row()]);
+        assert!(text.contains("sudden binary drift"));
+        assert!(text.contains("OPTWIN rho=0.5"));
+        assert!(text.contains("Delay"));
+        assert!(text.contains("F1"));
+        assert!(text.contains("25.00"));
+        assert!(render_table1(&[]).is_empty());
+    }
+
+    #[test]
+    fn table2_rendering() {
+        let rows = vec![ClassificationOutcome {
+            experiment: ClassificationExperiment::SuddenStagger,
+            detector: "ADWIN".to_string(),
+            accuracy: 0.9989,
+            detections: 4,
+            instances: 100_000,
+        }];
+        let text = render_table2(&rows);
+        assert!(text.contains("STAGGER"));
+        assert!(text.contains("ADWIN"));
+        assert!(text.contains("99.89%"));
+        assert!(render_table2(&[]).is_empty());
+    }
+
+    #[test]
+    fn json_serialisation_works() {
+        let json = to_json(&fake_row()).unwrap();
+        assert!(json.contains("\"detector\""));
+        assert!(json.contains("OPTWIN rho=0.5"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Active drift adaptation: learner + detector in a prequential loop.
+//!
+//! [`AdaptiveLearner`] implements the strategy evaluated in the paper's
+//! Table 2: each instance is first used to test the learner; the 0/1 error is
+//! fed to the drift detector; the learner then trains on the instance. When
+//! the detector flags a drift the learner is reset, so it relearns the new
+//! concept from scratch.
+
+use optwin_core::{DriftDetector, DriftStatus};
+use optwin_stream::{Instance, InstanceStream};
+
+use crate::learner::{zero_one_error, OnlineLearner};
+
+/// Summary of an adaptive prequential run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveReport {
+    /// Number of instances processed.
+    pub instances: usize,
+    /// Prequential accuracy over the whole run.
+    pub accuracy: f64,
+    /// Indices at which the detector flagged drifts (and the learner was
+    /// reset).
+    pub detections: Vec<usize>,
+    /// Number of warning signals observed.
+    pub warnings: usize,
+}
+
+/// A learner wrapped with a drift detector implementing active adaptation.
+#[derive(Debug)]
+pub struct AdaptiveLearner<L, D> {
+    learner: L,
+    detector: D,
+    instances: usize,
+    correct: usize,
+    detections: Vec<usize>,
+    warnings: usize,
+}
+
+impl<L: OnlineLearner, D: DriftDetector> AdaptiveLearner<L, D> {
+    /// Wraps a learner and a detector.
+    #[must_use]
+    pub fn new(learner: L, detector: D) -> Self {
+        Self {
+            learner,
+            detector,
+            instances: 0,
+            correct: 0,
+            detections: Vec::new(),
+            warnings: 0,
+        }
+    }
+
+    /// Access to the wrapped learner.
+    #[must_use]
+    pub fn learner(&self) -> &L {
+        &self.learner
+    }
+
+    /// Access to the wrapped detector.
+    #[must_use]
+    pub fn detector(&self) -> &D {
+        &self.detector
+    }
+
+    /// Prequential accuracy so far.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.instances as f64
+        }
+    }
+
+    /// Indices at which drifts were flagged so far.
+    #[must_use]
+    pub fn detections(&self) -> &[usize] {
+        &self.detections
+    }
+
+    /// Processes one instance: test, feed the detector, train, adapt.
+    /// Returns the detector's verdict for this instance.
+    pub fn process(&mut self, instance: &Instance) -> DriftStatus {
+        let predicted = self.learner.predict(instance);
+        let error = zero_one_error(predicted, instance.label);
+        if error == 0.0 {
+            self.correct += 1;
+        }
+        let status = self.detector.add_element(error);
+        match status {
+            DriftStatus::Drift => {
+                self.detections.push(self.instances);
+                self.learner.reset();
+            }
+            DriftStatus::Warning => {
+                self.warnings += 1;
+            }
+            DriftStatus::Stable => {}
+        }
+        self.learner.learn(instance);
+        self.instances += 1;
+        status
+    }
+
+    /// Runs the adaptive loop over `n` instances drawn from `stream`.
+    pub fn run<S: InstanceStream>(&mut self, stream: &mut S, n: usize) -> AdaptiveReport {
+        for _ in 0..n {
+            let instance = stream.next_instance();
+            self.process(&instance);
+        }
+        self.report()
+    }
+
+    /// The report accumulated so far.
+    #[must_use]
+    pub fn report(&self) -> AdaptiveReport {
+        AdaptiveReport {
+            instances: self.instances,
+            accuracy: self.accuracy(),
+            detections: self.detections.clone(),
+            warnings: self.warnings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_bayes::NaiveBayes;
+    use optwin_baselines::Ddm;
+    use optwin_core::{Optwin, OptwinConfig};
+    use optwin_stream::drift::MultiConceptStream;
+    use optwin_stream::generators::{Stagger, StaggerConcept};
+    use optwin_stream::{DriftSchedule, InstanceStream};
+
+    fn drifting_stagger(seed: u64) -> MultiConceptStream {
+        let schedule = DriftSchedule::every(5_000, 20_000, 1);
+        let concepts: Vec<Box<dyn InstanceStream + Send>> = vec![
+            Box::new(Stagger::new(StaggerConcept::SizeSmallAndColorRed, seed)),
+            Box::new(Stagger::new(StaggerConcept::ColorGreenOrShapeCircular, seed + 1)),
+            Box::new(Stagger::new(StaggerConcept::SizeMediumOrLarge, seed + 2)),
+            Box::new(Stagger::new(StaggerConcept::SizeSmallAndColorRed, seed + 3)),
+        ];
+        MultiConceptStream::new(concepts, schedule, seed + 10)
+    }
+
+    #[test]
+    fn adaptation_beats_no_adaptation_on_drifting_stream() {
+        // With a detector: accuracy stays high because the NB model is reset
+        // at every concept change. Without: the stale model drags accuracy
+        // down. This is the qualitative effect behind Table 2.
+        let mut stream_adaptive = drifting_stagger(1);
+        let nb = NaiveBayes::new(&stream_adaptive.schema(), stream_adaptive.n_classes());
+        let detector = Optwin::new(
+            OptwinConfig::builder()
+                .robustness(0.5)
+                .max_window(2_000)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut adaptive = AdaptiveLearner::new(nb, detector);
+        let report = adaptive.run(&mut stream_adaptive, 20_000);
+
+        // A "never adapt" run: same learner, but a detector that never fires
+        // is emulated by just not resetting (use DDM with absurd thresholds
+        // via a plain prequential loop).
+        let mut stream_static = drifting_stagger(1);
+        let mut static_nb =
+            NaiveBayes::new(&stream_static.schema(), stream_static.n_classes());
+        let mut correct = 0;
+        for _ in 0..20_000 {
+            let inst = stream_static.next_instance();
+            if static_nb.predict(&inst) == inst.label {
+                correct += 1;
+            }
+            static_nb.learn(&inst);
+        }
+        let static_accuracy = correct as f64 / 20_000.0;
+
+        assert!(
+            report.accuracy > static_accuracy + 0.02,
+            "adaptive {} vs static {}",
+            report.accuracy,
+            static_accuracy
+        );
+        assert!(
+            !report.detections.is_empty(),
+            "the detector should fire at least once on three concept changes"
+        );
+        assert_eq!(report.instances, 20_000);
+    }
+
+    #[test]
+    fn detections_align_with_concept_changes() {
+        let mut stream = drifting_stagger(3);
+        let nb = NaiveBayes::new(&stream.schema(), stream.n_classes());
+        let mut adaptive = AdaptiveLearner::new(nb, Ddm::with_defaults());
+        let report = adaptive.run(&mut stream, 20_000);
+        // At least one detection within 1 500 instances of each true drift
+        // would be ideal; require it for at least two of the three drifts to
+        // keep the test robust.
+        let hits = [5_000usize, 10_000, 15_000]
+            .iter()
+            .filter(|&&pos| {
+                report
+                    .detections
+                    .iter()
+                    .any(|&d| d >= pos && d < pos + 1_500)
+            })
+            .count();
+        assert!(hits >= 2, "detections: {:?}", report.detections);
+    }
+
+    #[test]
+    fn accessors_and_empty_state() {
+        let schema = [optwin_stream::FeatureKind::Numeric];
+        let adaptive = AdaptiveLearner::new(NaiveBayes::new(&schema, 2), Ddm::with_defaults());
+        assert_eq!(adaptive.accuracy(), 0.0);
+        assert!(adaptive.detections().is_empty());
+        assert_eq!(adaptive.learner().name(), "NaiveBayes");
+        assert_eq!(adaptive.detector().name(), "DDM");
+        let report = adaptive.report();
+        assert_eq!(report.instances, 0);
+        assert_eq!(report.warnings, 0);
+    }
+}

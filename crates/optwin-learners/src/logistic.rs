@@ -1,0 +1,203 @@
+//! Multiclass logistic (softmax) regression trained by SGD — extension
+//! learner used in ablation experiments and examples.
+//!
+//! Categorical attributes are one-hot encoded; numeric attributes are used
+//! as-is (the synthetic streams keep them in reasonable ranges).
+
+use optwin_stream::{FeatureKind, Instance};
+
+use crate::learner::OnlineLearner;
+
+/// Online multiclass logistic regression.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    schema: Vec<FeatureKind>,
+    n_classes: usize,
+    /// Weights: `weights[class][encoded_feature]`, last slot is the bias.
+    weights: Vec<Vec<f64>>,
+    learning_rate: f64,
+    l2: f64,
+    encoded_dim: usize,
+}
+
+impl LogisticRegression {
+    /// Creates a model for the given schema and class count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes` is zero or `learning_rate` is not positive.
+    #[must_use]
+    pub fn new(schema: &[FeatureKind], n_classes: usize, learning_rate: f64) -> Self {
+        assert!(n_classes > 0, "LogisticRegression needs at least one class");
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        let encoded_dim: usize = schema
+            .iter()
+            .map(|k| match k {
+                FeatureKind::Numeric => 1,
+                FeatureKind::Categorical { arity } => *arity as usize,
+            })
+            .sum();
+        Self {
+            schema: schema.to_vec(),
+            n_classes,
+            weights: vec![vec![0.0; encoded_dim + 1]; n_classes],
+            learning_rate,
+            l2: 1e-5,
+            encoded_dim,
+        }
+    }
+
+    /// One-hot / passthrough encoding of an instance.
+    fn encode(&self, instance: &Instance) -> Vec<f64> {
+        let mut x = vec![0.0; self.encoded_dim + 1];
+        let mut offset = 0usize;
+        for (kind, feature) in self.schema.iter().zip(&instance.features) {
+            match kind {
+                FeatureKind::Numeric => {
+                    x[offset] = feature.to_f64();
+                    offset += 1;
+                }
+                FeatureKind::Categorical { arity } => {
+                    if let Some(v) = feature.as_categorical() {
+                        let idx = (v as usize).min(*arity as usize - 1);
+                        x[offset + idx] = 1.0;
+                    }
+                    offset += *arity as usize;
+                }
+            }
+        }
+        // Bias term.
+        x[self.encoded_dim] = 1.0;
+        x
+    }
+
+    fn softmax_scores(&self, x: &[f64]) -> Vec<f64> {
+        let logits: Vec<f64> = self
+            .weights
+            .iter()
+            .map(|w| w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>())
+            .collect();
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / total.max(1e-300)).collect()
+    }
+}
+
+impl OnlineLearner for LogisticRegression {
+    fn predict(&self, instance: &Instance) -> u32 {
+        let x = self.encode(instance);
+        let scores = self.softmax_scores(&x);
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map_or(0, |(i, _)| i as u32)
+    }
+
+    fn learn(&mut self, instance: &Instance) {
+        let x = self.encode(instance);
+        let probs = self.softmax_scores(&x);
+        let label = (instance.label as usize).min(self.n_classes - 1);
+        for (class, w) in self.weights.iter_mut().enumerate() {
+            let target = if class == label { 1.0 } else { 0.0 };
+            let gradient = probs[class] - target;
+            for (wi, xi) in w.iter_mut().zip(&x) {
+                *wi -= self.learning_rate * (gradient * xi + self.l2 * *wi);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        for w in &mut self.weights {
+            for wi in w.iter_mut() {
+                *wi = 0.0;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "LogisticRegression"
+    }
+
+    fn predict_scores(&self, instance: &Instance) -> Vec<f64> {
+        let x = self.encode(instance);
+        self.softmax_scores(&x)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optwin_stream::generators::{Sine, SineConcept, Stagger, StaggerConcept};
+    use optwin_stream::InstanceStream;
+
+    fn prequential_accuracy<S: InstanceStream, L: OnlineLearner>(
+        stream: &mut S,
+        learner: &mut L,
+        n: usize,
+    ) -> f64 {
+        let mut correct = 0;
+        for _ in 0..n {
+            let inst = stream.next_instance();
+            if learner.predict(&inst) == inst.label {
+                correct += 1;
+            }
+            learner.learn(&inst);
+        }
+        correct as f64 / n as f64
+    }
+
+    #[test]
+    fn learns_linearly_separable_stagger() {
+        let mut stream = Stagger::new(StaggerConcept::SizeMediumOrLarge, 1);
+        let mut lr = LogisticRegression::new(&stream.schema(), 2, 0.1);
+        let acc = prequential_accuracy(&mut stream, &mut lr, 4_000);
+        assert!(acc > 0.9, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn beats_chance_on_sine() {
+        let mut stream = Sine::new(SineConcept::Sine1, 1);
+        let mut lr = LogisticRegression::new(&stream.schema(), 2, 0.2);
+        let acc = prequential_accuracy(&mut stream, &mut lr, 5_000);
+        assert!(acc > 0.6, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let mut stream = Stagger::new(StaggerConcept::SizeSmallAndColorRed, 2);
+        let mut lr = LogisticRegression::new(&stream.schema(), 2, 0.1);
+        for _ in 0..100 {
+            let inst = stream.next_instance();
+            lr.learn(&inst);
+        }
+        let scores = lr.predict_scores(&stream.next_instance());
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn reset_zeroes_weights() {
+        let mut stream = Stagger::new(StaggerConcept::SizeSmallAndColorRed, 2);
+        let mut lr = LogisticRegression::new(&stream.schema(), 2, 0.1);
+        for _ in 0..100 {
+            let inst = stream.next_instance();
+            lr.learn(&inst);
+        }
+        lr.reset();
+        assert!(lr.weights.iter().all(|w| w.iter().all(|&x| x == 0.0)));
+        assert_eq!(lr.name(), "LogisticRegression");
+        assert_eq!(lr.n_classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_bad_learning_rate() {
+        let _ = LogisticRegression::new(&[FeatureKind::Numeric], 2, 0.0);
+    }
+}

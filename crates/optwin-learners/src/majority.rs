@@ -1,0 +1,117 @@
+//! Majority-class baseline learner.
+//!
+//! Predicts whichever class has been most frequent so far; the paper's
+//! "No drift detector" rows in Table 2 are close to what this baseline
+//! achieves on heavily imbalanced streams, so it serves as a sanity floor in
+//! the experiments.
+
+use optwin_stream::Instance;
+
+use crate::learner::OnlineLearner;
+
+/// The majority-class classifier.
+#[derive(Debug, Clone)]
+pub struct MajorityClass {
+    counts: Vec<u64>,
+}
+
+impl MajorityClass {
+    /// Creates a classifier for `n_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes` is zero.
+    #[must_use]
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "MajorityClass needs at least one class");
+        Self {
+            counts: vec![0; n_classes],
+        }
+    }
+
+    /// The class counts accumulated so far.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+impl OnlineLearner for MajorityClass {
+    fn predict(&self, _instance: &Instance) -> u32 {
+        // Ties resolve to the smallest class index so predictions are
+        // deterministic (relevant right after a reset).
+        let mut best = 0usize;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    fn learn(&mut self, instance: &Instance) {
+        let idx = (instance.label as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.counts {
+            *c = 0;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MajorityClass"
+    }
+
+    fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optwin_stream::Feature;
+
+    fn inst(label: u32) -> Instance {
+        Instance::new(vec![Feature::Numeric(0.0)], label)
+    }
+
+    #[test]
+    fn predicts_most_frequent_class() {
+        let mut m = MajorityClass::new(3);
+        for _ in 0..5 {
+            m.learn(&inst(2));
+        }
+        for _ in 0..3 {
+            m.learn(&inst(1));
+        }
+        assert_eq!(m.predict(&inst(0)), 2);
+        assert_eq!(m.counts(), &[0, 3, 5]);
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let mut m = MajorityClass::new(2);
+        m.learn(&inst(1));
+        m.reset();
+        assert_eq!(m.counts(), &[0, 0]);
+        assert_eq!(m.predict(&inst(0)), 0);
+        assert_eq!(m.name(), "MajorityClass");
+        assert_eq!(m.n_classes(), 2);
+    }
+
+    #[test]
+    fn out_of_range_label_is_clamped() {
+        let mut m = MajorityClass::new(2);
+        m.learn(&inst(9));
+        assert_eq!(m.counts(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn rejects_zero_classes() {
+        let _ = MajorityClass::new(0);
+    }
+}

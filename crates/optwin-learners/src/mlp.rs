@@ -1,0 +1,419 @@
+//! A small one-hidden-layer neural network trained by SGD.
+//!
+//! This is the CNN stand-in used by the Figure 5 reproduction (see DESIGN.md
+//! §3): the detectors only observe the per-batch loss of the network, so what
+//! matters is that the network (a) can be pre-trained to a low loss on a
+//! multi-class task, (b) produces a sharply higher loss when class labels are
+//! swapped (the drift-injection mechanism of the paper), and (c) recovers
+//! while being fine-tuned. A 64-unit MLP over Gaussian class prototypes
+//! reproduces exactly those dynamics at a fraction of the cost of training a
+//! CNN on CIFAR-10.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use optwin_stream::{Feature, Instance};
+
+use crate::learner::OnlineLearner;
+
+/// Configuration for [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpConfig {
+    /// Input dimensionality.
+    pub n_inputs: usize,
+    /// Hidden-layer width.
+    pub n_hidden: usize,
+    /// Number of output classes.
+    pub n_classes: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Seed for the weight initialisation.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            n_inputs: 64,
+            n_hidden: 64,
+            n_classes: 10,
+            learning_rate: 0.05,
+            seed: 7,
+        }
+    }
+}
+
+/// One-hidden-layer multilayer perceptron with ReLU activations and a softmax
+/// output, trained with plain SGD on the cross-entropy loss.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    config: MlpConfig,
+    /// `w1[h][i]`, `b1[h]`.
+    w1: Vec<Vec<f64>>,
+    b1: Vec<f64>,
+    /// `w2[c][h]`, `b2[c]`.
+    w2: Vec<Vec<f64>>,
+    b2: Vec<f64>,
+}
+
+impl Mlp {
+    /// Creates a network with small random initial weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the learning rate is not positive.
+    #[must_use]
+    pub fn new(config: MlpConfig) -> Self {
+        assert!(config.n_inputs > 0 && config.n_hidden > 0 && config.n_classes > 0);
+        assert!(config.learning_rate > 0.0, "learning rate must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let scale1 = (2.0 / config.n_inputs as f64).sqrt();
+        let scale2 = (2.0 / config.n_hidden as f64).sqrt();
+        let w1 = (0..config.n_hidden)
+            .map(|_| {
+                (0..config.n_inputs)
+                    .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale1)
+                    .collect()
+            })
+            .collect();
+        let w2 = (0..config.n_classes)
+            .map(|_| {
+                (0..config.n_hidden)
+                    .map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale2)
+                    .collect()
+            })
+            .collect();
+        Self {
+            b1: vec![0.0; config.n_hidden],
+            b2: vec![0.0; config.n_classes],
+            config,
+            w1,
+            w2,
+        }
+    }
+
+    /// The configuration this network was built with.
+    #[must_use]
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let hidden: Vec<f64> = self
+            .w1
+            .iter()
+            .zip(&self.b1)
+            .map(|(w, b)| {
+                let z: f64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+                z.max(0.0)
+            })
+            .collect();
+        let logits: Vec<f64> = self
+            .w2
+            .iter()
+            .zip(&self.b2)
+            .map(|(w, b)| w.iter().zip(&hidden).map(|(wi, hi)| wi * hi).sum::<f64>() + b)
+            .collect();
+        let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = logits.iter().map(|l| (l - max).exp()).collect();
+        let total: f64 = exps.iter().sum();
+        let probs = exps.into_iter().map(|e| e / total.max(1e-300)).collect();
+        (hidden, probs)
+    }
+
+    /// Extracts the numeric feature vector of an instance, padding or
+    /// truncating to the configured input size.
+    fn features_of(&self, instance: &Instance) -> Vec<f64> {
+        let mut x = vec![0.0; self.config.n_inputs];
+        for (slot, feature) in x.iter_mut().zip(&instance.features) {
+            *slot = feature.to_f64();
+        }
+        x
+    }
+
+    /// Cross-entropy loss of a single instance under the current weights.
+    #[must_use]
+    pub fn loss(&self, instance: &Instance) -> f64 {
+        let x = self.features_of(instance);
+        let (_, probs) = self.forward(&x);
+        let label = (instance.label as usize).min(self.config.n_classes - 1);
+        -(probs[label].max(1e-12)).ln()
+    }
+
+    /// Mean cross-entropy loss over a batch of instances (the quantity the
+    /// Figure 5 pipeline feeds to the drift detectors).
+    #[must_use]
+    pub fn batch_loss(&self, batch: &[Instance]) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        batch.iter().map(|i| self.loss(i)).sum::<f64>() / batch.len() as f64
+    }
+
+    /// One SGD step on a single instance; returns the pre-update loss.
+    pub fn train_instance(&mut self, instance: &Instance) -> f64 {
+        let x = self.features_of(instance);
+        let (hidden, probs) = self.forward(&x);
+        let label = (instance.label as usize).min(self.config.n_classes - 1);
+        let loss = -(probs[label].max(1e-12)).ln();
+        let lr = self.config.learning_rate;
+
+        // Output-layer gradients: dL/dlogit_c = p_c − 1{c = label}.
+        let dlogits: Vec<f64> = probs
+            .iter()
+            .enumerate()
+            .map(|(c, p)| p - f64::from(c == label))
+            .collect();
+        // Hidden-layer gradient accumulation before the weights change.
+        let mut dhidden = vec![0.0; self.config.n_hidden];
+        for (c, dl) in dlogits.iter().enumerate() {
+            for (h, dh) in dhidden.iter_mut().enumerate() {
+                *dh += dl * self.w2[c][h];
+            }
+        }
+        // Update output layer.
+        for (c, dl) in dlogits.iter().enumerate() {
+            for (h, hv) in hidden.iter().enumerate() {
+                self.w2[c][h] -= lr * dl * hv;
+            }
+            self.b2[c] -= lr * dl;
+        }
+        // Update hidden layer (ReLU derivative).
+        for (h, dh) in dhidden.iter().enumerate() {
+            if hidden[h] <= 0.0 {
+                continue;
+            }
+            for (i, xi) in x.iter().enumerate() {
+                self.w1[h][i] -= lr * dh * xi;
+            }
+            self.b1[h] -= lr * dh;
+        }
+        loss
+    }
+
+    /// Trains on a batch (one SGD step per instance) and returns the mean
+    /// pre-update loss.
+    pub fn train_batch(&mut self, batch: &[Instance]) -> f64 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        batch.iter().map(|i| self.train_instance(i)).sum::<f64>() / batch.len() as f64
+    }
+}
+
+impl OnlineLearner for Mlp {
+    fn predict(&self, instance: &Instance) -> u32 {
+        let x = self.features_of(instance);
+        let (_, probs) = self.forward(&x);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map_or(0, |(i, _)| i as u32)
+    }
+
+    fn learn(&mut self, instance: &Instance) {
+        let _ = self.train_instance(instance);
+    }
+
+    fn reset(&mut self) {
+        *self = Mlp::new(self.config);
+    }
+
+    fn name(&self) -> &'static str {
+        "MLP"
+    }
+
+    fn predict_scores(&self, instance: &Instance) -> Vec<f64> {
+        let x = self.features_of(instance);
+        self.forward(&x).1
+    }
+
+    fn n_classes(&self) -> usize {
+        self.config.n_classes
+    }
+}
+
+/// Synthetic "prototype image" classification task used by the Figure 5
+/// pipeline: each class is a Gaussian blob around a fixed random prototype in
+/// `n_inputs` dimensions (a stand-in for CIFAR-10 image classes).
+#[derive(Debug, Clone)]
+pub struct PrototypeTask {
+    prototypes: Vec<Vec<f64>>,
+    noise: f64,
+    rng: StdRng,
+    /// Current label permutation (label swapping injects concept drifts).
+    label_map: Vec<u32>,
+}
+
+impl PrototypeTask {
+    /// Creates a task with `n_classes` prototypes in `n_inputs` dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes` or `n_inputs` is zero, or `noise` is negative.
+    #[must_use]
+    pub fn new(n_classes: usize, n_inputs: usize, noise: f64, seed: u64) -> Self {
+        assert!(n_classes > 0 && n_inputs > 0);
+        assert!(noise >= 0.0, "noise must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prototypes = (0..n_classes)
+            .map(|_| (0..n_inputs).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        Self {
+            prototypes,
+            noise,
+            rng,
+            label_map: (0..n_classes as u32).collect(),
+        }
+    }
+
+    /// Swaps the labels of two classes — the drift-injection mechanism of the
+    /// Figure 5 experiment ("after 62 480 iterations we swapped the labels
+    /// between images from cats to horses").
+    ///
+    /// # Panics
+    ///
+    /// Panics if either class index is out of range.
+    pub fn swap_labels(&mut self, class_a: usize, class_b: usize) {
+        assert!(class_a < self.label_map.len() && class_b < self.label_map.len());
+        self.label_map.swap(class_a, class_b);
+    }
+
+    /// Draws one labelled instance.
+    pub fn sample(&mut self) -> Instance {
+        let class = self.rng.gen_range(0..self.prototypes.len());
+        let features: Vec<Feature> = self.prototypes[class]
+            .clone()
+            .into_iter()
+            .map(|p| {
+                let u1: f64 = self.rng.gen_range(1e-12..1.0);
+                let u2: f64 = self.rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                Feature::Numeric(p + self.noise * z)
+            })
+            .collect();
+        Instance::new(features, self.label_map[class])
+    }
+
+    /// Draws a batch of instances.
+    pub fn sample_batch(&mut self, size: usize) -> Vec<Instance> {
+        (0..size).map(|_| self.sample()).collect()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.prototypes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_task() -> PrototypeTask {
+        PrototypeTask::new(10, 32, 0.15, 3)
+    }
+
+    fn small_mlp() -> Mlp {
+        Mlp::new(MlpConfig {
+            n_inputs: 32,
+            n_hidden: 32,
+            n_classes: 10,
+            learning_rate: 0.05,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut task = small_task();
+        let mut mlp = small_mlp();
+        let initial = mlp.batch_loss(&task.sample_batch(128));
+        for _ in 0..200 {
+            let batch = task.sample_batch(32);
+            mlp.train_batch(&batch);
+        }
+        let trained = mlp.batch_loss(&task.sample_batch(128));
+        assert!(
+            trained < initial * 0.5,
+            "loss did not drop: {initial} -> {trained}"
+        );
+    }
+
+    #[test]
+    fn trained_network_classifies_well() {
+        let mut task = small_task();
+        let mut mlp = small_mlp();
+        for _ in 0..400 {
+            let batch = task.sample_batch(32);
+            mlp.train_batch(&batch);
+        }
+        let test = task.sample_batch(500);
+        let correct = test.iter().filter(|i| mlp.predict(i) == i.label).count();
+        assert!(correct > 400, "accuracy too low: {correct}/500");
+    }
+
+    #[test]
+    fn label_swap_increases_loss_sharply() {
+        let mut task = small_task();
+        let mut mlp = small_mlp();
+        for _ in 0..300 {
+            let batch = task.sample_batch(32);
+            mlp.train_batch(&batch);
+        }
+        let before = mlp.batch_loss(&task.sample_batch(256));
+        task.swap_labels(0, 1);
+        let after = mlp.batch_loss(&task.sample_batch(256));
+        assert!(
+            after > before * 1.5,
+            "label swap should raise the loss: {before} -> {after}"
+        );
+        // Fine-tuning on the swapped task recovers.
+        for _ in 0..300 {
+            let batch = task.sample_batch(32);
+            mlp.train_batch(&batch);
+        }
+        let recovered = mlp.batch_loss(&task.sample_batch(256));
+        assert!(recovered < after * 0.7, "fine-tuning should recover: {after} -> {recovered}");
+    }
+
+    #[test]
+    fn learner_trait_implementation() {
+        let mut task = small_task();
+        let mut mlp = small_mlp();
+        let inst = task.sample();
+        let scores = mlp.predict_scores(&inst);
+        assert_eq!(scores.len(), 10);
+        assert!((scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        mlp.learn(&inst);
+        mlp.reset();
+        assert_eq!(mlp.name(), "MLP");
+        assert_eq!(mlp.n_classes(), 10);
+        assert_eq!(mlp.config().n_hidden, 32);
+    }
+
+    #[test]
+    fn batch_helpers_handle_empty_input() {
+        let mut mlp = small_mlp();
+        assert_eq!(mlp.batch_loss(&[]), 0.0);
+        assert_eq!(mlp.train_batch(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_bad_learning_rate() {
+        let _ = Mlp::new(MlpConfig {
+            learning_rate: 0.0,
+            ..MlpConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic]
+    fn swap_labels_rejects_out_of_range() {
+        let mut task = small_task();
+        task.swap_labels(0, 99);
+    }
+}

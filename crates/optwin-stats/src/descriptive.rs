@@ -1,0 +1,205 @@
+//! Batch descriptive statistics over slices.
+//!
+//! These helpers are used by the hypothesis tests, by the evaluation harness
+//! (averaging metrics over repeated runs) and as the ground-truth oracle in
+//! property tests for the incremental accumulators.
+
+/// Arithmetic mean of a slice. Returns `None` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Unbiased (n − 1) sample variance. Returns `None` if fewer than two values.
+#[must_use]
+pub fn sample_variance(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Some(ss / (values.len() - 1) as f64)
+}
+
+/// Population (n) variance. Returns `None` for an empty slice.
+#[must_use]
+pub fn population_variance(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let m = mean(values)?;
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Some(ss / values.len() as f64)
+}
+
+/// Unbiased sample standard deviation.
+#[must_use]
+pub fn sample_std(values: &[f64]) -> Option<f64> {
+    sample_variance(values).map(f64::sqrt)
+}
+
+/// Minimum of a slice, ignoring NaNs. Returns `None` for an empty slice.
+#[must_use]
+pub fn min(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+}
+
+/// Maximum of a slice, ignoring NaNs. Returns `None` for an empty slice.
+#[must_use]
+pub fn max(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+}
+
+/// Median of a slice (interpolated for even lengths). Returns `None` for an
+/// empty slice. The input is not required to be sorted.
+#[must_use]
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        Some(sorted[n / 2])
+    } else {
+        Some(0.5 * (sorted[n / 2 - 1] + sorted[n / 2]))
+    }
+}
+
+/// Quantile of a slice using linear interpolation between closest ranks
+/// (the "type 7" definition used by NumPy and R by default).
+///
+/// `q` must lie in `[0, 1]`; returns `None` for an empty slice or invalid `q`.
+#[must_use]
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+/// Ranks of the values (1-based), with ties receiving the average rank.
+///
+/// This is the ranking convention needed by the Wilcoxon signed-rank test.
+#[must_use]
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert!((population_variance(&xs).unwrap() - 4.0).abs() < 1e-12);
+        assert!((sample_variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((sample_std(&xs).unwrap() - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_slices() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(sample_variance(&[]), None);
+        assert_eq!(sample_variance(&[1.0]), None);
+        assert_eq!(population_variance(&[3.0]), Some(0.0));
+        assert_eq!(median(&[]), None);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn min_max_median() {
+        let xs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0];
+        assert_eq!(min(&xs), Some(1.0));
+        assert_eq!(max(&xs), Some(9.0));
+        assert_eq!(median(&xs), Some(3.0));
+        let even = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(median(&even), Some(2.5));
+    }
+
+    #[test]
+    fn min_max_skip_nan() {
+        let xs = [f64::NAN, 2.0, 5.0];
+        assert_eq!(min(&xs), Some(2.0));
+        assert_eq!(max(&xs), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_type7() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+        assert_eq!(quantile(&xs, 0.5), Some(3.0));
+        assert_eq!(quantile(&xs, 0.25), Some(2.0));
+        // Interpolated value.
+        assert!((quantile(&xs, 0.1).unwrap() - 1.4).abs() < 1e-12);
+        assert_eq!(quantile(&xs, 1.5), None);
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[42.0], 0.3), Some(42.0));
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        assert_eq!(average_ranks(&xs), vec![1.0, 2.5, 2.5, 4.0]);
+        let xs = [5.0, 5.0, 5.0];
+        assert_eq!(average_ranks(&xs), vec![2.0, 2.0, 2.0]);
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(average_ranks(&xs), vec![3.0, 1.0, 2.0]);
+        assert!(average_ranks(&[]).is_empty());
+    }
+
+    #[test]
+    fn ranks_sum_is_invariant() {
+        let xs = [0.3, 0.1, 0.1, 0.7, 0.9, 0.9, 0.9];
+        let n = xs.len() as f64;
+        let total: f64 = average_ranks(&xs).iter().sum();
+        assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-12);
+    }
+}

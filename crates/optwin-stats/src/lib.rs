@@ -1,0 +1,58 @@
+//! Statistical substrate for the OPTWIN concept-drift reproduction.
+//!
+//! The OPTWIN paper relies on the probability point functions (PPF, i.e.
+//! inverse CDF) of the Student's *t*- and Fisher *F*-distributions, on Welch's
+//! unequal-variance *t*-test and the variance-ratio *f*-test, and — for the
+//! evaluation section — on the one-tailed Wilcoxon signed-rank test. The MOA
+//! baselines additionally need the normal distribution (ADWIN's
+//! normal-approximation cut, STEPD's equality-of-proportions test, ECDD's EWMA
+//! chart) and the two-sample Kolmogorov–Smirnov test (KSWIN extension).
+//!
+//! Everything in this crate is implemented from scratch on top of a small set
+//! of special functions (log-gamma, error function, regularized incomplete
+//! gamma and beta functions) so that the workspace has no dependency on an
+//! external statistics library.
+//!
+//! # Layout
+//!
+//! * [`special`] — special functions (`ln_gamma`, `erf`, incomplete
+//!   gamma/beta and their inverses).
+//! * [`dist`] — probability distributions with `pdf` / `cdf` / `ppf`
+//!   (normal, Student's t, Fisher F, chi-squared, beta).
+//! * [`tests`] — hypothesis tests (Welch t, variance-ratio F, equality of
+//!   proportions, Wilcoxon signed-rank, two-sample KS).
+//! * [`incremental`] — numerically careful streaming moments (Welford and
+//!   add/remove window accumulators) and EWMA estimators.
+//! * [`descriptive`] — batch descriptive statistics over slices.
+//! * [`roots`] — bracketing root finders (bisection, Brent) used by the
+//!   quantile inversions and by OPTWIN's optimal-cut search.
+//!
+//! # Example
+//!
+//! ```
+//! use optwin_stats::dist::{ContinuousDistribution, StudentsT, FisherF};
+//!
+//! let t = StudentsT::new(10.0).unwrap();
+//! let q = t.ppf(0.975).unwrap();
+//! assert!((q - 2.228).abs() < 1e-3);
+//!
+//! let f = FisherF::new(5.0, 10.0).unwrap();
+//! let q = f.ppf(0.95).unwrap();
+//! assert!((q - 3.3258).abs() < 1e-3);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod descriptive;
+pub mod dist;
+pub mod error;
+pub mod incremental;
+pub mod roots;
+pub mod special;
+pub mod tests;
+
+pub use error::StatsError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,205 @@
+//! Bracketing root finders used by quantile inversions and by OPTWIN's
+//! optimal-cut search.
+
+use crate::{Result, StatsError};
+
+/// Default relative tolerance for the root finders.
+pub const DEFAULT_TOL: f64 = 1e-12;
+/// Default iteration cap for the root finders.
+pub const DEFAULT_MAX_ITER: usize = 200;
+
+/// Finds a root of `f` in `[lo, hi]` by bisection.
+///
+/// The bracket must satisfy `f(lo) * f(hi) <= 0`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidBracket`] if the bracket does not contain a
+/// sign change, or [`StatsError::ConvergenceFailure`] if the tolerance is not
+/// met within `max_iter` iterations.
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo * fhi > 0.0 {
+        return Err(StatsError::InvalidBracket { lo, hi });
+    }
+    for _ in 0..max_iter {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo).abs() < tol * (1.0 + mid.abs()) {
+            return Ok(mid);
+        }
+        if flo * fmid < 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fmid;
+        }
+    }
+    Err(StatsError::ConvergenceFailure {
+        routine: "bisect",
+        iterations: max_iter,
+    })
+}
+
+/// Finds a root of `f` in `[lo, hi]` using Brent's method (inverse quadratic
+/// interpolation with bisection safeguards).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidBracket`] if the bracket does not contain a
+/// sign change, or [`StatsError::ConvergenceFailure`] if the tolerance is not
+/// met within `max_iter` iterations.
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa * fb > 0.0 {
+        return Err(StatsError::InvalidBracket { lo, hi });
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut e = d;
+
+    for _ in 0..max_iter {
+        if fb.abs() > fc.abs() {
+            // Ensure b is the best estimate so far.
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * tol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(b);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if a == c {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                let q0 = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * q0 * (q0 - r) - (b - a) * (r - 1.0));
+                q = (q0 - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        if d.abs() > tol1 {
+            b += d;
+        } else {
+            b += if xm > 0.0 { tol1 } else { -tol1 };
+        }
+        fb = f(b);
+        if (fb > 0.0) == (fc > 0.0) {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+    }
+    Err(StatsError::ConvergenceFailure {
+        routine: "brent",
+        iterations: max_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt_two() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_accepts_root_at_endpoint() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_rejects_bad_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(StatsError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn brent_finds_cubic_root() {
+        let root = brent(|x| x * x * x - 2.0 * x - 5.0, 2.0, 3.0, 1e-13, 200).unwrap();
+        // Classical test function; root ≈ 2.0945514815423265
+        assert!((root - 2.094_551_481_542_326_5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_transcendental_root() {
+        let root = brent(|x| x.exp() - 3.0 * x, 0.0, 1.0, 1e-13, 200).unwrap();
+        assert!((root.exp() - 3.0 * root).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_rejects_bad_bracket() {
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(StatsError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn brent_handles_root_at_bracket_edge() {
+        assert_eq!(brent(|x| x, 0.0, 5.0, 1e-12, 100).unwrap(), 0.0);
+    }
+}

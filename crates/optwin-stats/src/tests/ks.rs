@@ -1,0 +1,140 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Used by the KSWIN extension detector, which compares the empirical
+//! distribution of a recent sample window against a uniformly drawn sample
+//! of older observations.
+
+use crate::{Result, StatsError};
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTestResult {
+    /// The KS statistic: the supremum distance between the two empirical
+    /// CDFs.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution).
+    pub p_value: f64,
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either sample is empty.
+pub fn ks_two_sample(sample1: &[f64], sample2: &[f64]) -> Result<KsTestResult> {
+    if sample1.is_empty() || sample2.is_empty() {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            available: 0,
+        });
+    }
+    let mut a: Vec<f64> = sample1.to_vec();
+    let mut b: Vec<f64> = sample2.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    b.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+
+    let n1 = a.len();
+    let n2 = b.len();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let x1 = a[i];
+        let x2 = b[j];
+        let x = x1.min(x2);
+        while i < n1 && a[i] <= x {
+            i += 1;
+        }
+        while j < n2 && b[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+
+    let ne = (n1 as f64 * n2 as f64) / (n1 as f64 + n2 as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    Ok(KsTestResult {
+        statistic: d,
+        p_value: kolmogorov_survival(lambda),
+    })
+}
+
+/// Kolmogorov distribution survival function
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²)`.
+fn kolmogorov_survival(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_samples() {
+        assert!(ks_two_sample(&[], &[1.0]).is_err());
+        assert!(ks_two_sample(&[1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn identical_samples_have_high_p() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let r = ks_two_sample(&xs, &xs).unwrap();
+        assert!(r.statistic < 1e-12);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..50).map(|i| 10.0 + i as f64 * 0.01).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn shifted_distributions_detected() {
+        // Deterministic "uniform" grids with a clear shift.
+        let a: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let b: Vec<f64> = (0..200).map(|i| 0.3 + i as f64 / 200.0).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.statistic > 0.25);
+        assert!(r.p_value < 1e-4);
+    }
+
+    #[test]
+    fn statistic_symmetric() {
+        let a = [0.1, 0.4, 0.35, 0.8, 0.23];
+        let b = [0.2, 0.5, 0.9, 0.7];
+        let r1 = ks_two_sample(&a, &b).unwrap();
+        let r2 = ks_two_sample(&b, &a).unwrap();
+        assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kolmogorov_survival_monotone() {
+        let mut prev = 1.0;
+        for i in 0..40 {
+            let lambda = i as f64 * 0.1;
+            let q = kolmogorov_survival(lambda);
+            assert!(q <= prev + 1e-12);
+            assert!((0.0..=1.0).contains(&q));
+            prev = q;
+        }
+    }
+}

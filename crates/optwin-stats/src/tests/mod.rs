@@ -1,0 +1,27 @@
+//! Hypothesis tests used by OPTWIN, the baseline detectors and the
+//! evaluation harness.
+//!
+//! * [`welch_t_test`] / [`welch_t_test_from_stats`] — unequal-variance
+//!   (Welch) t-test, the mean-shift test OPTWIN applies to `W_hist` vs
+//!   `W_new` (Algorithm 1, line 14).
+//! * [`variance_ratio_test`] / [`variance_ratio_test_from_stats`] — the
+//!   F-test on the ratio of sample variances (Algorithm 1, line 11).
+//! * [`equal_proportions_test`] — the test of equal proportions used by the
+//!   STEPD baseline.
+//! * [`wilcoxon_signed_rank`] — the paired, one- or two-tailed Wilcoxon
+//!   signed-rank test the paper uses to establish the statistical
+//!   significance of OPTWIN's F1 improvements (§4.1).
+//! * [`ks_two_sample`] — two-sample Kolmogorov–Smirnov test (KSWIN
+//!   extension detector).
+
+mod ks;
+mod proportions;
+mod variance_ratio;
+mod welch;
+mod wilcoxon;
+
+pub use ks::{ks_two_sample, KsTestResult};
+pub use proportions::{equal_proportions_test, ProportionsTestResult};
+pub use variance_ratio::{variance_ratio_test, variance_ratio_test_from_stats, FTestResult};
+pub use welch::{welch_t_test, welch_t_test_from_stats, welch_degrees_of_freedom, TTestResult};
+pub use wilcoxon::{wilcoxon_signed_rank, Alternative, WilcoxonResult};

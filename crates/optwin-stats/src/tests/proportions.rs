@@ -1,0 +1,128 @@
+//! Test of equal proportions (STEPD).
+//!
+//! STEPD (Nishida & Yamauchi, 2007) compares the accuracy of a learner in a
+//! recent window against its accuracy over the remaining, older observations
+//! using the classical two-proportion z-test with continuity correction.
+
+use crate::dist::Normal;
+use crate::{Result, StatsError};
+
+/// Result of the equality-of-proportions test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProportionsTestResult {
+    /// The z statistic (with continuity correction, as in the STEPD paper).
+    pub z_value: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Pooled success proportion.
+    pub pooled: f64,
+}
+
+/// Equality-of-proportions test with continuity correction.
+///
+/// `successes_old` / `n_old` describe the older segment, `successes_recent` /
+/// `n_recent` the recent window.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either segment is empty, or
+/// [`StatsError::InvalidParameter`] if a success count exceeds its segment
+/// size.
+pub fn equal_proportions_test(
+    successes_old: f64,
+    n_old: f64,
+    successes_recent: f64,
+    n_recent: f64,
+) -> Result<ProportionsTestResult> {
+    if n_old < 1.0 || n_recent < 1.0 {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            available: 0,
+        });
+    }
+    for (name, s, n) in [
+        ("successes_old", successes_old, n_old),
+        ("successes_recent", successes_recent, n_recent),
+    ] {
+        if s < 0.0 || s > n {
+            return Err(StatsError::InvalidParameter {
+                name,
+                value: s,
+                constraint: "success count must lie in [0, segment size]",
+            });
+        }
+    }
+
+    let pooled = (successes_old + successes_recent) / (n_old + n_recent);
+    let p_old = successes_old / n_old;
+    let p_recent = successes_recent / n_recent;
+
+    // Continuity-corrected statistic from the STEPD paper:
+    //   z = (|p_old - p_recent| - 0.5 (1/n_old + 1/n_recent))
+    //       / sqrt(pooled (1 - pooled) (1/n_old + 1/n_recent))
+    let inv_sum = 1.0 / n_old + 1.0 / n_recent;
+    let denom = (pooled * (1.0 - pooled) * inv_sum).sqrt();
+    let num = (p_old - p_recent).abs() - 0.5 * inv_sum;
+    let z_value = if denom > 0.0 { num / denom } else { 0.0 };
+
+    // Two-sided p-value; the statistic is non-negative by construction
+    // whenever num > 0 (a negative corrected numerator means "no evidence").
+    let p_value = if z_value <= 0.0 {
+        1.0
+    } else {
+        2.0 * (1.0 - Normal::std_cdf(z_value))
+    };
+
+    Ok(ProportionsTestResult {
+        z_value,
+        p_value,
+        pooled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(equal_proportions_test(1.0, 0.0, 1.0, 10.0).is_err());
+        assert!(equal_proportions_test(11.0, 10.0, 1.0, 10.0).is_err());
+        assert!(equal_proportions_test(-1.0, 10.0, 1.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn equal_proportions_large_p_value() {
+        let r = equal_proportions_test(80.0, 100.0, 24.0, 30.0).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+        assert!((r.pooled - 104.0 / 130.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strongly_different_proportions_small_p_value() {
+        // Old accuracy 95%, recent accuracy 60%.
+        let r = equal_proportions_test(950.0, 1000.0, 18.0, 30.0).unwrap();
+        assert!(r.p_value < 1e-6, "p = {}", r.p_value);
+        assert!(r.z_value > 4.0);
+    }
+
+    #[test]
+    fn identical_degenerate_proportions() {
+        // All successes everywhere: zero pooled variance => z forced to 0.
+        let r = equal_proportions_test(100.0, 100.0, 30.0, 30.0).unwrap();
+        assert_eq!(r.z_value, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn p_value_bounded() {
+        for &(s1, n1, s2, n2) in &[
+            (10.0, 20.0, 5.0, 10.0),
+            (3.0, 30.0, 29.0, 30.0),
+            (0.0, 50.0, 50.0, 50.0),
+        ] {
+            let r = equal_proportions_test(s1, n1, s2, n2).unwrap();
+            assert!((0.0..=1.0).contains(&r.p_value));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Variance-ratio F-test.
+
+use crate::descriptive;
+use crate::dist::FisherF;
+use crate::{Result, StatsError};
+
+/// Result of a variance-ratio F-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FTestResult {
+    /// The observed ratio `var1 / var2` (Equation 6 of the paper uses
+    /// `σ²_new / σ²_hist`).
+    pub f_value: f64,
+    /// Numerator degrees of freedom (`n1 − 1`).
+    pub df1: f64,
+    /// Denominator degrees of freedom (`n2 − 1`).
+    pub df2: f64,
+    /// Upper-tail p-value `P(F >= f_value)`.
+    pub p_value_upper: f64,
+}
+
+/// F-test from pre-computed sample variances.
+///
+/// `var1`/`n1` describe the numerator sample, `var2`/`n2` the denominator
+/// sample. A small stabiliser `eta` may be added by the caller before
+/// invoking this function (OPTWIN adds `η = 1e-5` to both standard
+/// deviations); this function performs the plain ratio test.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either sample has fewer than
+/// two observations, or [`StatsError::InvalidParameter`] if `var2` is zero
+/// (an undefined ratio).
+pub fn variance_ratio_test_from_stats(
+    var1: f64,
+    n1: usize,
+    var2: f64,
+    n2: usize,
+) -> Result<FTestResult> {
+    if n1 < 2 || n2 < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            available: n1.min(n2),
+        });
+    }
+    if var2 <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "var2",
+            value: var2,
+            constraint: "denominator variance must be positive (add a stabiliser such as OPTWIN's eta)",
+        });
+    }
+    let df1 = (n1 - 1) as f64;
+    let df2 = (n2 - 1) as f64;
+    let f_value = var1 / var2;
+    let dist = FisherF::new(df1, df2)?;
+    Ok(FTestResult {
+        f_value,
+        df1,
+        df2,
+        p_value_upper: dist.upper_tail_p_value(f_value),
+    })
+}
+
+/// F-test from raw samples (`sample1` is the numerator).
+///
+/// # Errors
+///
+/// Same conditions as [`variance_ratio_test_from_stats`].
+pub fn variance_ratio_test(sample1: &[f64], sample2: &[f64]) -> Result<FTestResult> {
+    if sample1.len() < 2 || sample2.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            available: sample1.len().min(sample2.len()),
+        });
+    }
+    let v1 = descriptive::sample_variance(sample1).expect("len >= 2");
+    let v2 = descriptive::sample_variance(sample2).expect("len >= 2");
+    variance_ratio_test_from_stats(v1, sample1.len(), v2, sample2.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_insufficient_or_degenerate_input() {
+        assert!(variance_ratio_test(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(variance_ratio_test_from_stats(1.0, 10, 0.0, 10).is_err());
+    }
+
+    #[test]
+    fn equal_variances_give_ratio_one() {
+        let a = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let r = variance_ratio_test(&a, &a).unwrap();
+        assert!((r.f_value - 1.0).abs() < 1e-12);
+        assert!(r.p_value_upper > 0.4);
+    }
+
+    #[test]
+    fn larger_numerator_variance_small_p() {
+        // Paper's motivating example: same mean, very different spread.
+        let w0 = [0.3, 0.7, 0.7, 0.3, 0.3, 0.7, 0.5, 0.5];
+        let w1 = [0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0];
+        let r = variance_ratio_test(&w1, &w0).unwrap();
+        assert!(r.f_value > 2.0, "f = {}", r.f_value);
+        assert!(r.p_value_upper < 0.15);
+        // And the reverse direction has a large upper-tail p-value.
+        let rev = variance_ratio_test(&w0, &w1).unwrap();
+        assert!(rev.p_value_upper > 0.85);
+    }
+
+    #[test]
+    fn reference_value() {
+        // var ratio 4.0 with df (9, 9): P(F >= 4.0) ≈ 0.0255
+        let r = variance_ratio_test_from_stats(4.0, 10, 1.0, 10).unwrap();
+        assert!((r.p_value_upper - 0.0255).abs() < 2e-3, "p = {}", r.p_value_upper);
+        assert_eq!(r.df1, 9.0);
+        assert_eq!(r.df2, 9.0);
+    }
+}

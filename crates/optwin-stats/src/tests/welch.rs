@@ -1,0 +1,213 @@
+//! Welch's unequal-variance t-test.
+
+use crate::descriptive;
+use crate::dist::{ContinuousDistribution, StudentsT};
+use crate::{Result, StatsError};
+
+/// Result of a two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TTestResult {
+    /// The observed t statistic (Equation 3 of the paper).
+    pub t_value: f64,
+    /// Welch–Satterthwaite degrees of freedom (Equation 12 of the paper).
+    pub df: f64,
+    /// Two-sided p-value `P(|T| >= |t_value|)`.
+    pub p_value_two_sided: f64,
+    /// Upper-tail p-value `P(T >= t_value)` (one-sided, "first sample has a
+    /// larger mean" alternative).
+    pub p_value_upper: f64,
+}
+
+/// Welch–Satterthwaite degrees of freedom for two samples described by their
+/// variances and sizes.
+///
+/// Returns 1.0 (the most conservative value) if the denominator degenerates,
+/// which can only happen when both sample variances are exactly zero.
+#[must_use]
+pub fn welch_degrees_of_freedom(var1: f64, n1: f64, var2: f64, n2: f64) -> f64 {
+    let a = var1 / n1;
+    let b = var2 / n2;
+    let num = (a + b) * (a + b);
+    let den = a * a / (n1 - 1.0) + b * b / (n2 - 1.0);
+    if den <= 0.0 || !den.is_finite() {
+        1.0
+    } else {
+        (num / den).max(1.0)
+    }
+}
+
+/// Welch's t-test from pre-computed sample statistics.
+///
+/// `mean1`, `var1`, `n1` describe the first sample (OPTWIN's `W_hist`),
+/// `mean2`, `var2`, `n2` the second sample (`W_new`). Variances are the
+/// unbiased sample variances.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either sample has fewer than
+/// two observations.
+pub fn welch_t_test_from_stats(
+    mean1: f64,
+    var1: f64,
+    n1: usize,
+    mean2: f64,
+    var2: f64,
+    n2: usize,
+) -> Result<TTestResult> {
+    if n1 < 2 || n2 < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            available: n1.min(n2),
+        });
+    }
+    let n1f = n1 as f64;
+    let n2f = n2 as f64;
+    let se = (var1 / n1f + var2 / n2f).sqrt();
+    let t_value = if se > 0.0 {
+        (mean1 - mean2) / se
+    } else if mean1 == mean2 {
+        0.0
+    } else if mean1 > mean2 {
+        f64::INFINITY
+    } else {
+        f64::NEG_INFINITY
+    };
+    let df = welch_degrees_of_freedom(var1, n1f, var2, n2f);
+    let dist = StudentsT::new(df)?;
+    let (p_two, p_upper) = if t_value.is_finite() {
+        (dist.two_sided_p_value(t_value), 1.0 - dist.cdf(t_value))
+    } else if t_value > 0.0 {
+        (0.0, 0.0)
+    } else {
+        (0.0, 1.0)
+    };
+    Ok(TTestResult {
+        t_value,
+        df,
+        p_value_two_sided: p_two,
+        p_value_upper: p_upper,
+    })
+}
+
+/// Welch's t-test from raw samples.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either sample has fewer than
+/// two observations.
+pub fn welch_t_test(sample1: &[f64], sample2: &[f64]) -> Result<TTestResult> {
+    if sample1.len() < 2 || sample2.len() < 2 {
+        return Err(StatsError::InsufficientData {
+            required: 2,
+            available: sample1.len().min(sample2.len()),
+        });
+    }
+    let m1 = descriptive::mean(sample1).expect("non-empty");
+    let m2 = descriptive::mean(sample2).expect("non-empty");
+    let v1 = descriptive::sample_variance(sample1).expect("len >= 2");
+    let v2 = descriptive::sample_variance(sample2).expect("len >= 2");
+    welch_t_test_from_stats(m1, v1, sample1.len(), m2, v2, sample2.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_insufficient_data() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(welch_t_test(&[1.0, 2.0], &[]).is_err());
+        assert!(welch_t_test_from_stats(0.0, 1.0, 1, 0.0, 1.0, 5).is_err());
+    }
+
+    #[test]
+    fn identical_samples_give_zero_statistic() {
+        let s = [0.2, 0.4, 0.6, 0.8];
+        let r = welch_t_test(&s, &s).unwrap();
+        assert!(r.t_value.abs() < 1e-12);
+        assert!((r.p_value_two_sided - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // a: mean 3, sample variance 2.5, n = 5
+        // b: mean 6, sample variance 10, n = 5
+        // t  = (3 − 6) / sqrt(2.5/5 + 10/5) = −3 / sqrt(2.5) = −1.8973666…
+        // df = (0.5 + 2)² / (0.5²/4 + 2²/4) = 6.25 / 1.0625 = 5.8823529…
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let r = welch_t_test(&a, &b).unwrap();
+        assert!((r.t_value + 3.0 / 2.5_f64.sqrt()).abs() < 1e-12, "t = {}", r.t_value);
+        assert!((r.df - 6.25 / 1.0625).abs() < 1e-12, "df = {}", r.df);
+        // Two-sided p-value for |t| = 1.897 at df ≈ 5.88 lies near 0.107.
+        assert!(
+            r.p_value_two_sided > 0.09 && r.p_value_two_sided < 0.13,
+            "p = {}",
+            r.p_value_two_sided
+        );
+        // Upper-tail p-value for a negative statistic is the complement.
+        assert!((r.p_value_upper - (1.0 - r.p_value_two_sided / 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_mean_shift_detected() {
+        let low: Vec<f64> = (0..50).map(|i| 0.1 + 0.001 * (i % 7) as f64).collect();
+        let high: Vec<f64> = (0..50).map(|i| 0.6 + 0.001 * (i % 5) as f64).collect();
+        let r = welch_t_test(&high, &low).unwrap();
+        assert!(r.t_value > 10.0);
+        assert!(r.p_value_two_sided < 1e-6);
+        assert!(r.p_value_upper < 1e-6);
+    }
+
+    #[test]
+    fn zero_variance_equal_means() {
+        let r = welch_t_test_from_stats(0.5, 0.0, 10, 0.5, 0.0, 10).unwrap();
+        assert_eq!(r.t_value, 0.0);
+    }
+
+    #[test]
+    fn zero_variance_different_means_is_infinite() {
+        let r = welch_t_test_from_stats(0.9, 0.0, 10, 0.5, 0.0, 10).unwrap();
+        assert!(r.t_value.is_infinite() && r.t_value > 0.0);
+        assert_eq!(r.p_value_upper, 0.0);
+    }
+
+    #[test]
+    fn df_reduces_to_pooled_when_equal() {
+        // With equal variances and sizes, Welch df = 2(n-1).
+        let df = welch_degrees_of_freedom(1.0, 20.0, 1.0, 20.0);
+        assert!((df - 38.0).abs() < 1e-9);
+        // Degenerate: both variances zero.
+        assert_eq!(welch_degrees_of_freedom(0.0, 10.0, 0.0, 10.0), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn statistic_antisymmetric(
+            a in proptest::collection::vec(0.0f64..1.0, 5..60),
+            b in proptest::collection::vec(0.0f64..1.0, 5..60),
+        ) {
+            let r1 = welch_t_test(&a, &b).unwrap();
+            let r2 = welch_t_test(&b, &a).unwrap();
+            prop_assert!((r1.t_value + r2.t_value).abs() < 1e-9);
+            prop_assert!((r1.p_value_two_sided - r2.p_value_two_sided).abs() < 1e-9);
+        }
+
+        #[test]
+        fn p_values_in_unit_interval(
+            a in proptest::collection::vec(0.0f64..1.0, 3..40),
+            b in proptest::collection::vec(0.0f64..1.0, 3..40),
+        ) {
+            let r = welch_t_test(&a, &b).unwrap();
+            prop_assert!((0.0..=1.0).contains(&r.p_value_two_sided));
+            prop_assert!((0.0..=1.0).contains(&r.p_value_upper));
+            prop_assert!(r.df >= 1.0);
+        }
+    }
+}

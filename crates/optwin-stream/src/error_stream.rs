@@ -1,0 +1,290 @@
+//! Direct error streams (the paper's "Concept Drift interface" experiments).
+//!
+//! The first family of experiments in §4.1 does not involve any learner:
+//! MOA generates a stream of error values directly — binary (Bernoulli) or
+//! non-binary (bounded real values) — and injects sudden or gradual drifts by
+//! changing the generating distribution. The drift detectors consume these
+//! values as if they were a learner's errors.
+//!
+//! [`ErrorStream`] reproduces that setup: it produces `stream_len` values
+//! whose distribution changes at the positions given by a
+//! [`DriftSchedule`], either abruptly (sudden) or by linear interpolation of
+//! the distribution parameters across the drift width (gradual).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schedule::DriftSchedule;
+
+/// Whether the stream emits binary error indicators or real-valued losses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SignalKind {
+    /// Bernoulli error indicators in `{0, 1}`; the parameter pair is the
+    /// (pre-drift, post-drift) error probability.
+    Binary {
+        /// Error probability before the first drift.
+        base_rate: f64,
+        /// Error probability after the last drift (intermediate drifts
+        /// interpolate between the two, alternating upward).
+        drifted_rate: f64,
+    },
+    /// Bounded real-valued losses drawn from a normal distribution clamped to
+    /// `[0, 1]`.
+    RealValued {
+        /// Mean and standard deviation before the first drift.
+        base: (f64, f64),
+        /// Mean and standard deviation after a drift.
+        drifted: (f64, f64),
+    },
+}
+
+/// Whether drifts are injected abruptly or gradually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftKind {
+    /// The distribution switches at the drift position.
+    Sudden,
+    /// The distribution parameters are linearly interpolated across the
+    /// drift width.
+    Gradual,
+}
+
+/// Configuration of an [`ErrorStream`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorStreamConfig {
+    /// Kind of values emitted.
+    pub signal: SignalKind,
+    /// Sudden or gradual drift injection.
+    pub drift: DriftKind,
+    /// Ground-truth drift schedule.
+    pub schedule: DriftSchedule,
+}
+
+impl ErrorStreamConfig {
+    /// The configuration used by the paper's "binary drift" experiments:
+    /// a Bernoulli error stream whose error rate rises from 5 % to 25 %.
+    #[must_use]
+    pub fn binary(drift: DriftKind, schedule: DriftSchedule) -> Self {
+        Self {
+            signal: SignalKind::Binary {
+                base_rate: 0.05,
+                drifted_rate: 0.25,
+            },
+            drift,
+            schedule,
+        }
+    }
+
+    /// The configuration used by the paper's "non-binary drift" experiments:
+    /// a real-valued loss whose mean and spread increase at the drift.
+    #[must_use]
+    pub fn real_valued(drift: DriftKind, schedule: DriftSchedule) -> Self {
+        Self {
+            signal: SignalKind::RealValued {
+                base: (0.2, 0.05),
+                drifted: (0.5, 0.10),
+            },
+            drift,
+            schedule,
+        }
+    }
+}
+
+/// A seeded error stream with ground-truth drifts.
+#[derive(Debug, Clone)]
+pub struct ErrorStream {
+    config: ErrorStreamConfig,
+    rng: StdRng,
+    index: usize,
+}
+
+impl ErrorStream {
+    /// Creates a stream from a configuration and seed.
+    #[must_use]
+    pub fn new(config: ErrorStreamConfig, seed: u64) -> Self {
+        Self {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            index: 0,
+        }
+    }
+
+    /// The ground-truth drift schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &DriftSchedule {
+        &self.config.schedule
+    }
+
+    /// Total number of elements this stream will emit.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.config.schedule.stream_len()
+    }
+
+    /// `true` when the configured stream length is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of "drifted-ness" at index `i`: 0 before a drift, 1 after it
+    /// has fully taken effect, linearly interpolated inside a gradual drift
+    /// window. Alternates back to 0 on every second drift so that repeated
+    /// drifts remain visible to the detectors.
+    fn drift_level(&self, i: usize) -> f64 {
+        let schedule = &self.config.schedule;
+        let segment = schedule.concept_at(i);
+        let level_of_segment = |s: usize| if s % 2 == 1 { 1.0 } else { 0.0 };
+        if segment == 0 {
+            return 0.0;
+        }
+        match self.config.drift {
+            DriftKind::Sudden => level_of_segment(segment),
+            DriftKind::Gradual => {
+                let drift_pos = schedule.positions()[segment - 1];
+                let width = schedule.width().max(1);
+                let progress = ((i - drift_pos) as f64 / width as f64).clamp(0.0, 1.0);
+                let from = level_of_segment(segment - 1);
+                let to = level_of_segment(segment);
+                from + (to - from) * progress
+            }
+        }
+    }
+
+    /// Generates the next error value, or `None` once the configured length
+    /// has been produced.
+    pub fn next_value(&mut self) -> Option<f64> {
+        if self.index >= self.config.schedule.stream_len() {
+            return None;
+        }
+        let level = self.drift_level(self.index);
+        self.index += 1;
+        let value = match self.config.signal {
+            SignalKind::Binary {
+                base_rate,
+                drifted_rate,
+            } => {
+                let p = base_rate + (drifted_rate - base_rate) * level;
+                f64::from(self.rng.gen::<f64>() < p)
+            }
+            SignalKind::RealValued { base, drifted } => {
+                let mean = base.0 + (drifted.0 - base.0) * level;
+                let std = base.1 + (drifted.1 - base.1) * level;
+                let z = self.gaussian();
+                (mean + std * z).clamp(0.0, 1.0)
+            }
+        };
+        Some(value)
+    }
+
+    /// Collects the entire stream into a vector (convenience for the
+    /// experiment harness).
+    #[must_use]
+    pub fn collect_all(mut self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(v) = self.next_value() {
+            out.push(v);
+        }
+        out
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Iterator for ErrorStream {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.next_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn binary_sudden_drift_changes_error_rate() {
+        let schedule = DriftSchedule::new(vec![5_000], 1, 10_000);
+        let stream = ErrorStream::new(ErrorStreamConfig::binary(DriftKind::Sudden, schedule), 1);
+        let values = stream.collect_all();
+        assert_eq!(values.len(), 10_000);
+        assert!(values.iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!((mean(&values[..5_000]) - 0.05).abs() < 0.01);
+        assert!((mean(&values[5_000..]) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn binary_gradual_drift_interpolates() {
+        let schedule = DriftSchedule::new(vec![4_000], 2_000, 10_000);
+        let stream = ErrorStream::new(ErrorStreamConfig::binary(DriftKind::Gradual, schedule), 2);
+        let values = stream.collect_all();
+        let before = mean(&values[..3_900]);
+        let middle = mean(&values[4_800..5_200]);
+        let after = mean(&values[7_000..]);
+        assert!(before < 0.07);
+        assert!(after > 0.22);
+        assert!(middle > before + 0.03 && middle < after, "middle = {middle}");
+    }
+
+    #[test]
+    fn real_valued_drift_changes_mean_and_spread() {
+        let schedule = DriftSchedule::new(vec![5_000], 1, 10_000);
+        let stream =
+            ErrorStream::new(ErrorStreamConfig::real_valued(DriftKind::Sudden, schedule), 3);
+        let values = stream.collect_all();
+        let var = |xs: &[f64]| {
+            let m = mean(xs);
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+        };
+        assert!((mean(&values[..5_000]) - 0.2).abs() < 0.01);
+        assert!((mean(&values[5_000..]) - 0.5).abs() < 0.01);
+        assert!(var(&values[5_000..]) > var(&values[..5_000]) * 2.0);
+        assert!(values.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn repeated_drifts_alternate() {
+        // Four drifts: the level alternates 0 → 1 → 0 → 1 → 0 so every drift
+        // is an actual change.
+        let schedule = DriftSchedule::every(2_000, 10_000, 1);
+        let stream = ErrorStream::new(ErrorStreamConfig::binary(DriftKind::Sudden, schedule), 4);
+        let values = stream.collect_all();
+        let seg = |k: usize| mean(&values[k * 2_000..(k + 1) * 2_000]);
+        assert!(seg(0) < 0.08);
+        assert!(seg(1) > 0.2);
+        assert!(seg(2) < 0.08);
+        assert!(seg(3) > 0.2);
+        assert!(seg(4) < 0.08);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let schedule = DriftSchedule::new(vec![100], 1, 500);
+        let a = ErrorStream::new(
+            ErrorStreamConfig::binary(DriftKind::Sudden, schedule.clone()),
+            7,
+        )
+        .collect_all();
+        let b = ErrorStream::new(ErrorStreamConfig::binary(DriftKind::Sudden, schedule), 7)
+            .collect_all();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn iterator_interface_and_len() {
+        let schedule = DriftSchedule::stationary(100);
+        let stream = ErrorStream::new(ErrorStreamConfig::binary(DriftKind::Sudden, schedule), 1);
+        assert_eq!(stream.len(), 100);
+        assert!(!stream.is_empty());
+        let collected: Vec<f64> = stream.collect();
+        assert_eq!(collected.len(), 100);
+    }
+}

@@ -1,0 +1,422 @@
+//! AGRAWAL generator (Agrawal, Imielinski & Swami, 1993).
+//!
+//! Generates hypothetical loan-application records with nine attributes:
+//!
+//! | # | attribute | type | range |
+//! |---|-----------|------|-------|
+//! | 0 | salary    | numeric | 20 000 – 150 000 |
+//! | 1 | commission| numeric | 0, or 10 000 – 75 000 when salary < 75 000 |
+//! | 2 | age       | numeric | 20 – 80 |
+//! | 3 | elevel    | categorical | 0 – 4 |
+//! | 4 | car       | categorical | 0 – 19 |
+//! | 5 | zipcode   | categorical | 0 – 8 |
+//! | 6 | hvalue    | numeric | 50 000 – 1 000 000 (zipcode-dependent) |
+//! | 7 | hyears    | numeric | 1 – 30 |
+//! | 8 | loan      | numeric | 0 – 500 000 |
+//!
+//! and labels them with one of ten binary predicate functions (`F1`–`F10`).
+//! Switching the function is the concept drift. The predicates follow the
+//! published scheme (group A vs. group B based on age/salary/education/loan
+//! thresholds and the "disposable income" formulas); the exact constants
+//! reproduce the MOA implementation where known and otherwise use the values
+//! from the original paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::{Feature, FeatureKind, Instance, InstanceStream};
+
+/// The ten AGRAWAL labelling functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgrawalFunction {
+    /// Group A iff `age < 40 || age >= 60`.
+    F1,
+    /// Age-banded salary ranges.
+    F2,
+    /// Age-banded education levels.
+    F3,
+    /// Age-banded education levels and salary ranges.
+    F4,
+    /// Age-banded salary and loan ranges.
+    F5,
+    /// Age-banded total income (salary + commission) ranges.
+    F6,
+    /// Disposable income `2·(salary + commission)/3 − loan/5 − 20 000 > 0`.
+    F7,
+    /// Disposable income `2·(salary + commission)/3 − 5 000·elevel − 20 000 > 0`.
+    F8,
+    /// Disposable `2·(salary + commission)/3 − 5 000·elevel − loan/5 − 10 000 > 0`.
+    F9,
+    /// Home-equity based disposable income.
+    F10,
+}
+
+impl AgrawalFunction {
+    /// All ten functions in order.
+    #[must_use]
+    pub fn all() -> [AgrawalFunction; 10] {
+        use AgrawalFunction::*;
+        [F1, F2, F3, F4, F5, F6, F7, F8, F9, F10]
+    }
+
+    /// The function used for the k-th concept segment when cycling.
+    #[must_use]
+    pub fn cycle(k: usize) -> Self {
+        Self::all()[k % 10]
+    }
+
+    /// Applies the predicate to a raw record, returning 1 for "group A".
+    #[allow(clippy::many_single_char_names)]
+    #[must_use]
+    pub fn label(&self, r: &Record) -> u32 {
+        let group_a = match self {
+            AgrawalFunction::F1 => r.age < 40.0 || r.age >= 60.0,
+            AgrawalFunction::F2 => {
+                if r.age < 40.0 {
+                    (50_000.0..=100_000.0).contains(&r.salary)
+                } else if r.age < 60.0 {
+                    (75_000.0..=125_000.0).contains(&r.salary)
+                } else {
+                    (25_000.0..=75_000.0).contains(&r.salary)
+                }
+            }
+            AgrawalFunction::F3 => {
+                if r.age < 40.0 {
+                    r.elevel <= 1
+                } else if r.age < 60.0 {
+                    (1..=3).contains(&r.elevel)
+                } else {
+                    (2..=4).contains(&r.elevel)
+                }
+            }
+            AgrawalFunction::F4 => {
+                if r.age < 40.0 {
+                    if r.elevel <= 1 {
+                        (25_000.0..=75_000.0).contains(&r.salary)
+                    } else {
+                        (50_000.0..=100_000.0).contains(&r.salary)
+                    }
+                } else if r.age < 60.0 {
+                    if (1..=3).contains(&r.elevel) {
+                        (50_000.0..=100_000.0).contains(&r.salary)
+                    } else {
+                        (75_000.0..=125_000.0).contains(&r.salary)
+                    }
+                } else if (2..=4).contains(&r.elevel) {
+                    (50_000.0..=100_000.0).contains(&r.salary)
+                } else {
+                    (25_000.0..=75_000.0).contains(&r.salary)
+                }
+            }
+            AgrawalFunction::F5 => {
+                if r.age < 40.0 {
+                    if (50_000.0..=100_000.0).contains(&r.salary) {
+                        (100_000.0..=300_000.0).contains(&r.loan)
+                    } else {
+                        (200_000.0..=400_000.0).contains(&r.loan)
+                    }
+                } else if r.age < 60.0 {
+                    if (75_000.0..=125_000.0).contains(&r.salary) {
+                        (200_000.0..=400_000.0).contains(&r.loan)
+                    } else {
+                        (300_000.0..=500_000.0).contains(&r.loan)
+                    }
+                } else if (25_000.0..=75_000.0).contains(&r.salary) {
+                    (300_000.0..=500_000.0).contains(&r.loan)
+                } else {
+                    (100_000.0..=300_000.0).contains(&r.loan)
+                }
+            }
+            AgrawalFunction::F6 => {
+                let total = r.salary + r.commission;
+                if r.age < 40.0 {
+                    (50_000.0..=100_000.0).contains(&total)
+                } else if r.age < 60.0 {
+                    (75_000.0..=125_000.0).contains(&total)
+                } else {
+                    (25_000.0..=75_000.0).contains(&total)
+                }
+            }
+            AgrawalFunction::F7 => {
+                2.0 * (r.salary + r.commission) / 3.0 - r.loan / 5.0 - 20_000.0 > 0.0
+            }
+            AgrawalFunction::F8 => {
+                2.0 * (r.salary + r.commission) / 3.0 - 5_000.0 * f64::from(r.elevel) - 20_000.0
+                    > 0.0
+            }
+            AgrawalFunction::F9 => {
+                2.0 * (r.salary + r.commission) / 3.0
+                    - 5_000.0 * f64::from(r.elevel)
+                    - r.loan / 5.0
+                    - 10_000.0
+                    > 0.0
+            }
+            AgrawalFunction::F10 => {
+                let equity = if r.hyears >= 20.0 {
+                    0.1 * r.hvalue * (r.hyears - 20.0)
+                } else {
+                    0.0
+                };
+                2.0 * (r.salary + r.commission) / 3.0 - 5_000.0 * f64::from(r.elevel)
+                    + equity / 5.0
+                    - r.loan / 5.0
+                    - 10_000.0
+                    > 0.0
+            }
+        };
+        u32::from(group_a)
+    }
+}
+
+/// A raw AGRAWAL record before conversion into an [`Instance`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record {
+    /// Yearly salary.
+    pub salary: f64,
+    /// Yearly commission (0 unless salary < 75 000).
+    pub commission: f64,
+    /// Age in years.
+    pub age: f64,
+    /// Education level, 0–4.
+    pub elevel: u32,
+    /// Make of car, 0–19.
+    pub car: u32,
+    /// Zip code group, 0–8.
+    pub zipcode: u32,
+    /// House value (depends on the zip code group).
+    pub hvalue: f64,
+    /// Years the house has been owned.
+    pub hyears: f64,
+    /// Total loan amount.
+    pub loan: f64,
+}
+
+/// Configuration-free AGRAWAL generator.
+#[derive(Debug, Clone)]
+pub struct Agrawal {
+    function: AgrawalFunction,
+    /// Probability of flipping the label (class noise); the paper's
+    /// experiments use noise-free streams, so this defaults to 0.
+    noise: f64,
+    rng: StdRng,
+}
+
+impl Agrawal {
+    /// Creates a generator for the given labelling function and seed.
+    #[must_use]
+    pub fn new(function: AgrawalFunction, seed: u64) -> Self {
+        Self {
+            function,
+            noise: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sets the label-noise probability (fraction of flipped labels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is not in `[0, 1)`.
+    #[must_use]
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        assert!((0.0..1.0).contains(&noise), "noise must be in [0, 1)");
+        self.noise = noise;
+        self
+    }
+
+    /// The active labelling function.
+    #[must_use]
+    pub fn function(&self) -> AgrawalFunction {
+        self.function
+    }
+
+    fn sample_record(&mut self) -> Record {
+        let salary = self.rng.gen_range(20_000.0..150_000.0);
+        let commission = if salary >= 75_000.0 {
+            0.0
+        } else {
+            self.rng.gen_range(10_000.0..75_000.0)
+        };
+        let age = self.rng.gen_range(20.0..80.0);
+        let elevel = self.rng.gen_range(0..5u32);
+        let car = self.rng.gen_range(0..20u32);
+        let zipcode = self.rng.gen_range(0..9u32);
+        // House values depend on the zip code group, as in the original
+        // generator: more expensive zip codes have higher base values.
+        let zip_factor = f64::from(zipcode + 1);
+        let hvalue = self.rng.gen_range(0.5..1.5) * 100_000.0 * zip_factor * 0.5
+            + self.rng.gen_range(50_000.0..100_000.0);
+        let hyears = self.rng.gen_range(1.0..30.0);
+        let loan = self.rng.gen_range(0.0..500_000.0);
+        Record {
+            salary,
+            commission,
+            age,
+            elevel,
+            car,
+            zipcode,
+            hvalue,
+            hyears,
+            loan,
+        }
+    }
+}
+
+impl InstanceStream for Agrawal {
+    fn next_instance(&mut self) -> Instance {
+        let record = self.sample_record();
+        let mut label = self.function.label(&record);
+        if self.noise > 0.0 && self.rng.gen::<f64>() < self.noise {
+            label = 1 - label;
+        }
+        let features = vec![
+            Feature::Numeric(record.salary),
+            Feature::Numeric(record.commission),
+            Feature::Numeric(record.age),
+            Feature::Categorical(record.elevel),
+            Feature::Categorical(record.car),
+            Feature::Categorical(record.zipcode),
+            Feature::Numeric(record.hvalue),
+            Feature::Numeric(record.hyears),
+            Feature::Numeric(record.loan),
+        ];
+        Instance::new(features, label)
+    }
+
+    fn n_classes(&self) -> usize {
+        2
+    }
+
+    fn schema(&self) -> Vec<FeatureKind> {
+        vec![
+            FeatureKind::Numeric,
+            FeatureKind::Numeric,
+            FeatureKind::Numeric,
+            FeatureKind::Categorical { arity: 5 },
+            FeatureKind::Categorical { arity: 20 },
+            FeatureKind::Categorical { arity: 9 },
+            FeatureKind::Numeric,
+            FeatureKind::Numeric,
+            FeatureKind::Numeric,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> Record {
+        Record {
+            salary: 60_000.0,
+            commission: 20_000.0,
+            age: 35.0,
+            elevel: 1,
+            car: 3,
+            zipcode: 2,
+            hvalue: 200_000.0,
+            hyears: 25.0,
+            loan: 100_000.0,
+        }
+    }
+
+    #[test]
+    fn f1_depends_only_on_age() {
+        let mut r = record();
+        r.age = 35.0;
+        assert_eq!(AgrawalFunction::F1.label(&r), 1);
+        r.age = 45.0;
+        assert_eq!(AgrawalFunction::F1.label(&r), 0);
+        r.age = 65.0;
+        assert_eq!(AgrawalFunction::F1.label(&r), 1);
+    }
+
+    #[test]
+    fn f2_salary_bands() {
+        let mut r = record();
+        r.age = 30.0;
+        r.salary = 60_000.0;
+        assert_eq!(AgrawalFunction::F2.label(&r), 1);
+        r.salary = 120_000.0;
+        assert_eq!(AgrawalFunction::F2.label(&r), 0);
+        r.age = 50.0;
+        assert_eq!(AgrawalFunction::F2.label(&r), 1);
+        r.age = 70.0;
+        assert_eq!(AgrawalFunction::F2.label(&r), 0);
+    }
+
+    #[test]
+    fn f7_disposable_income() {
+        let mut r = record();
+        // 2*(80k)/3 = 53.3k; loan/5 = 20k; 53.3 - 20 - 20 > 0 → A.
+        assert_eq!(AgrawalFunction::F7.label(&r), 1);
+        r.loan = 400_000.0;
+        // 53.3 - 80 - 20 < 0 → B.
+        assert_eq!(AgrawalFunction::F7.label(&r), 0);
+    }
+
+    #[test]
+    fn all_functions_produce_both_classes() {
+        for function in AgrawalFunction::all() {
+            let mut gen = Agrawal::new(function, 1234);
+            let labels: Vec<u32> = (0..3_000).map(|_| gen.next_instance().label).collect();
+            let positives: u32 = labels.iter().sum();
+            assert!(
+                positives > 30 && positives < 2_970,
+                "{function:?} is degenerate: {positives}/3000 positives"
+            );
+        }
+    }
+
+    #[test]
+    fn commission_is_zero_for_high_salaries() {
+        let mut gen = Agrawal::new(AgrawalFunction::F1, 5);
+        for _ in 0..500 {
+            let inst = gen.next_instance();
+            let salary = inst.features[0].as_numeric().unwrap();
+            let commission = inst.features[1].as_numeric().unwrap();
+            if salary >= 75_000.0 {
+                assert_eq!(commission, 0.0);
+            } else {
+                assert!(commission >= 10_000.0);
+            }
+        }
+    }
+
+    #[test]
+    fn noise_flips_labels() {
+        let clean = Agrawal::new(AgrawalFunction::F1, 77);
+        let noisy = Agrawal::new(AgrawalFunction::F1, 77).with_noise(0.3);
+        let mut c = clean;
+        let mut n = noisy;
+        let mut flips = 0;
+        for _ in 0..2_000 {
+            if c.next_instance().label != n.next_instance().label {
+                flips += 1;
+            }
+        }
+        assert!(flips > 400, "expected roughly 30% flips, got {flips}/2000");
+    }
+
+    #[test]
+    #[should_panic(expected = "noise must be in")]
+    fn rejects_invalid_noise() {
+        let _ = Agrawal::new(AgrawalFunction::F1, 0).with_noise(1.0);
+    }
+
+    #[test]
+    fn schema_shape() {
+        let gen = Agrawal::new(AgrawalFunction::F3, 0);
+        assert_eq!(gen.n_features(), 9);
+        assert_eq!(gen.n_classes(), 2);
+        assert_eq!(gen.function(), AgrawalFunction::F3);
+        assert!(matches!(gen.schema()[3], FeatureKind::Categorical { arity: 5 }));
+    }
+
+    #[test]
+    fn function_cycle() {
+        assert_eq!(AgrawalFunction::cycle(0), AgrawalFunction::F1);
+        assert_eq!(AgrawalFunction::cycle(9), AgrawalFunction::F10);
+        assert_eq!(AgrawalFunction::cycle(10), AgrawalFunction::F1);
+    }
+}

@@ -1,0 +1,299 @@
+//! RandomRBF generator (Bifet et al., 2009).
+//!
+//! A fixed set of random radial-basis-function centroids is generated in the
+//! unit hypercube; each centroid carries a class label, a weight and a
+//! standard deviation. Instances are produced by picking a centroid
+//! (weight-proportional), choosing a random direction and offsetting the
+//! centre by a Gaussian-distributed displacement.
+//!
+//! Concept drifts are produced either by regenerating the centroid set from a
+//! new *model seed* (sudden drift between segments, as in the paper's
+//! experiments) or by letting the centroids move with a constant speed
+//! (incremental drift).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::{Feature, FeatureKind, Instance, InstanceStream};
+
+/// Configuration for [`RandomRbf`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomRbfConfig {
+    /// Number of centroids (MOA default 50).
+    pub n_centroids: usize,
+    /// Number of numeric attributes (MOA default 10).
+    pub n_features: usize,
+    /// Number of classes (MOA default 2; the paper uses the default).
+    pub n_classes: usize,
+    /// Speed at which centroids move per instance (0 = static concept).
+    pub drift_speed: f64,
+    /// Model seed controlling the centroid layout; instances are drawn with
+    /// the separate stream seed passed to [`RandomRbf::new`]. Changing the
+    /// model seed changes the concept.
+    pub model_seed: u64,
+}
+
+impl Default for RandomRbfConfig {
+    fn default() -> Self {
+        Self {
+            n_centroids: 50,
+            n_features: 10,
+            n_classes: 2,
+            drift_speed: 0.0,
+            model_seed: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Centroid {
+    centre: Vec<f64>,
+    class: u32,
+    std: f64,
+    weight: f64,
+    direction: Vec<f64>,
+}
+
+/// The RandomRBF instance generator.
+#[derive(Debug, Clone)]
+pub struct RandomRbf {
+    config: RandomRbfConfig,
+    centroids: Vec<Centroid>,
+    cumulative_weights: Vec<f64>,
+    rng: StdRng,
+}
+
+impl RandomRbf {
+    /// Creates a generator with the given configuration and stream seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero centroids, features or classes.
+    #[must_use]
+    pub fn new(config: RandomRbfConfig, stream_seed: u64) -> Self {
+        assert!(config.n_centroids > 0, "RandomRBF needs at least one centroid");
+        assert!(config.n_features > 0, "RandomRBF needs at least one feature");
+        assert!(config.n_classes > 0, "RandomRBF needs at least one class");
+        let mut model_rng = StdRng::seed_from_u64(config.model_seed);
+        let centroids: Vec<Centroid> = (0..config.n_centroids)
+            .map(|_| {
+                let centre: Vec<f64> =
+                    (0..config.n_features).map(|_| model_rng.gen::<f64>()).collect();
+                let mut direction: Vec<f64> = (0..config.n_features)
+                    .map(|_| model_rng.gen::<f64>() - 0.5)
+                    .collect();
+                let norm: f64 = direction.iter().map(|d| d * d).sum::<f64>().sqrt();
+                if norm > 0.0 {
+                    for d in &mut direction {
+                        *d /= norm;
+                    }
+                }
+                Centroid {
+                    centre,
+                    class: model_rng.gen_range(0..config.n_classes as u32),
+                    std: model_rng.gen_range(0.05..0.15),
+                    weight: model_rng.gen::<f64>(),
+                    direction,
+                }
+            })
+            .collect();
+        let mut cumulative_weights = Vec::with_capacity(centroids.len());
+        let mut acc = 0.0;
+        for c in &centroids {
+            acc += c.weight;
+            cumulative_weights.push(acc);
+        }
+        Self {
+            config,
+            centroids,
+            cumulative_weights,
+            rng: StdRng::seed_from_u64(stream_seed),
+        }
+    }
+
+    /// The configuration this generator was built with.
+    #[must_use]
+    pub fn config(&self) -> &RandomRbfConfig {
+        &self.config
+    }
+
+    /// Returns a new generator with a different concept (new model seed) but
+    /// the same shape parameters — the sudden-drift mechanism used by the
+    /// experiments.
+    #[must_use]
+    pub fn with_new_concept(&self, model_seed: u64, stream_seed: u64) -> Self {
+        Self::new(
+            RandomRbfConfig {
+                model_seed,
+                ..self.config
+            },
+            stream_seed,
+        )
+    }
+
+    fn pick_centroid(&mut self) -> usize {
+        let total = *self
+            .cumulative_weights
+            .last()
+            .expect("at least one centroid");
+        let x = self.rng.gen_range(0.0..total);
+        match self
+            .cumulative_weights
+            .binary_search_by(|w| w.partial_cmp(&x).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            Ok(i) | Err(i) => i.min(self.centroids.len() - 1),
+        }
+    }
+
+    /// Standard normal sample via Box–Muller.
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl InstanceStream for RandomRbf {
+    fn next_instance(&mut self) -> Instance {
+        // Move centroids if incremental drift is configured.
+        if self.config.drift_speed > 0.0 {
+            let speed = self.config.drift_speed;
+            for c in &mut self.centroids {
+                for (x, d) in c.centre.iter_mut().zip(&c.direction) {
+                    *x += d * speed;
+                    // Bounce off the unit hypercube walls.
+                    if *x < 0.0 || *x > 1.0 {
+                        *x = x.clamp(0.0, 1.0);
+                    }
+                }
+            }
+        }
+
+        let idx = self.pick_centroid();
+        let n = self.config.n_features;
+        // Random direction scaled to a Gaussian-distributed length.
+        let offset: Vec<f64> = (0..n).map(|_| self.rng.gen::<f64>() - 0.5).collect();
+        let norm: f64 = offset.iter().map(|d| d * d).sum::<f64>().sqrt();
+        let magnitude = self.gaussian() * self.centroids[idx].std;
+        let centroid = &self.centroids[idx];
+        let features: Vec<Feature> = centroid
+            .centre
+            .iter()
+            .zip(&offset)
+            .map(|(c, o)| {
+                let displaced = if norm > 0.0 { c + o / norm * magnitude } else { *c };
+                Feature::Numeric(displaced)
+            })
+            .collect();
+        Instance::new(features, centroid.class)
+    }
+
+    fn n_classes(&self) -> usize {
+        self.config.n_classes
+    }
+
+    fn schema(&self) -> Vec<FeatureKind> {
+        vec![FeatureKind::Numeric; self.config.n_features]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_expected_shape() {
+        let mut gen = RandomRbf::new(RandomRbfConfig::default(), 3);
+        let inst = gen.next_instance();
+        assert_eq!(inst.features.len(), 10);
+        assert!(inst.label < 2);
+        assert_eq!(gen.n_classes(), 2);
+        assert_eq!(gen.schema().len(), 10);
+    }
+
+    #[test]
+    fn instances_cluster_around_centroids() {
+        // With small per-centroid std, instances stay near the unit cube.
+        let mut gen = RandomRbf::new(RandomRbfConfig::default(), 9);
+        for _ in 0..1_000 {
+            let inst = gen.next_instance();
+            for f in &inst.features {
+                let v = f.as_numeric().unwrap();
+                assert!((-1.0..=2.0).contains(&v), "value {v} too far from the unit cube");
+            }
+        }
+    }
+
+    #[test]
+    fn new_concept_changes_the_distribution() {
+        let base = RandomRbf::new(RandomRbfConfig::default(), 5);
+        let mut a = base.clone();
+        let mut b = base.with_new_concept(999, 5);
+        // Mean feature vectors should differ noticeably between concepts.
+        let mean = |g: &mut RandomRbf| {
+            let mut acc = vec![0.0; 10];
+            for _ in 0..2_000 {
+                let inst = g.next_instance();
+                for (a, f) in acc.iter_mut().zip(&inst.features) {
+                    *a += f.as_numeric().unwrap();
+                }
+            }
+            acc.into_iter().map(|v| v / 2_000.0).collect::<Vec<_>>()
+        };
+        let ma = mean(&mut a);
+        let mb = mean(&mut b);
+        let distance: f64 = ma
+            .iter()
+            .zip(&mb)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        assert!(distance > 0.02, "concepts too similar: distance = {distance}");
+    }
+
+    #[test]
+    fn incremental_drift_moves_centroids() {
+        let config = RandomRbfConfig {
+            drift_speed: 0.001,
+            ..RandomRbfConfig::default()
+        };
+        let mut gen = RandomRbf::new(config, 5);
+        let first_centre = gen.centroids[0].centre.clone();
+        for _ in 0..1_000 {
+            let _ = gen.next_instance();
+        }
+        let moved: f64 = gen.centroids[0]
+            .centre
+            .iter()
+            .zip(&first_centre)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(moved > 0.01, "centroids did not move: {moved}");
+    }
+
+    #[test]
+    fn multiple_classes_supported() {
+        let config = RandomRbfConfig {
+            n_classes: 5,
+            ..RandomRbfConfig::default()
+        };
+        let mut gen = RandomRbf::new(config, 4);
+        let mut seen = [false; 5];
+        for _ in 0..2_000 {
+            seen[gen.next_instance().label as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one centroid")]
+    fn rejects_zero_centroids() {
+        let _ = RandomRbf::new(
+            RandomRbfConfig {
+                n_centroids: 0,
+                ..RandomRbfConfig::default()
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! SEA concepts generator (Street & Kim, 2001) — extension.
+//!
+//! Three numeric attributes are drawn uniformly from `[0, 10]`; only the
+//! first two are relevant. The label is 1 iff `x₁ + x₂ ≤ θ`, with θ taking a
+//! different value per concept (the classic values are 8, 9, 7 and 9.5).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::{Feature, FeatureKind, Instance, InstanceStream};
+
+/// The four classic SEA concept thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeaConcept {
+    /// θ = 8.
+    Theta8,
+    /// θ = 9.
+    Theta9,
+    /// θ = 7.
+    Theta7,
+    /// θ = 9.5.
+    Theta95,
+}
+
+impl SeaConcept {
+    /// The numeric threshold of this concept.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        match self {
+            SeaConcept::Theta8 => 8.0,
+            SeaConcept::Theta9 => 9.0,
+            SeaConcept::Theta7 => 7.0,
+            SeaConcept::Theta95 => 9.5,
+        }
+    }
+
+    /// The concept used for the k-th segment when cycling.
+    #[must_use]
+    pub fn cycle(k: usize) -> Self {
+        match k % 4 {
+            0 => SeaConcept::Theta8,
+            1 => SeaConcept::Theta9,
+            2 => SeaConcept::Theta7,
+            _ => SeaConcept::Theta95,
+        }
+    }
+}
+
+/// The SEA instance generator.
+#[derive(Debug, Clone)]
+pub struct Sea {
+    concept: SeaConcept,
+    noise: f64,
+    rng: StdRng,
+}
+
+impl Sea {
+    /// Creates a generator for the given concept and seed.
+    #[must_use]
+    pub fn new(concept: SeaConcept, seed: u64) -> Self {
+        Self {
+            concept,
+            noise: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sets the label-noise probability (the original paper uses 10 %).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise` is not in `[0, 1)`.
+    #[must_use]
+    pub fn with_noise(mut self, noise: f64) -> Self {
+        assert!((0.0..1.0).contains(&noise), "noise must be in [0, 1)");
+        self.noise = noise;
+        self
+    }
+
+    /// The active concept.
+    #[must_use]
+    pub fn concept(&self) -> SeaConcept {
+        self.concept
+    }
+}
+
+impl InstanceStream for Sea {
+    fn next_instance(&mut self) -> Instance {
+        let x1 = self.rng.gen_range(0.0..10.0);
+        let x2 = self.rng.gen_range(0.0..10.0);
+        let x3 = self.rng.gen_range(0.0..10.0);
+        let mut label = u32::from(x1 + x2 <= self.concept.threshold());
+        if self.noise > 0.0 && self.rng.gen::<f64>() < self.noise {
+            label = 1 - label;
+        }
+        Instance::new(
+            vec![
+                Feature::Numeric(x1),
+                Feature::Numeric(x2),
+                Feature::Numeric(x3),
+            ],
+            label,
+        )
+    }
+
+    fn n_classes(&self) -> usize {
+        2
+    }
+
+    fn schema(&self) -> Vec<FeatureKind> {
+        vec![FeatureKind::Numeric; 3]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_respect_threshold() {
+        let mut gen = Sea::new(SeaConcept::Theta8, 1);
+        for _ in 0..500 {
+            let inst = gen.next_instance();
+            let sum = inst.features[0].as_numeric().unwrap() + inst.features[1].as_numeric().unwrap();
+            assert_eq!(inst.label, u32::from(sum <= 8.0));
+        }
+    }
+
+    #[test]
+    fn positive_rate_tracks_threshold() {
+        let rate = |concept: SeaConcept| {
+            let mut gen = Sea::new(concept, 3);
+            let n = 10_000;
+            let pos: u32 = (0..n).map(|_| gen.next_instance().label).sum();
+            f64::from(pos) / f64::from(n)
+        };
+        // P(x1 + x2 <= θ) for uniform [0,10]²: θ²/200 for θ <= 10.
+        assert!((rate(SeaConcept::Theta7) - 49.0 / 200.0).abs() < 0.02);
+        assert!((rate(SeaConcept::Theta9) - 81.0 / 200.0).abs() < 0.02);
+        assert!(rate(SeaConcept::Theta95) > rate(SeaConcept::Theta7));
+    }
+
+    #[test]
+    fn cycle_and_metadata() {
+        assert_eq!(SeaConcept::cycle(0), SeaConcept::Theta8);
+        assert_eq!(SeaConcept::cycle(5), SeaConcept::Theta9);
+        let gen = Sea::new(SeaConcept::Theta95, 0);
+        assert_eq!(gen.concept().threshold(), 9.5);
+        assert_eq!(gen.n_classes(), 2);
+        assert_eq!(gen.n_features(), 3);
+    }
+
+    #[test]
+    fn noise_flips_labels() {
+        // Compare the emitted label against the label recomputed from the
+        // instance's own features: the mismatch rate equals the noise level.
+        let mut noisy = Sea::new(SeaConcept::Theta8, 42).with_noise(0.1);
+        let flips = (0..5_000)
+            .filter(|_| {
+                let inst = noisy.next_instance();
+                let sum = inst.features[0].as_numeric().unwrap()
+                    + inst.features[1].as_numeric().unwrap();
+                inst.label != u32::from(sum <= 8.0)
+            })
+            .count();
+        assert!((350..650).contains(&flips), "flips = {flips}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Sine generators (Gama et al., 2004) — extension.
+//!
+//! Two numeric attributes are drawn uniformly from `[0, 1]`. Under `SINE1`
+//! the label is 1 iff the point lies below the curve `x₂ = sin(x₁)`; under
+//! `SINE2` iff it lies below `x₂ = 0.5 + 0.3 sin(3π x₁)`. The *reversed*
+//! variants flip the labels, which is the classic way to produce a sudden
+//! drift with these generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::{Feature, FeatureKind, Instance, InstanceStream};
+
+/// Sine labelling concepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SineConcept {
+    /// Below `sin(x₁)` is positive.
+    Sine1,
+    /// Above `sin(x₁)` is positive (reversed SINE1).
+    Sine1Reversed,
+    /// Below `0.5 + 0.3 sin(3π x₁)` is positive.
+    Sine2,
+    /// Above `0.5 + 0.3 sin(3π x₁)` is positive (reversed SINE2).
+    Sine2Reversed,
+}
+
+impl SineConcept {
+    /// Labels a point `(x1, x2)` under this concept.
+    #[must_use]
+    pub fn label(&self, x1: f64, x2: f64) -> u32 {
+        let below_sine1 = x2 < x1.sin();
+        let below_sine2 = x2 < 0.5 + 0.3 * (3.0 * std::f64::consts::PI * x1).sin();
+        let positive = match self {
+            SineConcept::Sine1 => below_sine1,
+            SineConcept::Sine1Reversed => !below_sine1,
+            SineConcept::Sine2 => below_sine2,
+            SineConcept::Sine2Reversed => !below_sine2,
+        };
+        u32::from(positive)
+    }
+
+    /// Alternates between a concept and its reversal (the standard sudden
+    /// drift sequence for sine streams).
+    #[must_use]
+    pub fn cycle(k: usize) -> Self {
+        match k % 2 {
+            0 => SineConcept::Sine1,
+            _ => SineConcept::Sine1Reversed,
+        }
+    }
+}
+
+/// The Sine instance generator.
+#[derive(Debug, Clone)]
+pub struct Sine {
+    concept: SineConcept,
+    rng: StdRng,
+}
+
+impl Sine {
+    /// Creates a generator for the given concept and seed.
+    #[must_use]
+    pub fn new(concept: SineConcept, seed: u64) -> Self {
+        Self {
+            concept,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The active concept.
+    #[must_use]
+    pub fn concept(&self) -> SineConcept {
+        self.concept
+    }
+}
+
+impl InstanceStream for Sine {
+    fn next_instance(&mut self) -> Instance {
+        let x1 = self.rng.gen::<f64>();
+        let x2 = self.rng.gen::<f64>();
+        let label = self.concept.label(x1, x2);
+        Instance::new(vec![Feature::Numeric(x1), Feature::Numeric(x2)], label)
+    }
+
+    fn n_classes(&self) -> usize {
+        2
+    }
+
+    fn schema(&self) -> Vec<FeatureKind> {
+        vec![FeatureKind::Numeric; 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversal_flips_every_label() {
+        for i in 0..200 {
+            let x1 = f64::from(i) / 200.0;
+            let x2 = f64::from((i * 7) % 200) / 200.0;
+            assert_ne!(
+                SineConcept::Sine1.label(x1, x2),
+                SineConcept::Sine1Reversed.label(x1, x2)
+            );
+            assert_ne!(
+                SineConcept::Sine2.label(x1, x2),
+                SineConcept::Sine2Reversed.label(x1, x2)
+            );
+        }
+    }
+
+    #[test]
+    fn sine2_boundary() {
+        // Points clearly below / above the SINE2 curve at x1 = 0 (curve at 0.5).
+        assert_eq!(SineConcept::Sine2.label(0.0, 0.2), 1);
+        assert_eq!(SineConcept::Sine2.label(0.0, 0.8), 0);
+    }
+
+    #[test]
+    fn generator_shape_and_cycle() {
+        let mut gen = Sine::new(SineConcept::Sine1, 5);
+        let inst = gen.next_instance();
+        assert_eq!(inst.features.len(), 2);
+        assert!(inst.label <= 1);
+        assert_eq!(gen.n_classes(), 2);
+        assert_eq!(gen.concept(), SineConcept::Sine1);
+        assert_eq!(SineConcept::cycle(0), SineConcept::Sine1);
+        assert_eq!(SineConcept::cycle(1), SineConcept::Sine1Reversed);
+    }
+
+    #[test]
+    fn class_balance_is_reasonable() {
+        let mut gen = Sine::new(SineConcept::Sine1, 8);
+        let n = 10_000;
+        let pos: u32 = (0..n).map(|_| gen.next_instance().label).sum();
+        let rate = f64::from(pos) / f64::from(n);
+        // ∫₀¹ sin(x) dx = 1 − cos(1) ≈ 0.4597
+        assert!((rate - 0.4597).abs() < 0.02, "rate = {rate}");
+    }
+}

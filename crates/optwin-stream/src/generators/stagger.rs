@@ -1,0 +1,169 @@
+//! STAGGER concepts generator (Schlimmer & Granger, 1986).
+//!
+//! Instances have three categorical attributes — size ∈ {small, medium,
+//! large}, color ∈ {red, green, blue} and shape ∈ {square, circular,
+//! triangular} — drawn uniformly at random. The binary label is one of three
+//! boolean concepts; concept changes between the three functions are the
+//! classic benchmark for sudden drift.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::instance::{Feature, FeatureKind, Instance, InstanceStream};
+
+/// The three STAGGER labelling concepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaggerConcept {
+    /// `size = small AND color = red`.
+    SizeSmallAndColorRed,
+    /// `color = green OR shape = circular`.
+    ColorGreenOrShapeCircular,
+    /// `size = medium OR size = large`.
+    SizeMediumOrLarge,
+}
+
+impl StaggerConcept {
+    /// The concept used for the k-th segment when cycling through concepts.
+    #[must_use]
+    pub fn cycle(k: usize) -> Self {
+        match k % 3 {
+            0 => StaggerConcept::SizeSmallAndColorRed,
+            1 => StaggerConcept::ColorGreenOrShapeCircular,
+            _ => StaggerConcept::SizeMediumOrLarge,
+        }
+    }
+
+    /// Applies the concept's labelling function to a feature vector
+    /// (size, color, shape — each a categorical index).
+    #[must_use]
+    pub fn label(&self, features: &[Feature]) -> u32 {
+        let size = features[0].as_categorical().unwrap_or(0);
+        let color = features[1].as_categorical().unwrap_or(0);
+        let shape = features[2].as_categorical().unwrap_or(0);
+        let positive = match self {
+            StaggerConcept::SizeSmallAndColorRed => size == 0 && color == 0,
+            StaggerConcept::ColorGreenOrShapeCircular => color == 1 || shape == 1,
+            StaggerConcept::SizeMediumOrLarge => size == 1 || size == 2,
+        };
+        u32::from(positive)
+    }
+}
+
+/// The STAGGER instance generator.
+#[derive(Debug, Clone)]
+pub struct Stagger {
+    concept: StaggerConcept,
+    rng: StdRng,
+}
+
+impl Stagger {
+    /// Creates a generator for the given concept and seed.
+    #[must_use]
+    pub fn new(concept: StaggerConcept, seed: u64) -> Self {
+        Self {
+            concept,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The active concept.
+    #[must_use]
+    pub fn concept(&self) -> StaggerConcept {
+        self.concept
+    }
+}
+
+impl InstanceStream for Stagger {
+    fn next_instance(&mut self) -> Instance {
+        let features = vec![
+            Feature::Categorical(self.rng.gen_range(0..3)),
+            Feature::Categorical(self.rng.gen_range(0..3)),
+            Feature::Categorical(self.rng.gen_range(0..3)),
+        ];
+        let label = self.concept.label(&features);
+        Instance::new(features, label)
+    }
+
+    fn n_classes(&self) -> usize {
+        2
+    }
+
+    fn schema(&self) -> Vec<FeatureKind> {
+        vec![
+            FeatureKind::Categorical { arity: 3 },
+            FeatureKind::Categorical { arity: 3 },
+            FeatureKind::Categorical { arity: 3 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_concept_definitions() {
+        let small_red = vec![
+            Feature::Categorical(0),
+            Feature::Categorical(0),
+            Feature::Categorical(2),
+        ];
+        let large_green_circle = vec![
+            Feature::Categorical(2),
+            Feature::Categorical(1),
+            Feature::Categorical(1),
+        ];
+        assert_eq!(StaggerConcept::SizeSmallAndColorRed.label(&small_red), 1);
+        assert_eq!(
+            StaggerConcept::SizeSmallAndColorRed.label(&large_green_circle),
+            0
+        );
+        assert_eq!(
+            StaggerConcept::ColorGreenOrShapeCircular.label(&large_green_circle),
+            1
+        );
+        assert_eq!(StaggerConcept::ColorGreenOrShapeCircular.label(&small_red), 0);
+        assert_eq!(StaggerConcept::SizeMediumOrLarge.label(&large_green_circle), 1);
+        assert_eq!(StaggerConcept::SizeMediumOrLarge.label(&small_red), 0);
+    }
+
+    #[test]
+    fn concept_cycle_rotates() {
+        assert_eq!(StaggerConcept::cycle(0), StaggerConcept::SizeSmallAndColorRed);
+        assert_eq!(
+            StaggerConcept::cycle(1),
+            StaggerConcept::ColorGreenOrShapeCircular
+        );
+        assert_eq!(StaggerConcept::cycle(2), StaggerConcept::SizeMediumOrLarge);
+        assert_eq!(StaggerConcept::cycle(3), StaggerConcept::SizeSmallAndColorRed);
+    }
+
+    #[test]
+    fn class_balance_reflects_concept() {
+        // Concept 1 (small AND red) is positive for 1/9 of uniform instances;
+        // concept 3 (medium OR large) for 2/3.
+        let positive_rate = |concept: StaggerConcept| {
+            let mut gen = Stagger::new(concept, 99);
+            let n = 9_000;
+            let pos: u32 = (0..n).map(|_| gen.next_instance().label).sum();
+            f64::from(pos) / f64::from(n)
+        };
+        assert!((positive_rate(StaggerConcept::SizeSmallAndColorRed) - 1.0 / 9.0).abs() < 0.02);
+        assert!((positive_rate(StaggerConcept::SizeMediumOrLarge) - 2.0 / 3.0).abs() < 0.02);
+        assert!(
+            (positive_rate(StaggerConcept::ColorGreenOrShapeCircular) - 5.0 / 9.0).abs() < 0.02
+        );
+    }
+
+    #[test]
+    fn schema_and_metadata() {
+        let gen = Stagger::new(StaggerConcept::SizeMediumOrLarge, 0);
+        assert_eq!(gen.n_classes(), 2);
+        assert_eq!(gen.n_features(), 3);
+        assert_eq!(gen.concept(), StaggerConcept::SizeMediumOrLarge);
+        assert!(matches!(
+            gen.schema()[0],
+            FeatureKind::Categorical { arity: 3 }
+        ));
+    }
+}

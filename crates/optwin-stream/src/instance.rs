@@ -1,0 +1,149 @@
+//! The instance model shared by stream generators and online learners.
+
+/// A single feature value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Feature {
+    /// A real-valued attribute.
+    Numeric(f64),
+    /// A categorical attribute, encoded as an index into its value set.
+    Categorical(u32),
+}
+
+impl Feature {
+    /// The numeric value, if this is a numeric feature.
+    #[must_use]
+    pub fn as_numeric(&self) -> Option<f64> {
+        match self {
+            Feature::Numeric(v) => Some(*v),
+            Feature::Categorical(_) => None,
+        }
+    }
+
+    /// The category index, if this is a categorical feature.
+    #[must_use]
+    pub fn as_categorical(&self) -> Option<u32> {
+        match self {
+            Feature::Numeric(_) => None,
+            Feature::Categorical(c) => Some(*c),
+        }
+    }
+
+    /// A numeric representation usable by purely numeric learners
+    /// (categorical values are cast to their index).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            Feature::Numeric(v) => *v,
+            Feature::Categorical(c) => f64::from(*c),
+        }
+    }
+}
+
+/// Schema information for one attribute of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Real-valued attribute.
+    Numeric,
+    /// Categorical attribute with the given number of distinct values.
+    Categorical {
+        /// Number of distinct categories.
+        arity: u32,
+    },
+}
+
+/// A labelled instance drawn from a data stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Attribute values, in the order declared by the stream's schema.
+    pub features: Vec<Feature>,
+    /// Class label (0-based).
+    pub label: u32,
+}
+
+impl Instance {
+    /// Creates an instance from features and a label.
+    #[must_use]
+    pub fn new(features: Vec<Feature>, label: u32) -> Self {
+        Self { features, label }
+    }
+}
+
+/// A (possibly unbounded) stream of labelled instances.
+///
+/// Streams are deterministic given their construction seed; repeated
+/// [`InstanceStream::next_instance`] calls advance the stream.
+pub trait InstanceStream {
+    /// Draws the next instance from the stream.
+    fn next_instance(&mut self) -> Instance;
+
+    /// Number of classes the label can take.
+    fn n_classes(&self) -> usize;
+
+    /// Schema of the attributes produced by this stream.
+    fn schema(&self) -> Vec<FeatureKind>;
+
+    /// Number of attributes (defaults to the schema length).
+    fn n_features(&self) -> usize {
+        self.schema().len()
+    }
+}
+
+/// Blanket implementation so `Box<dyn InstanceStream>` can be used wherever a
+/// concrete stream is expected.
+impl<S: InstanceStream + ?Sized> InstanceStream for Box<S> {
+    fn next_instance(&mut self) -> Instance {
+        (**self).next_instance()
+    }
+
+    fn n_classes(&self) -> usize {
+        (**self).n_classes()
+    }
+
+    fn schema(&self) -> Vec<FeatureKind> {
+        (**self).schema()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_accessors() {
+        let n = Feature::Numeric(2.5);
+        let c = Feature::Categorical(3);
+        assert_eq!(n.as_numeric(), Some(2.5));
+        assert_eq!(n.as_categorical(), None);
+        assert_eq!(c.as_categorical(), Some(3));
+        assert_eq!(c.as_numeric(), None);
+        assert_eq!(n.to_f64(), 2.5);
+        assert_eq!(c.to_f64(), 3.0);
+    }
+
+    #[test]
+    fn instance_construction() {
+        let inst = Instance::new(vec![Feature::Numeric(1.0), Feature::Categorical(0)], 1);
+        assert_eq!(inst.features.len(), 2);
+        assert_eq!(inst.label, 1);
+    }
+
+    #[test]
+    fn boxed_stream_is_a_stream() {
+        struct Constant;
+        impl InstanceStream for Constant {
+            fn next_instance(&mut self) -> Instance {
+                Instance::new(vec![Feature::Numeric(0.0)], 0)
+            }
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn schema(&self) -> Vec<FeatureKind> {
+                vec![FeatureKind::Numeric]
+            }
+        }
+        let mut boxed: Box<dyn InstanceStream> = Box::new(Constant);
+        assert_eq!(boxed.next_instance().label, 0);
+        assert_eq!(boxed.n_classes(), 2);
+        assert_eq!(boxed.n_features(), 1);
+    }
+}

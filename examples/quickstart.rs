@@ -1,0 +1,59 @@
+//! Quickstart: detect a concept drift in a stream of learner errors.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example simulates an online learner whose error rate jumps from 5 % to
+//! 35 % halfway through the stream, feeds the binary errors to OPTWIN and to
+//! ADWIN, and prints where each detector fires.
+
+use optwin::{Adwin, DriftDetector, DriftStatus, Optwin, OptwinConfig};
+use optwin::stream::{DriftKind, DriftSchedule, ErrorStream, ErrorStreamConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 20 000-element binary error stream with one sudden drift at 10 000.
+    let schedule = DriftSchedule::new(vec![10_000], 1, 20_000);
+    let errors = ErrorStream::new(
+        ErrorStreamConfig::binary(DriftKind::Sudden, schedule.clone()),
+        42,
+    )
+    .collect_all();
+
+    // OPTWIN with the paper's defaults, except a smaller window bound so the
+    // example stays snappy.
+    let mut optwin = Optwin::new(
+        OptwinConfig::builder()
+            .confidence(0.99)
+            .robustness(0.5)
+            .max_window(5_000)
+            .build()?,
+    )?;
+    let mut adwin = Adwin::with_defaults();
+
+    let mut optwin_hits = Vec::new();
+    let mut adwin_hits = Vec::new();
+    for (i, &e) in errors.iter().enumerate() {
+        if optwin.add_element(e) == DriftStatus::Drift {
+            optwin_hits.push(i);
+        }
+        if adwin.add_element(e) == DriftStatus::Drift {
+            adwin_hits.push(i);
+        }
+    }
+
+    println!("true drift position : {:?}", schedule.positions());
+    println!("OPTWIN detections   : {optwin_hits:?}");
+    println!("ADWIN detections    : {adwin_hits:?}");
+
+    match optwin_hits.first() {
+        Some(&at) if at >= 10_000 => {
+            println!("OPTWIN detected the drift with a delay of {} elements", at - 10_000);
+        }
+        Some(&at) => println!("OPTWIN produced a false positive at {at}"),
+        None => println!("OPTWIN missed the drift"),
+    }
+    Ok(())
+}

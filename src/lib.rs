@@ -1,0 +1,82 @@
+//! # optwin — OPTWIN concept-drift detection in Rust
+//!
+//! A full reproduction of *"OPTWIN: Drift identification with optimal
+//! sub-windows"* (Tosi & Theobald, ICDE 2024) as a Rust workspace. This
+//! facade crate re-exports the public API of every member crate so that
+//! downstream users can depend on a single crate:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`core`] | the OPTWIN detector, the [`core::DriftDetector`] trait, optimal-cut tables |
+//! | [`baselines`] | ADWIN, DDM, EDDM, STEPD, ECDD, Page–Hinkley, KSWIN |
+//! | [`stream`] | MOA-style generators, drift composition, error streams |
+//! | [`learners`] | Naive Bayes, logistic regression, MLP, adaptive wrappers |
+//! | [`eval`] | drift metrics, experiment runners for every table/figure |
+//! | [`stats`] | distributions, hypothesis tests, incremental statistics |
+//!
+//! The most common entry points are additionally re-exported at the crate
+//! root.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use optwin::{DriftDetector, DriftStatus, Optwin, OptwinConfig};
+//!
+//! let mut detector = Optwin::new(
+//!     OptwinConfig::builder()
+//!         .confidence(0.99)
+//!         .robustness(0.5)
+//!         .max_window(2_000)
+//!         .build()?,
+//! )?;
+//!
+//! // Feed the per-prediction error of your online learner.
+//! for i in 0..1_200u32 {
+//!     let error_rate = if i < 800 { 0.05 } else { 0.40 };
+//!     let observed = error_rate + 0.01 * f64::from(i % 5);
+//!     if detector.add_element(observed) == DriftStatus::Drift {
+//!         // Retrain / replace the learner here.
+//!         assert!(i >= 800);
+//!         break;
+//!     }
+//! }
+//! # Ok::<(), optwin::core::CoreError>(())
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios (spam-filter
+//! adaptation, neural-network loss monitoring, detector comparison) and the
+//! `optwin-bench` crate for the binaries that regenerate every table and
+//! figure of the paper.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use optwin_baselines as baselines;
+pub use optwin_core as core;
+pub use optwin_eval as eval;
+pub use optwin_learners as learners;
+pub use optwin_stats as stats;
+pub use optwin_stream as stream;
+
+pub use optwin_baselines::{Adwin, Ddm, DetectorKind, Ecdd, Eddm, Kswin, PageHinkley, Stepd};
+pub use optwin_core::{
+    CutTable, DetectorExt, DriftDetector, DriftStatus, Optwin, OptwinConfig,
+};
+pub use optwin_eval::{DetectorFactory, Table1Experiment};
+pub use optwin_learners::{AdaptiveLearner, NaiveBayes, OnlineLearner};
+pub use optwin_stream::{DriftSchedule, InstanceStream};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_are_usable() {
+        let detector = Optwin::with_defaults().unwrap();
+        assert_eq!(detector.name(), "OPTWIN");
+        let kinds = DetectorKind::paper_lineup();
+        assert_eq!(kinds.len(), 8);
+        let schedule = DriftSchedule::every(100, 1_000, 1);
+        assert_eq!(schedule.n_drifts(), 9);
+    }
+}

@@ -1,0 +1,102 @@
+//! Contract tests every detector in the workspace must satisfy, run through
+//! the public facade (`optwin` crate) exactly as a downstream user would.
+
+use optwin::{DetectorFactory, DetectorKind, DriftStatus};
+
+/// Deterministic pseudo-random jitter in [-0.5, 0.5) (SplitMix64).
+fn jitter(i: u64) -> f64 {
+    let mut x = i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+}
+
+fn bernoulli(i: u64, p: f64) -> f64 {
+    if jitter(i) + 0.5 < p {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Every detector must eventually detect a massive error-rate increase.
+#[test]
+fn all_detectors_catch_a_massive_shift() {
+    let mut factory = DetectorFactory::with_optwin_window(2_000);
+    for kind in DetectorKind::paper_lineup() {
+        let mut detector = factory.build(kind);
+        let mut detected = false;
+        for i in 0..30_000u64 {
+            let p = if i < 15_000 { 0.05 } else { 0.70 };
+            if detector.add_element(bernoulli(i, p)) == DriftStatus::Drift && i >= 15_000 {
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected, "{} missed a 5% -> 70% error-rate jump", kind.label());
+    }
+}
+
+/// Counters must be monotone and reset() must not clear the lifetime
+/// counters (they describe the detector's history, not its window).
+#[test]
+fn counters_and_reset_contract() {
+    let mut factory = DetectorFactory::with_optwin_window(500);
+    for kind in DetectorKind::paper_lineup() {
+        let mut detector = factory.build(kind);
+        for i in 0..1_000u64 {
+            detector.add_element(bernoulli(i, 0.2));
+        }
+        assert_eq!(detector.elements_seen(), 1_000, "{}", detector.name());
+        let drifts_before = detector.drifts_detected();
+        detector.reset();
+        assert_eq!(detector.elements_seen(), 1_000, "{}", detector.name());
+        assert_eq!(detector.drifts_detected(), drifts_before, "{}", detector.name());
+        // Still usable after reset.
+        for i in 0..100u64 {
+            detector.add_element(bernoulli(i, 0.2));
+        }
+        assert_eq!(detector.elements_seen(), 1_100, "{}", detector.name());
+    }
+}
+
+/// Binary-only detectors must say so; real-valued detectors must accept
+/// fractional losses without panicking.
+#[test]
+fn input_domain_metadata_is_consistent() {
+    let mut factory = DetectorFactory::with_optwin_window(500);
+    for kind in DetectorKind::paper_lineup() {
+        let mut detector = factory.build(kind);
+        assert_eq!(
+            detector.supports_real_valued_input(),
+            !kind.binary_only(),
+            "{}",
+            kind.label()
+        );
+        // Feeding fractional values must never panic, even for binary-only
+        // detectors (they threshold internally).
+        for i in 0..200u64 {
+            detector.add_element(0.3 + 0.2 * jitter(i));
+        }
+    }
+}
+
+/// Identical detector configuration + identical input = identical output
+/// (full determinism, a prerequisite for reproducible experiments).
+#[test]
+fn determinism_across_identical_runs() {
+    let mut factory = DetectorFactory::with_optwin_window(800);
+    for kind in DetectorKind::paper_lineup() {
+        let mut a = factory.build(kind);
+        let mut b = factory.build(kind);
+        for i in 0..5_000u64 {
+            let p = if i < 2_500 { 0.1 } else { 0.4 };
+            let x = bernoulli(i, p);
+            assert_eq!(a.add_element(x), b.add_element(x), "{}", kind.label());
+        }
+        assert_eq!(a.drifts_detected(), b.drifts_detected(), "{}", kind.label());
+    }
+}
