@@ -1,0 +1,109 @@
+//! Ingestion throughput of the three API tiers introduced by the batched
+//! ingestion refactor:
+//!
+//! 1. **scalar** — one `add_element` call per element (the seed's only
+//!    interface),
+//! 2. **batched** — `add_batch` over the whole stream (amortized cut-table
+//!    prefetch, no per-element dispatch),
+//! 3. **sharded** — a [`DriftEngine`] ingesting interleaved multi-stream
+//!    record batches (batched per stream **and** fanned out across shards).
+//!
+//! Elements/second is the headline number; on a multi-core host the sharded
+//! tier additionally scales with the shard count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use optwin_core::{DetectorExt, DriftDetector, Optwin, OptwinConfig};
+use optwin_engine::{DriftEngine, EngineConfig};
+use optwin_stream::{DriftKind, DriftSchedule, ErrorStream, ErrorStreamConfig};
+
+const STREAM_LEN: usize = 20_000;
+const N_STREAMS: u64 = 32;
+
+fn stationary_stream(len: usize, seed: u64) -> Vec<f64> {
+    let schedule = DriftSchedule::stationary(len);
+    ErrorStream::new(ErrorStreamConfig::binary(DriftKind::Sudden, schedule), seed).collect_all()
+}
+
+fn optwin(w_max: usize) -> Optwin {
+    Optwin::with_shared_table(
+        OptwinConfig::builder()
+            .robustness(0.5)
+            .max_window(w_max)
+            .build()
+            .expect("valid config"),
+    )
+    .expect("valid config")
+}
+
+fn bench_scalar_vs_batched(c: &mut Criterion) {
+    let stream = stationary_stream(STREAM_LEN, 99);
+    let mut group = c.benchmark_group("optwin_ingest_20k");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("scalar_add_element", |b| {
+        b.iter(|| {
+            let mut d = optwin(4_000);
+            for &x in &stream {
+                black_box(d.add_element(x));
+            }
+            d.drifts_detected()
+        });
+    });
+    group.bench_function("batched_add_batch", |b| {
+        b.iter(|| {
+            let mut d = optwin(4_000);
+            black_box(d.add_batch(&stream)).drifts()
+        });
+    });
+    group.bench_function("batched_scan", |b| {
+        b.iter(|| {
+            let mut d = optwin(4_000);
+            black_box(d.scan(&stream)).len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_sharded_engine(c: &mut Criterion) {
+    // One interleaved record batch covering all streams.
+    let per_stream: Vec<Vec<f64>> = (0..N_STREAMS)
+        .map(|s| stationary_stream(STREAM_LEN / 4, 100 + s))
+        .collect();
+    let mut records: Vec<(u64, f64)> = Vec::new();
+    for chunk in 0..(STREAM_LEN / 4) / 500 {
+        for (s, values) in per_stream.iter().enumerate() {
+            for &v in &values[chunk * 500..(chunk + 1) * 500] {
+                records.push((s as u64, v));
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("engine_ingest_32_streams");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let mut engine =
+                        DriftEngine::with_factory(EngineConfig::with_shards(shards), |_| {
+                            Box::new(optwin(2_000)) as Box<dyn DriftDetector + Send>
+                        });
+                    let mut events = 0usize;
+                    for batch in records.chunks(N_STREAMS as usize * 500) {
+                        events += engine.ingest_batch(batch).expect("factory-backed").len();
+                    }
+                    black_box(events)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalar_vs_batched, bench_sharded_engine);
+criterion_main!(benches);

@@ -38,7 +38,11 @@ fn run_figure(experiment: Table1Experiment, scale: &optwin_bench::RunScale) {
             .mean_delay
             .map_or_else(|| "-".to_string(), |d| format!("{d:.1}"));
         let shown: Vec<usize> = run.detections.iter().copied().take(12).collect();
-        let ellipsis = if run.detections.len() > 12 { ", …" } else { "" };
+        let ellipsis = if run.detections.len() > 12 {
+            ", …"
+        } else {
+            ""
+        };
         println!(
             "{:<18} {:>4} {:>4} {:>4} {:>10}   {:?}{}",
             kind.label(),
@@ -55,7 +59,10 @@ fn run_figure(experiment: Table1Experiment, scale: &optwin_bench::RunScale) {
 
 fn run_nu_curves(scale: &optwin_bench::RunScale) {
     println!("Optimal-cut curves: |W_new| = |W| - split as a function of |W| (δ = 0.99)");
-    println!("{:>8} {:>14} {:>14} {:>14}", "|W|", "rho=0.1", "rho=0.5", "rho=1.0");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "|W|", "rho=0.1", "rho=0.5", "rho=1.0"
+    );
     let w_max = scale.optwin_w_max;
     let tables: Vec<(f64, CutTable)> = [0.1, 0.5, 1.0]
         .into_iter()
@@ -78,7 +85,10 @@ fn run_nu_curves(scale: &optwin_bench::RunScale) {
                 Err(_) => "-".to_string(),
             })
             .collect();
-        println!("{:>8} {:>14} {:>14} {:>14}", w, cells[0], cells[1], cells[2]);
+        println!(
+            "{:>8} {:>14} {:>14} {:>14}",
+            w, cells[0], cells[1], cells[2]
+        );
         w = (w as f64 * 1.6).ceil() as usize;
     }
     println!();

@@ -10,7 +10,7 @@
 //! ```
 
 use optwin_bench::{Args, RunScale};
-use optwin_eval::experiment::{run_table1_experiment, Table1Experiment};
+use optwin_eval::experiment::{run_table1_experiment_sharded, Table1Experiment};
 use optwin_eval::report::{render_table1, to_json};
 use optwin_eval::DetectorFactory;
 
@@ -48,25 +48,29 @@ fn main() {
 
     println!(
         "Table 1 reproduction — {} repetition(s) per experiment, seed {}, \
-         OPTWIN w_max {}, stream length {}",
+         OPTWIN w_max {}, stream length {}, engine shards {}",
         scale.repetitions,
         scale.seed,
         scale.optwin_w_max,
         scale
             .stream_len
             .map_or_else(|| "paper default".to_string(), |l| l.to_string()),
+        scale
+            .shards
+            .map_or_else(|| "auto".to_string(), |s| s.to_string()),
     );
     println!();
 
     let mut factory = DetectorFactory::with_optwin_window(scale.optwin_w_max);
     let mut all_rows = Vec::new();
     for experiment in experiments {
-        let rows = run_table1_experiment(
+        let rows = run_table1_experiment_sharded(
             experiment,
             &mut factory,
             scale.repetitions,
             scale.stream_len,
             scale.seed,
+            scale.shards,
         );
         println!("{}", render_table1(&rows));
         all_rows.extend(rows);

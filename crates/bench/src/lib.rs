@@ -96,6 +96,9 @@ pub struct RunScale {
     pub optwin_w_max: usize,
     /// Base random seed.
     pub seed: u64,
+    /// Engine shard count for the parallel runners (`None` = one shard per
+    /// available CPU core).
+    pub shards: Option<usize>,
 }
 
 impl RunScale {
@@ -120,6 +123,7 @@ impl RunScale {
             stream_len,
             optwin_w_max: args.get_parsed("optwin-w-max", optwin_w_max_default),
             seed: args.get_parsed("seed", 20_240_614),
+            shards: args.get("shards").and_then(|v| v.parse().ok()),
         }
     }
 }
@@ -150,6 +154,7 @@ mod tests {
         assert_eq!(scale.repetitions, 5);
         assert_eq!(scale.stream_len, Some(20_000));
         assert_eq!(scale.optwin_w_max, 4_000);
+        assert_eq!(scale.shards, None);
     }
 
     #[test]
@@ -170,9 +175,12 @@ mod tests {
             "1000",
             "--optwin-w-max",
             "500",
+            "--shards",
+            "8",
         ]));
         assert_eq!(scale.repetitions, 3);
         assert_eq!(scale.stream_len, Some(1_000));
         assert_eq!(scale.optwin_w_max, 500);
+        assert_eq!(scale.shards, Some(8));
     }
 }

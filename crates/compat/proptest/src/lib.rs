@@ -1,0 +1,412 @@
+//! Minimal, offline stand-in for the [`proptest`] API subset this workspace
+//! uses: range strategies, `collection::vec`, `Just`, `prop_map`,
+//! `prop_oneof!`, and the `proptest!` / `prop_assert!` / `prop_assert_eq!`
+//! macros.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. Differences from upstream are deliberate simplifications:
+//!
+//! * a fixed number of cases per property ([`CASES`]) from a seed derived
+//!   deterministically from the test name — every run explores the same
+//!   inputs, so failures are always reproducible;
+//! * no shrinking — the failing inputs are printed verbatim instead;
+//! * strategies are plain value generators (no value trees).
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![deny(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases generated per property.
+pub const CASES: u32 = 48;
+
+/// Error signalled by `prop_assert!` and friends inside a property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Description of the failed assertion.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        Self { message }
+    }
+}
+
+/// Deterministic generator driving the strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives a generator from a test name, so every property has its own
+    /// reproducible stream.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for b in name.bytes() {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw from `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is undefined");
+        self.next_u64() % n
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Occasionally produce the exact endpoints: properties often key on
+        // boundary behaviour (e.g. x = 0 or x = 1).
+        match rng.below(16) {
+            0 => lo,
+            1 => hi,
+            _ => lo + rng.unit_f64() * (hi - lo),
+        }
+    }
+}
+
+macro_rules! int_strategy_impl {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy_impl!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A boxed generator closure, the type-erased form strategies take inside
+/// [`prop_oneof!`].
+pub type BoxedGen<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// A type-erased choice for [`prop_oneof!`].
+pub struct Union<V> {
+    choices: Vec<BoxedGen<V>>,
+}
+
+impl<V: Debug> Union<V> {
+    /// Builds a uniform union of the given generator closures.
+    #[must_use]
+    pub fn new(choices: Vec<BoxedGen<V>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        Self { choices }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let k = rng.below(self.choices.len() as u64) as usize;
+        (self.choices[k])(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Range, Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// lies in `size` (half-open, like upstream proptest).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The common imports block, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }` block
+/// becomes a `#[test]` that runs the body over [`CASES`](crate::CASES)
+/// deterministically generated inputs, printing the inputs on failure.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)+),
+                        $(&$arg),+
+                    );
+                    // `Result` is fully qualified: property bodies often run
+                    // inside modules that alias `Result` to a crate-local
+                    // error type.
+                    let outcome: ::std::thread::Result<
+                        ::core::result::Result<(), $crate::TestCaseError>,
+                    > = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || -> ::core::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::core::result::Result::Ok(())
+                        },
+                    ));
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => {
+                            panic!(
+                                "property `{}` failed at case {case}/{} with inputs: {inputs}\n  {}",
+                                stringify!($name), $crate::CASES, e.message
+                            );
+                        }
+                        Err(panic_payload) => {
+                            eprintln!(
+                                "property `{}` panicked at case {case}/{} with inputs: {inputs}",
+                                stringify!($name), $crate::CASES
+                            );
+                            ::std::panic::resume_unwind(panic_payload);
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // `match` instead of `if !cond` keeps clippy's negated-partial-ord
+        // lint quiet at every float-comparison call site.
+        match $cond {
+            true => {}
+            false => {
+                return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                    "assertion failed: {}",
+                    stringify!($cond)
+                )))
+            }
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        match $cond {
+            true => {}
+            false => {
+                return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                    $($fmt)*
+                )))
+            }
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: {l:?}, right: {r:?})",
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both: {l:?})",
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+/// Uniformly picks between heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $({
+                let s = $strategy;
+                // Each closure unsizes to `Box<dyn Fn(..) -> V>` through the
+                // expected type of `Union::new`'s parameter.
+                Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::new_value(&s, rng))
+            }),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0f64..1.0, k in 3usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((3..10).contains(&k));
+        }
+
+        #[test]
+        fn vec_strategy_obeys_size(xs in crate::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+            prop_assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u32..10).prop_map(|x| x as i64),
+            Just(-1i64),
+        ]) {
+            prop_assert!(v == -1 || (0..10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::deterministic("t");
+        let mut b = crate::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::deterministic("u");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            fn always_fails(x in 0.0f64..1.0) {
+                prop_assert!(x < 0.0, "x = {x} is not negative");
+            }
+        }
+        always_fails();
+    }
+}

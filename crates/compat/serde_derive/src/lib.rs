@@ -1,0 +1,263 @@
+//! Derive macros for the workspace's offline `serde` shim.
+//!
+//! Written directly against `proc_macro` (no `syn`/`quote` — the build
+//! environment is offline), so the supported input shapes are deliberately
+//! narrow: structs with named fields and enums whose variants are all unit
+//! variants. That covers every result-record type in the workspace; anything
+//! else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with unit variants only.
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+/// Skips one attribute (`#` + bracket group) if present at the cursor.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips `pub` / `pub(...)` if present at the cursor.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!(
+                    "generic type `{name}` is not supported by the serde shim derive"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple struct `{name}` is not supported by the serde shim derive"
+                ));
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("missing `{{ .. }}` body for `{name}`")),
+        }
+    };
+
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    if kind == "struct" {
+        let mut fields = Vec::new();
+        let mut j = 0;
+        while j < body_tokens.len() {
+            j = skip_attributes(&body_tokens, j);
+            j = skip_visibility(&body_tokens, j);
+            let field = match body_tokens.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => break,
+                other => return Err(format!("expected field name in `{name}`, found {other:?}")),
+            };
+            j += 1;
+            match body_tokens.get(j) {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => j += 1,
+                other => {
+                    return Err(format!(
+                        "expected `:` after field `{field}`, found {other:?}"
+                    ))
+                }
+            }
+            // Skip the type: advance to the next comma at angle-bracket depth 0.
+            let mut depth = 0i32;
+            while let Some(tok) = body_tokens.get(j) {
+                if let TokenTree::Punct(p) = tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            j += 1; // past the comma (or the end)
+            fields.push(field);
+        }
+        Ok(Shape::Struct { name, fields })
+    } else {
+        let mut variants = Vec::new();
+        let mut j = 0;
+        while j < body_tokens.len() {
+            j = skip_attributes(&body_tokens, j);
+            let variant = match body_tokens.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                None => break,
+                other => {
+                    return Err(format!(
+                        "expected variant name in `{name}`, found {other:?}"
+                    ))
+                }
+            };
+            j += 1;
+            match body_tokens.get(j) {
+                Some(TokenTree::Group(_)) => {
+                    return Err(format!(
+                        "variant `{name}::{variant}` has payload data; the serde shim derive only supports unit variants"
+                    ));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    return Err(format!(
+                        "variant `{name}::{variant}` has a discriminant; not supported by the serde shim derive"
+                    ));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => j += 1,
+                None => {}
+                other => {
+                    return Err(format!(
+                        "unexpected token after `{name}::{variant}`: {other:?}"
+                    ))
+                }
+            }
+            variants.push(variant);
+        }
+        Ok(Shape::Enum { name, variants })
+    }
+}
+
+/// Derives the shim's `serde::Serialize` (a `to_value` tree conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives the shim's `serde::Deserialize` (reconstruction from a value
+/// tree).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get({f:?}).ok_or_else(|| \
+                         ::serde::DeError::new(format!(\"missing field `{f}` in {name}\")))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         if value.as_object().is_none() {{\n\
+                             return Err(::serde::DeError::new(format!(\"expected object for {name}\")));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::DeError::new(format!(\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(::serde::DeError::new(format!(\
+                                 \"expected string for {name}, found {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

@@ -1,0 +1,433 @@
+//! Minimal, offline stand-in for the [`serde_json`] API subset this
+//! workspace uses: [`to_string`], [`to_string_pretty`] and [`from_str`],
+//! operating through the workspace `serde` shim's [`serde::Value`] tree.
+//!
+//! [`serde_json`]: https://crates.io/crates/serde_json
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Error produced by serialisation or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.message)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        // JSON has no NaN/Infinity; mirror the common lossy convention.
+        out.push_str("null");
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        // Keep integral floats readable and round-trippable.
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        // Rust's shortest round-trip formatting.
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn emit(value: &Value, out: &mut String, pretty: bool, indent: usize) {
+    let pad = |out: &mut String, level: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..level {
+                out.push_str("  ");
+            }
+        }
+    };
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (k, item) in items.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                    if !pretty {
+                        // compact arrays have no extra whitespace
+                    }
+                }
+                pad(out, indent + 1);
+                emit(item, out, pretty, indent + 1);
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (k, (key, item)) in fields.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                escape_into(out, key);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                emit(item, out, pretty, indent + 1);
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+/// Serialises `value` to compact JSON.
+///
+/// # Errors
+///
+/// Infallible for the value-tree model; the `Result` mirrors the upstream
+/// signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    emit(&value.to_value(), &mut out, false, 0);
+    Ok(out)
+}
+
+/// Serialises `value` to human-readable, two-space-indented JSON.
+///
+/// # Errors
+///
+/// Infallible for the value-tree model; the `Result` mirrors the upstream
+/// signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    emit(&value.to_value(), &mut out, true, 0);
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        match self.peek() {
+            Some(found) if found == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(Error::new(format!(
+                "expected `{}` at byte {}, found {other:?}",
+                b as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected input at byte {}: {other:?}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid utf-8 in number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Value::Int(i))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::UInt(u))
+        } else {
+            // Digit strings beyond integer range (e.g. f64::MAX printed in
+            // full) still parse exactly as floats.
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-borrow the full UTF-8 character starting at pos - 1.
+                    let rest = &self.bytes[self.pos - 1..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(Error::new(format!("expected `,` or `]`, found {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => return Err(Error::new(format!("expected `,` or `}}`, found {other:?}"))),
+            }
+        }
+    }
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser::new(text);
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!("trailing input at byte {}", parser.pos)));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_and_parses_scalars() {
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b".to_string()).unwrap(), "\"a\\\"b\"");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<String>("\"a\\\"b\"").unwrap(), "a\"b");
+        assert_eq!(from_str::<Option<f64>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn round_trips_nested_values() {
+        let v: Vec<Option<f64>> = vec![Some(1.25), None, Some(-3.0)];
+        let json = to_string(&v).unwrap();
+        let back: Vec<Option<f64>> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parseable() {
+        let v = serde::Value::Object(vec![
+            ("name".into(), serde::Value::Str("OPTWIN".into())),
+            (
+                "delays".into(),
+                serde::Value::Array(vec![serde::Value::Float(10.0)]),
+            ),
+        ]);
+        let json = to_string_pretty(&v).unwrap();
+        assert!(json.contains("\"name\": \"OPTWIN\""));
+        assert!(json.contains('\n'));
+        let back: serde::Value = from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<f64>("[1,").is_err());
+        assert!(from_str::<f64>("1 2").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<f64>("{\"a\":}").is_err());
+    }
+
+    #[test]
+    fn float_round_trip_precision() {
+        for &x in &[0.1, 1.0 / 3.0, 1e-12, 12345.6789, f64::MAX] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(x, back, "json = {json}");
+        }
+    }
+}

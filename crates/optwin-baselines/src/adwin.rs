@@ -20,7 +20,7 @@
 //! and the window is only inspected every `clock` insertions (default 32),
 //! giving O(log |W|) amortized work per element.
 
-use optwin_core::{DriftDetector, DriftStatus};
+use optwin_core::{BatchOutcome, DriftDetector, DriftStatus};
 
 /// Maximum number of buckets per row before two are merged into the next row
 /// (the `M` parameter of the paper; MOA uses 5).
@@ -239,8 +239,8 @@ impl Adwin {
         let remaining = self.total_count - bucket.count;
         let window_mean = self.window_mean();
         let delta = bucket.mean() - window_mean;
-        self.total_variance -= bucket.variance
-            + delta * delta * n * remaining as f64 / self.total_count as f64;
+        self.total_variance -=
+            bucket.variance + delta * delta * n * remaining as f64 / self.total_count as f64;
         self.total_variance = self.total_variance.max(0.0);
         self.total_sum -= bucket.sum;
         self.total_count = remaining;
@@ -284,7 +284,8 @@ impl Adwin {
                     let mean0 = sum0 / n0;
                     let mean1 = (self.total_sum - sum0) / n1;
                     let m = 1.0 / (1.0 / n0 + 1.0 / n1);
-                    let eps_cut = (2.0 / m * total_var * ln_term).sqrt() + 2.0 / (3.0 * m) * ln_term;
+                    let eps_cut =
+                        (2.0 / m * total_var * ln_term).sqrt() + 2.0 / (3.0 * m) * ln_term;
                     if (mean0 - mean1).abs() > eps_cut {
                         found_cut = true;
                         break 'outer;
@@ -317,6 +318,40 @@ impl DriftDetector for Adwin {
         }
         self.last_status = status;
         status
+    }
+
+    /// Native batch path exploiting ADWIN's `clock` parameter: between change
+    /// checks every element is a plain histogram insertion with a guaranteed
+    /// [`DriftStatus::Stable`] verdict, so whole runs of up to `clock`
+    /// elements are inserted in a tight loop and only the clock-boundary
+    /// element pays for the cut scan. Decisions are identical to the
+    /// element-wise fold by construction.
+    fn add_batch(&mut self, values: &[f64]) -> BatchOutcome {
+        let mut outcome = BatchOutcome::with_len(values.len());
+        let clock = self.config.clock;
+        let mut i = 0usize;
+        while i < values.len() {
+            // Elements until the next check are Stable by definition.
+            let until_check = (clock - self.elements_since_check) as usize;
+            let quiet = until_check.saturating_sub(1).min(values.len() - i);
+            for &value in &values[i..i + quiet] {
+                self.elements_seen += 1;
+                self.insert(value);
+            }
+            self.elements_since_check += quiet as u32;
+            if quiet > 0 {
+                self.last_status = DriftStatus::Stable;
+                outcome.record(i + quiet - 1, DriftStatus::Stable);
+            }
+            i += quiet;
+            // The next element (if any) lands on the clock boundary and runs
+            // the full scan through the scalar path.
+            if i < values.len() {
+                outcome.record(i, self.add_element(values[i]));
+                i += 1;
+            }
+        }
+        outcome
     }
 
     fn reset(&mut self) {
@@ -435,7 +470,10 @@ mod tests {
                 drifts += 1;
             }
         }
-        assert_eq!(drifts, 0, "ADWIN unexpectedly reacted to a variance-only change");
+        assert_eq!(
+            drifts, 0,
+            "ADWIN unexpectedly reacted to a variance-only change"
+        );
     }
 
     #[test]
@@ -449,6 +487,31 @@ mod tests {
         assert_eq!(a.window_len(), 0);
         assert_eq!(a.elements_seen(), seen);
         assert_eq!(a.name(), "ADWIN");
+    }
+
+    #[test]
+    fn add_batch_matches_element_fold() {
+        let stream: Vec<f64> = (0..8_000u64)
+            .map(|i| {
+                let p = match i {
+                    0..=2_999 => 0.05,
+                    3_000..=5_999 => 0.40,
+                    _ => 0.75,
+                };
+                bernoulli(i, p)
+            })
+            .collect();
+        crate::test_util::assert_batch_equivalence(Adwin::with_defaults, &stream);
+        // Also with a clock that never divides the chunk sizes evenly.
+        crate::test_util::assert_batch_equivalence(
+            || {
+                Adwin::new(AdwinConfig {
+                    clock: 7,
+                    ..AdwinConfig::default()
+                })
+            },
+            &stream[..3_000],
+        );
     }
 
     #[test]

@@ -272,6 +272,21 @@ mod tests {
     }
 
     #[test]
+    fn add_batch_matches_element_fold() {
+        let stream: Vec<f64> = (0..9_000u64)
+            .map(|i| {
+                let p = match i {
+                    0..=3_999 => 0.05,
+                    4_000..=6_999 => 0.35,
+                    _ => 0.70,
+                };
+                bernoulli(i, p)
+            })
+            .collect();
+        crate::test_util::assert_batch_equivalence(Ddm::with_defaults, &stream);
+    }
+
+    #[test]
     fn manual_reset() {
         let mut d = Ddm::with_defaults();
         for i in 0..100u64 {

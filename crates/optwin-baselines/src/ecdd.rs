@@ -312,7 +312,10 @@ mod tests {
             }
         }
         let at = detected_after_drift.expect("ECDD must react to the error increase");
-        assert!(at < 2_100, "ECDD should react within ~100 elements, got {at}");
+        assert!(
+            at < 2_100,
+            "ECDD should react within ~100 elements, got {at}"
+        );
     }
 
     #[test]
@@ -370,5 +373,20 @@ mod tests {
             arl0: 1.0,
             ..EcddConfig::default()
         });
+    }
+
+    #[test]
+    fn add_batch_matches_element_fold() {
+        let stream: Vec<f64> = (0..8_000u64)
+            .map(|i| {
+                let p = match i {
+                    0..=2_999 => 0.05,
+                    3_000..=5_499 => 0.35,
+                    _ => 0.65,
+                };
+                bernoulli(i, p)
+            })
+            .collect();
+        crate::test_util::assert_batch_equivalence(Ecdd::with_defaults, &stream);
     }
 }

@@ -149,7 +149,11 @@ impl DriftDetector for Eddm {
             return self.last_status;
         }
 
-        let ratio = if self.max_stat > 0.0 { stat / self.max_stat } else { 1.0 };
+        let ratio = if self.max_stat > 0.0 {
+            stat / self.max_stat
+        } else {
+            1.0
+        };
         let status = if ratio < self.config.beta {
             self.drifts_detected += 1;
             self.restart();
@@ -265,5 +269,20 @@ mod tests {
         d.reset();
         assert_eq!(d.mean_error_distance(), 0.0);
         assert_eq!(d.elements_seen(), 200);
+    }
+
+    #[test]
+    fn add_batch_matches_element_fold() {
+        let stream: Vec<f64> = (0..9_000u64)
+            .map(|i| {
+                let p = match i {
+                    0..=3_999 => 0.10,
+                    4_000..=6_999 => 0.45,
+                    _ => 0.75,
+                };
+                bernoulli(i, p)
+            })
+            .collect();
+        crate::test_util::assert_batch_equivalence(Eddm::with_defaults, &stream);
     }
 }

@@ -12,7 +12,7 @@
 
 use std::collections::VecDeque;
 
-use optwin_core::{DriftDetector, DriftStatus};
+use optwin_core::{BatchOutcome, DriftDetector, DriftStatus};
 use optwin_stats::tests::ks_two_sample;
 
 /// Configuration for [`Kswin`].
@@ -90,10 +90,11 @@ impl Kswin {
     pub fn window_len(&self) -> usize {
         self.window.len()
     }
-}
 
-impl DriftDetector for Kswin {
-    fn add_element(&mut self, value: f64) -> DriftStatus {
+    /// One ingestion step. `older` and `recent` are caller-provided scratch
+    /// buffers for the two KS samples, so the batch path can reuse one pair
+    /// of allocations across the whole slice.
+    fn step(&mut self, value: f64, older: &mut Vec<f64>, recent: &mut Vec<f64>) -> DriftStatus {
         self.elements_seen += 1;
         if self.window.len() == self.config.window_size {
             self.window.pop_front();
@@ -106,16 +107,17 @@ impl DriftDetector for Kswin {
         }
 
         let split = self.window.len() - self.config.stat_size;
-        let older: Vec<f64> = self.window.iter().copied().take(split).collect();
-        let recent: Vec<f64> = self.window.iter().copied().skip(split).collect();
+        older.clear();
+        recent.clear();
+        older.extend(self.window.iter().copied().take(split));
+        recent.extend(self.window.iter().copied().skip(split));
 
-        let status = match ks_two_sample(&recent, &older) {
+        let status = match ks_two_sample(recent, older) {
             Ok(r) if r.p_value < self.config.alpha => {
                 self.drifts_detected += 1;
                 // Keep only the recent slice: it represents the new concept.
-                let keep: Vec<f64> = recent;
                 self.window.clear();
-                self.window.extend(keep);
+                self.window.extend(recent.iter().copied());
                 DriftStatus::Drift
             }
             Ok(r) if r.p_value < self.config.alpha * 10.0 => DriftStatus::Warning,
@@ -123,6 +125,27 @@ impl DriftDetector for Kswin {
         };
         self.last_status = status;
         status
+    }
+}
+
+impl DriftDetector for Kswin {
+    fn add_element(&mut self, value: f64) -> DriftStatus {
+        let mut older = Vec::new();
+        let mut recent = Vec::new();
+        self.step(value, &mut older, &mut recent)
+    }
+
+    /// Native batch path: the per-element KS test is unavoidable (every
+    /// element can change the verdict), but the two sample buffers are
+    /// allocated once per batch instead of twice per element.
+    fn add_batch(&mut self, values: &[f64]) -> BatchOutcome {
+        let mut outcome = BatchOutcome::with_len(values.len());
+        let mut older = Vec::with_capacity(self.config.window_size);
+        let mut recent = Vec::with_capacity(self.config.stat_size);
+        for (i, &value) in values.iter().enumerate() {
+            outcome.record(i, self.step(value, &mut older, &mut recent));
+        }
+        outcome
     }
 
     fn reset(&mut self) {
@@ -243,5 +266,16 @@ mod tests {
         assert_eq!(d.window_len(), 0);
         assert_eq!(d.name(), "KSWIN");
         assert!(d.supports_real_valued_input());
+    }
+
+    #[test]
+    fn add_batch_matches_element_fold() {
+        let stream: Vec<f64> = (0..4_000u64)
+            .map(|i| {
+                let base = if i < 2_000 { 0.2 } else { 0.65 };
+                (base + 0.1 * jitter(i)).clamp(0.0, 1.0)
+            })
+            .collect();
+        crate::test_util::assert_batch_equivalence(Kswin::with_defaults, &stream);
     }
 }

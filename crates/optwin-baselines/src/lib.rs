@@ -148,13 +148,49 @@ mod tests {
 
 #[cfg(test)]
 pub(crate) mod test_util {
-    //! Deterministic pseudo-random streams shared by the detector tests.
+    //! Deterministic pseudo-random streams and contract helpers shared by
+    //! the detector tests.
+
+    use optwin_core::{DriftDetector, DriftStatus};
+
+    /// Asserts the batch/scalar contract for a detector: `add_batch` over
+    /// `stream` (in several chunk sizes) reports exactly the drift and
+    /// warning indices of an `add_element` fold, with identical counters.
+    pub(crate) fn assert_batch_equivalence<D: DriftDetector>(
+        build: impl Fn() -> D,
+        stream: &[f64],
+    ) {
+        let mut scalar = build();
+        let mut drifts = Vec::new();
+        let mut warnings = Vec::new();
+        for (i, &x) in stream.iter().enumerate() {
+            match scalar.add_element(x) {
+                DriftStatus::Drift => drifts.push(i),
+                DriftStatus::Warning => warnings.push(i),
+                DriftStatus::Stable => {}
+            }
+        }
+
+        for &chunk in &[1usize, 13, 256, stream.len().max(1)] {
+            let mut batched = build();
+            let mut batch_drifts = Vec::new();
+            let mut batch_warnings = Vec::new();
+            for (k, xs) in stream.chunks(chunk).enumerate() {
+                let outcome = batched.add_batch(xs);
+                assert_eq!(outcome.len, xs.len());
+                batch_drifts.extend(outcome.drift_indices.iter().map(|&i| k * chunk + i));
+                batch_warnings.extend(outcome.warning_indices.iter().map(|&i| k * chunk + i));
+            }
+            assert_eq!(batch_drifts, drifts, "{}: chunk {chunk}", scalar.name());
+            assert_eq!(batch_warnings, warnings, "{}: chunk {chunk}", scalar.name());
+            assert_eq!(batched.elements_seen(), scalar.elements_seen());
+            assert_eq!(batched.drifts_detected(), scalar.drifts_detected());
+        }
+    }
 
     /// SplitMix64 jitter in [-0.5, 0.5).
     pub(crate) fn jitter(i: u64) -> f64 {
-        let mut x = i
-            .wrapping_add(1)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut x = i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         x ^= x >> 30;
         x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x ^= x >> 27;

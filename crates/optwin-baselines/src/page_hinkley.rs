@@ -227,4 +227,15 @@ mod tests {
         assert!(d.supports_real_valued_input());
         assert_eq!(d.statistic(), 0.0);
     }
+
+    #[test]
+    fn add_batch_matches_element_fold() {
+        let stream: Vec<f64> = (0..8_000u64)
+            .map(|i| {
+                let base = if i < 4_000 { 0.1 } else { 0.5 };
+                (base + 0.05 * jitter(i)).clamp(0.0, 1.0)
+            })
+            .collect();
+        crate::test_util::assert_batch_equivalence(PageHinkley::with_defaults, &stream);
+    }
 }

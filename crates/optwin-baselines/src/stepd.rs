@@ -278,4 +278,19 @@ mod tests {
         assert_eq!(d.name(), "STEPD");
         assert!(d.supports_real_valued_input());
     }
+
+    #[test]
+    fn add_batch_matches_element_fold() {
+        let stream: Vec<f64> = (0..8_000u64)
+            .map(|i| {
+                let p = match i {
+                    0..=2_999 => 0.08,
+                    3_000..=5_499 => 0.40,
+                    _ => 0.70,
+                };
+                bernoulli(i, p)
+            })
+            .collect();
+        crate::test_util::assert_batch_equivalence(Stepd::with_defaults, &stream);
+    }
 }

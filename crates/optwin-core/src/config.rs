@@ -106,10 +106,7 @@ impl OptwinConfig {
             if w >= self.delta {
                 return Err(CoreError::InvalidConfig {
                     field: "warning_delta",
-                    message: format!(
-                        "must be strictly below delta ({}), got {w}",
-                        self.delta
-                    ),
+                    message: format!("must be strictly below delta ({}), got {w}", self.delta),
                 });
             }
         }
@@ -262,7 +259,10 @@ mod tests {
         assert!(OptwinConfig::builder().confidence(0.0).build().is_err());
         assert!(OptwinConfig::builder().confidence(1.0).build().is_err());
         assert!(OptwinConfig::builder().robustness(0.0).build().is_err());
-        assert!(OptwinConfig::builder().robustness(f64::NAN).build().is_err());
+        assert!(OptwinConfig::builder()
+            .robustness(f64::NAN)
+            .build()
+            .is_err());
         assert!(OptwinConfig::builder().min_window(2).build().is_err());
         assert!(OptwinConfig::builder()
             .min_window(100)

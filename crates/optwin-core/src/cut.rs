@@ -302,6 +302,58 @@ impl CutTable {
         Ok(entry)
     }
 
+    /// Returns the entries for every window length in `[lo, hi]` (both
+    /// inclusive), computing and caching any that are missing.
+    ///
+    /// This is the batch-ingestion fast path: one read-lock acquisition
+    /// covers the whole contiguous range instead of one per element, and
+    /// missing entries are computed in one pass with warm-started split
+    /// searches before a single write-lock stores them all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the range is empty or falls
+    /// outside `[w_min, w_max]`, or a wrapped statistics error from entry
+    /// computation (practically unreachable).
+    pub fn entries_range(&self, lo: usize, hi: usize) -> Result<Vec<CutEntry>> {
+        if lo > hi || lo < self.w_min || hi > self.w_max {
+            return Err(CoreError::InvalidConfig {
+                field: "window_len",
+                message: format!(
+                    "range [{lo}, {hi}] invalid for the table range [{}, {}]",
+                    self.w_min, self.w_max
+                ),
+            });
+        }
+        let mut out: Vec<Option<CutEntry>> = {
+            let cache = self.cache.read();
+            cache[lo - self.w_min..=hi - self.w_min].to_vec()
+        };
+        if out.iter().all(Option::is_some) {
+            return Ok(out.into_iter().map(|e| e.expect("checked above")).collect());
+        }
+        // Compute the missing entries outside any lock, warm-starting each
+        // search from its predecessor in the range.
+        let mut hint: Option<usize> = None;
+        for (offset, slot) in out.iter_mut().enumerate() {
+            match slot {
+                Some(entry) => hint = Some(entry.split + 1),
+                None => {
+                    let entry = self.compute_entry(lo + offset, hint)?;
+                    hint = Some(entry.split + 1);
+                    *slot = Some(entry);
+                }
+            }
+        }
+        {
+            let mut cache = self.cache.write();
+            for (offset, entry) in out.iter().enumerate() {
+                cache[lo - self.w_min + offset] = *entry;
+            }
+        }
+        Ok(out.into_iter().map(|e| e.expect("filled above")).collect())
+    }
+
     /// Eagerly computes every entry in `[w_min, w_max]`.
     ///
     /// # Errors
@@ -399,7 +451,10 @@ impl CutTable {
         } else {
             optimal_split(w, self.rho, self.delta_prime, hint)?
         };
-        let split = split.clamp(MIN_SUB_WINDOW, w.saturating_sub(MIN_SUB_WINDOW).max(MIN_SUB_WINDOW));
+        let split = split.clamp(
+            MIN_SUB_WINDOW,
+            w.saturating_sub(MIN_SUB_WINDOW).max(MIN_SUB_WINDOW),
+        );
         let (_, df, t_crit, f_crit) = equation_one(w, split, self.delta_prime)?;
         let (t_warn, f_warn) = match self.warning_delta_prime {
             Some(dw) => {
@@ -524,7 +579,10 @@ mod tests {
         let new_small = 200 - e_small.split;
         let new_large = 2000 - e_large.split;
         // |W_new| grows far more slowly than |W| itself.
-        assert!(new_large < new_small * 4, "new_small={new_small} new_large={new_large}");
+        assert!(
+            new_large < new_small * 4,
+            "new_small={new_small} new_large={new_large}"
+        );
     }
 
     #[test]
@@ -559,6 +617,30 @@ mod tests {
             assert!(e.t_warn.unwrap() < e.t_crit);
             assert!(e.f_warn.unwrap() < e.f_crit);
         }
+    }
+
+    #[test]
+    fn entries_range_matches_single_lookups() {
+        let table = CutTable::new(&config(0.5, 200)).unwrap();
+        // Prime a few entries so the range mixes cached and missing ones.
+        let _ = table.entry(50).unwrap();
+        let _ = table.entry(60).unwrap();
+        let range = table.entries_range(40, 80).unwrap();
+        assert_eq!(range.len(), 41);
+        for (offset, entry) in range.iter().enumerate() {
+            assert_eq!(*entry, table.entry(40 + offset).unwrap());
+        }
+        // Everything touched is now cached.
+        assert!(table.cached_entries() >= 41);
+    }
+
+    #[test]
+    fn entries_range_rejects_bad_ranges() {
+        let table = CutTable::new(&config(0.5, 100)).unwrap();
+        assert!(table.entries_range(29, 40).is_err());
+        assert!(table.entries_range(40, 101).is_err());
+        assert!(table.entries_range(60, 50).is_err());
+        assert!(table.entries_range(30, 100).is_ok());
     }
 
     #[test]

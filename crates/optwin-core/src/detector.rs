@@ -2,8 +2,17 @@
 //!
 //! All detectors in this workspace (OPTWIN in this crate; ADWIN, DDM, EDDM,
 //! STEPD, ECDD and the extensions in `optwin-baselines`) implement
-//! [`DriftDetector`]: they ingest one error observation at a time and report
-//! whether the stream is stable, in a warning zone, or has drifted.
+//! [`DriftDetector`]. The contract is **batch-first**: production callers
+//! hand the detector whole slices of observations via
+//! [`DriftDetector::add_batch`] and receive a [`BatchOutcome`] summarising
+//! where drifts and warnings fired; [`DriftDetector::add_element`] remains
+//! the element-wise primitive the batch path is defined against. The two are
+//! required to be *observationally identical*: `add_batch(xs)` must report
+//! exactly the indices at which a fold of `add_element` over `xs` would have
+//! returned [`DriftStatus::Drift`] (and likewise for warnings), leaving the
+//! detector in the same state. The contract test-suite in
+//! `tests/detector_contract.rs` enforces this for every detector the
+//! workspace ships.
 
 /// Outcome of ingesting one element into a drift detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -35,6 +44,58 @@ impl DriftStatus {
     }
 }
 
+/// Outcome of ingesting a batch of elements into a drift detector.
+///
+/// Indices are 0-based positions **within the batch**; callers tracking a
+/// global stream position add their own offset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BatchOutcome {
+    /// Number of elements that were ingested.
+    pub len: usize,
+    /// Batch indices at which [`DriftStatus::Drift`] was reported.
+    pub drift_indices: Vec<usize>,
+    /// Batch indices at which [`DriftStatus::Warning`] was reported.
+    pub warning_indices: Vec<usize>,
+    /// The status reported for the final element (`Stable` for an empty
+    /// batch).
+    pub last_status: DriftStatus,
+}
+
+impl BatchOutcome {
+    /// Creates an empty outcome for a batch of `len` elements.
+    #[must_use]
+    pub fn with_len(len: usize) -> Self {
+        Self {
+            len,
+            ..Self::default()
+        }
+    }
+
+    /// Number of drifts flagged in the batch.
+    #[must_use]
+    pub fn drifts(&self) -> usize {
+        self.drift_indices.len()
+    }
+
+    /// `true` if at least one drift was flagged.
+    #[must_use]
+    pub fn has_drift(&self) -> bool {
+        !self.drift_indices.is_empty()
+    }
+
+    /// Records the status of the element at `index`, maintaining all
+    /// invariants. Intended for `add_batch` implementations.
+    #[inline]
+    pub fn record(&mut self, index: usize, status: DriftStatus) {
+        match status {
+            DriftStatus::Drift => self.drift_indices.push(index),
+            DriftStatus::Warning => self.warning_indices.push(index),
+            DriftStatus::Stable => {}
+        }
+        self.last_status = status;
+    }
+}
+
 /// An online, error-rate-based concept-drift detector.
 ///
 /// Implementations observe one value per learner prediction — a binary error
@@ -46,6 +107,23 @@ pub trait DriftDetector {
     /// Implementations must reset their own internal state when they return
     /// [`DriftStatus::Drift`] so that detection can resume immediately.
     fn add_element(&mut self, value: f64) -> DriftStatus;
+
+    /// Ingests a whole slice of observations, reporting every drift and
+    /// warning position within it.
+    ///
+    /// The default implementation folds [`DriftDetector::add_element`] over
+    /// the slice. Implementations may override it with a faster native path
+    /// (OPTWIN amortizes cut-table lookups across the slice; see
+    /// `Optwin::add_batch`), but the override must be observationally
+    /// identical to the fold — same indices, same final state, same
+    /// counters.
+    fn add_batch(&mut self, values: &[f64]) -> BatchOutcome {
+        let mut outcome = BatchOutcome::with_len(values.len());
+        for (i, &value) in values.iter().enumerate() {
+            outcome.record(i, self.add_element(value));
+        }
+        outcome
+    }
 
     /// Resets the detector to its initial state (as right after
     /// construction), discarding all buffered observations.
@@ -73,15 +151,11 @@ pub trait DriftDetector {
 /// Extension helpers available on every [`DriftDetector`].
 pub trait DetectorExt: DriftDetector {
     /// Feeds a whole slice of observations, returning the (0-based) indices
-    /// at which a drift was flagged.
+    /// at which a drift was flagged. Delegates to
+    /// [`DriftDetector::add_batch`], so detectors with a native batch path
+    /// are scanned at full speed.
     fn scan(&mut self, values: &[f64]) -> Vec<usize> {
-        let mut detections = Vec::new();
-        for (i, &v) in values.iter().enumerate() {
-            if self.add_element(v) == DriftStatus::Drift {
-                detections.push(i);
-            }
-        }
-        detections
+        self.add_batch(values).drift_indices
     }
 }
 
@@ -102,7 +176,7 @@ mod tests {
     impl DriftDetector for Periodic {
         fn add_element(&mut self, _value: f64) -> DriftStatus {
             self.seen += 1;
-            if self.seen % self.period == 0 {
+            if self.seen.is_multiple_of(self.period) {
                 self.drifts += 1;
                 DriftStatus::Drift
             } else {
@@ -142,6 +216,59 @@ mod tests {
         let hits = d.scan(&[0.0; 10]);
         assert_eq!(hits, vec![2, 5, 8]);
         assert_eq!(d.drifts_detected(), 3);
+    }
+
+    #[test]
+    fn default_add_batch_matches_element_fold() {
+        let mut batched = Periodic {
+            period: 3,
+            seen: 0,
+            drifts: 0,
+        };
+        let mut scalar = Periodic {
+            period: 3,
+            seen: 0,
+            drifts: 0,
+        };
+        let xs = [0.0; 11];
+        let outcome = batched.add_batch(&xs);
+        let mut expected = Vec::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if scalar.add_element(x) == DriftStatus::Drift {
+                expected.push(i);
+            }
+        }
+        assert_eq!(outcome.len, xs.len());
+        assert_eq!(outcome.drift_indices, expected);
+        assert_eq!(outcome.drifts(), 3);
+        assert!(outcome.has_drift());
+        assert_eq!(outcome.last_status, DriftStatus::Stable);
+        assert_eq!(batched.elements_seen(), scalar.elements_seen());
+        assert_eq!(batched.drifts_detected(), scalar.drifts_detected());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let mut d = Periodic {
+            period: 2,
+            seen: 0,
+            drifts: 0,
+        };
+        let outcome = d.add_batch(&[]);
+        assert_eq!(outcome, BatchOutcome::default());
+        assert!(!outcome.has_drift());
+        assert_eq!(d.elements_seen(), 0);
+    }
+
+    #[test]
+    fn batch_outcome_record_tracks_statuses() {
+        let mut o = BatchOutcome::with_len(3);
+        o.record(0, DriftStatus::Stable);
+        o.record(1, DriftStatus::Warning);
+        o.record(2, DriftStatus::Drift);
+        assert_eq!(o.warning_indices, vec![1]);
+        assert_eq!(o.drift_indices, vec![2]);
+        assert_eq!(o.last_status, DriftStatus::Drift);
     }
 
     #[test]

@@ -53,19 +53,24 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// `!(x > 0.0)` (rather than `x <= 0.0`) is the workspace idiom for rejecting
+// non-positive *and NaN* parameters in one comparison.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod config;
 pub mod cut;
 pub mod detector;
 pub mod error;
 pub mod optwin;
+pub mod registry;
 pub mod window;
 
 pub use config::{DriftDirection, OptwinConfig, OptwinConfigBuilder};
 pub use cut::{CutEntry, CutTable};
-pub use detector::{DetectorExt, DriftDetector, DriftStatus};
+pub use detector::{BatchOutcome, DetectorExt, DriftDetector, DriftStatus};
 pub use error::CoreError;
 pub use optwin::Optwin;
+pub use registry::CutTableRegistry;
 pub use window::SplitWindow;
 
 /// Convenience result alias used throughout the crate.

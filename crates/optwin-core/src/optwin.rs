@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use crate::config::{DriftDirection, OptwinConfig};
 use crate::cut::{CutEntry, CutTable};
-use crate::detector::{DriftDetector, DriftStatus};
+use crate::detector::{BatchOutcome, DriftDetector, DriftStatus};
 use crate::window::SplitWindow;
 use crate::Result;
 
@@ -51,6 +51,21 @@ impl Optwin {
     /// for signature uniformity.
     pub fn with_defaults() -> Result<Self> {
         Self::new(OptwinConfig::default())
+    }
+
+    /// Creates a detector whose cut table is interned in the process-wide
+    /// [`crate::CutTableRegistry`]: every detector built this way with an
+    /// equivalent `(δ, warning δ, ρ, w_min, w_max)` shares one table, which
+    /// is what the multi-stream engine relies on to run thousands of
+    /// detectors cheaply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn with_shared_table(config: OptwinConfig) -> Result<Self> {
+        let table = crate::CutTableRegistry::global().get_or_build(&config)?;
+        Self::with_cut_table(config, table)
     }
 
     /// Creates a detector that shares a pre-built [`CutTable`].
@@ -180,12 +195,8 @@ impl Optwin {
             let eta = self.config.eta;
             let f_value = (std_new + eta).powi(2) / (std_hist + eta).powi(2);
             let margin_ok = match self.config.direction {
-                DriftDirection::DegradationOnly => {
-                    std_new - std_hist >= self.config.rho * std_hist
-                }
-                DriftDirection::Both => {
-                    (std_new - std_hist).abs() >= self.config.rho * std_hist
-                }
+                DriftDirection::DegradationOnly => std_new - std_hist >= self.config.rho * std_hist,
+                DriftDirection::Both => (std_new - std_hist).abs() >= self.config.rho * std_hist,
             };
             if margin_ok && f_value > f_crit {
                 return true;
@@ -217,13 +228,13 @@ impl Optwin {
     fn is_binary(value: f64) -> bool {
         value == 0.0 || value == 1.0
     }
-}
 
-impl DriftDetector for Optwin {
-    fn add_element(&mut self, value: f64) -> DriftStatus {
+    /// Appends `value` to the window, evicting the oldest element when the
+    /// window is at `w_max` (Algorithm 1, lines 5–6) and maintaining the
+    /// binary-content counter.
+    #[inline]
+    fn push_value(&mut self, value: f64) {
         self.elements_seen += 1;
-
-        // Keep the window bounded by w_max (Algorithm 1, lines 5–6).
         if self.window.len() == self.config.w_max {
             if let Some(popped) = self.window.pop_front() {
                 if !Self::is_binary(popped) {
@@ -235,37 +246,35 @@ impl DriftDetector for Optwin {
         if !Self::is_binary(value) {
             self.non_binary_in_window += 1;
         }
+    }
 
-        // Not enough data yet (Algorithm 1, lines 3–4).
-        if self.window.len() < self.config.w_min {
-            self.last_status = DriftStatus::Stable;
-            return self.last_status;
+    /// Pass-through entry used when the cut-table lookup fails (unreachable
+    /// for a validated configuration): midpoint split, infinite critical
+    /// values, so the tests never reject and the hot path never panics.
+    fn fallback_entry(w: usize) -> CutEntry {
+        CutEntry {
+            window_len: w,
+            split: w / 2,
+            nu: 0.5,
+            exact: false,
+            t_crit: f64::INFINITY,
+            f_crit: f64::INFINITY,
+            df: 1.0,
+            t_warn: None,
+            f_warn: None,
         }
+    }
 
-        // Optimal cut lookup and split maintenance (lines 7–10).
-        let entry = match self.cut.entry(self.window.len()) {
-            Ok(e) => e,
-            Err(_) => {
-                // Unreachable for a validated configuration; degrade to the
-                // midpoint split rather than panicking on the hot path.
-                let w = self.window.len();
-                CutEntry {
-                    window_len: w,
-                    split: w / 2,
-                    nu: 0.5,
-                    exact: false,
-                    t_crit: f64::INFINITY,
-                    f_crit: f64::INFINITY,
-                    df: 1.0,
-                    t_warn: None,
-                    f_warn: None,
-                }
-            }
-        };
+    /// Applies the split and runs the drift/warning tests for the current
+    /// window against `entry` (Algorithm 1, lines 7–16), updating every
+    /// counter. Shared verbatim by the scalar and batch ingestion paths so
+    /// the two are identical by construction.
+    #[inline]
+    fn evaluate_window(&mut self, entry: &CutEntry) -> DriftStatus {
         self.window.set_split(entry.split);
 
         // Drift tests (lines 11–16).
-        if self.tests_reject(&entry, entry.t_crit, entry.f_crit) {
+        if self.tests_reject(entry, entry.t_crit, entry.f_crit) {
             self.drifts_detected += 1;
             self.window.clear();
             self.non_binary_in_window = 0;
@@ -276,7 +285,7 @@ impl DriftDetector for Optwin {
         // Warning zone: the relaxed thresholds reject but the strict ones do
         // not.
         if let (Some(t_warn), Some(f_warn)) = (entry.t_warn, entry.f_warn) {
-            if self.tests_reject(&entry, t_warn, f_warn) {
+            if self.tests_reject(entry, t_warn, f_warn) {
                 self.warnings_detected += 1;
                 self.last_status = DriftStatus::Warning;
                 return self.last_status;
@@ -285,6 +294,74 @@ impl DriftDetector for Optwin {
 
         self.last_status = DriftStatus::Stable;
         self.last_status
+    }
+}
+
+/// Number of cut-table entries prefetched per lock acquisition on the batch
+/// path. The window length advances by at most one per element, so a chunk
+/// of this size serves at least this many elements before the next lock.
+const ENTRY_PREFETCH: usize = 128;
+
+impl DriftDetector for Optwin {
+    fn add_element(&mut self, value: f64) -> DriftStatus {
+        self.push_value(value);
+
+        // Not enough data yet (Algorithm 1, lines 3–4).
+        if self.window.len() < self.config.w_min {
+            self.last_status = DriftStatus::Stable;
+            return self.last_status;
+        }
+
+        // Optimal cut lookup and split maintenance (lines 7–10).
+        let entry = self
+            .cut
+            .entry(self.window.len())
+            .unwrap_or_else(|_| Self::fallback_entry(self.window.len()));
+        self.evaluate_window(&entry)
+    }
+
+    /// Native batch ingestion: identical decisions to the element-wise fold,
+    /// but cut-table entries are prefetched in contiguous chunks
+    /// ([`ENTRY_PREFETCH`] per read-lock acquisition instead of one), which
+    /// removes the dominant shared-state synchronisation from the hot loop
+    /// when thousands of detectors share one [`CutTable`].
+    fn add_batch(&mut self, values: &[f64]) -> BatchOutcome {
+        let mut outcome = BatchOutcome::with_len(values.len());
+        let w_min = self.config.w_min;
+        let w_max = self.config.w_max;
+        // Local entry cache: `cache[k]` is the entry for window length
+        // `cache_start + k`.
+        let mut cache: Vec<CutEntry> = Vec::new();
+        let mut cache_start = usize::MAX;
+
+        for (i, &value) in values.iter().enumerate() {
+            self.push_value(value);
+            let w = self.window.len();
+            if w < w_min {
+                self.last_status = DriftStatus::Stable;
+                outcome.record(i, DriftStatus::Stable);
+                continue;
+            }
+            let entry = if w >= cache_start && w - cache_start < cache.len() {
+                cache[w - cache_start]
+            } else {
+                let hi = (w + ENTRY_PREFETCH - 1).min(w_max);
+                match self.cut.entries_range(w, hi) {
+                    Ok(entries) => {
+                        cache = entries;
+                        cache_start = w;
+                        cache[0]
+                    }
+                    Err(_) => {
+                        cache.clear();
+                        cache_start = usize::MAX;
+                        Self::fallback_entry(w)
+                    }
+                }
+            };
+            outcome.record(i, self.evaluate_window(&entry));
+        }
+        outcome
     }
 
     fn reset(&mut self) {
@@ -326,7 +403,9 @@ mod tests {
     /// Deterministic pseudo-noise in [-0.5, 0.5) used to avoid zero variances
     /// without pulling in a RNG dependency.
     fn jitter(i: u64) -> f64 {
-        let x = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        let x = i
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
         ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
     }
 
@@ -334,7 +413,10 @@ mod tests {
     fn no_detection_before_w_min() {
         let mut d = Optwin::new(small_config(0.5)).unwrap();
         for i in 0..29 {
-            assert_eq!(d.add_element(if i % 2 == 0 { 0.0 } else { 1.0 }), DriftStatus::Stable);
+            assert_eq!(
+                d.add_element(if i % 2 == 0 { 0.0 } else { 1.0 }),
+                DriftStatus::Stable
+            );
         }
         assert_eq!(d.window_len(), 29);
     }
@@ -365,7 +447,11 @@ mod tests {
         }
         let at = detected_at.expect("drift must be detected");
         assert!(at >= 1_500, "false positive at {at}");
-        assert!(at < 1_500 + 400, "detection delay too large: {}", at - 1_500);
+        assert!(
+            at < 1_500 + 400,
+            "detection delay too large: {}",
+            at - 1_500
+        );
     }
 
     #[test]
@@ -552,6 +638,89 @@ mod tests {
         let hits = d.scan(&stream);
         assert!(!hits.is_empty());
         assert!(hits[0] >= 1_000);
+    }
+
+    /// The core tentpole guarantee: the native batch path makes byte-for-byte
+    /// the same decisions as the element-wise fold, across drift resets,
+    /// window saturation and every batch split.
+    #[test]
+    fn add_batch_is_identical_to_element_fold() {
+        let stream: Vec<f64> = (0..6_000u64)
+            .map(|i| {
+                let base = match i {
+                    0..=1_999 => 0.05,
+                    2_000..=3_999 => 0.30,
+                    _ => 0.60,
+                };
+                (base + 0.05 * jitter(i)).clamp(0.0, 1.0)
+            })
+            .collect();
+
+        for &chunk in &[1usize, 7, 128, 1_000, 6_000] {
+            let mut scalar = Optwin::new(small_config(0.5)).unwrap();
+            let mut batched = Optwin::new(small_config(0.5)).unwrap();
+
+            let mut scalar_drifts = Vec::new();
+            let mut scalar_warnings = Vec::new();
+            for (i, &x) in stream.iter().enumerate() {
+                match scalar.add_element(x) {
+                    DriftStatus::Drift => scalar_drifts.push(i),
+                    DriftStatus::Warning => scalar_warnings.push(i),
+                    DriftStatus::Stable => {}
+                }
+            }
+
+            let mut batch_drifts = Vec::new();
+            let mut batch_warnings = Vec::new();
+            for (k, xs) in stream.chunks(chunk).enumerate() {
+                let outcome = batched.add_batch(xs);
+                batch_drifts.extend(outcome.drift_indices.iter().map(|&i| k * chunk + i));
+                batch_warnings.extend(outcome.warning_indices.iter().map(|&i| k * chunk + i));
+            }
+
+            assert_eq!(batch_drifts, scalar_drifts, "chunk = {chunk}");
+            assert_eq!(batch_warnings, scalar_warnings, "chunk = {chunk}");
+            assert_eq!(batched.elements_seen(), scalar.elements_seen());
+            assert_eq!(batched.drifts_detected(), scalar.drifts_detected());
+            assert_eq!(batched.warnings_detected(), scalar.warnings_detected());
+            assert_eq!(batched.window_len(), scalar.window_len());
+            assert_eq!(batched.last_status(), scalar.last_status());
+        }
+    }
+
+    #[test]
+    fn add_batch_saturated_window_stays_equivalent() {
+        // Window pinned at w_max for most of the run: exercises the
+        // single-entry prefetch chunk and ring-buffer eviction.
+        let config = OptwinConfig::builder()
+            .robustness(0.5)
+            .max_window(200)
+            .build()
+            .unwrap();
+        let stream: Vec<f64> = (0..2_000u64).map(|i| 0.3 + 0.1 * jitter(i)).collect();
+        let mut scalar = Optwin::new(config.clone()).unwrap();
+        let mut batched = Optwin::new(config).unwrap();
+        for &x in &stream {
+            scalar.add_element(x);
+        }
+        let outcome = batched.add_batch(&stream);
+        assert_eq!(outcome.len, stream.len());
+        assert_eq!(batched.window_len(), scalar.window_len());
+        assert_eq!(batched.drifts_detected(), scalar.drifts_detected());
+        assert!((batched.hist_mean() - scalar.hist_mean()).abs() < 1e-15);
+        assert!((batched.new_mean() - scalar.new_mean()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shared_table_constructor_uses_the_global_registry() {
+        let config = OptwinConfig::builder()
+            .robustness(0.375)
+            .max_window(333)
+            .build()
+            .unwrap();
+        let d1 = Optwin::with_shared_table(config.clone()).unwrap();
+        let d2 = Optwin::with_shared_table(config).unwrap();
+        assert!(Arc::ptr_eq(&d1.cut_table(), &d2.cut_table()));
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Process-wide sharing of pre-computed [`CutTable`]s.
+//!
+//! A cut table depends only on `(δ, warning δ, ρ, w_min, w_max)` — never on
+//! the data — so every OPTWIN detector built from an equivalent
+//! configuration can share one table. The evaluation harness always did this
+//! by hand for its 30 repetitions; the multi-stream engine runs *thousands*
+//! of concurrent detectors, where per-detector tables would multiply both
+//! memory (a full `w_max = 25 000` table is ~2 MiB) and the one-off quantile
+//! computation. [`CutTableRegistry`] interns tables behind [`Arc`]s keyed by
+//! the relevant configuration fields; [`CutTableRegistry::global`] is the
+//! process-wide instance the detector constructors use.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+
+use crate::cut::CutTable;
+use crate::{OptwinConfig, Result};
+
+/// The configuration fields a cut table actually depends on, bit-exact so
+/// that `f64` parameters hash and compare reliably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TableKey {
+    delta_bits: u64,
+    warning_delta_bits: u64,
+    rho_bits: u64,
+    w_min: usize,
+    w_max: usize,
+}
+
+impl TableKey {
+    fn of(config: &OptwinConfig) -> Self {
+        Self {
+            delta_bits: config.delta.to_bits(),
+            // NaN is rejected by validation; 0 is outside (0,1), so the
+            // bit pattern of 0.0 is a safe "disabled" sentinel.
+            warning_delta_bits: config.warning_delta.unwrap_or(0.0).to_bits(),
+            rho_bits: config.rho.to_bits(),
+            w_min: config.w_min,
+            w_max: config.w_max,
+        }
+    }
+}
+
+/// An interning cache of [`CutTable`]s keyed by the configuration fields
+/// that determine their contents.
+#[derive(Debug, Default)]
+pub struct CutTableRegistry {
+    tables: Mutex<HashMap<TableKey, Arc<CutTable>>>,
+}
+
+impl CutTableRegistry {
+    /// Creates an empty registry. Most callers want
+    /// [`CutTableRegistry::global`] instead.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static CutTableRegistry {
+        static GLOBAL: OnceLock<CutTableRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(CutTableRegistry::new)
+    }
+
+    /// Returns the shared table for `config`, building and interning it on
+    /// first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CoreError::InvalidConfig`] if the configuration is
+    /// invalid.
+    pub fn get_or_build(&self, config: &OptwinConfig) -> Result<Arc<CutTable>> {
+        config.validate()?;
+        let key = TableKey::of(config);
+        let mut tables = self.tables.lock();
+        if let Some(table) = tables.get(&key) {
+            return Ok(Arc::clone(table));
+        }
+        let table = CutTable::shared(config)?;
+        tables.insert(key, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Number of distinct tables currently interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.lock().len()
+    }
+
+    /// `true` when no table is interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every interned table. Detectors holding an [`Arc`] keep their
+    /// table alive; only the registry's references are released.
+    pub fn clear(&self) {
+        self.tables.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DriftDirection;
+
+    fn config(rho: f64, w_max: usize) -> OptwinConfig {
+        OptwinConfig::builder()
+            .robustness(rho)
+            .max_window(w_max)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn same_key_shares_one_table() {
+        let registry = CutTableRegistry::new();
+        let a = registry.get_or_build(&config(0.5, 400)).unwrap();
+        let b = registry.get_or_build(&config(0.5, 400)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn distinct_parameters_get_distinct_tables() {
+        let registry = CutTableRegistry::new();
+        let base = registry.get_or_build(&config(0.5, 400)).unwrap();
+        let other_rho = registry.get_or_build(&config(1.0, 400)).unwrap();
+        let other_window = registry.get_or_build(&config(0.5, 500)).unwrap();
+        assert!(!Arc::ptr_eq(&base, &other_rho));
+        assert!(!Arc::ptr_eq(&base, &other_window));
+        assert_eq!(registry.len(), 3);
+
+        // Warning confidence participates in the key (it changes entries).
+        let mut no_warn = config(0.5, 400);
+        no_warn.warning_delta = None;
+        let warnless = registry.get_or_build(&no_warn).unwrap();
+        assert!(!Arc::ptr_eq(&base, &warnless));
+        assert_eq!(registry.len(), 4);
+    }
+
+    #[test]
+    fn direction_and_eta_do_not_split_the_cache() {
+        // Fields that never influence table entries must share one table.
+        let registry = CutTableRegistry::new();
+        let a = registry.get_or_build(&config(0.5, 400)).unwrap();
+        let mut symmetric = config(0.5, 400);
+        symmetric.direction = DriftDirection::Both;
+        symmetric.eta = 1e-3;
+        let b = registry.get_or_build(&symmetric).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn clear_releases_registry_references() {
+        let registry = CutTableRegistry::new();
+        let held = registry.get_or_build(&config(0.5, 300)).unwrap();
+        assert!(!registry.is_empty());
+        registry.clear();
+        assert!(registry.is_empty());
+        // The held Arc is still usable after the registry drops its copy.
+        assert_eq!(held.w_max(), 300);
+        // A re-build creates a fresh table.
+        let fresh = registry.get_or_build(&config(0.5, 300)).unwrap();
+        assert!(!Arc::ptr_eq(&held, &fresh));
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let registry = CutTableRegistry::new();
+        let mut bad = config(0.5, 300);
+        bad.rho = -1.0;
+        assert!(registry.get_or_build(&bad).is_err());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn global_registry_is_shared_across_threads() {
+        let cfg = config(0.25, 123);
+        let a = CutTableRegistry::global().get_or_build(&cfg).unwrap();
+        let cfg2 = cfg.clone();
+        let b = std::thread::spawn(move || CutTableRegistry::global().get_or_build(&cfg2).unwrap())
+            .join()
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

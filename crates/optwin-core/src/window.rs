@@ -264,8 +264,7 @@ mod tests {
             }
             if split >= 2 {
                 assert!(
-                    (w.hist_variance() - descriptive::sample_variance(hist).unwrap()).abs()
-                        < 1e-10
+                    (w.hist_variance() - descriptive::sample_variance(hist).unwrap()).abs() < 1e-10
                 );
             }
             if new.len() >= 2 {

@@ -1,0 +1,608 @@
+//! The sharded multi-stream engine.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Instant;
+
+use optwin_core::{DriftDetector, DriftStatus};
+
+use crate::event::DriftEvent;
+
+/// Builds a detector for a newly seen stream id.
+pub type DetectorFactory = Box<dyn Fn(u64) -> Box<dyn DriftDetector + Send> + Send>;
+
+/// Engine construction errors and ingestion-time failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A stream id was registered twice.
+    DuplicateStream(u64),
+    /// A record referenced a stream that is not registered and the engine
+    /// has no detector factory.
+    UnknownStream(u64),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::DuplicateStream(id) => {
+                write!(f, "stream {id} is already registered")
+            }
+            EngineError::UnknownStream(id) => write!(
+                f,
+                "stream {id} is not registered and the engine has no detector factory"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Configuration for [`DriftEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of shards (≥ 1). Streams are pinned to shard `id % shards`;
+    /// each `ingest_batch` call runs the non-empty shards in parallel.
+    pub shards: usize,
+    /// Emit [`DriftStatus::Warning`] events in addition to drifts (default
+    /// `false`: drifts only).
+    pub emit_warnings: bool,
+}
+
+impl EngineConfig {
+    /// A configuration with the given shard count and warnings disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "engine needs at least one shard");
+        Self {
+            shards,
+            emit_warnings: false,
+        }
+    }
+
+    /// Enables or disables warning events.
+    #[must_use]
+    pub fn emit_warnings(mut self, emit: bool) -> Self {
+        self.emit_warnings = emit;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    /// One shard per available CPU core (minus nothing — shards are cheap),
+    /// warnings disabled.
+    fn default() -> Self {
+        let shards = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+        Self {
+            shards,
+            emit_warnings: false,
+        }
+    }
+}
+
+/// Per-stream state owned by exactly one shard.
+struct StreamState {
+    detector: Box<dyn DriftDetector + Send>,
+    /// Elements ingested for this stream so far (the next element's sequence
+    /// number).
+    seq: u64,
+    /// Wall-clock seconds spent inside the detector for this stream.
+    seconds: f64,
+    /// Values staged for the current batch (reused across batches).
+    staged: Vec<f64>,
+}
+
+/// A shard: a disjoint set of streams processed sequentially by one thread.
+#[derive(Default)]
+struct Shard {
+    streams: HashMap<u64, StreamState>,
+    /// First-seen order of the streams staged in the current batch.
+    batch_order: Vec<u64>,
+}
+
+impl Shard {
+    /// Stages `records` (all belonging to this shard) and runs every staged
+    /// stream's detector through its batch path, returning the events.
+    fn process(&mut self, records: &[(u64, f64)], emit_warnings: bool) -> Vec<DriftEvent> {
+        self.batch_order.clear();
+        for &(stream, value) in records {
+            let state = self
+                .streams
+                .get_mut(&stream)
+                .expect("validated by the engine");
+            if state.staged.is_empty() {
+                self.batch_order.push(stream);
+            }
+            state.staged.push(value);
+        }
+
+        let mut events = Vec::new();
+        for &stream in &self.batch_order {
+            let state = self.streams.get_mut(&stream).expect("staged above");
+            let started = Instant::now();
+            let outcome = state.detector.add_batch(&state.staged);
+            state.seconds += started.elapsed().as_secs_f64();
+
+            events.extend(outcome.drift_indices.iter().map(|&i| DriftEvent {
+                stream,
+                seq: state.seq + i as u64,
+                status: DriftStatus::Drift,
+            }));
+            if emit_warnings {
+                events.extend(outcome.warning_indices.iter().map(|&i| DriftEvent {
+                    stream,
+                    seq: state.seq + i as u64,
+                    status: DriftStatus::Warning,
+                }));
+            }
+            state.seq += state.staged.len() as u64;
+            state.staged.clear();
+        }
+        events
+    }
+}
+
+/// Read-only view of one stream's lifetime statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSnapshot {
+    /// The stream id.
+    pub stream: u64,
+    /// Elements ingested so far.
+    pub elements: u64,
+    /// Drifts the stream's detector has flagged.
+    pub drifts: u64,
+    /// Wall-clock seconds spent inside the detector.
+    pub detector_seconds: f64,
+    /// The detector's stable name (e.g. `"OPTWIN"`).
+    pub detector: &'static str,
+}
+
+/// A sharded collection of independent drift detectors fed by batches of
+/// `(stream id, value)` records. See the crate docs for the architecture.
+pub struct DriftEngine {
+    config: EngineConfig,
+    shards: Vec<Shard>,
+    factory: Option<DetectorFactory>,
+    /// Per-shard record staging buffers, reused across `ingest_batch` calls.
+    partitions: Vec<Vec<(u64, f64)>>,
+}
+
+impl fmt::Debug for DriftEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DriftEngine")
+            .field("config", &self.config)
+            .field("streams", &self.stream_count())
+            .field("has_factory", &self.factory.is_some())
+            .finish()
+    }
+}
+
+impl DriftEngine {
+    /// Creates an engine whose streams must all be registered explicitly via
+    /// [`DriftEngine::register_stream`].
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        Self {
+            shards: (0..config.shards).map(|_| Shard::default()).collect(),
+            partitions: (0..config.shards).map(|_| Vec::new()).collect(),
+            factory: None,
+            config,
+        }
+    }
+
+    /// Creates an engine that builds a detector through `factory` the first
+    /// time a record for an unknown stream id arrives.
+    #[must_use]
+    pub fn with_factory<F>(config: EngineConfig, factory: F) -> Self
+    where
+        F: Fn(u64) -> Box<dyn DriftDetector + Send> + Send + 'static,
+    {
+        let mut engine = Self::new(config);
+        engine.factory = Some(Box::new(factory));
+        engine
+    }
+
+    /// The shard a stream id is pinned to.
+    #[inline]
+    fn shard_of(&self, stream: u64) -> usize {
+        (stream % self.shards.len() as u64) as usize
+    }
+
+    /// Registers a stream with an explicit detector instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DuplicateStream`] if the id is already
+    /// registered.
+    pub fn register_stream(
+        &mut self,
+        stream: u64,
+        detector: Box<dyn DriftDetector + Send>,
+    ) -> Result<(), EngineError> {
+        let shard = self.shard_of(stream);
+        let streams = &mut self.shards[shard].streams;
+        if streams.contains_key(&stream) {
+            return Err(EngineError::DuplicateStream(stream));
+        }
+        streams.insert(
+            stream,
+            StreamState {
+                detector,
+                seq: 0,
+                seconds: 0.0,
+                staged: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// `true` when the stream id is registered.
+    #[must_use]
+    pub fn contains_stream(&self, stream: u64) -> bool {
+        self.shards[self.shard_of(stream)]
+            .streams
+            .contains_key(&stream)
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of registered streams.
+    #[must_use]
+    pub fn stream_count(&self) -> usize {
+        self.shards.iter().map(|s| s.streams.len()).sum()
+    }
+
+    /// Total elements ingested across all streams.
+    #[must_use]
+    pub fn elements_ingested(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| s.streams.values())
+            .map(|state| state.seq)
+            .sum()
+    }
+
+    /// Total drifts flagged across all streams.
+    #[must_use]
+    pub fn drifts_detected(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| s.streams.values())
+            .map(|state| state.detector.drifts_detected())
+            .sum()
+    }
+
+    /// Lifetime statistics for one stream, if registered.
+    #[must_use]
+    pub fn stream_snapshot(&self, stream: u64) -> Option<StreamSnapshot> {
+        let state = self.shards[self.shard_of(stream)].streams.get(&stream)?;
+        Some(StreamSnapshot {
+            stream,
+            elements: state.seq,
+            drifts: state.detector.drifts_detected(),
+            detector_seconds: state.seconds,
+            detector: state.detector.name(),
+        })
+    }
+
+    /// All registered stream ids (unordered).
+    pub fn stream_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.shards.iter().flat_map(|s| s.streams.keys().copied())
+    }
+
+    /// Ensures every stream referenced by `records` exists, creating missing
+    /// detectors through the factory.
+    fn ensure_streams(&mut self, records: &[(u64, f64)]) -> Result<(), EngineError> {
+        for &(stream, _) in records {
+            if !self.contains_stream(stream) {
+                let detector = match &self.factory {
+                    Some(factory) => factory(stream),
+                    None => return Err(EngineError::UnknownStream(stream)),
+                };
+                self.register_stream(stream, detector)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingests a batch of `(stream id, value)` records.
+    ///
+    /// Records are partitioned onto the shards; non-empty shards run
+    /// concurrently on scoped threads, each feeding its streams through the
+    /// detectors' batch path. Per-stream record order is preserved; the
+    /// returned events are sorted by `(stream, seq)` so the output is fully
+    /// deterministic regardless of thread scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::UnknownStream`] when a record references an
+    /// unregistered stream and no factory is configured. No records are
+    /// ingested in that case.
+    pub fn ingest_batch(&mut self, records: &[(u64, f64)]) -> Result<Vec<DriftEvent>, EngineError> {
+        self.ensure_streams(records)?;
+
+        let nshards = self.shards.len() as u64;
+        for partition in &mut self.partitions {
+            partition.clear();
+        }
+        for &record in records {
+            self.partitions[(record.0 % nshards) as usize].push(record);
+        }
+
+        let emit_warnings = self.config.emit_warnings;
+        let mut events: Vec<DriftEvent> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut inline: Option<(&mut Shard, &Vec<(u64, f64)>)> = None;
+            for (shard, partition) in self.shards.iter_mut().zip(&self.partitions) {
+                if partition.is_empty() {
+                    continue;
+                }
+                // The first non-empty shard runs on the calling thread; the
+                // rest are forked.
+                match inline {
+                    None => inline = Some((shard, partition)),
+                    Some(_) => {
+                        handles.push(scope.spawn(move || shard.process(partition, emit_warnings)));
+                    }
+                }
+            }
+            if let Some((shard, partition)) = inline {
+                events.extend(shard.process(partition, emit_warnings));
+            }
+            for handle in handles {
+                events.extend(handle.join().expect("shard thread panicked"));
+            }
+        });
+
+        events.sort_unstable_by_key(|e| (e.stream, e.seq));
+        Ok(events)
+    }
+
+    /// Convenience: ingests a contiguous slice of values for one stream.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DriftEngine::ingest_batch`].
+    pub fn ingest_stream(
+        &mut self,
+        stream: u64,
+        values: &[f64],
+    ) -> Result<Vec<DriftEvent>, EngineError> {
+        self.ensure_streams(&[(stream, 0.0)])?;
+        let shard = self.shard_of(stream);
+        let emit_warnings = self.config.emit_warnings;
+        // Single-stream fast path: no partitioning, no thread scope.
+        let state = self.shards[shard]
+            .streams
+            .get_mut(&stream)
+            .expect("ensured above");
+        let started = Instant::now();
+        let outcome = state.detector.add_batch(values);
+        state.seconds += started.elapsed().as_secs_f64();
+        let base = state.seq;
+        state.seq += values.len() as u64;
+        let mut events: Vec<DriftEvent> = outcome
+            .drift_indices
+            .iter()
+            .map(|&i| DriftEvent {
+                stream,
+                seq: base + i as u64,
+                status: DriftStatus::Drift,
+            })
+            .collect();
+        if emit_warnings {
+            events.extend(outcome.warning_indices.iter().map(|&i| DriftEvent {
+                stream,
+                seq: base + i as u64,
+                status: DriftStatus::Warning,
+            }));
+            events.sort_unstable_by_key(|e| e.seq);
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic detector that fires every `period` elements.
+    struct Periodic {
+        period: u64,
+        seen: u64,
+        drifts: u64,
+    }
+
+    impl Periodic {
+        fn boxed(period: u64) -> Box<dyn DriftDetector + Send> {
+            Box::new(Periodic {
+                period,
+                seen: 0,
+                drifts: 0,
+            })
+        }
+    }
+
+    impl DriftDetector for Periodic {
+        fn add_element(&mut self, _value: f64) -> DriftStatus {
+            self.seen += 1;
+            if self.seen.is_multiple_of(self.period) {
+                self.drifts += 1;
+                DriftStatus::Drift
+            } else if self.seen % self.period == self.period - 1 {
+                DriftStatus::Warning
+            } else {
+                DriftStatus::Stable
+            }
+        }
+        fn reset(&mut self) {}
+        fn name(&self) -> &'static str {
+            "periodic"
+        }
+        fn elements_seen(&self) -> u64 {
+            self.seen
+        }
+        fn drifts_detected(&self) -> u64 {
+            self.drifts
+        }
+    }
+
+    #[test]
+    fn events_carry_per_stream_sequence_numbers() {
+        let mut engine = DriftEngine::new(EngineConfig::with_shards(4));
+        engine.register_stream(0, Periodic::boxed(10)).unwrap();
+        engine.register_stream(1, Periodic::boxed(25)).unwrap();
+
+        // Interleave the two streams over several batches.
+        let mut events = Vec::new();
+        for batch in 0..5 {
+            let mut records = Vec::new();
+            for _ in 0..20 {
+                records.push((0u64, 0.0));
+                records.push((1u64, 0.0));
+            }
+            let got = engine.ingest_batch(&records).unwrap();
+            let _ = batch;
+            events.extend(got);
+        }
+        // Stream 0: 100 elements, drift at seq 9, 19, ...; stream 1: drifts
+        // at 24, 49, 74, 99.
+        let s0: Vec<u64> = events
+            .iter()
+            .filter(|e| e.stream == 0)
+            .map(|e| e.seq)
+            .collect();
+        let s1: Vec<u64> = events
+            .iter()
+            .filter(|e| e.stream == 1)
+            .map(|e| e.seq)
+            .collect();
+        assert_eq!(s0, vec![9, 19, 29, 39, 49, 59, 69, 79, 89, 99]);
+        assert_eq!(s1, vec![24, 49, 74, 99]);
+        assert_eq!(engine.elements_ingested(), 200);
+        assert_eq!(engine.drifts_detected(), 14);
+    }
+
+    #[test]
+    fn sharded_and_single_shard_engines_agree() {
+        let build = || {
+            let mut records = Vec::new();
+            for i in 0..500u64 {
+                for stream in 0..16u64 {
+                    let _ = i;
+                    records.push((stream, 0.0));
+                }
+            }
+            records
+        };
+        let run = |shards: usize| {
+            let mut engine =
+                DriftEngine::with_factory(EngineConfig::with_shards(shards), |stream| {
+                    Periodic::boxed(7 + stream % 5)
+                });
+            let mut events = Vec::new();
+            for batch in build().chunks(97) {
+                events.extend(engine.ingest_batch(batch).unwrap());
+            }
+            events
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(4), run(16));
+    }
+
+    #[test]
+    fn warnings_are_opt_in() {
+        let mut quiet = DriftEngine::new(EngineConfig::with_shards(2));
+        quiet.register_stream(5, Periodic::boxed(10)).unwrap();
+        let mut chatty = DriftEngine::new(EngineConfig::with_shards(2).emit_warnings(true));
+        chatty.register_stream(5, Periodic::boxed(10)).unwrap();
+
+        let records: Vec<(u64, f64)> = (0..30).map(|_| (5u64, 0.0)).collect();
+        let quiet_events = quiet.ingest_batch(&records).unwrap();
+        let chatty_events = chatty.ingest_batch(&records).unwrap();
+        assert!(quiet_events.iter().all(DriftEvent::is_drift));
+        assert_eq!(quiet_events.len(), 3);
+        assert_eq!(chatty_events.iter().filter(|e| e.is_drift()).count(), 3);
+        assert_eq!(chatty_events.iter().filter(|e| !e.is_drift()).count(), 3);
+        // Warning precedes its drift at seq 8/9, 18/19, 28/29.
+        assert_eq!(chatty_events[0].seq, 8);
+        assert!(!chatty_events[0].is_drift());
+        assert_eq!(chatty_events[1].seq, 9);
+        assert!(chatty_events[1].is_drift());
+    }
+
+    #[test]
+    fn unknown_stream_without_factory_is_an_error() {
+        let mut engine = DriftEngine::new(EngineConfig::with_shards(2));
+        let err = engine.ingest_batch(&[(42, 0.5)]).unwrap_err();
+        assert_eq!(err, EngineError::UnknownStream(42));
+        assert_eq!(engine.elements_ingested(), 0);
+
+        engine.register_stream(42, Periodic::boxed(5)).unwrap();
+        let err = engine.register_stream(42, Periodic::boxed(5)).unwrap_err();
+        assert_eq!(err, EngineError::DuplicateStream(42));
+        assert!(err.to_string().contains("42"));
+    }
+
+    #[test]
+    fn factory_creates_streams_on_first_sight() {
+        let mut engine =
+            DriftEngine::with_factory(EngineConfig::with_shards(3), |_| Periodic::boxed(100));
+        assert_eq!(engine.stream_count(), 0);
+        engine
+            .ingest_batch(&[(1, 0.0), (2, 0.0), (1, 0.0)])
+            .unwrap();
+        assert_eq!(engine.stream_count(), 2);
+        assert!(engine.contains_stream(1));
+        assert!(engine.contains_stream(2));
+        assert!(!engine.contains_stream(3));
+        let snap = engine.stream_snapshot(1).unwrap();
+        assert_eq!(snap.elements, 2);
+        assert_eq!(snap.drifts, 0);
+        assert_eq!(snap.detector, "periodic");
+        assert!(snap.detector_seconds >= 0.0);
+        assert_eq!(engine.stream_snapshot(99), None);
+        let mut ids: Vec<u64> = engine.stream_ids().collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn ingest_stream_matches_ingest_batch() {
+        let mut a = DriftEngine::new(EngineConfig::with_shards(2).emit_warnings(true));
+        a.register_stream(7, Periodic::boxed(10)).unwrap();
+        let mut b = DriftEngine::new(EngineConfig::with_shards(2).emit_warnings(true));
+        b.register_stream(7, Periodic::boxed(10)).unwrap();
+
+        let values = vec![0.0; 45];
+        let records: Vec<(u64, f64)> = values.iter().map(|&v| (7u64, v)).collect();
+        let via_stream = a.ingest_stream(7, &values).unwrap();
+        let via_batch = b.ingest_batch(&records).unwrap();
+        assert_eq!(via_stream, via_batch);
+        assert_eq!(a.elements_ingested(), b.elements_ingested());
+    }
+
+    #[test]
+    fn default_config_is_usable() {
+        let config = EngineConfig::default();
+        assert!(config.shards >= 1);
+        let engine = DriftEngine::new(config);
+        assert_eq!(engine.num_shards(), config.shards);
+        assert!(format!("{engine:?}").contains("DriftEngine"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = EngineConfig::with_shards(0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Events emitted by the engine.
+
+use optwin_core::DriftStatus;
+
+/// One detector verdict worth surfacing, tied to its exact stream position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftEvent {
+    /// The stream the event belongs to.
+    pub stream: u64,
+    /// 0-based sequence number of the element (within its stream) whose
+    /// ingestion produced this event. Monotonically increasing per stream
+    /// across batches.
+    pub seq: u64,
+    /// [`DriftStatus::Drift`], or [`DriftStatus::Warning`] when the engine
+    /// is configured to emit warnings.
+    pub status: DriftStatus,
+}
+
+impl DriftEvent {
+    /// `true` if this event is a drift (vs. a warning).
+    #[must_use]
+    pub fn is_drift(&self) -> bool {
+        self.status == DriftStatus::Drift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_predicate() {
+        let drift = DriftEvent {
+            stream: 1,
+            seq: 10,
+            status: DriftStatus::Drift,
+        };
+        let warn = DriftEvent {
+            stream: 1,
+            seq: 9,
+            status: DriftStatus::Warning,
+        };
+        assert!(drift.is_drift());
+        assert!(!warn.is_drift());
+    }
+}

@@ -1,0 +1,71 @@
+//! # optwin-engine — sharded, parallel multi-stream drift detection
+//!
+//! The per-paper crates detect drift in **one** stream at a time. This crate
+//! turns the batch-first [`DriftDetector`](optwin_core::DriftDetector)
+//! contract into a serving-scale runtime: a [`DriftEngine`] owns many
+//! independent `(stream id → detector)` entries partitioned across `N`
+//! shards, ingests batches of `(stream id, value)` records, fans the shards
+//! out across OS threads, and emits per-stream [`DriftEvent`]s carrying the
+//! exact element sequence number at which each detector fired.
+//!
+//! Design points:
+//!
+//! * **Sharding by stream id.** A stream lives on shard `id % N` for its
+//!   whole life, so per-stream element order is preserved while shards
+//!   process disjoint detector sets with no locking at all.
+//! * **Batching end-to-end.** Within a shard, a batch's records are grouped
+//!   per stream and handed to the detector through `add_batch`, so OPTWIN's
+//!   amortized cut-table prefetch (and every other native batch path) kicks
+//!   in. Results are bit-identical to element-wise ingestion — that is the
+//!   detector contract, enforced by `tests/detector_contract.rs`.
+//! * **Shared cut tables.** OPTWIN detectors built through
+//!   [`optwin_core::CutTableRegistry`] (or any shared
+//!   [`optwin_core::CutTable`]) keep one quantile table per configuration
+//!   across all streams and shards.
+//! * **Fork–join parallelism on scoped threads.** Each `ingest_batch` call
+//!   fans non-empty shards out with `std::thread::scope`. (The environment
+//!   has no `rayon`; a scoped fork–join over shard-disjoint `&mut` state
+//!   needs no work-stealing pool and keeps the crate dependency-free.)
+//!
+//! # Quick start
+//!
+//! ```
+//! use optwin_core::{DriftDetector, Optwin, OptwinConfig};
+//! use optwin_engine::{DriftEngine, EngineConfig};
+//!
+//! // 4 shards; detectors are created on first sight of a stream id.
+//! let mut engine = DriftEngine::with_factory(EngineConfig::with_shards(4), |_stream| {
+//!     let config = OptwinConfig::builder()
+//!         .robustness(1.0)
+//!         .max_window(500)
+//!         .build()
+//!         .expect("valid config");
+//!     Box::new(Optwin::with_shared_table(config).expect("valid config"))
+//! });
+//!
+//! // 8 interleaved streams; stream 3 degrades halfway through.
+//! let mut records = Vec::new();
+//! for i in 0..4_000u64 {
+//!     for stream in 0..8u64 {
+//!         let base = if stream == 3 && i >= 2_000 { 0.6 } else { 0.05 };
+//!         let noise = 0.01 * ((i % 7) as f64 - 3.0) / 3.0;
+//!         records.push((stream, base + noise));
+//!     }
+//! }
+//! let mut events = Vec::new();
+//! for batch in records.chunks(8 * 500) {
+//!     events.extend(engine.ingest_batch(batch).expect("registered streams"));
+//! }
+//! assert!(events.iter().all(|e| e.stream == 3));
+//! assert!(events.iter().any(|e| e.seq >= 2_000), "drift found after the shift");
+//! assert_eq!(engine.stream_count(), 8);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+mod engine;
+mod event;
+
+pub use engine::{DetectorFactory, DriftEngine, EngineConfig, EngineError, StreamSnapshot};
+pub use event::DriftEvent;

@@ -222,7 +222,9 @@ mod tests {
             ClassificationExperiment::Covertype.default_stream_len(),
             100_000
         );
-        assert!(ClassificationExperiment::GradualAgrawal.label().contains("AGRAWAL"));
+        assert!(ClassificationExperiment::GradualAgrawal
+            .label()
+            .contains("AGRAWAL"));
     }
 
     #[test]

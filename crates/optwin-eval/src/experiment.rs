@@ -14,18 +14,19 @@
 //! reporting the average detection delay, FP count, micro-averaged precision,
 //! recall and F1 per detector.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
 use optwin_baselines::DetectorKind;
-use optwin_core::{DriftDetector, DriftStatus};
+use optwin_core::DriftDetector;
+use optwin_engine::{DriftEngine, EngineConfig};
 use optwin_learners::{NaiveBayes, OnlineLearner};
 use optwin_stream::drift::MultiConceptStream;
 use optwin_stream::generators::{
     Agrawal, AgrawalFunction, RandomRbf, RandomRbfConfig, Stagger, StaggerConcept,
 };
-use optwin_stream::{
-    DriftKind, DriftSchedule, ErrorStream, ErrorStreamConfig, InstanceStream,
-};
+use optwin_stream::{DriftKind, DriftSchedule, ErrorStream, ErrorStreamConfig, InstanceStream};
 
 use crate::factory::DetectorFactory;
 use crate::metrics::{score_detections, AggregateMetrics, DetectionOutcome};
@@ -173,9 +174,7 @@ impl Table1Experiment {
                 );
                 (stream.collect_all(), schedule)
             }
-            Table1Experiment::Stagger
-            | Table1Experiment::RandomRbf
-            | Table1Experiment::Agrawal => {
+            Table1Experiment::Stagger | Table1Experiment::RandomRbf | Table1Experiment::Agrawal => {
                 let schedule = DriftSchedule::every(interval, stream_len, 1);
                 let mut stream = self.build_classification_stream(seed, &schedule);
                 let mut learner = NaiveBayes::new(&stream.schema(), stream.n_classes());
@@ -248,20 +247,16 @@ pub struct DetectionRun {
     pub detector_seconds: f64,
 }
 
-/// Runs a detector over a pre-generated error sequence and scores it.
+/// Runs a detector over a pre-generated error sequence (through its batch
+/// path) and scores it.
 #[must_use]
 pub fn run_detector_on_sequence(
     detector: &mut (impl DriftDetector + ?Sized),
     errors: &[f64],
     schedule: &DriftSchedule,
 ) -> DetectionRun {
-    let mut detections = Vec::new();
     let start = std::time::Instant::now();
-    for (i, &e) in errors.iter().enumerate() {
-        if detector.add_element(e) == DriftStatus::Drift {
-            detections.push(i);
-        }
-    }
+    let detections = detector.add_batch(errors).drift_indices;
     let detector_seconds = start.elapsed().as_secs_f64();
     let outcome = score_detections(schedule, &detections);
     DetectionRun {
@@ -284,17 +279,28 @@ pub struct Table1Aggregate {
     pub mean_detector_seconds: f64,
 }
 
-/// Runs the full (experiment × detector) grid for a number of repetitions.
+/// Number of elements per stream fed to the engine per `ingest_batch` call
+/// by the Table 1 runner. Large enough to amortize fan-out overhead, small
+/// enough to keep the record staging buffers cache-friendly.
+const TABLE1_BATCH: usize = 4_096;
+
+/// Runs the full (experiment × detector) grid for a number of repetitions,
+/// fanning the `detectors × repetitions` runs across engine shards.
 ///
 /// `stream_len` overrides the experiment's default length (useful for tests
-/// and quick runs); pass `None` for the paper-scale streams.
+/// and quick runs); pass `None` for the paper-scale streams. `shards` picks
+/// the engine shard count; `None` uses one shard per available CPU core.
+/// Results are identical for every shard count (and to the historical
+/// strictly sequential runner): each run is an isolated detector stream, and
+/// the batch path is contractually equivalent to element-wise ingestion.
 #[must_use]
-pub fn run_table1_experiment(
+pub fn run_table1_experiment_sharded(
     experiment: Table1Experiment,
     factory: &mut DetectorFactory,
     repetitions: usize,
     stream_len: Option<usize>,
     base_seed: u64,
+    shards: Option<usize>,
 ) -> Vec<Table1Aggregate> {
     let stream_len = stream_len.unwrap_or_else(|| experiment.default_stream_len());
     let detectors = experiment.applicable_detectors();
@@ -305,16 +311,65 @@ pub fn run_table1_experiment(
         .map(|r| experiment.build_error_sequence(base_seed + r as u64, stream_len))
         .collect();
 
+    // One engine stream per (detector, repetition) run.
+    let n_streams = (detectors.len() * repetitions).max(1);
+    let shards = shards
+        .unwrap_or_else(|| EngineConfig::default().shards)
+        .clamp(1, n_streams);
+    let mut engine = DriftEngine::new(EngineConfig::with_shards(shards));
+    // Ids are consecutive *within* a repetition (`rep * detectors + d`):
+    // each ingest_batch carries one repetition's streams, and the engine
+    // pins stream `id` to shard `id % shards`, so consecutive ids spread a
+    // batch round-robin over every shard. The transposed layout
+    // (`d * repetitions + rep`) would stride a batch's ids by `repetitions`
+    // and collapse the fan-out onto `shards / gcd(repetitions, shards)`
+    // shards — fully sequential at the paper's 30 repetitions on 6 cores.
+    let stream_id = |d: usize, rep: usize| (rep * detectors.len() + d) as u64;
+    for (d, &kind) in detectors.iter().enumerate() {
+        for rep in 0..repetitions {
+            engine
+                .register_stream(stream_id(d, rep), factory.build(kind))
+                .expect("stream ids are unique by construction");
+        }
+    }
+
+    // Feed every repetition's sequence to all of its detector streams in
+    // lock-stepped chunks; the engine fans the shards out in parallel.
+    let mut detections: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut records: Vec<(u64, f64)> = Vec::with_capacity(TABLE1_BATCH * detectors.len());
+    for (rep, (errors, _)) in sequences.iter().enumerate() {
+        for start in (0..errors.len()).step_by(TABLE1_BATCH) {
+            let chunk = &errors[start..(start + TABLE1_BATCH).min(errors.len())];
+            records.clear();
+            for d in 0..detectors.len() {
+                let id = stream_id(d, rep);
+                records.extend(chunk.iter().map(|&e| (id, e)));
+            }
+            for event in engine
+                .ingest_batch(&records)
+                .expect("all streams registered")
+            {
+                detections
+                    .entry(event.stream)
+                    .or_default()
+                    .push(event.seq as usize);
+            }
+        }
+    }
+
     detectors
-        .into_iter()
-        .map(|kind| {
+        .iter()
+        .enumerate()
+        .map(|(d, &kind)| {
             let mut outcomes = Vec::with_capacity(repetitions);
             let mut total_seconds = 0.0;
-            for (errors, schedule) in &sequences {
-                let mut detector = factory.build(kind);
-                let run = run_detector_on_sequence(detector.as_mut(), errors, schedule);
-                total_seconds += run.detector_seconds;
-                outcomes.push(run.outcome);
+            for (rep, (_, schedule)) in sequences.iter().enumerate() {
+                let id = stream_id(d, rep);
+                let run_detections = detections.remove(&id).unwrap_or_default();
+                outcomes.push(score_detections(schedule, &run_detections));
+                total_seconds += engine
+                    .stream_snapshot(id)
+                    .map_or(0.0, |s| s.detector_seconds);
             }
             Table1Aggregate {
                 experiment,
@@ -324,6 +379,26 @@ pub fn run_table1_experiment(
             }
         })
         .collect()
+}
+
+/// Runs the full (experiment × detector) grid with the default shard count
+/// (one per CPU core). See [`run_table1_experiment_sharded`].
+#[must_use]
+pub fn run_table1_experiment(
+    experiment: Table1Experiment,
+    factory: &mut DetectorFactory,
+    repetitions: usize,
+    stream_len: Option<usize>,
+    base_seed: u64,
+) -> Vec<Table1Aggregate> {
+    run_table1_experiment_sharded(
+        experiment,
+        factory,
+        repetitions,
+        stream_len,
+        base_seed,
+        None,
+    )
 }
 
 #[cfg(test)]
@@ -356,8 +431,7 @@ mod tests {
             // The single drift is an error-rate increase.
             let drift = schedule.positions()[0];
             let before: f64 = errors[..drift].iter().sum::<f64>() / drift as f64;
-            let after: f64 =
-                errors[drift..].iter().sum::<f64>() / (errors.len() - drift) as f64;
+            let after: f64 = errors[drift..].iter().sum::<f64>() / (errors.len() - drift) as f64;
             assert!(after > before);
         }
         let (errors, _) = Table1Experiment::SuddenNonBinary.build_error_sequence(1, 3_000);
@@ -396,6 +470,29 @@ mod tests {
     }
 
     #[test]
+    fn sharded_grid_is_deterministic_across_shard_counts() {
+        let run = |shards: Option<usize>| {
+            let mut factory = DetectorFactory::with_optwin_window(800);
+            run_table1_experiment_sharded(
+                Table1Experiment::SuddenBinary,
+                &mut factory,
+                2,
+                Some(4_000),
+                7,
+                shards,
+            )
+        };
+        let sequential = run(Some(1));
+        let parallel = run(Some(4));
+        let auto = run(None);
+        for ((a, b), c) in sequential.iter().zip(&parallel).zip(&auto) {
+            assert_eq!(a.detector, b.detector);
+            assert_eq!(a.metrics, b.metrics, "{}", a.detector);
+            assert_eq!(a.metrics, c.metrics, "{}", a.detector);
+        }
+    }
+
+    #[test]
     fn small_scale_table1_grid_runs() {
         let mut factory = DetectorFactory::with_optwin_window(1_000);
         let rows = run_table1_experiment(
@@ -414,7 +511,14 @@ mod tests {
         }
         // OPTWIN rho=0.5 should detect at least half of the drifts on this
         // easy stream.
-        let optwin = rows.iter().find(|r| r.detector == "OPTWIN rho=0.5").unwrap();
-        assert!(optwin.metrics.recall >= 0.5, "recall = {}", optwin.metrics.recall);
+        let optwin = rows
+            .iter()
+            .find(|r| r.detector == "OPTWIN rho=0.5")
+            .unwrap();
+        assert!(
+            optwin.metrics.recall >= 0.5,
+            "recall = {}",
+            optwin.metrics.recall
+        );
     }
 }

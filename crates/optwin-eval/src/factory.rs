@@ -1,26 +1,22 @@
 //! Uniform construction of every detector in the paper's line-up.
 //!
 //! The experiment runners iterate over [`optwin_baselines::DetectorKind`]
-//! values and need fresh detector instances per run; OPTWIN's pre-computed
-//! cut tables are shared across runs with the same (δ, ρ, w_max) to avoid
-//! recomputing the quantile tables 30 times per experiment.
+//! values and need fresh detector instances per run. OPTWIN's pre-computed
+//! cut tables are interned in the process-wide
+//! [`optwin_core::CutTableRegistry`], so every OPTWIN instance with the same
+//! (δ, ρ, w_max) — across repetitions, experiments, engine shards and even
+//! concurrently running factories — shares one table.
 
-use std::collections::HashMap;
-use std::sync::Arc;
+use optwin_baselines::{Adwin, Ddm, DetectorKind, Ecdd, Eddm, Kswin, PageHinkley, Stepd};
+use optwin_core::{DriftDetector, Optwin, OptwinConfig};
 
-use optwin_baselines::{
-    Adwin, DetectorKind, Ddm, Ecdd, Eddm, Kswin, PageHinkley, Stepd,
-};
-use optwin_core::{CutTable, DriftDetector, Optwin, OptwinConfig};
-
-/// Builds detectors by [`DetectorKind`], caching OPTWIN cut tables.
-#[derive(Debug)]
+/// Builds detectors by [`DetectorKind`], with registry-shared OPTWIN cut
+/// tables.
+#[derive(Debug, Clone)]
 pub struct DetectorFactory {
     /// Maximum OPTWIN window size (the paper uses 25 000; tests use smaller
     /// values to keep the quantile tables cheap).
     optwin_w_max: usize,
-    /// Cached cut tables keyed by ρ in thousandths.
-    cut_tables: HashMap<u32, Arc<CutTable>>,
 }
 
 impl DetectorFactory {
@@ -37,7 +33,6 @@ impl DetectorFactory {
     pub fn with_optwin_window(w_max: usize) -> Self {
         Self {
             optwin_w_max: w_max,
-            cut_tables: HashMap::new(),
         }
     }
 
@@ -62,16 +57,7 @@ impl DetectorFactory {
                     .max_window(self.optwin_w_max)
                     .build()
                     .expect("valid OPTWIN configuration");
-                let table = self
-                    .cut_tables
-                    .entry(milli)
-                    .or_insert_with(|| {
-                        CutTable::shared(&config).expect("valid OPTWIN configuration")
-                    })
-                    .clone();
-                Box::new(
-                    Optwin::with_cut_table(config, table).expect("matching cut table"),
-                )
+                Box::new(Optwin::with_shared_table(config).expect("valid OPTWIN configuration"))
             }
             DetectorKind::Adwin => Box::new(Adwin::with_defaults()),
             DetectorKind::Ddm => Box::new(Ddm::with_defaults()),
@@ -120,12 +106,21 @@ mod tests {
     }
 
     #[test]
-    fn optwin_cut_tables_are_shared() {
+    fn optwin_cut_tables_are_shared_through_the_registry() {
+        use std::sync::Arc;
+        // Two *separate* factories with the same window produce OPTWIN
+        // detectors backed by one table (this used to be a per-factory
+        // cache; the registry extends the sharing process-wide).
+        let config = OptwinConfig::builder()
+            .robustness(0.5)
+            .max_window(300)
+            .build()
+            .unwrap();
+        let a = Optwin::with_shared_table(config.clone()).unwrap();
         let mut factory = DetectorFactory::with_optwin_window(300);
         let _ = factory.build(DetectorKind::OptwinRho(500));
-        let _ = factory.build(DetectorKind::OptwinRho(500));
-        let _ = factory.build(DetectorKind::OptwinRho(100));
-        assert_eq!(factory.cut_tables.len(), 2);
+        let b = Optwin::with_shared_table(config).unwrap();
+        assert!(Arc::ptr_eq(&a.cut_table(), &b.cut_table()));
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub mod nn_pipeline;
 pub mod report;
 
 pub use classification::{ClassificationExperiment, ClassificationOutcome};
-pub use experiment::{DetectionRun, Table1Aggregate, Table1Experiment};
+pub use experiment::{
+    run_table1_experiment, run_table1_experiment_sharded, DetectionRun, Table1Aggregate,
+    Table1Experiment,
+};
 pub use factory::DetectorFactory;
 pub use metrics::{score_detections, AggregateMetrics, DetectionOutcome};
 pub use nn_pipeline::{NnPipelineConfig, NnPipelineOutcome};

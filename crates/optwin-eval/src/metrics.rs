@@ -83,7 +83,10 @@ pub fn score_detections(schedule: &DriftSchedule, detections: &[usize]) -> Detec
     false_positives += detections.iter().filter(|&&d| d < first_drift).count();
 
     for (k, &drift_pos) in positions.iter().enumerate() {
-        let segment_end = positions.get(k + 1).copied().unwrap_or(schedule.stream_len());
+        let segment_end = positions
+            .get(k + 1)
+            .copied()
+            .unwrap_or(schedule.stream_len());
         let mut in_segment = detections
             .iter()
             .filter(|&&d| d >= drift_pos && d < segment_end);
@@ -172,7 +175,11 @@ impl AggregateMetrics {
             true_positives: tp,
             false_positives: fp,
             false_negatives: fn_,
-            mean_false_positives_per_run: if runs == 0 { 0.0 } else { fp as f64 / runs as f64 },
+            mean_false_positives_per_run: if runs == 0 {
+                0.0
+            } else {
+                fp as f64 / runs as f64
+            },
             mean_delay,
             precision,
             recall,

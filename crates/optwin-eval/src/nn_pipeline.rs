@@ -231,8 +231,8 @@ mod tests {
         let expected_max = outcome.detections.len() * config.fine_tune_batches;
         assert!(outcome.fine_tune_iterations <= expected_max);
         assert!(
-            outcome.fine_tune_iterations >= outcome.detections.len().saturating_sub(1)
-                * config.fine_tune_batches.min(10),
+            outcome.fine_tune_iterations
+                >= outcome.detections.len().saturating_sub(1) * config.fine_tune_batches.min(10),
         );
     }
 }

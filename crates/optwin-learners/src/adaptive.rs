@@ -137,7 +137,10 @@ mod tests {
         let schedule = DriftSchedule::every(5_000, 20_000, 1);
         let concepts: Vec<Box<dyn InstanceStream + Send>> = vec![
             Box::new(Stagger::new(StaggerConcept::SizeSmallAndColorRed, seed)),
-            Box::new(Stagger::new(StaggerConcept::ColorGreenOrShapeCircular, seed + 1)),
+            Box::new(Stagger::new(
+                StaggerConcept::ColorGreenOrShapeCircular,
+                seed + 1,
+            )),
             Box::new(Stagger::new(StaggerConcept::SizeMediumOrLarge, seed + 2)),
             Box::new(Stagger::new(StaggerConcept::SizeSmallAndColorRed, seed + 3)),
         ];
@@ -166,8 +169,7 @@ mod tests {
         // is emulated by just not resetting (use DDM with absurd thresholds
         // via a plain prequential loop).
         let mut stream_static = drifting_stagger(1);
-        let mut static_nb =
-            NaiveBayes::new(&stream_static.schema(), stream_static.n_classes());
+        let mut static_nb = NaiveBayes::new(&stream_static.schema(), stream_static.n_classes());
         let mut correct = 0;
         for _ in 0..20_000 {
             let inst = stream_static.next_instance();

@@ -376,7 +376,10 @@ mod tests {
             mlp.train_batch(&batch);
         }
         let recovered = mlp.batch_loss(&task.sample_batch(256));
-        assert!(recovered < after * 0.7, "fine-tuning should recover: {after} -> {recovered}");
+        assert!(
+            recovered < after * 0.7,
+            "fine-tuning should recover: {after} -> {recovered}"
+        );
     }
 
     #[test]

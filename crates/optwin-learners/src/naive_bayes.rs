@@ -100,8 +100,7 @@ impl NaiveBayes {
         (0..self.n_classes)
             .map(|class| {
                 // Laplace-smoothed class prior.
-                let prior = (self.class_counts[class] + 1.0)
-                    / (self.total + self.n_classes as f64);
+                let prior = (self.class_counts[class] + 1.0) / (self.total + self.n_classes as f64);
                 let mut score = prior.ln();
                 for (idx, feature) in instance.features.iter().enumerate() {
                     if idx >= self.attributes.len() {
@@ -169,7 +168,9 @@ impl OnlineLearner for NaiveBayes {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use optwin_stream::generators::{Agrawal, AgrawalFunction, Sea, SeaConcept, Stagger, StaggerConcept};
+    use optwin_stream::generators::{
+        Agrawal, AgrawalFunction, Sea, SeaConcept, Stagger, StaggerConcept,
+    };
     use optwin_stream::InstanceStream;
 
     fn prequential_accuracy<S: InstanceStream, L: OnlineLearner>(

@@ -63,7 +63,10 @@ impl fmt::Display for StatsError {
             StatsError::ConvergenceFailure {
                 routine,
                 iterations,
-            } => write!(f, "`{routine}` failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "`{routine}` failed to converge after {iterations} iterations"
+            ),
             StatsError::InvalidBracket { lo, hi } => {
                 write!(f, "bracket [{lo}, {hi}] does not contain a sign change")
             }

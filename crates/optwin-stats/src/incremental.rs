@@ -345,9 +345,7 @@ mod tests {
         }
         assert_eq!(acc.count(), xs.len() as u64);
         assert!((acc.mean() - descriptive::mean(&xs).unwrap()).abs() < 1e-12);
-        assert!(
-            (acc.sample_variance() - descriptive::sample_variance(&xs).unwrap()).abs() < 1e-12
-        );
+        assert!((acc.sample_variance() - descriptive::sample_variance(&xs).unwrap()).abs() < 1e-12);
         assert!(
             (acc.population_variance() - descriptive::population_variance(&xs).unwrap()).abs()
                 < 1e-12

@@ -43,6 +43,9 @@
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
+// `!(x > 0.0)` (rather than `x <= 0.0`) is this crate's deliberate idiom for
+// rejecting non-positive *and NaN* parameters in one comparison.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 pub mod descriptive;
 pub mod dist;

@@ -23,5 +23,5 @@ mod wilcoxon;
 pub use ks::{ks_two_sample, KsTestResult};
 pub use proportions::{equal_proportions_test, ProportionsTestResult};
 pub use variance_ratio::{variance_ratio_test, variance_ratio_test_from_stats, FTestResult};
-pub use welch::{welch_t_test, welch_t_test_from_stats, welch_degrees_of_freedom, TTestResult};
+pub use welch::{welch_degrees_of_freedom, welch_t_test, welch_t_test_from_stats, TTestResult};
 pub use wilcoxon::{wilcoxon_signed_rank, Alternative, WilcoxonResult};

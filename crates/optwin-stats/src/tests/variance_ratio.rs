@@ -46,7 +46,8 @@ pub fn variance_ratio_test_from_stats(
         return Err(StatsError::InvalidParameter {
             name: "var2",
             value: var2,
-            constraint: "denominator variance must be positive (add a stabiliser such as OPTWIN's eta)",
+            constraint:
+                "denominator variance must be positive (add a stabiliser such as OPTWIN's eta)",
         });
     }
     let df1 = (n1 - 1) as f64;
@@ -113,7 +114,11 @@ mod tests {
     fn reference_value() {
         // var ratio 4.0 with df (9, 9): P(F >= 4.0) ≈ 0.0255
         let r = variance_ratio_test_from_stats(4.0, 10, 1.0, 10).unwrap();
-        assert!((r.p_value_upper - 0.0255).abs() < 2e-3, "p = {}", r.p_value_upper);
+        assert!(
+            (r.p_value_upper - 0.0255).abs() < 2e-3,
+            "p = {}",
+            r.p_value_upper
+        );
         assert_eq!(r.df1, 9.0);
         assert_eq!(r.df2, 9.0);
     }

@@ -137,7 +137,11 @@ mod tests {
         let a = [1.0, 2.0, 3.0, 4.0, 5.0];
         let b = [2.0, 4.0, 6.0, 8.0, 10.0];
         let r = welch_t_test(&a, &b).unwrap();
-        assert!((r.t_value + 3.0 / 2.5_f64.sqrt()).abs() < 1e-12, "t = {}", r.t_value);
+        assert!(
+            (r.t_value + 3.0 / 2.5_f64.sqrt()).abs() < 1e-12,
+            "t = {}",
+            r.t_value
+        );
         assert!((r.df - 6.25 / 1.0625).abs() < 1e-12, "df = {}", r.df);
         // Two-sided p-value for |t| = 1.897 at df ≈ 5.88 lies near 0.107.
         assert!(

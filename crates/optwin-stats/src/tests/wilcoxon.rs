@@ -127,9 +127,8 @@ fn exact_p_value(n: usize, w_plus: f64, alternative: Alternative) -> f64 {
     let p_ge = |threshold: usize| -> f64 {
         counts[threshold.min(max_sum)..=max_sum].iter().sum::<f64>() / total
     };
-    let p_le = |threshold: usize| -> f64 {
-        counts[..=threshold.min(max_sum)].iter().sum::<f64>() / total
-    };
+    let p_le =
+        |threshold: usize| -> f64 { counts[..=threshold.min(max_sum)].iter().sum::<f64>() / total };
 
     match alternative {
         Alternative::Greater => p_ge(w),
@@ -177,8 +176,12 @@ mod tests {
     fn classic_textbook_example() {
         // Example pairs with known exact two-sided p-value.
         // Differences: 8 non-zero values, no ties.
-        let a = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
-        let b = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let a = [
+            125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0,
+        ];
+        let b = [
+            110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0,
+        ];
         let r = wilcoxon_signed_rank(&a, &b, Alternative::TwoSided).unwrap();
         assert_eq!(r.n_used, 9);
         // W+ = 27, W- = 18 for this classical dataset (after dropping the tie).
@@ -202,7 +205,9 @@ mod tests {
     #[test]
     fn exact_and_approx_agree_reasonably() {
         let a: Vec<f64> = (0..20).map(|i| 0.5 + 0.02 * (i as f64)).collect();
-        let b: Vec<f64> = (0..20).map(|i| 0.48 + 0.021 * (i as f64) * if i % 3 == 0 { -1.0 } else { 1.0 }).collect();
+        let b: Vec<f64> = (0..20)
+            .map(|i| 0.48 + 0.021 * (i as f64) * if i % 3 == 0 { -1.0 } else { 1.0 })
+            .collect();
         let exact = wilcoxon_signed_rank(&a, &b, Alternative::TwoSided).unwrap();
         assert!(exact.exact);
         // Force the approximation path by replicating the data beyond the

@@ -174,7 +174,7 @@ impl MultiConceptStream {
     fn concept_index_at(&mut self, i: usize) -> usize {
         let segment = self.schedule.concept_at(i);
         let width = self.schedule.width();
-        if width <= 1 || segment >= self.schedule.n_drifts() + 1 {
+        if width <= 1 || segment > self.schedule.n_drifts() {
             return segment % self.concepts.len();
         }
         // Inside a gradual transition zone the previous concept may still be
@@ -220,10 +220,12 @@ mod tests {
         let new = Sea::new(SeaConcept::Theta95, 2);
         let mut s = ConceptDriftStream::new(old, new, 500, 1, 3);
         let labels: Vec<u32> = (0..1_000).map(|_| s.next_instance().label).collect();
-        let rate_before: f64 =
-            f64::from(labels[..500].iter().sum::<u32>()) / 500.0;
+        let rate_before: f64 = f64::from(labels[..500].iter().sum::<u32>()) / 500.0;
         let rate_after: f64 = f64::from(labels[500..].iter().sum::<u32>()) / 500.0;
-        assert!(rate_after > rate_before + 0.1, "{rate_before} vs {rate_after}");
+        assert!(
+            rate_after > rate_before + 0.1,
+            "{rate_before} vs {rate_after}"
+        );
     }
 
     #[test]

@@ -231,14 +231,19 @@ mod tests {
         let after = mean(&values[7_000..]);
         assert!(before < 0.07);
         assert!(after > 0.22);
-        assert!(middle > before + 0.03 && middle < after, "middle = {middle}");
+        assert!(
+            middle > before + 0.03 && middle < after,
+            "middle = {middle}"
+        );
     }
 
     #[test]
     fn real_valued_drift_changes_mean_and_spread() {
         let schedule = DriftSchedule::new(vec![5_000], 1, 10_000);
-        let stream =
-            ErrorStream::new(ErrorStreamConfig::real_valued(DriftKind::Sudden, schedule), 3);
+        let stream = ErrorStream::new(
+            ErrorStreamConfig::real_valued(DriftKind::Sudden, schedule),
+            3,
+        );
         let values = stream.collect_all();
         let var = |xs: &[f64]| {
             let m = mean(xs);

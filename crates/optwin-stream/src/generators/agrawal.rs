@@ -157,8 +157,7 @@ impl AgrawalFunction {
                 } else {
                     0.0
                 };
-                2.0 * (r.salary + r.commission) / 3.0 - 5_000.0 * f64::from(r.elevel)
-                    + equity / 5.0
+                2.0 * (r.salary + r.commission) / 3.0 - 5_000.0 * f64::from(r.elevel) + equity / 5.0
                     - r.loan / 5.0
                     - 10_000.0
                     > 0.0
@@ -410,7 +409,10 @@ mod tests {
         assert_eq!(gen.n_features(), 9);
         assert_eq!(gen.n_classes(), 2);
         assert_eq!(gen.function(), AgrawalFunction::F3);
-        assert!(matches!(gen.schema()[3], FeatureKind::Categorical { arity: 5 }));
+        assert!(matches!(
+            gen.schema()[3],
+            FeatureKind::Categorical { arity: 5 }
+        ));
     }
 
     #[test]

@@ -71,14 +71,21 @@ impl RandomRbf {
     /// Panics if the configuration has zero centroids, features or classes.
     #[must_use]
     pub fn new(config: RandomRbfConfig, stream_seed: u64) -> Self {
-        assert!(config.n_centroids > 0, "RandomRBF needs at least one centroid");
-        assert!(config.n_features > 0, "RandomRBF needs at least one feature");
+        assert!(
+            config.n_centroids > 0,
+            "RandomRBF needs at least one centroid"
+        );
+        assert!(
+            config.n_features > 0,
+            "RandomRBF needs at least one feature"
+        );
         assert!(config.n_classes > 0, "RandomRBF needs at least one class");
         let mut model_rng = StdRng::seed_from_u64(config.model_seed);
         let centroids: Vec<Centroid> = (0..config.n_centroids)
             .map(|_| {
-                let centre: Vec<f64> =
-                    (0..config.n_features).map(|_| model_rng.gen::<f64>()).collect();
+                let centre: Vec<f64> = (0..config.n_features)
+                    .map(|_| model_rng.gen::<f64>())
+                    .collect();
                 let mut direction: Vec<f64> = (0..config.n_features)
                     .map(|_| model_rng.gen::<f64>() - 0.5)
                     .collect();
@@ -181,7 +188,11 @@ impl InstanceStream for RandomRbf {
             .iter()
             .zip(&offset)
             .map(|(c, o)| {
-                let displaced = if norm > 0.0 { c + o / norm * magnitude } else { *c };
+                let displaced = if norm > 0.0 {
+                    c + o / norm * magnitude
+                } else {
+                    *c
+                };
                 Feature::Numeric(displaced)
             })
             .collect();
@@ -219,7 +230,10 @@ mod tests {
             let inst = gen.next_instance();
             for f in &inst.features {
                 let v = f.as_numeric().unwrap();
-                assert!((-1.0..=2.0).contains(&v), "value {v} too far from the unit cube");
+                assert!(
+                    (-1.0..=2.0).contains(&v),
+                    "value {v} too far from the unit cube"
+                );
             }
         }
     }
@@ -248,7 +262,10 @@ mod tests {
             .map(|(x, y)| (x - y) * (x - y))
             .sum::<f64>()
             .sqrt();
-        assert!(distance > 0.02, "concepts too similar: distance = {distance}");
+        assert!(
+            distance > 0.02,
+            "concepts too similar: distance = {distance}"
+        );
     }
 
     #[test]

@@ -121,7 +121,8 @@ mod tests {
         let mut gen = Sea::new(SeaConcept::Theta8, 1);
         for _ in 0..500 {
             let inst = gen.next_instance();
-            let sum = inst.features[0].as_numeric().unwrap() + inst.features[1].as_numeric().unwrap();
+            let sum =
+                inst.features[0].as_numeric().unwrap() + inst.features[1].as_numeric().unwrap();
             assert_eq!(inst.label, u32::from(sum <= 8.0));
         }
     }
@@ -158,8 +159,8 @@ mod tests {
         let flips = (0..5_000)
             .filter(|_| {
                 let inst = noisy.next_instance();
-                let sum = inst.features[0].as_numeric().unwrap()
-                    + inst.features[1].as_numeric().unwrap();
+                let sum =
+                    inst.features[0].as_numeric().unwrap() + inst.features[1].as_numeric().unwrap();
                 inst.label != u32::from(sum <= 8.0)
             })
             .count();

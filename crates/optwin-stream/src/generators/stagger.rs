@@ -122,20 +122,32 @@ mod tests {
             StaggerConcept::ColorGreenOrShapeCircular.label(&large_green_circle),
             1
         );
-        assert_eq!(StaggerConcept::ColorGreenOrShapeCircular.label(&small_red), 0);
-        assert_eq!(StaggerConcept::SizeMediumOrLarge.label(&large_green_circle), 1);
+        assert_eq!(
+            StaggerConcept::ColorGreenOrShapeCircular.label(&small_red),
+            0
+        );
+        assert_eq!(
+            StaggerConcept::SizeMediumOrLarge.label(&large_green_circle),
+            1
+        );
         assert_eq!(StaggerConcept::SizeMediumOrLarge.label(&small_red), 0);
     }
 
     #[test]
     fn concept_cycle_rotates() {
-        assert_eq!(StaggerConcept::cycle(0), StaggerConcept::SizeSmallAndColorRed);
+        assert_eq!(
+            StaggerConcept::cycle(0),
+            StaggerConcept::SizeSmallAndColorRed
+        );
         assert_eq!(
             StaggerConcept::cycle(1),
             StaggerConcept::ColorGreenOrShapeCircular
         );
         assert_eq!(StaggerConcept::cycle(2), StaggerConcept::SizeMediumOrLarge);
-        assert_eq!(StaggerConcept::cycle(3), StaggerConcept::SizeSmallAndColorRed);
+        assert_eq!(
+            StaggerConcept::cycle(3),
+            StaggerConcept::SizeSmallAndColorRed
+        );
     }
 
     #[test]

@@ -68,8 +68,8 @@ impl InstanceStream for ElectricityLike {
     fn next_instance(&mut self) -> Instance {
         if self.index >= self.next_shift {
             self.regime += 1;
-            self.next_shift += Self::SHIFT_INTERVAL / 2
-                + self.rng.gen_range(0..ElectricityLike::SHIFT_INTERVAL);
+            self.next_shift +=
+                Self::SHIFT_INTERVAL / 2 + self.rng.gen_range(0..ElectricityLike::SHIFT_INTERVAL);
         }
         self.index += 1;
 
@@ -78,12 +78,12 @@ impl InstanceStream for ElectricityLike {
         let day = ((self.index / 48) % 7) as f64 / 7.0;
 
         // Demand follows a daily sinusoid plus AR(1) noise.
-        let seasonal = 0.5 + 0.3 * (2.0 * std::f64::consts::PI * period).sin()
+        let seasonal = 0.5
+            + 0.3 * (2.0 * std::f64::consts::PI * period).sin()
             + 0.05 * (2.0 * std::f64::consts::PI * day).sin();
         self.demand_state =
             0.9 * self.demand_state + 0.1 * seasonal + 0.03 * (self.rng.gen::<f64>() - 0.5);
-        self.transfer_state =
-            0.95 * self.transfer_state + 0.05 * self.rng.gen::<f64>();
+        self.transfer_state = 0.95 * self.transfer_state + 0.05 * self.rng.gen::<f64>();
 
         let nsw_demand = self.demand_state.clamp(0.0, 1.0);
         let vic_demand = (self.demand_state * 0.8 + 0.1 * self.rng.gen::<f64>()).clamp(0.0, 1.0);
@@ -100,7 +100,7 @@ impl InstanceStream for ElectricityLike {
             1 => 0.30,
             _ => 0.38,
         };
-        let raw_score = if self.regime % 2 == 0 {
+        let raw_score = if self.regime.is_multiple_of(2) {
             0.6 * nsw_demand + 0.3 * vic_demand - 0.2 * transfer
         } else {
             0.5 * nsw_price + 0.4 * transfer - 0.2 * vic_demand
@@ -177,7 +177,9 @@ impl CovertypeLike {
     }
 
     fn region_priors(rng: &mut StdRng) -> Vec<f64> {
-        let raw: Vec<f64> = (0..Self::N_CLASSES).map(|_| rng.gen::<f64>() + 0.1).collect();
+        let raw: Vec<f64> = (0..Self::N_CLASSES)
+            .map(|_| rng.gen::<f64>() + 0.1)
+            .collect();
         let total: f64 = raw.iter().sum();
         raw.into_iter().map(|w| w / total).collect()
     }
@@ -205,8 +207,8 @@ impl InstanceStream for CovertypeLike {
     fn next_instance(&mut self) -> Instance {
         if self.index >= self.next_region_change {
             self.region += 1;
-            self.next_region_change += Self::REGION_INTERVAL / 2
-                + self.rng.gen_range(0..Self::REGION_INTERVAL);
+            self.next_region_change +=
+                Self::REGION_INTERVAL / 2 + self.rng.gen_range(0..Self::REGION_INTERVAL);
             self.priors = Self::region_priors(&mut self.rng);
             // Shift the cluster centres slightly: a gradual covariate drift.
             for centre in &mut self.centres {
@@ -230,8 +232,8 @@ impl InstanceStream for CovertypeLike {
             .collect();
         // Wilderness area (4 values) and soil type (40 values) correlate with
         // the class but are noisy.
-        let wilderness = ((class as u32 + self.rng.gen_range(0..2)) % 4) as u32;
-        let soil = ((class as u32 * 5 + self.rng.gen_range(0..10)) % 40) as u32;
+        let wilderness = (class as u32 + self.rng.gen_range(0..2)) % 4;
+        let soil = (class as u32 * 5 + self.rng.gen_range(0..10)) % 40;
         features.push(Feature::Categorical(wilderness));
         features.push(Feature::Categorical(soil));
 
@@ -276,7 +278,10 @@ mod tests {
             ups += s.next_instance().label;
         }
         let rate = f64::from(ups) / f64::from(n);
-        assert!(rate > 0.15 && rate < 0.85, "class balance degenerate: {rate}");
+        assert!(
+            rate > 0.15 && rate < 0.85,
+            "class balance degenerate: {rate}"
+        );
         assert!(s.regime() >= 1, "expected at least one hidden regime shift");
     }
 

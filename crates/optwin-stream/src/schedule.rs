@@ -33,7 +33,10 @@ impl DriftSchedule {
                 i == 0 || p > prev,
                 "drift positions must be strictly increasing"
             );
-            assert!(p < stream_len, "drift position {p} beyond stream length {stream_len}");
+            assert!(
+                p < stream_len,
+                "drift position {p} beyond stream length {stream_len}"
+            );
             prev = p;
         }
         Self {

@@ -10,8 +10,8 @@
 //! 35 % halfway through the stream, feeds the binary errors to OPTWIN and to
 //! ADWIN, and prints where each detector fires.
 
-use optwin::{Adwin, DriftDetector, DriftStatus, Optwin, OptwinConfig};
 use optwin::stream::{DriftKind, DriftSchedule, ErrorStream, ErrorStreamConfig};
+use optwin::{Adwin, DriftDetector, DriftStatus, Optwin, OptwinConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 20 000-element binary error stream with one sudden drift at 10 000.
@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     match optwin_hits.first() {
         Some(&at) if at >= 10_000 => {
-            println!("OPTWIN detected the drift with a delay of {} elements", at - 10_000);
+            println!(
+                "OPTWIN detected the drift with a delay of {} elements",
+                at - 10_000
+            );
         }
         Some(&at) => println!("OPTWIN produced a false positive at {at}"),
         None => println!("OPTWIN missed the drift"),

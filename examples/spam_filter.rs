@@ -79,11 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let adwin_report = adwin_filter.run(&mut stream, n);
 
     println!("spam-filter adaptation over {n} messages, 3 spammer strategy changes");
+    println!("{:<22} {:>10} {:>14}", "set-up", "accuracy", "retrainings");
     println!(
-        "{:<22} {:>10} {:>14}",
-        "set-up", "accuracy", "retrainings"
+        "{:<22} {:>9.2}% {:>14}",
+        "no adaptation",
+        static_acc * 100.0,
+        0
     );
-    println!("{:<22} {:>9.2}% {:>14}", "no adaptation", static_acc * 100.0, 0);
     println!(
         "{:<22} {:>9.2}% {:>14}",
         "OPTWIN-adapted",

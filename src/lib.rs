@@ -7,8 +7,9 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`core`] | the OPTWIN detector, the [`core::DriftDetector`] trait, optimal-cut tables |
+//! | [`core`] | the OPTWIN detector, the batch-first [`core::DriftDetector`] trait, optimal-cut tables and their process-wide registry |
 //! | [`baselines`] | ADWIN, DDM, EDDM, STEPD, ECDD, Page–Hinkley, KSWIN |
+//! | [`engine`] | the sharded, parallel multi-stream [`engine::DriftEngine`] |
 //! | [`stream`] | MOA-style generators, drift composition, error streams |
 //! | [`learners`] | Naive Bayes, logistic regression, MLP, adaptive wrappers |
 //! | [`eval`] | drift metrics, experiment runners for every table/figure |
@@ -53,6 +54,7 @@
 
 pub use optwin_baselines as baselines;
 pub use optwin_core as core;
+pub use optwin_engine as engine;
 pub use optwin_eval as eval;
 pub use optwin_learners as learners;
 pub use optwin_stats as stats;
@@ -60,8 +62,10 @@ pub use optwin_stream as stream;
 
 pub use optwin_baselines::{Adwin, Ddm, DetectorKind, Ecdd, Eddm, Kswin, PageHinkley, Stepd};
 pub use optwin_core::{
-    CutTable, DetectorExt, DriftDetector, DriftStatus, Optwin, OptwinConfig,
+    BatchOutcome, CutTable, CutTableRegistry, DetectorExt, DriftDetector, DriftStatus, Optwin,
+    OptwinConfig,
 };
+pub use optwin_engine::{DriftEngine, DriftEvent, EngineConfig};
 pub use optwin_eval::{DetectorFactory, Table1Experiment};
 pub use optwin_learners::{AdaptiveLearner, NaiveBayes, OnlineLearner};
 pub use optwin_stream::{DriftSchedule, InstanceStream};
@@ -78,5 +82,28 @@ mod tests {
         assert_eq!(kinds.len(), 8);
         let schedule = DriftSchedule::every(100, 1_000, 1);
         assert_eq!(schedule.n_drifts(), 9);
+    }
+
+    #[test]
+    fn engine_reexports_are_usable() {
+        let mut engine = DriftEngine::with_factory(EngineConfig::with_shards(2), |_| {
+            Box::new(Adwin::with_defaults())
+        });
+        let events: Vec<DriftEvent> = engine
+            .ingest_batch(&[(1, 0.0), (2, 0.0), (1, 1.0)])
+            .unwrap();
+        assert!(events.is_empty());
+        assert_eq!(engine.stream_count(), 2);
+        assert_eq!(engine.elements_ingested(), 3);
+
+        // The batch contract and the table registry are visible through the
+        // facade too.
+        let mut d = Optwin::with_defaults().unwrap();
+        let outcome: BatchOutcome = d.add_batch(&[0.1, 0.2, 0.3]);
+        assert_eq!(outcome.len, 3);
+        let config = OptwinConfig::builder().max_window(64).build().unwrap();
+        let table: std::sync::Arc<CutTable> =
+            CutTableRegistry::global().get_or_build(&config).unwrap();
+        assert_eq!(table.w_max(), 64);
     }
 }

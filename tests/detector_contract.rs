@@ -3,6 +3,10 @@
 
 use optwin::{DetectorFactory, DetectorKind, DriftStatus};
 
+/// Chunk sizes the batch-equivalence checks slice the stream into: prime,
+/// power of two, and "everything at once".
+const CHUNK_SIZES: [usize; 4] = [1, 61, 1_024, usize::MAX];
+
 /// Deterministic pseudo-random jitter in [-0.5, 0.5) (SplitMix64).
 fn jitter(i: u64) -> f64 {
     let mut x = i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -36,7 +40,11 @@ fn all_detectors_catch_a_massive_shift() {
                 break;
             }
         }
-        assert!(detected, "{} missed a 5% -> 70% error-rate jump", kind.label());
+        assert!(
+            detected,
+            "{} missed a 5% -> 70% error-rate jump",
+            kind.label()
+        );
     }
 }
 
@@ -54,7 +62,12 @@ fn counters_and_reset_contract() {
         let drifts_before = detector.drifts_detected();
         detector.reset();
         assert_eq!(detector.elements_seen(), 1_000, "{}", detector.name());
-        assert_eq!(detector.drifts_detected(), drifts_before, "{}", detector.name());
+        assert_eq!(
+            detector.drifts_detected(),
+            drifts_before,
+            "{}",
+            detector.name()
+        );
         // Still usable after reset.
         for i in 0..100u64 {
             detector.add_element(bernoulli(i, 0.2));
@@ -82,6 +95,91 @@ fn input_domain_metadata_is_consistent() {
             detector.add_element(0.3 + 0.2 * jitter(i));
         }
     }
+}
+
+/// The batch-first contract: for every detector kind, `add_batch` reports
+/// exactly the drift indices and counters of an `add_element` fold over the
+/// same input, for every way of chunking the stream.
+fn assert_batch_equivalence_on(stream: &[f64], optwin_window: usize) {
+    let mut factory = DetectorFactory::with_optwin_window(optwin_window);
+    for kind in DetectorKind::paper_lineup() {
+        let mut scalar = factory.build(kind);
+        let mut expected_drifts = Vec::new();
+        let mut expected_warnings = Vec::new();
+        for (i, &x) in stream.iter().enumerate() {
+            match scalar.add_element(x) {
+                DriftStatus::Drift => expected_drifts.push(i),
+                DriftStatus::Warning => expected_warnings.push(i),
+                DriftStatus::Stable => {}
+            }
+        }
+
+        for &chunk in &CHUNK_SIZES {
+            let chunk = chunk.min(stream.len());
+            let mut batched = factory.build(kind);
+            let mut drifts = Vec::new();
+            let mut warnings = Vec::new();
+            for (k, xs) in stream.chunks(chunk).enumerate() {
+                let outcome = batched.add_batch(xs);
+                drifts.extend(outcome.drift_indices.iter().map(|&i| k * chunk + i));
+                warnings.extend(outcome.warning_indices.iter().map(|&i| k * chunk + i));
+            }
+            assert_eq!(drifts, expected_drifts, "{} chunk {chunk}", kind.label());
+            assert_eq!(
+                warnings,
+                expected_warnings,
+                "{} chunk {chunk}",
+                kind.label()
+            );
+            assert_eq!(
+                batched.elements_seen(),
+                scalar.elements_seen(),
+                "{} chunk {chunk}",
+                kind.label()
+            );
+            assert_eq!(
+                batched.drifts_detected(),
+                scalar.drifts_detected(),
+                "{} chunk {chunk}",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// Batch/scalar equivalence on a binary (Bernoulli) error stream with two
+/// upward shifts.
+#[test]
+fn batch_equals_scalar_on_binary_streams() {
+    let stream: Vec<f64> = (0..12_000u64)
+        .map(|i| {
+            let p = match i {
+                0..=4_999 => 0.05,
+                5_000..=8_999 => 0.35,
+                _ => 0.70,
+            };
+            bernoulli(i, p)
+        })
+        .collect();
+    assert_batch_equivalence_on(&stream, 1_500);
+}
+
+/// Batch/scalar equivalence on a real-valued loss stream (mean and variance
+/// both shift), exercising the non-binary code paths (OPTWIN's f-test,
+/// KSWIN's KS test).
+#[test]
+fn batch_equals_scalar_on_real_valued_streams() {
+    let stream: Vec<f64> = (0..12_000u64)
+        .map(|i| {
+            let (base, spread) = match i {
+                0..=4_999 => (0.15, 0.05),
+                5_000..=8_999 => (0.45, 0.05),
+                _ => (0.45, 0.35),
+            };
+            (base + spread * jitter(i)).clamp(0.0, 1.0)
+        })
+        .collect();
+    assert_batch_equivalence_on(&stream, 1_500);
 }
 
 /// Identical detector configuration + identical input = identical output

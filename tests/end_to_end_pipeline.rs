@@ -7,8 +7,7 @@ use optwin::learners::AdaptiveLearner;
 use optwin::stream::drift::MultiConceptStream;
 use optwin::stream::generators::{Agrawal, AgrawalFunction};
 use optwin::{
-    DetectorFactory, DetectorKind, DriftSchedule, InstanceStream, NaiveBayes,
-    Optwin, OptwinConfig,
+    DetectorFactory, DetectorKind, DriftSchedule, InstanceStream, NaiveBayes, Optwin, OptwinConfig,
 };
 
 /// The headline qualitative claim of the paper on a miniature scale: OPTWIN
@@ -74,8 +73,16 @@ fn agrawal_classification_pipeline_with_adaptation() {
     // Score the detections against the ground truth: at least one of the two
     // drifts must be caught, with zero or very few false positives.
     let outcome = score_detections(&schedule, &report.detections);
-    assert!(outcome.true_positives >= 1, "detections: {:?}", report.detections);
-    assert!(outcome.false_positives <= 2, "detections: {:?}", report.detections);
+    assert!(
+        outcome.true_positives >= 1,
+        "detections: {:?}",
+        report.detections
+    );
+    assert!(
+        outcome.false_positives <= 2,
+        "detections: {:?}",
+        report.detections
+    );
 }
 
 /// The Table 2 cell runner produces consistent accuracy numbers for the same
@@ -107,7 +114,12 @@ fn classification_cell_reproducibility_and_improvement() {
         Some(10_000),
         9,
     );
-    assert!(a.accuracy > baseline.accuracy, "{} vs {}", a.accuracy, baseline.accuracy);
+    assert!(
+        a.accuracy > baseline.accuracy,
+        "{} vs {}",
+        a.accuracy,
+        baseline.accuracy
+    );
 }
 
 /// Detectors are usable through the trait object returned by the factory and

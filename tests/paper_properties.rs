@@ -32,7 +32,10 @@ fn optwin_has_fewer_false_positives_than_noisy_baselines() {
         optwin_fp <= eddm_fp,
         "OPTWIN FP {optwin_fp} vs EDDM FP {eddm_fp}"
     );
-    assert!(optwin_fp <= 1, "OPTWIN should have at most one FP, got {optwin_fp}");
+    assert!(
+        optwin_fp <= 1,
+        "OPTWIN should have at most one FP, got {optwin_fp}"
+    );
 }
 
 /// §3.3: larger ρ shortens the detection delay on sudden drifts (Table 1
@@ -124,7 +127,11 @@ fn nn_pipeline_optwin_retrains_no_more_than_adwin() {
     let mut adwin = Adwin::with_defaults();
     let adwin_run = run_nn_pipeline(&config, &mut adwin);
 
-    assert!(optwin_run.outcome.true_positives >= 3, "{:?}", optwin_run.outcome);
+    assert!(
+        optwin_run.outcome.true_positives >= 3,
+        "{:?}",
+        optwin_run.outcome
+    );
     // At this reduced scale a single extra/missing detection swings the
     // fine-tuning count by one whole phase, so compare up to one phase; the
     // paper-scale comparison (where OPTWIN's advantage is ~2.6×) is produced
