@@ -1,20 +1,29 @@
-//! Ingestion throughput of the three API tiers introduced by the batched
-//! ingestion refactor:
+//! Ingestion throughput of the four engine API tiers:
 //!
 //! 1. **scalar** — one `add_element` call per element (the seed's only
 //!    interface),
 //! 2. **batched** — `add_batch` over the whole stream (amortized cut-table
 //!    prefetch, no per-element dispatch),
 //! 3. **sharded** — a [`DriftEngine`] ingesting interleaved multi-stream
-//!    record batches (batched per stream **and** fanned out across shards).
+//!    record batches (batched per stream **and** fanned out across shards,
+//!    with a flush barrier per batch),
+//! 4. **pipelined** — the service API: [`EngineHandle::submit`] enqueues
+//!    every batch onto the bounded per-shard queues without waiting, and a
+//!    single shutdown barrier drains the engine at the end. The submitting
+//!    thread never blocks on detection work, so this tier measures the
+//!    steady-state serving shape.
 //!
 //! Elements/second is the headline number; on a multi-core host the sharded
-//! tier additionally scales with the shard count.
+//! and pipelined tiers additionally scale with the shard count.
+
+use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use optwin_core::{DetectorExt, DriftDetector, Optwin, OptwinConfig};
-use optwin_engine::{DriftEngine, EngineConfig};
+use optwin_engine::{
+    DriftEngine, EngineBuilder, EngineConfig, EngineHandle, EventSink, MemorySink,
+};
 use optwin_stream::{DriftKind, DriftSchedule, ErrorStream, ErrorStreamConfig};
 
 const STREAM_LEN: usize = 20_000;
@@ -66,8 +75,9 @@ fn bench_scalar_vs_batched(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_sharded_engine(c: &mut Criterion) {
-    // One interleaved record batch covering all streams.
+/// The interleaved multi-stream record sequence shared by the sharded and
+/// pipelined tiers.
+fn interleaved_records() -> Vec<(u64, f64)> {
     let per_stream: Vec<Vec<f64>> = (0..N_STREAMS)
         .map(|s| stationary_stream(STREAM_LEN / 4, 100 + s))
         .collect();
@@ -79,7 +89,11 @@ fn bench_sharded_engine(c: &mut Criterion) {
             }
         }
     }
+    records
+}
 
+fn bench_sharded_engine(c: &mut Criterion) {
+    let records = interleaved_records();
     let mut group = c.benchmark_group("engine_ingest_32_streams");
     group.throughput(Throughput::Elements(records.len() as u64));
     group.sample_size(10);
@@ -105,5 +119,44 @@ fn bench_sharded_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scalar_vs_batched, bench_sharded_engine);
+fn bench_pipelined_engine(c: &mut Criterion) {
+    let records = interleaved_records();
+
+    let mut group = c.benchmark_group("engine_pipelined_32_streams");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let sink = Arc::new(MemorySink::new());
+                    let handle: EngineHandle = EngineBuilder::new()
+                        .shards(shards)
+                        .queue_capacity(64 * 1_024)
+                        .factory(|_| Box::new(optwin(2_000)) as Box<dyn DriftDetector + Send>)
+                        .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+                        .build()
+                        .expect("valid engine");
+                    // Fire-and-forget submission; the only barrier is the
+                    // final shutdown drain.
+                    for batch in records.chunks(N_STREAMS as usize * 500) {
+                        handle.submit(batch).expect("engine running");
+                    }
+                    handle.shutdown().expect("clean drain");
+                    black_box(sink.drain().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scalar_vs_batched,
+    bench_sharded_engine,
+    bench_pipelined_engine
+);
 criterion_main!(benches);

@@ -2,6 +2,11 @@
 //! statistics (delay, FP, precision, recall, F1) for every detector over the
 //! seven synthetic experiment configurations.
 //!
+//! The grid runs on the service-style engine: every `detector × repetition`
+//! run is one engine stream, record chunks are pipelined through
+//! `EngineHandle::submit` onto the shard workers (no per-chunk barrier), and
+//! the detections are read back from a `MemorySink` after one final flush.
+//!
 //! ```text
 //! cargo run --release -p optwin-bench --bin table1                 # quick run
 //! cargo run --release -p optwin-bench --bin table1 -- --full       # paper scale (30 reps, 100k streams)
@@ -48,7 +53,7 @@ fn main() {
 
     println!(
         "Table 1 reproduction — {} repetition(s) per experiment, seed {}, \
-         OPTWIN w_max {}, stream length {}, engine shards {}",
+         OPTWIN w_max {}, stream length {}, pipelined engine shards {}",
         scale.repetitions,
         scale.seed,
         scale.optwin_w_max,

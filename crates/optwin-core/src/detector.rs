@@ -14,8 +14,12 @@
 //! `tests/detector_contract.rs` enforces this for every detector the
 //! workspace ships.
 
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
 /// Outcome of ingesting one element into a drift detector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum DriftStatus {
     /// No evidence of change.
     #[default]
@@ -146,6 +150,41 @@ pub trait DriftDetector {
     fn supports_real_valued_input(&self) -> bool {
         true
     }
+
+    /// Serializes the detector's complete mutable state into a JSON-shaped
+    /// [`serde::Value`] tree, or `None` if the detector does not support
+    /// state snapshots.
+    ///
+    /// The contract is **exactness**: feeding a detector restored through
+    /// [`DriftDetector::restore_state`] any further input must produce
+    /// *identical* decisions (and counters) to feeding the original,
+    /// uninterrupted detector the same input. Configuration is deliberately
+    /// *not* part of the state — restoration happens into a detector freshly
+    /// constructed with the same configuration (typically by the same
+    /// factory), so only the stream-dependent state crosses the snapshot.
+    ///
+    /// The default implementation returns `None`; detectors opt in by
+    /// overriding both this method and [`DriftDetector::restore_state`].
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        None
+    }
+
+    /// Restores state captured by [`DriftDetector::snapshot_state`] into this
+    /// detector, which must have been freshly constructed with the same
+    /// configuration as the snapshotted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::SnapshotUnsupported`] when the detector does not
+    /// implement snapshots (the default), or [`CoreError::InvalidSnapshot`]
+    /// when the value tree does not describe a valid state for this
+    /// detector's configuration.
+    fn restore_state(&mut self, state: &serde::Value) -> std::result::Result<(), CoreError> {
+        let _ = state;
+        Err(CoreError::SnapshotUnsupported {
+            detector: self.name(),
+        })
+    }
 }
 
 /// Extension helpers available on every [`DriftDetector`].
@@ -269,6 +308,32 @@ mod tests {
         assert_eq!(o.warning_indices, vec![1]);
         assert_eq!(o.drift_indices, vec![2]);
         assert_eq!(o.last_status, DriftStatus::Drift);
+    }
+
+    #[test]
+    fn snapshot_defaults_are_unsupported() {
+        let mut d = Periodic {
+            period: 2,
+            seen: 0,
+            drifts: 0,
+        };
+        assert!(d.snapshot_state().is_none());
+        let err = d.restore_state(&serde::Value::Null).unwrap_err();
+        assert!(matches!(err, CoreError::SnapshotUnsupported { .. }));
+        assert!(err.to_string().contains("periodic"));
+    }
+
+    #[test]
+    fn drift_status_serde_round_trip() {
+        for status in [
+            DriftStatus::Stable,
+            DriftStatus::Warning,
+            DriftStatus::Drift,
+        ] {
+            let value = status.to_value();
+            assert_eq!(DriftStatus::from_value(&value).unwrap(), status);
+        }
+        assert!(DriftStatus::from_value(&serde::Value::Str("Bogus".into())).is_err());
     }
 
     #[test]

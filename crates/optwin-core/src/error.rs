@@ -16,6 +16,16 @@ pub enum CoreError {
     },
     /// An underlying statistical routine failed.
     Stats(StatsError),
+    /// A detector was asked for a state snapshot it does not implement.
+    SnapshotUnsupported {
+        /// The detector's stable name.
+        detector: &'static str,
+    },
+    /// A serialized detector state could not be restored.
+    InvalidSnapshot {
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -25,6 +35,12 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid OPTWIN configuration: `{field}` {message}")
             }
             CoreError::Stats(e) => write!(f, "statistical routine failed: {e}"),
+            CoreError::SnapshotUnsupported { detector } => {
+                write!(f, "detector `{detector}` does not support state snapshots")
+            }
+            CoreError::InvalidSnapshot { message } => {
+                write!(f, "invalid detector snapshot: {message}")
+            }
         }
     }
 }
@@ -33,7 +49,9 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Stats(e) => Some(e),
-            CoreError::InvalidConfig { .. } => None,
+            CoreError::InvalidConfig { .. }
+            | CoreError::SnapshotUnsupported { .. }
+            | CoreError::InvalidSnapshot { .. } => None,
         }
     }
 }
@@ -60,5 +78,13 @@ mod tests {
         let e: CoreError = StatsError::InvalidProbability { value: 2.0 }.into();
         assert!(e.to_string().contains("statistical"));
         assert!(std::error::Error::source(&e).is_some());
+
+        let e = CoreError::SnapshotUnsupported { detector: "ADWIN" };
+        assert!(e.to_string().contains("ADWIN"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = CoreError::InvalidSnapshot {
+            message: "missing field `split`".to_string(),
+        };
+        assert!(e.to_string().contains("split"));
     }
 }

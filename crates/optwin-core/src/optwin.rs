@@ -302,6 +302,58 @@ impl Optwin {
 /// of this size serves at least this many elements before the next lock.
 const ENTRY_PREFETCH: usize = 128;
 
+/// Serialization format version of [`Optwin`]'s state snapshot.
+const SNAPSHOT_VERSION: u64 = 1;
+
+/// Serializes a raw `WindowMoments` accumulator as a 4-element array.
+fn moments_to_value(raw: (u64, f64, f64, f64)) -> serde::Value {
+    serde::Value::Array(vec![
+        serde::Value::UInt(raw.0),
+        serde::Value::Float(raw.1),
+        serde::Value::Float(raw.2),
+        serde::Value::Float(raw.3),
+    ])
+}
+
+/// Parses a 4-element array back into a raw `WindowMoments` accumulator.
+fn moments_from_value(value: &serde::Value, field: &str) -> Result<(u64, f64, f64, f64)> {
+    let invalid = |message: String| crate::CoreError::InvalidSnapshot { message };
+    let serde::Value::Array(items) = value else {
+        return Err(invalid(format!("`{field}` must be a 4-element array")));
+    };
+    if items.len() != 4 {
+        return Err(invalid(format!(
+            "`{field}` must have 4 elements, got {}",
+            items.len()
+        )));
+    }
+    let count = <u64 as serde::Deserialize>::from_value(&items[0])
+        .map_err(|e| invalid(format!("`{field}[0]`: {e}")))?;
+    let mut floats = [0.0; 3];
+    for (k, slot) in floats.iter_mut().enumerate() {
+        *slot = <f64 as serde::Deserialize>::from_value(&items[k + 1])
+            .map_err(|e| invalid(format!("`{field}[{}]`: {e}", k + 1)))?;
+        // A NaN/Inf accumulator would restore into a detector whose every
+        // test silently evaluates false; reject it like any other corruption.
+        if !slot.is_finite() {
+            return Err(invalid(format!("`{field}[{}]` is not finite", k + 1)));
+        }
+    }
+    Ok((count, floats[0], floats[1], floats[2]))
+}
+
+/// Looks up and deserializes a snapshot field.
+fn snapshot_field<T: serde::Deserialize>(state: &serde::Value, field: &'static str) -> Result<T> {
+    let value = state
+        .get(field)
+        .ok_or_else(|| crate::CoreError::InvalidSnapshot {
+            message: format!("missing field `{field}`"),
+        })?;
+    T::from_value(value).map_err(|e| crate::CoreError::InvalidSnapshot {
+        message: format!("field `{field}`: {e}"),
+    })
+}
+
 impl DriftDetector for Optwin {
     fn add_element(&mut self, value: f64) -> DriftStatus {
         self.push_value(value);
@@ -322,7 +374,7 @@ impl DriftDetector for Optwin {
 
     /// Native batch ingestion: identical decisions to the element-wise fold,
     /// but cut-table entries are prefetched in contiguous chunks
-    /// ([`ENTRY_PREFETCH`] per read-lock acquisition instead of one), which
+    /// (`ENTRY_PREFETCH` — 128 — per read-lock acquisition instead of one), which
     /// removes the dominant shared-state synchronisation from the hot loop
     /// when thousands of detectors share one [`CutTable`].
     fn add_batch(&mut self, values: &[f64]) -> BatchOutcome {
@@ -384,6 +436,119 @@ impl DriftDetector for Optwin {
 
     fn supports_real_valued_input(&self) -> bool {
         true
+    }
+
+    /// Serializes the full mutable state: window contents, split point, the
+    /// two raw moment accumulators (bit-exact — see
+    /// [`SplitWindow::from_state`]), the binary-content counter, and the
+    /// lifetime counters. The immutable configuration and the cut table are
+    /// *not* serialized; restoration happens into a detector constructed with
+    /// the same configuration (`w_max` is embedded for validation).
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::Serialize as _;
+        Some(serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
+            (
+                "w_max".to_string(),
+                serde::Value::UInt(self.config.w_max as u64),
+            ),
+            ("window".to_string(), self.window.to_vec().to_value()),
+            (
+                "split".to_string(),
+                serde::Value::UInt(self.window.split() as u64),
+            ),
+            (
+                "hist_moments".to_string(),
+                moments_to_value(self.window.hist_moments_raw()),
+            ),
+            (
+                "new_moments".to_string(),
+                moments_to_value(self.window.new_moments_raw()),
+            ),
+            (
+                "non_binary_in_window".to_string(),
+                serde::Value::UInt(self.non_binary_in_window as u64),
+            ),
+            ("last_status".to_string(), self.last_status.to_value()),
+            (
+                "elements_seen".to_string(),
+                serde::Value::UInt(self.elements_seen),
+            ),
+            (
+                "drifts_detected".to_string(),
+                serde::Value::UInt(self.drifts_detected),
+            ),
+            (
+                "warnings_detected".to_string(),
+                serde::Value::UInt(self.warnings_detected),
+            ),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<()> {
+        let invalid = |message: String| crate::CoreError::InvalidSnapshot { message };
+        let version: u64 = snapshot_field(state, "version")?;
+        if version != SNAPSHOT_VERSION {
+            return Err(invalid(format!(
+                "unsupported OPTWIN snapshot version {version} (expected {SNAPSHOT_VERSION})"
+            )));
+        }
+        let w_max: u64 = snapshot_field(state, "w_max")?;
+        if w_max != self.config.w_max as u64 {
+            return Err(invalid(format!(
+                "snapshot was taken with w_max = {w_max}, detector has w_max = {}",
+                self.config.w_max
+            )));
+        }
+        let values: Vec<f64> = snapshot_field(state, "window")?;
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(invalid("window contains non-finite values".to_string()));
+        }
+        let split = usize::try_from(snapshot_field::<u64>(state, "split")?)
+            .map_err(|_| invalid("`split` out of range".to_string()))?;
+        let hist_raw = moments_from_value(
+            state
+                .get("hist_moments")
+                .ok_or_else(|| invalid("missing field `hist_moments`".to_string()))?,
+            "hist_moments",
+        )?;
+        let new_raw = moments_from_value(
+            state
+                .get("new_moments")
+                .ok_or_else(|| invalid("missing field `new_moments`".to_string()))?,
+            "new_moments",
+        )?;
+        let window = SplitWindow::from_state(self.config.w_max, &values, split, hist_raw, new_raw)
+            .ok_or_else(|| {
+                invalid(format!(
+                    "inconsistent window state (len {}, split {split}, capacity {})",
+                    values.len(),
+                    self.config.w_max
+                ))
+            })?;
+
+        let non_binary = usize::try_from(snapshot_field::<u64>(state, "non_binary_in_window")?)
+            .map_err(|_| invalid("`non_binary_in_window` out of range".to_string()))?;
+        if non_binary > values.len() {
+            return Err(invalid(format!(
+                "non_binary_in_window ({non_binary}) exceeds window length ({})",
+                values.len()
+            )));
+        }
+        // Parse everything before assigning anything: a failure below must
+        // leave the detector exactly as it was, never half-restored.
+        let last_status: DriftStatus = snapshot_field(state, "last_status")?;
+        let elements_seen: u64 = snapshot_field(state, "elements_seen")?;
+        let drifts_detected: u64 = snapshot_field(state, "drifts_detected")?;
+        let warnings_detected: u64 = snapshot_field(state, "warnings_detected")?;
+
+        self.window = window;
+        self.non_binary_in_window = non_binary;
+        self.last_status = last_status;
+        self.elements_seen = elements_seen;
+        self.drifts_detected = drifts_detected;
+        self.warnings_detected = warnings_detected;
+        Ok(())
     }
 }
 
@@ -721,6 +886,128 @@ mod tests {
         let d1 = Optwin::with_shared_table(config.clone()).unwrap();
         let d2 = Optwin::with_shared_table(config).unwrap();
         assert!(Arc::ptr_eq(&d1.cut_table(), &d2.cut_table()));
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_with_identical_decisions() {
+        let stream: Vec<f64> = (0..6_000u64)
+            .map(|i| {
+                let base = match i {
+                    0..=1_999 => 0.05,
+                    2_000..=3_999 => 0.30,
+                    _ => 0.60,
+                };
+                (base + 0.05 * jitter(i)).clamp(0.0, 1.0)
+            })
+            .collect();
+
+        // Snapshot at several cut points, including right after a drift reset
+        // (~2_100) and mid-saturation.
+        for &cut in &[0usize, 17, 1_000, 2_100, 4_500] {
+            let mut original = Optwin::new(small_config(0.5)).unwrap();
+            original.add_batch(&stream[..cut]);
+            let state = original
+                .snapshot_state()
+                .expect("OPTWIN supports snapshots");
+
+            // Round-trip the state value through the crate's own accessors to
+            // mimic what an engine-level persistence layer does.
+            let mut restored = Optwin::new(small_config(0.5)).unwrap();
+            restored.restore_state(&state).unwrap();
+
+            assert_eq!(restored.window_len(), original.window_len());
+            assert_eq!(restored.elements_seen(), original.elements_seen());
+            assert_eq!(restored.drifts_detected(), original.drifts_detected());
+
+            let rest = &stream[cut..];
+            let a = original.add_batch(rest);
+            let b = restored.add_batch(rest);
+            assert_eq!(a, b, "divergence after restoring at {cut}");
+            assert_eq!(original.drifts_detected(), restored.drifts_detected());
+            assert_eq!(original.warnings_detected(), restored.warnings_detected());
+            assert_eq!(original.last_status(), restored.last_status());
+            assert_eq!(
+                original.hist_mean().to_bits(),
+                restored.hist_mean().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_bad_snapshots() {
+        let mut d = Optwin::new(small_config(0.5)).unwrap();
+        // Not an object.
+        assert!(matches!(
+            d.restore_state(&serde::Value::Null),
+            Err(crate::CoreError::InvalidSnapshot { .. })
+        ));
+        // Wrong w_max.
+        let mut other = Optwin::new(
+            OptwinConfig::builder()
+                .robustness(0.5)
+                .max_window(500)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        other.add_batch(&[0.1, 0.2, 0.3]);
+        let state = other.snapshot_state().unwrap();
+        let err = d.restore_state(&state).unwrap_err();
+        assert!(err.to_string().contains("w_max"));
+        // Tampered version.
+        let serde::Value::Object(mut fields) = state.clone() else {
+            panic!("snapshot must be an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "version" {
+                *v = serde::Value::UInt(99);
+            }
+        }
+        let err = other
+            .restore_state(&serde::Value::Object(fields))
+            .unwrap_err();
+        assert!(err.to_string().contains("version"));
+
+        // Non-finite moment accumulators are rejected.
+        let serde::Value::Object(mut fields) = state.clone() else {
+            panic!("snapshot must be an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "hist_moments" {
+                *v = serde::Value::Array(vec![
+                    serde::Value::UInt(1),
+                    serde::Value::Float(f64::NAN),
+                    serde::Value::Float(0.0),
+                    serde::Value::Float(0.0),
+                ]);
+            }
+        }
+        let err = other
+            .restore_state(&serde::Value::Object(fields))
+            .unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+
+        // A failure after the window has been parsed must leave the detector
+        // untouched (no half-restored state): advance the detector past the
+        // snapshot point, then attempt a restore whose trailing counter
+        // field is missing.
+        let serde::Value::Object(fields) = state else {
+            panic!("snapshot must be an object")
+        };
+        let truncated: Vec<(String, serde::Value)> = fields
+            .into_iter()
+            .filter(|(k, _)| k != "elements_seen")
+            .collect();
+        other.add_batch(&[0.4, 0.45, 0.5]);
+        let before_window = other.window_len();
+        let before_elements = other.elements_seen();
+        assert_ne!(before_window, 3, "detector must have diverged");
+        let err = other
+            .restore_state(&serde::Value::Object(truncated))
+            .unwrap_err();
+        assert!(err.to_string().contains("elements_seen"));
+        assert_eq!(other.window_len(), before_window);
+        assert_eq!(other.elements_seen(), before_elements);
     }
 
     #[test]

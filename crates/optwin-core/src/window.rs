@@ -210,6 +210,59 @@ impl SplitWindow {
         self.hist.reset();
         self.new.reset();
     }
+
+    /// Raw accumulator state of the `W_hist` moments (see
+    /// [`WindowMoments::to_raw`]), for exact persistence.
+    #[must_use]
+    pub fn hist_moments_raw(&self) -> (u64, f64, f64, f64) {
+        self.hist.to_raw()
+    }
+
+    /// Raw accumulator state of the `W_new` moments (see
+    /// [`WindowMoments::to_raw`]), for exact persistence.
+    #[must_use]
+    pub fn new_moments_raw(&self) -> (u64, f64, f64, f64) {
+        self.new.to_raw()
+    }
+
+    /// Rebuilds a window from persisted state: the stored values (oldest
+    /// first), the split point, and the two raw moment accumulators captured
+    /// by [`SplitWindow::hist_moments_raw`] / [`SplitWindow::new_moments_raw`].
+    ///
+    /// Restoring the accumulators verbatim (instead of re-adding the values)
+    /// makes the round trip bit-exact: an accumulator that has lived through
+    /// add/remove cycles carries rounding residue a rebuild would lose, and
+    /// OPTWIN's subsequent drift decisions must not depend on whether the
+    /// process was restarted.
+    ///
+    /// Returns `None` when the pieces are inconsistent (`values` longer than
+    /// `capacity`, `split` beyond the length, or accumulator counts that do
+    /// not match the two sub-window sizes).
+    #[must_use]
+    pub fn from_state(
+        capacity: usize,
+        values: &[f64],
+        split: usize,
+        hist_raw: (u64, f64, f64, f64),
+        new_raw: (u64, f64, f64, f64),
+    ) -> Option<Self> {
+        if capacity == 0 || values.len() > capacity || split > values.len() {
+            return None;
+        }
+        if hist_raw.0 != split as u64 || new_raw.0 != (values.len() - split) as u64 {
+            return None;
+        }
+        let mut buf = vec![0.0; capacity];
+        buf[..values.len()].copy_from_slice(values);
+        Some(Self {
+            buf,
+            head: 0,
+            len: values.len(),
+            split,
+            hist: WindowMoments::from_raw(hist_raw.0, hist_raw.1, hist_raw.2, hist_raw.3),
+            new: WindowMoments::from_raw(new_raw.0, new_raw.1, new_raw.2, new_raw.3),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -326,6 +379,58 @@ mod tests {
         // Usable after clear.
         w.push(5.0);
         assert_eq!(w.to_vec(), vec![5.0]);
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_exact() {
+        let mut w = SplitWindow::with_capacity(8);
+        // Exercise eviction and split movement so the accumulators carry
+        // add/remove rounding history.
+        for i in 0..20u32 {
+            if w.len() == w.capacity() {
+                w.pop_front();
+            }
+            w.push(0.05 + 0.031 * f64::from(i));
+            w.set_split(w.len() / 2);
+        }
+        let restored = SplitWindow::from_state(
+            w.capacity(),
+            &w.to_vec(),
+            w.split(),
+            w.hist_moments_raw(),
+            w.new_moments_raw(),
+        )
+        .expect("consistent state");
+        assert_eq!(restored.to_vec(), w.to_vec());
+        assert_eq!(restored.split(), w.split());
+        assert_eq!(restored.hist_mean().to_bits(), w.hist_mean().to_bits());
+        assert_eq!(restored.new_std().to_bits(), w.new_std().to_bits());
+        assert_eq!(restored.hist_moments_raw(), w.hist_moments_raw());
+        assert_eq!(restored.new_moments_raw(), w.new_moments_raw());
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_pieces() {
+        let good = ([0.1, 0.2, 0.3], 1usize);
+        let hist = {
+            let mut m = optwin_stats::incremental::WindowMoments::new();
+            m.add(good.0[0]);
+            m.to_raw()
+        };
+        let new = {
+            let mut m = optwin_stats::incremental::WindowMoments::new();
+            m.add(good.0[1]);
+            m.add(good.0[2]);
+            m.to_raw()
+        };
+        assert!(SplitWindow::from_state(4, &good.0, good.1, hist, new).is_some());
+        // Too small a capacity, split out of range, mismatched counts.
+        assert!(SplitWindow::from_state(2, &good.0, good.1, hist, new).is_none());
+        assert!(SplitWindow::from_state(4, &good.0, 4, hist, new).is_none());
+        assert!(SplitWindow::from_state(4, &good.0, 2, hist, new).is_none());
+        assert!(
+            SplitWindow::from_state(0, &[], 0, (0, 0.0, 0.0, 0.0), (0, 0.0, 0.0, 0.0)).is_none()
+        );
     }
 
     #[test]

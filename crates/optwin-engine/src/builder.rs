@@ -1,0 +1,239 @@
+//! Construction of the service-style engine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use optwin_core::DriftDetector;
+
+use crate::engine::{EngineConfig, EngineError};
+use crate::handle::{spawn_engine, EngineHandle, SharedDetectorFactory, StreamState};
+use crate::persist::{EngineSnapshot, ENGINE_SNAPSHOT_VERSION};
+use crate::sink::EventSink;
+
+/// Default per-shard queue capacity, in records. Large enough to keep the
+/// workers busy across submission hiccups, small enough that a stalled
+/// consumer exerts backpressure within a few megabytes.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 65_536;
+
+/// Builder for a running engine: shard count, detector factory, warning
+/// policy, event sinks, queue capacity and an optional snapshot to restore.
+///
+/// [`EngineBuilder::build`] spawns one long-lived worker thread per shard
+/// and returns the cheaply-cloneable [`EngineHandle`] front door. The
+/// synchronous [`crate::DriftEngine`] facade is a thin wrapper over exactly
+/// this (a handle plus a [`crate::MemorySink`]). See the crate docs for a
+/// complete example.
+#[must_use]
+pub struct EngineBuilder {
+    shards: usize,
+    emit_warnings: bool,
+    queue_capacity: usize,
+    factory: Option<SharedDetectorFactory>,
+    sinks: Vec<Arc<dyn EventSink>>,
+    restore: Option<EngineSnapshot>,
+    streams: Vec<(u64, Box<dyn DriftDetector + Send>)>,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("shards", &self.shards)
+            .field("emit_warnings", &self.emit_warnings)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("has_factory", &self.factory.is_some())
+            .field("sinks", &self.sinks.len())
+            .field(
+                "restore_streams",
+                &self.restore.as_ref().map(EngineSnapshot::stream_count),
+            )
+            .field("pre_registered", &self.streams.len())
+            .finish()
+    }
+}
+
+impl EngineBuilder {
+    /// Starts a builder with the default configuration: one shard per
+    /// available CPU core, warnings disabled, no sinks, no factory, and a
+    /// [`DEFAULT_QUEUE_CAPACITY`]-record queue per shard.
+    pub fn new() -> Self {
+        Self::from_config(EngineConfig::default())
+    }
+
+    /// Starts a builder from an existing [`EngineConfig`].
+    pub fn from_config(config: EngineConfig) -> Self {
+        Self {
+            shards: config.shards,
+            emit_warnings: config.emit_warnings,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            factory: None,
+            sinks: Vec::new(),
+            restore: None,
+            streams: Vec::new(),
+        }
+    }
+
+    /// Sets the shard (worker thread) count. Validated at
+    /// [`EngineBuilder::build`]; zero is rejected there with
+    /// [`EngineError::ZeroShards`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Emits [`optwin_core::DriftStatus::Warning`] events in addition to
+    /// drifts (default: drifts only).
+    pub fn emit_warnings(mut self, emit: bool) -> Self {
+        self.emit_warnings = emit;
+        self
+    }
+
+    /// Sets the per-shard queue capacity in records (default
+    /// [`DEFAULT_QUEUE_CAPACITY`]). [`EngineHandle::submit`] blocks — and
+    /// [`EngineHandle::try_submit`] fails fast — while a target shard holds
+    /// this many unprocessed records. Zero is rejected at build time.
+    pub fn queue_capacity(mut self, records: usize) -> Self {
+        self.queue_capacity = records;
+        self
+    }
+
+    /// Installs a detector factory: unknown stream ids auto-register by
+    /// calling it on first sight. The factory is shared by all shard
+    /// workers, hence `Send + Sync`.
+    pub fn factory<F>(self, factory: F) -> Self
+    where
+        F: Fn(u64) -> Box<dyn DriftDetector + Send> + Send + Sync + 'static,
+    {
+        self.shared_factory(Arc::new(factory))
+    }
+
+    /// Installs an already-shared detector factory (useful when the caller
+    /// keeps a clone, as the [`crate::DriftEngine`] facade does).
+    pub fn shared_factory(mut self, factory: SharedDetectorFactory) -> Self {
+        self.factory = Some(factory);
+        self
+    }
+
+    /// Adds an event sink. May be called repeatedly; every worker emits each
+    /// event into every sink, in the order they were added.
+    pub fn sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Pre-registers a stream with an explicit detector instance (duplicates
+    /// are rejected at build time). Streams can also be registered later via
+    /// [`EngineHandle::register_stream`] or auto-registered by the factory.
+    pub fn stream(mut self, stream: u64, detector: Box<dyn DriftDetector + Send>) -> Self {
+        self.streams.push((stream, detector));
+        self
+    }
+
+    /// Restores every stream recorded in `snapshot` when the engine is
+    /// built: the factory constructs a fresh detector per stream and the
+    /// serialized state is restored into it, so the new engine makes
+    /// identical subsequent decisions to the snapshotted one. Requires a
+    /// factory. The snapshot's shard count and warning policy are
+    /// provenance, not constraints — this builder's settings win, and
+    /// streams re-pin to shards by `id % shards`.
+    pub fn restore(mut self, snapshot: EngineSnapshot) -> Self {
+        self.restore = Some(snapshot);
+        self
+    }
+
+    /// Validates the configuration, spawns one worker thread per shard
+    /// (restoring and pre-registering streams into their owning shards) and
+    /// returns the engine's front door.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::ZeroShards`] / [`EngineError::ZeroQueueCapacity`]
+    ///   for degenerate parameters,
+    /// * [`EngineError::InvalidSnapshot`] when a snapshot is set but no
+    ///   factory is, the snapshot's version is unsupported, a detector name
+    ///   does not match what the factory builds, or a detector rejects its
+    ///   serialized state,
+    /// * [`EngineError::DuplicateStream`] when a stream id is pre-registered
+    ///   (or restored) twice.
+    pub fn build(self) -> Result<EngineHandle, EngineError> {
+        if self.shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        if self.queue_capacity == 0 {
+            return Err(EngineError::ZeroQueueCapacity);
+        }
+
+        let mut initial: Vec<HashMap<u64, StreamState>> =
+            (0..self.shards).map(|_| HashMap::new()).collect();
+        let shard_of = |stream: u64| (stream % self.shards as u64) as usize;
+
+        if let Some(snapshot) = self.restore {
+            if snapshot.version != ENGINE_SNAPSHOT_VERSION {
+                return Err(EngineError::InvalidSnapshot(format!(
+                    "unsupported engine snapshot version {} (expected {ENGINE_SNAPSHOT_VERSION})",
+                    snapshot.version
+                )));
+            }
+            let factory = self.factory.as_ref().ok_or_else(|| {
+                EngineError::InvalidSnapshot(
+                    "restoring a snapshot requires a detector factory".to_string(),
+                )
+            })?;
+            for stream_snapshot in snapshot.streams {
+                let mut detector = factory(stream_snapshot.stream);
+                if detector.name() != stream_snapshot.detector {
+                    return Err(EngineError::InvalidSnapshot(format!(
+                        "stream {}: snapshot was taken from a `{}` detector but the factory \
+                         builds `{}`",
+                        stream_snapshot.stream,
+                        stream_snapshot.detector,
+                        detector.name()
+                    )));
+                }
+                detector
+                    .restore_state(&stream_snapshot.state)
+                    .map_err(|e| {
+                        EngineError::InvalidSnapshot(format!(
+                            "stream {}: {e}",
+                            stream_snapshot.stream
+                        ))
+                    })?;
+                let mut state = StreamState::new(detector);
+                state.seq = stream_snapshot.seq;
+                state.seconds = stream_snapshot.detector_seconds;
+                if initial[shard_of(stream_snapshot.stream)]
+                    .insert(stream_snapshot.stream, state)
+                    .is_some()
+                {
+                    return Err(EngineError::DuplicateStream(stream_snapshot.stream));
+                }
+            }
+        }
+
+        for (stream, detector) in self.streams {
+            if initial[shard_of(stream)]
+                .insert(stream, StreamState::new(detector))
+                .is_some()
+            {
+                return Err(EngineError::DuplicateStream(stream));
+            }
+        }
+
+        let config = EngineConfig {
+            shards: self.shards,
+            emit_warnings: self.emit_warnings,
+        };
+        Ok(spawn_engine(
+            config,
+            self.queue_capacity,
+            self.factory,
+            self.sinks,
+            initial,
+        ))
+    }
+}

@@ -1,15 +1,18 @@
-//! The sharded multi-stream engine.
+//! Engine configuration, errors, and the synchronous [`DriftEngine`]
+//! facade over the service-style API.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::HashSet;
 use std::fmt;
-use std::time::Instant;
+use std::sync::Arc;
 
-use optwin_core::{DriftDetector, DriftStatus};
+use optwin_core::DriftDetector;
 
+use crate::builder::EngineBuilder;
 use crate::event::DriftEvent;
-
-/// Builds a detector for a newly seen stream id.
-pub type DetectorFactory = Box<dyn Fn(u64) -> Box<dyn DriftDetector + Send> + Send>;
+use crate::handle::{EngineHandle, SharedDetectorFactory};
+use crate::persist::EngineSnapshot;
+use crate::sink::MemorySink;
 
 /// Engine construction errors and ingestion-time failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +22,28 @@ pub enum EngineError {
     /// A record referenced a stream that is not registered and the engine
     /// has no detector factory.
     UnknownStream(u64),
+    /// An engine was configured with zero shards.
+    ZeroShards,
+    /// An engine was configured with a zero-record queue capacity.
+    ZeroQueueCapacity,
+    /// `try_submit` found a target shard's queue at capacity; nothing was
+    /// enqueued.
+    QueueFull,
+    /// The engine has shut down (or a worker died): no further work is
+    /// accepted.
+    ChannelClosed,
+    /// Internal state was poisoned by a panicking thread.
+    Poisoned,
+    /// A snapshot was requested but a stream's detector does not implement
+    /// state serialization.
+    SnapshotUnsupported {
+        /// The stream whose detector cannot be snapshotted.
+        stream: u64,
+        /// The detector's stable name.
+        detector: String,
+    },
+    /// A persisted engine snapshot could not be restored.
+    InvalidSnapshot(String),
 }
 
 impl fmt::Display for EngineError {
@@ -31,36 +56,69 @@ impl fmt::Display for EngineError {
                 f,
                 "stream {id} is not registered and the engine has no detector factory"
             ),
+            EngineError::ZeroShards => write!(f, "engine needs at least one shard"),
+            EngineError::ZeroQueueCapacity => {
+                write!(f, "engine queue capacity must be at least one record")
+            }
+            EngineError::QueueFull => {
+                write!(f, "a shard queue is at capacity; nothing was enqueued")
+            }
+            EngineError::ChannelClosed => {
+                write!(f, "the engine has shut down and accepts no further work")
+            }
+            EngineError::Poisoned => {
+                write!(f, "engine state was poisoned by a panicking worker thread")
+            }
+            EngineError::SnapshotUnsupported { stream, detector } => write!(
+                f,
+                "stream {stream}: detector `{detector}` does not support state snapshots"
+            ),
+            EngineError::InvalidSnapshot(message) => {
+                write!(f, "invalid engine snapshot: {message}")
+            }
         }
     }
 }
 
 impl std::error::Error for EngineError {}
 
-/// Configuration for [`DriftEngine`].
+/// Configuration for [`DriftEngine`] (and the starting point of
+/// [`EngineBuilder::from_config`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Number of shards (≥ 1). Streams are pinned to shard `id % shards`;
-    /// each `ingest_batch` call runs the non-empty shards in parallel.
+    /// each shard is owned by one long-lived worker thread.
     pub shards: usize,
-    /// Emit [`DriftStatus::Warning`] events in addition to drifts (default
-    /// `false`: drifts only).
+    /// Emit [`optwin_core::DriftStatus::Warning`] events in addition to
+    /// drifts (default `false`: drifts only).
     pub emit_warnings: bool,
 }
 
 impl EngineConfig {
     /// A configuration with the given shard count and warnings disabled.
     ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ZeroShards`] if `shards` is zero.
+    pub fn try_with_shards(shards: usize) -> Result<Self, EngineError> {
+        if shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        Ok(Self {
+            shards,
+            emit_warnings: false,
+        })
+    }
+
+    /// A configuration with the given shard count and warnings disabled.
+    /// Convenience wrapper over [`EngineConfig::try_with_shards`].
+    ///
     /// # Panics
     ///
     /// Panics if `shards` is zero.
     #[must_use]
     pub fn with_shards(shards: usize) -> Self {
-        assert!(shards > 0, "engine needs at least one shard");
-        Self {
-            shards,
-            emit_warnings: false,
-        }
+        Self::try_with_shards(shards).expect("engine needs at least one shard")
     }
 
     /// Enables or disables warning events.
@@ -83,68 +141,6 @@ impl Default for EngineConfig {
     }
 }
 
-/// Per-stream state owned by exactly one shard.
-struct StreamState {
-    detector: Box<dyn DriftDetector + Send>,
-    /// Elements ingested for this stream so far (the next element's sequence
-    /// number).
-    seq: u64,
-    /// Wall-clock seconds spent inside the detector for this stream.
-    seconds: f64,
-    /// Values staged for the current batch (reused across batches).
-    staged: Vec<f64>,
-}
-
-/// A shard: a disjoint set of streams processed sequentially by one thread.
-#[derive(Default)]
-struct Shard {
-    streams: HashMap<u64, StreamState>,
-    /// First-seen order of the streams staged in the current batch.
-    batch_order: Vec<u64>,
-}
-
-impl Shard {
-    /// Stages `records` (all belonging to this shard) and runs every staged
-    /// stream's detector through its batch path, returning the events.
-    fn process(&mut self, records: &[(u64, f64)], emit_warnings: bool) -> Vec<DriftEvent> {
-        self.batch_order.clear();
-        for &(stream, value) in records {
-            let state = self
-                .streams
-                .get_mut(&stream)
-                .expect("validated by the engine");
-            if state.staged.is_empty() {
-                self.batch_order.push(stream);
-            }
-            state.staged.push(value);
-        }
-
-        let mut events = Vec::new();
-        for &stream in &self.batch_order {
-            let state = self.streams.get_mut(&stream).expect("staged above");
-            let started = Instant::now();
-            let outcome = state.detector.add_batch(&state.staged);
-            state.seconds += started.elapsed().as_secs_f64();
-
-            events.extend(outcome.drift_indices.iter().map(|&i| DriftEvent {
-                stream,
-                seq: state.seq + i as u64,
-                status: DriftStatus::Drift,
-            }));
-            if emit_warnings {
-                events.extend(outcome.warning_indices.iter().map(|&i| DriftEvent {
-                    stream,
-                    seq: state.seq + i as u64,
-                    status: DriftStatus::Warning,
-                }));
-            }
-            state.seq += state.staged.len() as u64;
-            state.staged.clear();
-        }
-        events
-    }
-}
-
 /// Read-only view of one stream's lifetime statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamSnapshot {
@@ -160,21 +156,38 @@ pub struct StreamSnapshot {
     pub detector: &'static str,
 }
 
-/// A sharded collection of independent drift detectors fed by batches of
-/// `(stream id, value)` records. See the crate docs for the architecture.
+thread_local! {
+    /// Scratch record buffer for [`DriftEngine::ingest_stream`], reused
+    /// across calls so the single-stream convenience path does not allocate
+    /// a fresh buffer per invocation.
+    static INGEST_SCRATCH: RefCell<Vec<(u64, f64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The synchronous facade over the service-style engine: a sharded
+/// collection of independent drift detectors fed by batches of
+/// `(stream id, value)` records, returning each batch's events in-line.
+///
+/// Internally this is nothing but an [`EngineHandle`] paired with a
+/// [`MemorySink`]: `ingest_batch` = `submit` + `flush` + drain. Callers that
+/// want pipelining (submit without waiting), fan-out to other sinks, or
+/// snapshot/restore should use [`EngineBuilder`] directly — or grab this
+/// engine's own handle via [`DriftEngine::handle`].
 pub struct DriftEngine {
-    config: EngineConfig,
-    shards: Vec<Shard>,
-    factory: Option<DetectorFactory>,
-    /// Per-shard record staging buffers, reused across `ingest_batch` calls.
-    partitions: Vec<Vec<(u64, f64)>>,
+    handle: EngineHandle,
+    sink: Arc<MemorySink>,
+    factory: Option<SharedDetectorFactory>,
+    /// Stream ids known to be registered, maintained so the factory-less
+    /// `ingest_batch` validation is an O(1) set lookup per record instead of
+    /// a per-call all-shard query. Ids registered behind the facade's back
+    /// (through a raw [`DriftEngine::handle`] clone) are discovered lazily
+    /// via a targeted per-id query on first sight.
+    known_streams: HashSet<u64>,
 }
 
 impl fmt::Debug for DriftEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DriftEngine")
-            .field("config", &self.config)
-            .field("streams", &self.stream_count())
+            .field("config", &self.handle.config())
             .field("has_factory", &self.factory.is_some())
             .finish()
     }
@@ -183,33 +196,56 @@ impl fmt::Debug for DriftEngine {
 impl DriftEngine {
     /// Creates an engine whose streams must all be registered explicitly via
     /// [`DriftEngine::register_stream`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
-        assert!(config.shards > 0, "engine needs at least one shard");
-        Self {
-            shards: (0..config.shards).map(|_| Shard::default()).collect(),
-            partitions: (0..config.shards).map(|_| Vec::new()).collect(),
-            factory: None,
-            config,
-        }
+        Self::with_parts(config, None)
     }
 
     /// Creates an engine that builds a detector through `factory` the first
     /// time a record for an unknown stream id arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero.
     #[must_use]
     pub fn with_factory<F>(config: EngineConfig, factory: F) -> Self
     where
-        F: Fn(u64) -> Box<dyn DriftDetector + Send> + Send + 'static,
+        F: Fn(u64) -> Box<dyn DriftDetector + Send> + Send + Sync + 'static,
     {
-        let mut engine = Self::new(config);
-        engine.factory = Some(Box::new(factory));
-        engine
+        Self::with_parts(config, Some(Arc::new(factory)))
     }
 
-    /// The shard a stream id is pinned to.
-    #[inline]
-    fn shard_of(&self, stream: u64) -> usize {
-        (stream % self.shards.len() as u64) as usize
+    fn with_parts(config: EngineConfig, factory: Option<SharedDetectorFactory>) -> Self {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        let sink = Arc::new(MemorySink::new());
+        let mut builder =
+            EngineBuilder::from_config(config).sink(Arc::clone(&sink) as Arc<dyn crate::EventSink>);
+        if let Some(factory) = &factory {
+            builder = builder.shared_factory(Arc::clone(factory));
+        }
+        let handle = builder
+            .build()
+            .expect("a validated config cannot fail to build");
+        Self {
+            handle,
+            sink,
+            factory,
+            known_streams: HashSet::new(),
+        }
+    }
+
+    /// A clone of the underlying [`EngineHandle`], for callers that want to
+    /// mix the blocking facade with non-blocking submission or
+    /// snapshotting. Note that events keep flowing into this engine's
+    /// internal [`MemorySink`] (and are returned by the next
+    /// [`DriftEngine::ingest_batch`] call) no matter who submitted them.
+    #[must_use]
+    pub fn handle(&self) -> EngineHandle {
+        self.handle.clone()
     }
 
     /// Registers a stream with an explicit detector instance.
@@ -223,103 +259,88 @@ impl DriftEngine {
         stream: u64,
         detector: Box<dyn DriftDetector + Send>,
     ) -> Result<(), EngineError> {
-        let shard = self.shard_of(stream);
-        let streams = &mut self.shards[shard].streams;
-        if streams.contains_key(&stream) {
-            return Err(EngineError::DuplicateStream(stream));
-        }
-        streams.insert(
-            stream,
-            StreamState {
-                detector,
-                seq: 0,
-                seconds: 0.0,
-                staged: Vec::new(),
-            },
-        );
+        self.handle.register_stream(stream, detector)?;
+        self.known_streams.insert(stream);
         Ok(())
+    }
+
+    /// `true` when `stream` is registered, updating the local known-id cache
+    /// (one targeted shard query on a cache miss).
+    fn ensure_known(&mut self, stream: u64) -> Result<bool, EngineError> {
+        if self.known_streams.contains(&stream) {
+            return Ok(true);
+        }
+        if self.handle.stream_stats(stream)?.is_some() {
+            self.known_streams.insert(stream);
+            return Ok(true);
+        }
+        Ok(false)
     }
 
     /// `true` when the stream id is registered.
     #[must_use]
     pub fn contains_stream(&self, stream: u64) -> bool {
-        self.shards[self.shard_of(stream)]
-            .streams
-            .contains_key(&stream)
+        matches!(self.handle.stream_stats(stream), Ok(Some(_)))
     }
 
     /// Number of shards.
     #[must_use]
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.handle.num_shards()
     }
 
     /// Number of registered streams.
     #[must_use]
     pub fn stream_count(&self) -> usize {
-        self.shards.iter().map(|s| s.streams.len()).sum()
+        self.handle.stats().map_or(0, |s| s.streams)
     }
 
     /// Total elements ingested across all streams.
     #[must_use]
     pub fn elements_ingested(&self) -> u64 {
-        self.shards
-            .iter()
-            .flat_map(|s| s.streams.values())
-            .map(|state| state.seq)
-            .sum()
+        self.handle.stats().map_or(0, |s| s.elements)
     }
 
     /// Total drifts flagged across all streams.
     #[must_use]
     pub fn drifts_detected(&self) -> u64 {
-        self.shards
-            .iter()
-            .flat_map(|s| s.streams.values())
-            .map(|state| state.detector.drifts_detected())
-            .sum()
+        self.handle.stats().map_or(0, |s| s.drifts)
     }
 
     /// Lifetime statistics for one stream, if registered.
     #[must_use]
     pub fn stream_snapshot(&self, stream: u64) -> Option<StreamSnapshot> {
-        let state = self.shards[self.shard_of(stream)].streams.get(&stream)?;
-        Some(StreamSnapshot {
-            stream,
-            elements: state.seq,
-            drifts: state.detector.drifts_detected(),
-            detector_seconds: state.seconds,
-            detector: state.detector.name(),
-        })
+        self.handle.stream_stats(stream).ok().flatten()
     }
 
-    /// All registered stream ids (unordered).
+    /// All registered stream ids (sorted).
     pub fn stream_ids(&self) -> impl Iterator<Item = u64> + '_ {
-        self.shards.iter().flat_map(|s| s.streams.keys().copied())
+        self.handle
+            .stream_snapshots()
+            .unwrap_or_default()
+            .into_iter()
+            .map(|s| s.stream)
     }
 
-    /// Ensures every stream referenced by `records` exists, creating missing
-    /// detectors through the factory.
-    fn ensure_streams(&mut self, records: &[(u64, f64)]) -> Result<(), EngineError> {
-        for &(stream, _) in records {
-            if !self.contains_stream(stream) {
-                let detector = match &self.factory {
-                    Some(factory) => factory(stream),
-                    None => return Err(EngineError::UnknownStream(stream)),
-                };
-                self.register_stream(stream, detector)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// Ingests a batch of `(stream id, value)` records.
+    /// Serializes the state of every stream for later restoration through
+    /// [`EngineBuilder::restore`].
     ///
-    /// Records are partitioned onto the shards; non-empty shards run
-    /// concurrently on scoped threads, each feeding its streams through the
-    /// detectors' batch path. Per-stream record order is preserved; the
-    /// returned events are sorted by `(stream, seq)` so the output is fully
-    /// deterministic regardless of thread scheduling.
+    /// # Errors
+    ///
+    /// Returns [`EngineError::SnapshotUnsupported`] when any stream's
+    /// detector does not implement state serialization.
+    pub fn snapshot(&self) -> Result<EngineSnapshot, EngineError> {
+        self.handle.snapshot()
+    }
+
+    /// Ingests a batch of `(stream id, value)` records and returns the
+    /// events it produced, sorted by `(stream, seq)`.
+    ///
+    /// This is the blocking wrapper over the service API: the records are
+    /// submitted to the shard workers (which process them in parallel), a
+    /// flush barrier waits for completion, and the internal [`MemorySink`]
+    /// is drained. Per-stream record order is preserved and the output is
+    /// fully deterministic regardless of thread scheduling.
     ///
     /// # Errors
     ///
@@ -327,47 +348,26 @@ impl DriftEngine {
     /// unregistered stream and no factory is configured. No records are
     /// ingested in that case.
     pub fn ingest_batch(&mut self, records: &[(u64, f64)]) -> Result<Vec<DriftEvent>, EngineError> {
-        self.ensure_streams(records)?;
-
-        let nshards = self.shards.len() as u64;
-        for partition in &mut self.partitions {
-            partition.clear();
-        }
-        for &record in records {
-            self.partitions[(record.0 % nshards) as usize].push(record);
-        }
-
-        let emit_warnings = self.config.emit_warnings;
-        let mut events: Vec<DriftEvent> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let mut inline: Option<(&mut Shard, &Vec<(u64, f64)>)> = None;
-            for (shard, partition) in self.shards.iter_mut().zip(&self.partitions) {
-                if partition.is_empty() {
-                    continue;
-                }
-                // The first non-empty shard runs on the calling thread; the
-                // rest are forked.
-                match inline {
-                    None => inline = Some((shard, partition)),
-                    Some(_) => {
-                        handles.push(scope.spawn(move || shard.process(partition, emit_warnings)));
-                    }
+        if self.factory.is_none() {
+            // Preserve the all-or-nothing contract: validate before
+            // submitting anything. The known-id cache makes this O(1) per
+            // record; only ids never seen before cost a shard query.
+            for &(stream, _) in records {
+                if !self.ensure_known(stream)? {
+                    return Err(EngineError::UnknownStream(stream));
                 }
             }
-            if let Some((shard, partition)) = inline {
-                events.extend(shard.process(partition, emit_warnings));
-            }
-            for handle in handles {
-                events.extend(handle.join().expect("shard thread panicked"));
-            }
-        });
-
+        }
+        self.handle.submit(records)?;
+        self.handle.flush()?;
+        let mut events = self.sink.drain();
         events.sort_unstable_by_key(|e| (e.stream, e.seq));
         Ok(events)
     }
 
-    /// Convenience: ingests a contiguous slice of values for one stream.
+    /// Convenience: ingests a contiguous slice of values for one stream,
+    /// staging the records in a thread-local scratch buffer that is reused
+    /// across calls.
     ///
     /// # Errors
     ///
@@ -377,43 +377,33 @@ impl DriftEngine {
         stream: u64,
         values: &[f64],
     ) -> Result<Vec<DriftEvent>, EngineError> {
-        self.ensure_streams(&[(stream, 0.0)])?;
-        let shard = self.shard_of(stream);
-        let emit_warnings = self.config.emit_warnings;
-        // Single-stream fast path: no partitioning, no thread scope.
-        let state = self.shards[shard]
-            .streams
-            .get_mut(&stream)
-            .expect("ensured above");
-        let started = Instant::now();
-        let outcome = state.detector.add_batch(values);
-        state.seconds += started.elapsed().as_secs_f64();
-        let base = state.seq;
-        state.seq += values.len() as u64;
-        let mut events: Vec<DriftEvent> = outcome
-            .drift_indices
-            .iter()
-            .map(|&i| DriftEvent {
-                stream,
-                seq: base + i as u64,
-                status: DriftStatus::Drift,
-            })
-            .collect();
-        if emit_warnings {
-            events.extend(outcome.warning_indices.iter().map(|&i| DriftEvent {
-                stream,
-                seq: base + i as u64,
-                status: DriftStatus::Warning,
-            }));
-            events.sort_unstable_by_key(|e| e.seq);
+        if values.is_empty() {
+            // Historical contract: an empty call still registers the stream
+            // (through the factory if needed) or reports it unknown.
+            if self.ensure_known(stream)? {
+                return Ok(Vec::new());
+            }
+            return match self.factory.clone() {
+                Some(factory) => {
+                    self.register_stream(stream, factory(stream))?;
+                    Ok(Vec::new())
+                }
+                None => Err(EngineError::UnknownStream(stream)),
+            };
         }
-        Ok(events)
+        INGEST_SCRATCH.with(|scratch| {
+            let mut records = scratch.borrow_mut();
+            records.clear();
+            records.extend(values.iter().map(|&value| (stream, value)));
+            self.ingest_batch(&records)
+        })
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use optwin_core::DriftStatus;
 
     /// Deterministic detector that fires every `period` elements.
     struct Periodic {
@@ -571,8 +561,7 @@ mod tests {
         assert_eq!(snap.detector, "periodic");
         assert!(snap.detector_seconds >= 0.0);
         assert_eq!(engine.stream_snapshot(99), None);
-        let mut ids: Vec<u64> = engine.stream_ids().collect();
-        ids.sort_unstable();
+        let ids: Vec<u64> = engine.stream_ids().collect();
         assert_eq!(ids, vec![1, 2]);
     }
 
@@ -592,6 +581,42 @@ mod tests {
     }
 
     #[test]
+    fn facade_discovers_streams_registered_through_a_raw_handle() {
+        let mut engine = DriftEngine::new(EngineConfig::with_shards(2));
+        let handle = engine.handle();
+        handle.register_stream(11, Periodic::boxed(5)).unwrap();
+        // The facade's known-id cache has never seen id 11; validation must
+        // discover it through a targeted query rather than erroring.
+        let events = engine.ingest_batch(&[(11, 0.0); 5]).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(engine.elements_ingested(), 5);
+        // Cached now: a second batch works without re-querying, and
+        // genuinely unknown ids still error.
+        assert_eq!(engine.ingest_batch(&[(11, 0.0); 5]).unwrap().len(), 1);
+        assert_eq!(
+            engine.ingest_batch(&[(12, 0.0)]).unwrap_err(),
+            EngineError::UnknownStream(12)
+        );
+    }
+
+    #[test]
+    fn ingest_stream_empty_call_still_registers() {
+        let mut engine =
+            DriftEngine::with_factory(EngineConfig::with_shards(2), |_| Periodic::boxed(5));
+        assert_eq!(engine.ingest_stream(9, &[]).unwrap(), Vec::new());
+        assert!(engine.contains_stream(9));
+        assert_eq!(engine.elements_ingested(), 0);
+        // Second empty call is a no-op.
+        assert_eq!(engine.ingest_stream(9, &[]).unwrap(), Vec::new());
+
+        let mut bare = DriftEngine::new(EngineConfig::with_shards(2));
+        assert_eq!(
+            bare.ingest_stream(3, &[]).unwrap_err(),
+            EngineError::UnknownStream(3)
+        );
+    }
+
+    #[test]
     fn default_config_is_usable() {
         let config = EngineConfig::default();
         assert!(config.shards >= 1);
@@ -604,5 +629,46 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = EngineConfig::with_shards(0);
+    }
+
+    #[test]
+    fn try_with_shards_is_fallible() {
+        assert_eq!(
+            EngineConfig::try_with_shards(0),
+            Err(EngineError::ZeroShards)
+        );
+        let config = EngineConfig::try_with_shards(3).unwrap();
+        assert_eq!(config.shards, 3);
+        assert!(!config.emit_warnings);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let cases: Vec<(EngineError, &str)> = vec![
+            (EngineError::DuplicateStream(7), "already registered"),
+            (EngineError::UnknownStream(9), "no detector factory"),
+            (EngineError::ZeroShards, "at least one shard"),
+            (EngineError::ZeroQueueCapacity, "at least one record"),
+            (EngineError::QueueFull, "nothing was enqueued"),
+            (EngineError::ChannelClosed, "shut down"),
+            (EngineError::Poisoned, "poisoned"),
+            (
+                EngineError::SnapshotUnsupported {
+                    stream: 4,
+                    detector: "ADWIN".to_string(),
+                },
+                "ADWIN",
+            ),
+            (
+                EngineError::InvalidSnapshot("bad version".to_string()),
+                "bad version",
+            ),
+        ];
+        for (error, needle) in cases {
+            let text = error.to_string();
+            assert!(text.contains(needle), "`{text}` missing `{needle}`");
+            // std::error::Error is implemented.
+            let _: &dyn std::error::Error = &error;
+        }
     }
 }

@@ -1,9 +1,14 @@
 //! Events emitted by the engine.
 
 use optwin_core::DriftStatus;
+use serde::{Deserialize, Serialize};
 
 /// One detector verdict worth surfacing, tied to its exact stream position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Events are serializable (see [`crate::JsonLinesSink`]) so detections can
+/// be shipped to files, logs or downstream services without a translation
+/// layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DriftEvent {
     /// The stream the event belongs to.
     pub stream: u64,
@@ -42,5 +47,19 @@ mod tests {
         };
         assert!(drift.is_drift());
         assert!(!warn.is_drift());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let event = DriftEvent {
+            stream: 42,
+            seq: 1_234,
+            status: DriftStatus::Warning,
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        assert!(json.contains("\"stream\":42"));
+        assert!(json.contains("\"Warning\""));
+        let back: DriftEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, event);
     }
 }

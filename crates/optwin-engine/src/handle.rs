@@ -1,0 +1,734 @@
+//! The non-blocking front door: shard worker threads and the cloneable
+//! [`EngineHandle`] that feeds them.
+//!
+//! [`crate::EngineBuilder::build`] spawns one long-lived OS thread per
+//! shard; each worker owns its shard's `(stream id → detector)` map
+//! outright, so the hot path needs no locking. The returned [`EngineHandle`]
+//! is cheaply cloneable (an `Arc` plus per-shard channel senders): any
+//! number of producer threads can [`EngineHandle::submit`] record batches,
+//! which partitions them by `stream % shards` and enqueues each partition on
+//! the owning shard's bounded queue, returning immediately. Detections flow
+//! out through the configured [`crate::EventSink`]s from the worker threads;
+//! the submitting thread never sees them.
+//!
+//! Backpressure is accounted in **records, per shard**: `submit` blocks
+//! while a target shard's queue is at capacity, [`EngineHandle::try_submit`]
+//! instead fails fast with [`EngineError::QueueFull`] and enqueues nothing.
+//! [`EngineHandle::flush`] and [`EngineHandle::shutdown`] are barriers: they
+//! ride the same FIFO channels as the records, so when they return, every
+//! record previously submitted *by the calling thread* has been fully
+//! processed and the sinks have been flushed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use optwin_core::{DriftDetector, DriftStatus};
+
+use crate::engine::{EngineConfig, EngineError, StreamSnapshot};
+use crate::event::DriftEvent;
+use crate::persist::{EngineSnapshot, StreamStateSnapshot, ENGINE_SNAPSHOT_VERSION};
+use crate::sink::EventSink;
+
+/// A detector factory shared by every shard worker (and, for the blocking
+/// facade, the submitting side): builds a detector the first time a record
+/// for an unknown stream id arrives.
+pub type SharedDetectorFactory = Arc<dyn Fn(u64) -> Box<dyn DriftDetector + Send> + Send + Sync>;
+
+/// Aggregate lifetime counters across all streams of an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Number of registered streams.
+    pub streams: usize,
+    /// Total elements ingested across all streams.
+    pub elements: u64,
+    /// Total drifts flagged across all streams.
+    pub drifts: u64,
+}
+
+/// Messages a worker accepts over its FIFO channel. Control messages ride
+/// the same queue as records, so every control operation doubles as a
+/// barrier for the records enqueued before it.
+enum ShardMsg {
+    /// A partition of a submitted batch (all records belong to this shard).
+    Records(Vec<(u64, f64)>),
+    /// Register a stream with an explicit detector.
+    Register {
+        stream: u64,
+        detector: Box<dyn DriftDetector + Send>,
+        ack: Sender<Result<(), EngineError>>,
+    },
+    /// Flush the sinks and acknowledge (barrier).
+    Flush { ack: Sender<()> },
+    /// Report per-stream lifetime statistics (barrier).
+    Query { ack: Sender<Vec<StreamSnapshot>> },
+    /// Serialize per-stream detector state (barrier).
+    Snapshot {
+        ack: Sender<Result<Vec<StreamStateSnapshot>, EngineError>>,
+    },
+    /// Exit the worker loop after draining everything queued before this.
+    Shutdown,
+}
+
+/// Queue accounting shared between producers and workers.
+///
+/// The channels themselves are unbounded; boundedness comes from this
+/// record-level ledger, which lets `try_submit` reserve space on *all*
+/// target shards atomically (a partial enqueue would break the
+/// all-or-nothing contract).
+struct QueueState {
+    /// Records currently queued per shard.
+    depth: Mutex<Vec<usize>>,
+    /// Signalled whenever a worker dequeues records or the engine closes.
+    space: Condvar,
+    /// Set when any worker exits (shutdown or panic): the engine no longer
+    /// makes progress, so producers must stop waiting.
+    closed: AtomicBool,
+    /// Ingestion-time errors recorded by workers (e.g. an unknown stream
+    /// with no factory), surfaced by [`EngineHandle::flush`].
+    errors: Mutex<Vec<EngineError>>,
+}
+
+impl QueueState {
+    fn record_error(&self, error: EngineError) {
+        self.errors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(error);
+    }
+}
+
+/// Per-stream state owned by exactly one shard worker.
+pub(crate) struct StreamState {
+    pub(crate) detector: Box<dyn DriftDetector + Send>,
+    /// Elements ingested for this stream so far (the next element's sequence
+    /// number).
+    pub(crate) seq: u64,
+    /// Wall-clock seconds spent inside the detector for this stream.
+    pub(crate) seconds: f64,
+    /// Values staged for the current batch (reused across batches).
+    staged: Vec<f64>,
+}
+
+impl StreamState {
+    pub(crate) fn new(detector: Box<dyn DriftDetector + Send>) -> Self {
+        Self {
+            detector,
+            seq: 0,
+            seconds: 0.0,
+            staged: Vec::new(),
+        }
+    }
+}
+
+/// A shard: a disjoint set of streams processed sequentially by one worker.
+#[derive(Default)]
+struct ShardState {
+    streams: HashMap<u64, StreamState>,
+    /// First-seen order of the streams staged in the current batch.
+    batch_order: Vec<u64>,
+    /// Event staging buffer, reused across batches.
+    events: Vec<DriftEvent>,
+}
+
+impl ShardState {
+    fn register(
+        &mut self,
+        stream: u64,
+        detector: Box<dyn DriftDetector + Send>,
+    ) -> Result<(), EngineError> {
+        if self.streams.contains_key(&stream) {
+            return Err(EngineError::DuplicateStream(stream));
+        }
+        self.streams.insert(stream, StreamState::new(detector));
+        Ok(())
+    }
+
+    /// Stages `records`, creating unknown streams through the factory (or
+    /// recording [`EngineError::UnknownStream`] and skipping the record when
+    /// there is none), runs every staged stream's detector through its batch
+    /// path, and emits the events — sorted by `(stream, seq)` within this
+    /// call — into the sinks.
+    fn ingest(
+        &mut self,
+        records: &[(u64, f64)],
+        factory: Option<&SharedDetectorFactory>,
+        sinks: &[Arc<dyn EventSink>],
+        emit_warnings: bool,
+        queue: &QueueState,
+    ) {
+        self.batch_order.clear();
+        for &(stream, value) in records {
+            let state = match self.streams.entry(stream) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => match factory {
+                    Some(factory) => e.insert(StreamState::new(factory(stream))),
+                    None => {
+                        queue.record_error(EngineError::UnknownStream(stream));
+                        continue;
+                    }
+                },
+            };
+            if state.staged.is_empty() {
+                self.batch_order.push(stream);
+            }
+            state.staged.push(value);
+        }
+
+        self.events.clear();
+        for &stream in &self.batch_order {
+            let state = self.streams.get_mut(&stream).expect("staged above");
+            let started = Instant::now();
+            let outcome = state.detector.add_batch(&state.staged);
+            state.seconds += started.elapsed().as_secs_f64();
+
+            self.events
+                .extend(outcome.drift_indices.iter().map(|&i| DriftEvent {
+                    stream,
+                    seq: state.seq + i as u64,
+                    status: DriftStatus::Drift,
+                }));
+            if emit_warnings {
+                self.events
+                    .extend(outcome.warning_indices.iter().map(|&i| DriftEvent {
+                        stream,
+                        seq: state.seq + i as u64,
+                        status: DriftStatus::Warning,
+                    }));
+            }
+            state.seq += state.staged.len() as u64;
+            state.staged.clear();
+        }
+
+        self.events.sort_unstable_by_key(|e| (e.stream, e.seq));
+        for event in &self.events {
+            for sink in sinks {
+                sink.emit(event);
+            }
+        }
+    }
+
+    fn query(&self) -> Vec<StreamSnapshot> {
+        self.streams
+            .iter()
+            .map(|(&stream, state)| StreamSnapshot {
+                stream,
+                elements: state.seq,
+                drifts: state.detector.drifts_detected(),
+                detector_seconds: state.seconds,
+                detector: state.detector.name(),
+            })
+            .collect()
+    }
+
+    fn snapshot(&self) -> Result<Vec<StreamStateSnapshot>, EngineError> {
+        let mut ids: Vec<u64> = self.streams.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+            .map(|stream| {
+                let state = &self.streams[&stream];
+                let detector_state = state.detector.snapshot_state().ok_or_else(|| {
+                    EngineError::SnapshotUnsupported {
+                        stream,
+                        detector: state.detector.name().to_string(),
+                    }
+                })?;
+                Ok(StreamStateSnapshot {
+                    stream,
+                    seq: state.seq,
+                    detector: state.detector.name().to_string(),
+                    detector_seconds: state.seconds,
+                    state: detector_state,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Marks the engine closed when the worker exits — normally *or* by panic —
+/// so producers blocked on backpressure wake up instead of hanging.
+struct WorkerGuard {
+    queue: Arc<QueueState>,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.queue.record_error(EngineError::Poisoned);
+        }
+        self.queue.closed.store(true, Ordering::SeqCst);
+        self.queue.space.notify_all();
+    }
+}
+
+#[allow(clippy::needless_pass_by_value)]
+fn worker_loop(
+    shard_index: usize,
+    rx: Receiver<ShardMsg>,
+    queue: Arc<QueueState>,
+    mut shard: ShardState,
+    factory: Option<SharedDetectorFactory>,
+    sinks: Vec<Arc<dyn EventSink>>,
+    emit_warnings: bool,
+) {
+    let _guard = WorkerGuard {
+        queue: Arc::clone(&queue),
+    };
+    // Exiting when `recv` fails makes dropping the last handle an implicit
+    // shutdown: all senders gone, nothing can arrive anymore.
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Records(records) => {
+                {
+                    let mut depth = queue.depth.lock().unwrap_or_else(PoisonError::into_inner);
+                    depth[shard_index] = depth[shard_index].saturating_sub(records.len());
+                }
+                queue.space.notify_all();
+                shard.ingest(&records, factory.as_ref(), &sinks, emit_warnings, &queue);
+            }
+            ShardMsg::Register {
+                stream,
+                detector,
+                ack,
+            } => {
+                let _ = ack.send(shard.register(stream, detector));
+            }
+            ShardMsg::Flush { ack } => {
+                for sink in &sinks {
+                    sink.flush();
+                }
+                let _ = ack.send(());
+            }
+            ShardMsg::Query { ack } => {
+                let _ = ack.send(shard.query());
+            }
+            ShardMsg::Snapshot { ack } => {
+                let _ = ack.send(shard.snapshot());
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+    for sink in &sinks {
+        sink.flush();
+    }
+}
+
+/// State shared by every clone of an [`EngineHandle`].
+struct HandleShared {
+    queue: Arc<QueueState>,
+    /// Worker join handles, taken by the first successful
+    /// [`EngineHandle::shutdown`].
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    config: EngineConfig,
+    queue_capacity: usize,
+    has_factory: bool,
+}
+
+/// A cheaply-cloneable, thread-safe front door to a running engine.
+///
+/// Obtained from [`crate::EngineBuilder::build`]. Clones share the same
+/// worker threads and queues; dropping the last clone (and any
+/// [`crate::DriftEngine`] facade holding one) lets the workers drain and
+/// exit on their own.
+///
+/// Queueing and barrier semantics: `submit` blocks on a full shard queue
+/// while [`EngineHandle::try_submit`] fails fast; [`EngineHandle::flush`],
+/// the query methods and [`EngineHandle::snapshot`] ride the same FIFO
+/// channels as the records, so each acts as a barrier for everything this
+/// thread submitted before it; [`EngineHandle::shutdown`] additionally
+/// drains the queues and joins the workers.
+pub struct EngineHandle {
+    /// Per-clone channel senders (`mpsc::Sender` is `Sync`, so a single
+    /// handle may also be shared by reference across threads).
+    senders: Vec<Sender<ShardMsg>>,
+    shared: Arc<HandleShared>,
+}
+
+impl Clone for EngineHandle {
+    fn clone(&self) -> Self {
+        Self {
+            senders: self.senders.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl std::fmt::Debug for EngineHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineHandle")
+            .field("config", &self.shared.config)
+            .field("queue_capacity", &self.shared.queue_capacity)
+            .field("has_factory", &self.shared.has_factory)
+            .field("closed", &self.shared.queue.closed.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+/// Spawns the shard workers and assembles the handle. Called by
+/// [`crate::EngineBuilder::build`] after validation.
+pub(crate) fn spawn_engine(
+    config: EngineConfig,
+    queue_capacity: usize,
+    factory: Option<SharedDetectorFactory>,
+    sinks: Vec<Arc<dyn EventSink>>,
+    initial_streams: Vec<HashMap<u64, StreamState>>,
+) -> EngineHandle {
+    debug_assert_eq!(initial_streams.len(), config.shards);
+    let queue = Arc::new(QueueState {
+        depth: Mutex::new(vec![0; config.shards]),
+        space: Condvar::new(),
+        closed: AtomicBool::new(false),
+        errors: Mutex::new(Vec::new()),
+    });
+
+    let mut senders = Vec::with_capacity(config.shards);
+    let mut workers = Vec::with_capacity(config.shards);
+    for (shard_index, streams) in initial_streams.into_iter().enumerate() {
+        let (tx, rx) = channel();
+        let shard = ShardState {
+            streams,
+            ..ShardState::default()
+        };
+        let queue = Arc::clone(&queue);
+        let factory = factory.clone();
+        let sinks = sinks.clone();
+        let emit_warnings = config.emit_warnings;
+        let worker = std::thread::Builder::new()
+            .name(format!("optwin-shard-{shard_index}"))
+            .spawn(move || {
+                worker_loop(shard_index, rx, queue, shard, factory, sinks, emit_warnings);
+            })
+            .expect("failed to spawn engine shard worker");
+        senders.push(tx);
+        workers.push(worker);
+    }
+
+    EngineHandle {
+        senders,
+        shared: Arc::new(HandleShared {
+            queue,
+            workers: Mutex::new(workers),
+            config,
+            queue_capacity,
+            has_factory: factory.is_some(),
+        }),
+    }
+}
+
+impl EngineHandle {
+    /// Number of shards (worker threads).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The engine configuration the handle was built with.
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.shared.config
+    }
+
+    /// Per-shard queue capacity, in records.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue_capacity
+    }
+
+    /// `true` when the engine auto-registers unknown streams through a
+    /// detector factory.
+    #[must_use]
+    pub fn has_factory(&self) -> bool {
+        self.shared.has_factory
+    }
+
+    /// The shard a stream id is pinned to.
+    #[inline]
+    fn shard_of(&self, stream: u64) -> usize {
+        (stream % self.senders.len() as u64) as usize
+    }
+
+    /// Enqueues a batch of `(stream id, value)` records and returns
+    /// immediately; the shard workers process them asynchronously and push
+    /// any detections into the sinks.
+    ///
+    /// Records are partitioned by `stream % shards`; per-stream order is the
+    /// submission order (across all clones, submission order is whatever
+    /// order the `submit` calls won the internal reservation). **Blocks**
+    /// while a target shard's queue is at capacity; use
+    /// [`EngineHandle::try_submit`] to fail fast instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ChannelClosed`] after
+    /// [`EngineHandle::shutdown`] (or a worker death), or
+    /// [`EngineError::Poisoned`] when internal state was poisoned by a
+    /// panicking thread. Records referencing unknown streams are validated
+    /// on the worker: with a factory they auto-register, without one the
+    /// offending records are dropped and the error surfaces at the next
+    /// [`EngineHandle::flush`].
+    pub fn submit(&self, records: &[(u64, f64)]) -> Result<(), EngineError> {
+        self.submit_inner(records, true)
+    }
+
+    /// Non-blocking [`EngineHandle::submit`]: if any target shard's queue
+    /// lacks room for its partition, returns [`EngineError::QueueFull`]
+    /// **without enqueuing anything** (space is reserved on all shards
+    /// atomically), so the caller can retry the whole batch later or shed
+    /// load.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::QueueFull`] on backpressure; otherwise as
+    /// [`EngineHandle::submit`].
+    pub fn try_submit(&self, records: &[(u64, f64)]) -> Result<(), EngineError> {
+        self.submit_inner(records, false)
+    }
+
+    fn submit_inner(&self, records: &[(u64, f64)], block: bool) -> Result<(), EngineError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let nshards = self.senders.len();
+        let mut parts: Vec<Vec<(u64, f64)>> = vec![Vec::new(); nshards];
+        for &record in records {
+            parts[(record.0 % nshards as u64) as usize].push(record);
+        }
+
+        {
+            let queue = &self.shared.queue;
+            let capacity = self.shared.queue_capacity;
+            let mut depth = queue.depth.lock().map_err(|_| EngineError::Poisoned)?;
+            loop {
+                if queue.closed.load(Ordering::SeqCst) {
+                    return Err(EngineError::ChannelClosed);
+                }
+                // A partition larger than the whole capacity is admitted once
+                // its shard's queue is empty, so oversized batches make
+                // progress instead of deadlocking.
+                let fits = parts.iter().enumerate().all(|(i, part)| {
+                    part.is_empty() || depth[i] + part.len() <= capacity || depth[i] == 0
+                });
+                if fits {
+                    break;
+                }
+                if !block {
+                    return Err(EngineError::QueueFull);
+                }
+                depth = queue.space.wait(depth).map_err(|_| EngineError::Poisoned)?;
+            }
+            for (i, part) in parts.iter().enumerate() {
+                depth[i] += part.len();
+            }
+        }
+
+        for (i, part) in parts.into_iter().enumerate() {
+            if part.is_empty() {
+                continue;
+            }
+            self.senders[i]
+                .send(ShardMsg::Records(part))
+                .map_err(|_| EngineError::ChannelClosed)?;
+        }
+        Ok(())
+    }
+
+    /// Registers a stream with an explicit detector instance, waiting for
+    /// the owning worker to acknowledge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::DuplicateStream`] if the id is already
+    /// registered, or [`EngineError::ChannelClosed`] when the engine has
+    /// shut down.
+    pub fn register_stream(
+        &self,
+        stream: u64,
+        detector: Box<dyn DriftDetector + Send>,
+    ) -> Result<(), EngineError> {
+        let (ack, response) = channel();
+        self.senders[self.shard_of(stream)]
+            .send(ShardMsg::Register {
+                stream,
+                detector,
+                ack,
+            })
+            .map_err(|_| EngineError::ChannelClosed)?;
+        response.recv().map_err(|_| EngineError::ChannelClosed)?
+    }
+
+    /// Barrier: waits until every record submitted (by this thread) before
+    /// this call has been processed and the sinks have been flushed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first ingestion error recorded since the last flush
+    /// (e.g. [`EngineError::UnknownStream`] for records dropped by a
+    /// factory-less engine — any further pending errors are discarded
+    /// together with it), [`EngineError::ChannelClosed`] when the engine has
+    /// shut down, or [`EngineError::Poisoned`] after a worker panic.
+    pub fn flush(&self) -> Result<(), EngineError> {
+        let mut acks = Vec::with_capacity(self.senders.len());
+        for sender in &self.senders {
+            let (ack, response) = channel();
+            sender
+                .send(ShardMsg::Flush { ack })
+                .map_err(|_| EngineError::ChannelClosed)?;
+            acks.push(response);
+        }
+        for response in acks {
+            response.recv().map_err(|_| EngineError::ChannelClosed)?;
+        }
+        match self.take_error() {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
+
+    /// Removes and returns the oldest pending ingestion error, discarding
+    /// the rest. [`EngineHandle::flush`] calls this internally; it is public
+    /// for callers that poll instead of flushing.
+    #[must_use]
+    pub fn take_error(&self) -> Option<EngineError> {
+        let mut errors = self
+            .shared
+            .queue
+            .errors
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if errors.is_empty() {
+            None
+        } else {
+            let first = errors.remove(0);
+            errors.clear();
+            Some(first)
+        }
+    }
+
+    /// Per-stream snapshots of every shard, as a barrier (reflects all
+    /// records submitted by this thread before the call).
+    fn query_all(&self) -> Result<Vec<StreamSnapshot>, EngineError> {
+        let mut acks = Vec::with_capacity(self.senders.len());
+        for sender in &self.senders {
+            let (ack, response) = channel();
+            sender
+                .send(ShardMsg::Query { ack })
+                .map_err(|_| EngineError::ChannelClosed)?;
+            acks.push(response);
+        }
+        let mut snapshots = Vec::new();
+        for response in acks {
+            snapshots.extend(response.recv().map_err(|_| EngineError::ChannelClosed)?);
+        }
+        Ok(snapshots)
+    }
+
+    /// Lifetime statistics for every registered stream, sorted by stream id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ChannelClosed`] when the engine has shut down.
+    pub fn stream_snapshots(&self) -> Result<Vec<StreamSnapshot>, EngineError> {
+        let mut snapshots = self.query_all()?;
+        snapshots.sort_unstable_by_key(|s| s.stream);
+        Ok(snapshots)
+    }
+
+    /// Lifetime statistics for one stream, if registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ChannelClosed`] when the engine has shut down.
+    pub fn stream_stats(&self, stream: u64) -> Result<Option<StreamSnapshot>, EngineError> {
+        let (ack, response) = channel();
+        self.senders[self.shard_of(stream)]
+            .send(ShardMsg::Query { ack })
+            .map_err(|_| EngineError::ChannelClosed)?;
+        let snapshots = response.recv().map_err(|_| EngineError::ChannelClosed)?;
+        Ok(snapshots.into_iter().find(|s| s.stream == stream))
+    }
+
+    /// Aggregate lifetime counters across all streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ChannelClosed`] when the engine has shut down.
+    pub fn stats(&self) -> Result<EngineStats, EngineError> {
+        let snapshots = self.query_all()?;
+        Ok(EngineStats {
+            streams: snapshots.len(),
+            elements: snapshots.iter().map(|s| s.elements).sum(),
+            drifts: snapshots.iter().map(|s| s.drifts).sum(),
+        })
+    }
+
+    /// Serializes the state of every stream into an [`EngineSnapshot`], as
+    /// a barrier: the snapshot reflects every record submitted by this
+    /// thread before the call. Restore it with
+    /// [`crate::EngineBuilder::restore`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::SnapshotUnsupported`] when any stream's
+    /// detector does not implement
+    /// [`optwin_core::DriftDetector::snapshot_state`], or
+    /// [`EngineError::ChannelClosed`] when the engine has shut down.
+    pub fn snapshot(&self) -> Result<EngineSnapshot, EngineError> {
+        let mut acks = Vec::with_capacity(self.senders.len());
+        for sender in &self.senders {
+            let (ack, response) = channel();
+            sender
+                .send(ShardMsg::Snapshot { ack })
+                .map_err(|_| EngineError::ChannelClosed)?;
+            acks.push(response);
+        }
+        let mut streams = Vec::new();
+        for response in acks {
+            streams.extend(response.recv().map_err(|_| EngineError::ChannelClosed)??);
+        }
+        streams.sort_unstable_by_key(|s| s.stream);
+        Ok(EngineSnapshot {
+            version: ENGINE_SNAPSHOT_VERSION,
+            shards: self.senders.len(),
+            emit_warnings: self.shared.config.emit_warnings,
+            streams,
+        })
+    }
+
+    /// Drains every queue, stops the workers and joins their threads. After
+    /// this, every `submit`/`flush`/query on any clone fails with
+    /// [`EngineError::ChannelClosed`]. Safe to call more than once (later
+    /// calls are no-ops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Poisoned`] when a worker thread panicked, or
+    /// the first pending ingestion error (as [`EngineHandle::flush`]).
+    pub fn shutdown(&self) -> Result<(), EngineError> {
+        for sender in &self.senders {
+            // A closed channel means the worker is already gone — fine.
+            let _ = sender.send(ShardMsg::Shutdown);
+        }
+        let workers: Vec<JoinHandle<()>> = {
+            let mut guard = self
+                .shared
+                .workers
+                .lock()
+                .map_err(|_| EngineError::Poisoned)?;
+            guard.drain(..).collect()
+        };
+        let mut poisoned = false;
+        for worker in workers {
+            poisoned |= worker.join().is_err();
+        }
+        if poisoned {
+            return Err(EngineError::Poisoned);
+        }
+        match self.take_error() {
+            Some(error) => Err(error),
+            None => Ok(()),
+        }
+    }
+}

@@ -1,49 +1,64 @@
-//! # optwin-engine — sharded, parallel multi-stream drift detection
+//! # optwin-engine — a service-style, sharded multi-stream drift engine
 //!
 //! The per-paper crates detect drift in **one** stream at a time. This crate
 //! turns the batch-first [`DriftDetector`](optwin_core::DriftDetector)
-//! contract into a serving-scale runtime: a [`DriftEngine`] owns many
-//! independent `(stream id → detector)` entries partitioned across `N`
-//! shards, ingests batches of `(stream id, value)` records, fans the shards
-//! out across OS threads, and emits per-stream [`DriftEvent`]s carrying the
-//! exact element sequence number at which each detector fired.
+//! contract into a serving-scale runtime with a service-style front door:
 //!
-//! Design points:
+//! * [`EngineBuilder`] configures shard count, detector factory, warning
+//!   policy, event sinks and queue capacity, then spawns **one long-lived
+//!   worker thread per shard** (a stream lives on shard `id % shards` for
+//!   its whole life, so per-stream order is preserved with no locking).
+//! * [`EngineHandle`] — cheaply cloneable and thread-safe — is the front
+//!   door: [`EngineHandle::submit`] partitions a `(stream id, value)` record
+//!   batch onto bounded per-shard queues and **returns immediately**;
+//!   [`EngineHandle::try_submit`] fails fast with
+//!   [`EngineError::QueueFull`] for backpressure-aware callers;
+//!   [`EngineHandle::flush`] and [`EngineHandle::shutdown`] are barriers
+//!   that drain the queues (the latter also joins the workers).
+//! * Detections leave through pluggable [`EventSink`]s: [`MemorySink`]
+//!   (collect and drain in-process), [`JsonLinesSink`] (serialize to a
+//!   writer/file), [`CallbackSink`] (invoke a closure) — or any custom
+//!   implementation.
+//! * [`EngineHandle::snapshot`] serializes every stream's detector state
+//!   into an [`EngineSnapshot`]; [`EngineBuilder::restore`] rebuilds a
+//!   fresh engine that makes **identical subsequent decisions**, so a
+//!   restarted process resumes mid-stream.
 //!
-//! * **Sharding by stream id.** A stream lives on shard `id % N` for its
-//!   whole life, so per-stream element order is preserved while shards
-//!   process disjoint detector sets with no locking at all.
-//! * **Batching end-to-end.** Within a shard, a batch's records are grouped
-//!   per stream and handed to the detector through `add_batch`, so OPTWIN's
-//!   amortized cut-table prefetch (and every other native batch path) kicks
-//!   in. Results are bit-identical to element-wise ingestion — that is the
-//!   detector contract, enforced by `tests/detector_contract.rs`.
-//! * **Shared cut tables.** OPTWIN detectors built through
-//!   [`optwin_core::CutTableRegistry`] (or any shared
-//!   [`optwin_core::CutTable`]) keep one quantile table per configuration
-//!   across all streams and shards.
-//! * **Fork–join parallelism on scoped threads.** Each `ingest_batch` call
-//!   fans non-empty shards out with `std::thread::scope`. (The environment
-//!   has no `rayon`; a scoped fork–join over shard-disjoint `&mut` state
-//!   needs no work-stealing pool and keeps the crate dependency-free.)
+//! The original synchronous API survives as a thin blocking wrapper:
+//! [`DriftEngine::ingest_batch`] is exactly `submit` + `flush` + drain of an
+//! internal [`MemorySink`], so it stays bit-identical to element-wise
+//! ingestion (the detector contract, enforced by
+//! `tests/detector_contract.rs`) while the heavy lifting happens on the
+//! shard workers.
 //!
-//! # Quick start
+//! # Quick start (service API)
 //!
 //! ```
+//! use std::sync::Arc;
 //! use optwin_core::{DriftDetector, Optwin, OptwinConfig};
-//! use optwin_engine::{DriftEngine, EngineConfig};
+//! use optwin_engine::{EngineBuilder, MemorySink};
 //!
-//! // 4 shards; detectors are created on first sight of a stream id.
-//! let mut engine = DriftEngine::with_factory(EngineConfig::with_shards(4), |_stream| {
-//!     let config = OptwinConfig::builder()
-//!         .robustness(1.0)
-//!         .max_window(500)
-//!         .build()
-//!         .expect("valid config");
-//!     Box::new(Optwin::with_shared_table(config).expect("valid config"))
-//! });
+//! // Detections land in a shared sink; detectors are created on first
+//! // sight of a stream id (one shared cut table across all of them).
+//! let sink = Arc::new(MemorySink::new());
+//! let handle = EngineBuilder::new()
+//!     .shards(4)
+//!     .queue_capacity(8_192)
+//!     .factory(|_stream| {
+//!         let config = OptwinConfig::builder()
+//!             .robustness(1.0)
+//!             .max_window(500)
+//!             .build()
+//!             .expect("valid config");
+//!         Box::new(Optwin::with_shared_table(config).expect("valid config"))
+//!             as Box<dyn DriftDetector + Send>
+//!     })
+//!     .sink(Arc::clone(&sink) as Arc<dyn optwin_engine::EventSink>)
+//!     .build()
+//!     .expect("valid engine");
 //!
-//! // 8 interleaved streams; stream 3 degrades halfway through.
+//! // 8 interleaved streams; stream 3 degrades halfway through. Submission
+//! // never waits for detection work.
 //! let mut records = Vec::new();
 //! for i in 0..4_000u64 {
 //!     for stream in 0..8u64 {
@@ -52,20 +67,44 @@
 //!         records.push((stream, base + noise));
 //!     }
 //! }
-//! let mut events = Vec::new();
 //! for batch in records.chunks(8 * 500) {
-//!     events.extend(engine.ingest_batch(batch).expect("registered streams"));
+//!     handle.submit(batch).expect("engine running");
 //! }
+//! handle.shutdown().expect("clean drain");
+//!
+//! let events = sink.drain();
 //! assert!(events.iter().all(|e| e.stream == 3));
 //! assert!(events.iter().any(|e| e.seq >= 2_000), "drift found after the shift");
-//! assert_eq!(engine.stream_count(), 8);
+//! ```
+//!
+//! # Blocking wrapper
+//!
+//! ```
+//! use optwin_engine::{DriftEngine, EngineConfig};
+//! # use optwin_core::{DriftDetector, Optwin, OptwinConfig};
+//!
+//! let mut engine = DriftEngine::with_factory(EngineConfig::with_shards(2), |_| {
+//!     let config = OptwinConfig::builder().max_window(200).build().unwrap();
+//!     Box::new(Optwin::with_shared_table(config).unwrap()) as Box<dyn DriftDetector + Send>
+//! });
+//! let events = engine.ingest_batch(&[(1, 0.1), (2, 0.2), (1, 0.15)]).unwrap();
+//! assert!(events.is_empty());
+//! assert_eq!(engine.stream_count(), 2);
 //! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+mod builder;
 mod engine;
 mod event;
+mod handle;
+mod persist;
+mod sink;
 
-pub use engine::{DetectorFactory, DriftEngine, EngineConfig, EngineError, StreamSnapshot};
+pub use builder::{EngineBuilder, DEFAULT_QUEUE_CAPACITY};
+pub use engine::{DriftEngine, EngineConfig, EngineError, StreamSnapshot};
 pub use event::DriftEvent;
+pub use handle::{EngineHandle, EngineStats, SharedDetectorFactory};
+pub use persist::{EngineSnapshot, StreamStateSnapshot, ENGINE_SNAPSHOT_VERSION};
+pub use sink::{CallbackSink, EventSink, JsonLinesSink, MemorySink};

@@ -1,0 +1,141 @@
+//! Engine-level persistence: snapshot the per-stream detector state of a
+//! running engine and restore it in a fresh process.
+//!
+//! [`crate::EngineHandle::snapshot`] asks every shard worker to serialize
+//! its streams (sequence counters plus each detector's
+//! [`optwin_core::DriftDetector::snapshot_state`]) into an
+//! [`EngineSnapshot`], a plain serializable value that can be written to
+//! disk as JSON. [`crate::EngineBuilder::restore`] replays such a snapshot
+//! into a new engine: the builder's detector factory constructs a fresh
+//! detector per recorded stream and the serialized state is restored into
+//! it, so the rebuilt engine makes **identical subsequent decisions** to the
+//! one that was snapshotted — a restarted process resumes mid-stream with no
+//! re-warm-up and no double-reported drifts.
+//!
+//! The snapshot deliberately excludes detector *configuration*: restoration
+//! goes through the same factory that built the original detectors, which
+//! re-derives configuration (and shared cut tables) from code. Only the
+//! stream-dependent state crosses the file boundary. Shard count and warning
+//! policy are recorded as provenance but do not constrain the restoring
+//! builder — streams are re-pinned to shards by `id % shards` automatically.
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::EngineError;
+
+/// Serialization format version of [`EngineSnapshot`].
+pub const ENGINE_SNAPSHOT_VERSION: u64 = 1;
+
+/// The persisted state of one stream: its position and its detector's
+/// serialized internals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStateSnapshot {
+    /// The stream id.
+    pub stream: u64,
+    /// Elements ingested for this stream so far (the next element's sequence
+    /// number).
+    pub seq: u64,
+    /// The detector's stable name, validated against the factory-built
+    /// detector on restore.
+    pub detector: String,
+    /// Wall-clock seconds spent inside the detector (diagnostics; carried
+    /// across restarts so lifetime stats stay meaningful).
+    pub detector_seconds: f64,
+    /// The detector state from
+    /// [`optwin_core::DriftDetector::snapshot_state`].
+    pub state: serde::Value,
+}
+
+/// A point-in-time capture of every stream in an engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Format version ([`ENGINE_SNAPSHOT_VERSION`]).
+    pub version: u64,
+    /// Shard count of the engine that produced the snapshot (provenance
+    /// only; the restoring builder chooses its own shard count).
+    pub shards: usize,
+    /// Whether the producing engine emitted warning events (provenance
+    /// only).
+    pub emit_warnings: bool,
+    /// Per-stream states, sorted by stream id.
+    pub streams: Vec<StreamStateSnapshot>,
+}
+
+impl EngineSnapshot {
+    /// Number of streams captured in the snapshot.
+    #[must_use]
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Serializes the snapshot to compact JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("value-tree serialization is infallible")
+    }
+
+    /// Parses a snapshot previously produced by [`EngineSnapshot::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidSnapshot`] on malformed JSON, a shape
+    /// mismatch, or an unsupported format version.
+    pub fn from_json(text: &str) -> Result<Self, EngineError> {
+        let snapshot: Self =
+            serde_json::from_str(text).map_err(|e| EngineError::InvalidSnapshot(e.to_string()))?;
+        if snapshot.version != ENGINE_SNAPSHOT_VERSION {
+            return Err(EngineError::InvalidSnapshot(format!(
+                "unsupported engine snapshot version {} (expected {ENGINE_SNAPSHOT_VERSION})",
+                snapshot.version
+            )));
+        }
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EngineSnapshot {
+        EngineSnapshot {
+            version: ENGINE_SNAPSHOT_VERSION,
+            shards: 4,
+            emit_warnings: true,
+            streams: vec![StreamStateSnapshot {
+                stream: 7,
+                seq: 1_234,
+                detector: "OPTWIN".to_string(),
+                detector_seconds: 0.25,
+                // `Int` (not `UInt`): in-range unsigned values re-parse as
+                // `Int`, and the round-trip assertion compares value trees.
+                state: serde::Value::Object(vec![("split".to_string(), serde::Value::Int(10))]),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let snapshot = sample();
+        let json = snapshot.to_json();
+        let back = EngineSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snapshot);
+        assert_eq!(back.stream_count(), 1);
+        assert_eq!(
+            back.streams[0].state.get("split"),
+            Some(&serde::Value::Int(10))
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_and_future_versions() {
+        assert!(matches!(
+            EngineSnapshot::from_json("not json"),
+            Err(EngineError::InvalidSnapshot(_))
+        ));
+        let mut future = sample();
+        future.version = ENGINE_SNAPSHOT_VERSION + 1;
+        let err = EngineSnapshot::from_json(&future.to_json()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+}

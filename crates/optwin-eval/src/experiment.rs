@@ -15,12 +15,13 @@
 //! recall and F1 per detector.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use optwin_baselines::DetectorKind;
 use optwin_core::DriftDetector;
-use optwin_engine::{DriftEngine, EngineConfig};
+use optwin_engine::{EngineBuilder, EngineConfig, EventSink, MemorySink};
 use optwin_learners::{NaiveBayes, OnlineLearner};
 use optwin_stream::drift::MultiConceptStream;
 use optwin_stream::generators::{
@@ -279,13 +280,25 @@ pub struct Table1Aggregate {
     pub mean_detector_seconds: f64,
 }
 
-/// Number of elements per stream fed to the engine per `ingest_batch` call
-/// by the Table 1 runner. Large enough to amortize fan-out overhead, small
-/// enough to keep the record staging buffers cache-friendly.
+/// Number of elements per stream fed to the engine per `submit` call by the
+/// Table 1 runner. Large enough to amortize fan-out overhead, small enough
+/// to keep the record staging buffers cache-friendly.
 const TABLE1_BATCH: usize = 4_096;
+
+/// Per-shard queue bound for the Table 1 runner, in records: a few
+/// submission chunks of headroom so generation pipelines ahead of detection
+/// without the queues growing unbounded.
+const TABLE1_QUEUE_CAPACITY: usize = 256 * 1_024;
 
 /// Runs the full (experiment × detector) grid for a number of repetitions,
 /// fanning the `detectors × repetitions` runs across engine shards.
+///
+/// The runner drives the service-style engine API end to end: an
+/// [`EngineBuilder`] spawns one worker per shard with a [`MemorySink`]
+/// attached, every record chunk is **pipelined** through
+/// [`optwin_engine::EngineHandle::submit`] (bounded queues provide
+/// backpressure; no per-chunk barrier), and a single final `flush` drains
+/// the queues before the sink is read back.
 ///
 /// `stream_len` overrides the experiment's default length (useful for tests
 /// and quick runs); pass `None` for the paper-scale streams. `shards` picks
@@ -293,6 +306,11 @@ const TABLE1_BATCH: usize = 4_096;
 /// Results are identical for every shard count (and to the historical
 /// strictly sequential runner): each run is an isolated detector stream, and
 /// the batch path is contractually equivalent to element-wise ingestion.
+///
+/// # Panics
+///
+/// Panics if the engine shuts down mid-run, which only happens when a
+/// detector panics on a worker thread.
 #[must_use]
 pub fn run_table1_experiment_sharded(
     experiment: Table1Experiment,
@@ -316,26 +334,31 @@ pub fn run_table1_experiment_sharded(
     let shards = shards
         .unwrap_or_else(|| EngineConfig::default().shards)
         .clamp(1, n_streams);
-    let mut engine = DriftEngine::new(EngineConfig::with_shards(shards));
     // Ids are consecutive *within* a repetition (`rep * detectors + d`):
-    // each ingest_batch carries one repetition's streams, and the engine
+    // each submitted chunk carries one repetition's streams, and the engine
     // pins stream `id` to shard `id % shards`, so consecutive ids spread a
-    // batch round-robin over every shard. The transposed layout
-    // (`d * repetitions + rep`) would stride a batch's ids by `repetitions`
+    // chunk round-robin over every shard worker. The transposed layout
+    // (`d * repetitions + rep`) would stride a chunk's ids by `repetitions`
     // and collapse the fan-out onto `shards / gcd(repetitions, shards)`
     // shards — fully sequential at the paper's 30 repetitions on 6 cores.
     let stream_id = |d: usize, rep: usize| (rep * detectors.len() + d) as u64;
+
+    let sink = Arc::new(MemorySink::new());
+    let mut builder = EngineBuilder::from_config(EngineConfig::with_shards(shards))
+        .queue_capacity(TABLE1_QUEUE_CAPACITY)
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>);
     for (d, &kind) in detectors.iter().enumerate() {
         for rep in 0..repetitions {
-            engine
-                .register_stream(stream_id(d, rep), factory.build(kind))
-                .expect("stream ids are unique by construction");
+            builder = builder.stream(stream_id(d, rep), factory.build(kind));
         }
     }
+    let handle = builder
+        .build()
+        .expect("stream ids are unique by construction");
 
-    // Feed every repetition's sequence to all of its detector streams in
-    // lock-stepped chunks; the engine fans the shards out in parallel.
-    let mut detections: HashMap<u64, Vec<usize>> = HashMap::new();
+    // Pipeline every repetition's sequence to all of its detector streams in
+    // chunks; the shard workers detect in parallel while the next chunks are
+    // being staged. One flush at the very end is the only barrier.
     let mut records: Vec<(u64, f64)> = Vec::with_capacity(TABLE1_BATCH * detectors.len());
     for (rep, (errors, _)) in sequences.iter().enumerate() {
         for start in (0..errors.len()).step_by(TABLE1_BATCH) {
@@ -345,17 +368,27 @@ pub fn run_table1_experiment_sharded(
                 let id = stream_id(d, rep);
                 records.extend(chunk.iter().map(|&e| (id, e)));
             }
-            for event in engine
-                .ingest_batch(&records)
-                .expect("all streams registered")
-            {
-                detections
-                    .entry(event.stream)
-                    .or_default()
-                    .push(event.seq as usize);
-            }
+            handle.submit(&records).expect("engine running");
         }
     }
+    handle.flush().expect("all streams registered");
+
+    // The sink preserves per-stream emission order (increasing seq), so
+    // grouping by stream yields sorted detection lists.
+    let mut detections: HashMap<u64, Vec<usize>> = HashMap::new();
+    for event in sink.drain() {
+        detections
+            .entry(event.stream)
+            .or_default()
+            .push(event.seq as usize);
+    }
+    let stats: HashMap<u64, f64> = handle
+        .stream_snapshots()
+        .expect("engine running")
+        .into_iter()
+        .map(|s| (s.stream, s.detector_seconds))
+        .collect();
+    handle.shutdown().expect("clean shutdown");
 
     detectors
         .iter()
@@ -367,9 +400,7 @@ pub fn run_table1_experiment_sharded(
                 let id = stream_id(d, rep);
                 let run_detections = detections.remove(&id).unwrap_or_default();
                 outcomes.push(score_detections(schedule, &run_detections));
-                total_seconds += engine
-                    .stream_snapshot(id)
-                    .map_or(0.0, |s| s.detector_seconds);
+                total_seconds += stats.get(&id).copied().unwrap_or(0.0);
             }
             Table1Aggregate {
                 experiment,

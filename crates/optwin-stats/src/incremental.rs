@@ -226,6 +226,30 @@ impl WindowMoments {
     pub fn reset(&mut self) {
         *self = Self::default();
     }
+
+    /// The raw accumulator state `(count, shift, shifted sum, shifted sum of
+    /// squares)`, for exact persistence. Restoring through
+    /// [`WindowMoments::from_raw`] reproduces the accumulator bit-for-bit,
+    /// which a rebuild-by-re-adding cannot guarantee (an accumulator that has
+    /// lived through add/remove cycles carries different rounding than a
+    /// freshly filled one).
+    #[must_use]
+    pub fn to_raw(&self) -> (u64, f64, f64, f64) {
+        (self.count, self.shift, self.sum, self.sum_sq)
+    }
+
+    /// Rebuilds an accumulator from the state captured by
+    /// [`WindowMoments::to_raw`].
+    #[must_use]
+    pub fn from_raw(count: u64, shift: f64, sum: f64, sum_sq: f64) -> Self {
+        Self {
+            count,
+            shift,
+            shift_set: count > 0,
+            sum,
+            sum_sq,
+        }
+    }
 }
 
 /// Exponentially weighted moving average with the variance of the EWMA
@@ -430,6 +454,32 @@ mod tests {
         // Re-use after drain works.
         acc.add(1.0);
         assert_eq!(acc.mean(), 1.0);
+    }
+
+    #[test]
+    fn window_moments_raw_round_trip_is_bit_exact() {
+        let mut acc = WindowMoments::new();
+        // A history of add/remove cycles leaves rounding residue in the
+        // shifted sums; the raw round trip must preserve it exactly.
+        for i in 0..50 {
+            acc.add(0.1 + 0.013 * f64::from(i));
+        }
+        for i in 0..20 {
+            acc.remove(0.1 + 0.013 * f64::from(i));
+        }
+        let (count, shift, sum, sum_sq) = acc.to_raw();
+        let restored = WindowMoments::from_raw(count, shift, sum, sum_sq);
+        assert_eq!(restored, acc);
+        assert_eq!(restored.mean().to_bits(), acc.mean().to_bits());
+        assert_eq!(
+            restored.sample_variance().to_bits(),
+            acc.sample_variance().to_bits()
+        );
+
+        // Empty accumulator round-trips to the default state.
+        let empty = WindowMoments::new();
+        let (c, s, su, sq) = empty.to_raw();
+        assert_eq!(WindowMoments::from_raw(c, s, su, sq), empty);
     }
 
     #[test]

@@ -1,5 +1,7 @@
-//! Multi-stream serving: one engine watching hundreds of model error
-//! streams at once.
+//! Multi-stream serving on the service-style engine API: one engine
+//! watching hundreds of model error streams, detections fanning out through
+//! pluggable sinks, and a snapshot/restore round trip demonstrating
+//! mid-stream recovery.
 //!
 //! Run with:
 //!
@@ -9,15 +11,27 @@
 //!
 //! Simulates a fleet of 256 deployed models, each producing a stream of
 //! per-prediction errors. A handful of them degrade at different points in
-//! time. One sharded [`DriftEngine`] ingests interleaved `(stream, value)`
-//! batches, fans the work across CPU cores, and emits exactly which model
-//! drifted at which element — the serving-scale shape of the paper's
-//! single-detector loop.
+//! time. An [`EngineBuilder`] spawns shard-owning worker threads; the main
+//! thread plays the role of a network server, pushing interleaved
+//! `(stream, value)` batches through a non-blocking [`EngineHandle`] while
+//! the workers detect in parallel. Every drift is simultaneously:
+//!
+//! * counted live by a [`CallbackSink`] (the "alerting bus"),
+//! * appended as JSON lines to a [`JsonLinesSink`] (the "audit log"),
+//! * collected by a [`MemorySink`] for the summary below.
+//!
+//! Halfway through, the engine is snapshotted, torn down, and restored into
+//! a brand-new engine — which then produces exactly the events the original
+//! would have.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-use optwin::engine::{DriftEngine, EngineConfig};
-use optwin::{DriftDetector, Optwin, OptwinConfig};
+use optwin::engine::{
+    CallbackSink, EngineBuilder, EngineHandle, EventSink, JsonLinesSink, MemorySink,
+};
+use optwin::{DriftDetector, DriftEvent, Optwin, OptwinConfig};
 
 const N_STREAMS: u64 = 256;
 const ELEMENTS_PER_STREAM: usize = 10_000;
@@ -42,63 +56,133 @@ fn element(stream: u64, i: usize) -> f64 {
     (base + 0.05 * jitter(stream << 32 | i as u64)).clamp(0.0, 1.0)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let shards = EngineConfig::default().shards;
-    println!(
-        "engine: {shards} shards, {N_STREAMS} streams x {ELEMENTS_PER_STREAM} elements \
-         ({} records total)",
-        N_STREAMS as usize * ELEMENTS_PER_STREAM
-    );
+/// Every stream gets its own OPTWIN detector; the cut table for this
+/// configuration is computed once and shared by all 256 of them through the
+/// process-wide registry.
+fn detector_factory(_stream: u64) -> Box<dyn DriftDetector + Send> {
+    let config = OptwinConfig::builder()
+        // High robustness: with hundreds of streams checked at every
+        // element, only shifts of at least one historical standard
+        // deviation are worth paging anyone about.
+        .robustness(1.0)
+        .max_window(2_000)
+        .build()
+        .expect("valid config");
+    Box::new(Optwin::with_shared_table(config).expect("valid config"))
+}
 
-    // Every stream gets its own OPTWIN detector; the cut table for this
-    // configuration is computed once and shared by all 256 of them through
-    // the process-wide registry.
-    let mut engine = DriftEngine::with_factory(EngineConfig::with_shards(shards), |_stream| {
-        let config = OptwinConfig::builder()
-            // High robustness: with hundreds of streams checked at every
-            // element, only shifts of at least one historical standard
-            // deviation are worth paging anyone about.
-            .robustness(1.0)
-            .max_window(2_000)
-            .build()
-            .expect("valid config");
-        Box::new(Optwin::with_shared_table(config).expect("valid config"))
-            as Box<dyn DriftDetector + Send>
-    });
-
-    let started = Instant::now();
-    let mut events = Vec::new();
+/// Submits the half-open element range `[from, to)` of every stream in
+/// interleaved batches.
+fn feed(handle: &EngineHandle, from: usize, to: usize) -> Result<(), Box<dyn std::error::Error>> {
     let mut records = Vec::with_capacity(N_STREAMS as usize * BATCH_PER_STREAM);
-    let mut position = 0usize;
-    while position < ELEMENTS_PER_STREAM {
-        let end = (position + BATCH_PER_STREAM).min(ELEMENTS_PER_STREAM);
+    let mut position = from;
+    while position < to {
+        let end = (position + BATCH_PER_STREAM).min(to);
         records.clear();
         for stream in 0..N_STREAMS {
             for i in position..end {
                 records.push((stream, element(stream, i)));
             }
         }
-        events.extend(engine.ingest_batch(&records)?);
+        // Non-blocking: the shard workers chew on this while the next batch
+        // is being staged. Backpressure kicks in at the queue bound.
+        handle.submit(&records)?;
         position = end;
     }
-    let elapsed = started.elapsed();
+    Ok(())
+}
 
-    let total = engine.elements_ingested();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shards = optwin::EngineConfig::default().shards;
     println!(
-        "ingested {total} elements in {:.2?} ({:.1} M elements/s)",
-        elapsed,
-        total as f64 / elapsed.as_secs_f64() / 1e6
+        "engine: {shards} shards, {N_STREAMS} streams x {ELEMENTS_PER_STREAM} elements \
+         ({} records total)",
+        N_STREAMS as usize * ELEMENTS_PER_STREAM
     );
+
+    let audit_path = std::env::temp_dir().join("optwin_multi_stream_events.jsonl");
+    let live_alerts = Arc::new(AtomicU64::new(0));
+
+    let build_engine = |sink: &Arc<MemorySink>,
+                        audit: JsonLinesSink|
+     -> Result<EngineBuilder, Box<dyn std::error::Error>> {
+        let alerts = Arc::clone(&live_alerts);
+        Ok(EngineBuilder::new()
+            .shards(shards)
+            .queue_capacity(64 * 1_024)
+            .factory(detector_factory)
+            .sink(Arc::clone(sink) as Arc<dyn EventSink>)
+            .sink(Arc::new(audit))
+            .sink(Arc::new(CallbackSink::new(move |_event: &DriftEvent| {
+                alerts.fetch_add(1, Ordering::Relaxed);
+            }))))
+    };
+
+    // ---- Phase 1: first half of every stream, then snapshot + tear down.
+    let first_half = Arc::new(MemorySink::new());
+    let handle = build_engine(&first_half, JsonLinesSink::create(&audit_path)?)?.build()?;
+
+    let started = Instant::now();
+    feed(&handle, 0, ELEMENTS_PER_STREAM / 2)?;
+    handle.flush()?;
+    let phase1 = started.elapsed();
+    let snapshot = handle.snapshot()?;
+    handle.shutdown()?;
+    let snapshot_json = snapshot.to_json();
+    println!(
+        "phase 1: {} elements in {phase1:.2?}; snapshot captured {} streams ({} KiB as JSON)",
+        N_STREAMS as usize * ELEMENTS_PER_STREAM / 2,
+        snapshot.stream_count(),
+        snapshot_json.len() / 1024,
+    );
+
+    // ---- Phase 2: a "restarted process" restores the snapshot (via its
+    // JSON form, as a real restart would) and resumes mid-stream.
+    let snapshot = optwin::engine::EngineSnapshot::from_json(&snapshot_json)?;
+    let second_half = Arc::new(MemorySink::new());
+    let restored = build_engine(
+        &second_half,
+        JsonLinesSink::new(std::io::BufWriter::new(
+            std::fs::OpenOptions::new().append(true).open(&audit_path)?,
+        )),
+    )?
+    .restore(snapshot)
+    .build()?;
+
+    let resumed = Instant::now();
+    feed(&restored, ELEMENTS_PER_STREAM / 2, ELEMENTS_PER_STREAM)?;
+    let stats = restored.stats()?;
+    restored.shutdown()?;
+    let phase2 = resumed.elapsed();
+
+    println!(
+        "phase 2: resumed from snapshot, engine now reports {} elements total \
+         across {} streams ({phase2:.2?})",
+        stats.elements, stats.streams,
+    );
+    let ingest = phase1 + phase2;
+    println!(
+        "ingest: {} elements in {ingest:.2?} ({:.1} M elements/s), \
+         {} live alerts via CallbackSink, audit log at {}",
+        stats.elements,
+        stats.elements as f64 / ingest.as_secs_f64() / 1e6,
+        live_alerts.load(Ordering::Relaxed),
+        audit_path.display(),
+    );
+
+    let mut events = first_half.drain();
+    events.extend(second_half.drain());
+    events.sort_unstable_by_key(|e| (e.stream, e.seq));
     println!("drift events: {}", events.len());
     for event in &events {
-        let snapshot = engine.stream_snapshot(event.stream).expect("registered");
         println!(
-            "  model {:>3} drifted at element {:>5} ({} drifts total on this stream)",
-            event.stream, event.seq, snapshot.drifts
+            "  model {:>3} drifted at element {:>5}",
+            event.stream, event.seq
         );
     }
 
-    // The healthy models should be silent and the degraded ones caught.
+    // The healthy models should be silent and the degraded ones caught —
+    // across the restart boundary.
     let degraded: Vec<u64> = (0..N_STREAMS).filter(|s| s % 37 == 0).collect();
     let caught: Vec<u64> = degraded
         .iter()

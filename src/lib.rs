@@ -9,7 +9,7 @@
 //! |--------|----------|
 //! | [`core`] | the OPTWIN detector, the batch-first [`core::DriftDetector`] trait, optimal-cut tables and their process-wide registry |
 //! | [`baselines`] | ADWIN, DDM, EDDM, STEPD, ECDD, Page–Hinkley, KSWIN |
-//! | [`engine`] | the sharded, parallel multi-stream [`engine::DriftEngine`] |
+//! | [`engine`] | the service-style multi-stream engine: [`engine::EngineBuilder`] → worker threads + [`engine::EngineHandle`], pluggable [`engine::EventSink`]s, snapshot/restore, and the blocking [`engine::DriftEngine`] facade |
 //! | [`stream`] | MOA-style generators, drift composition, error streams |
 //! | [`learners`] | Naive Bayes, logistic regression, MLP, adaptive wrappers |
 //! | [`eval`] | drift metrics, experiment runners for every table/figure |
@@ -65,7 +65,10 @@ pub use optwin_core::{
     BatchOutcome, CutTable, CutTableRegistry, DetectorExt, DriftDetector, DriftStatus, Optwin,
     OptwinConfig,
 };
-pub use optwin_engine::{DriftEngine, DriftEvent, EngineConfig};
+pub use optwin_engine::{
+    CallbackSink, DriftEngine, DriftEvent, EngineBuilder, EngineConfig, EngineHandle,
+    EngineSnapshot, EventSink, JsonLinesSink, MemorySink,
+};
 pub use optwin_eval::{DetectorFactory, Table1Experiment};
 pub use optwin_learners::{AdaptiveLearner, NaiveBayes, OnlineLearner};
 pub use optwin_stream::{DriftSchedule, InstanceStream};

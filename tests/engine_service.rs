@@ -1,0 +1,581 @@
+//! End-to-end tests of the service-style engine API, run through the public
+//! facade exactly as a downstream user would.
+//!
+//! Two headline tests drive the acceptance workload for the API redesign:
+//!
+//! * **Submit equivalence** — 1 M elements over 64 mixed-detector streams
+//!   pushed through the non-blocking [`EngineHandle::submit`] path (bounded
+//!   per-shard queues, [`MemorySink`] fan-out) produce exactly the same
+//!   `DriftEvent`s as the synchronous [`DriftEngine::ingest_batch`] wrapper.
+//! * **Snapshot/restore equivalence** — an engine snapshotted mid-stream and
+//!   restored (through its JSON form) into a fresh builder produces exactly
+//!   the events the uninterrupted engine produces for the remaining input.
+
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::time::Duration;
+
+use optwin::engine::EngineError;
+use optwin::{
+    DetectorFactory, DetectorKind, DriftDetector, DriftEngine, DriftEvent, EngineBuilder,
+    EngineConfig, EngineHandle, EngineSnapshot, EventSink, MemorySink, Optwin, OptwinConfig,
+};
+
+/// Deterministic pseudo-random jitter in [-0.5, 0.5) (SplitMix64).
+fn jitter(i: u64) -> f64 {
+    let mut x = i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+}
+
+const N_STREAMS: u64 = 64;
+const ELEMENTS_PER_STREAM: usize = 15_625; // 64 × 15 625 = 1 000 000
+const SHARDS: usize = 8;
+
+/// The detector kind assigned to a stream: the full 8-kind paper line-up,
+/// tiled over the streams.
+fn kind_of(stream: u64) -> DetectorKind {
+    DetectorKind::paper_lineup()[(stream % 8) as usize]
+}
+
+/// The `i`-th element of a stream: every stream degrades at its own drift
+/// point; binary-only detectors get Bernoulli indicators, the rest get
+/// real-valued losses.
+fn element(stream: u64, i: usize) -> f64 {
+    let drift_at = ELEMENTS_PER_STREAM / 2 + (stream as usize * 37) % 2_000;
+    let p = if i < drift_at { 0.06 } else { 0.55 };
+    let u = jitter(stream.wrapping_mul(0x9E37_79B9) ^ i as u64) + 0.5;
+    if kind_of(stream).binary_only() {
+        f64::from(u < p)
+    } else {
+        (p + 0.4 * (u - 0.5)).clamp(0.0, 1.0)
+    }
+}
+
+/// Builds the paper line-up detector for a stream, with a small OPTWIN
+/// window / KSWIN buffer so the million-element run stays fast in debug
+/// builds.
+fn build_detector(stream: u64) -> Box<dyn DriftDetector + Send> {
+    match kind_of(stream) {
+        DetectorKind::Kswin => Box::new(optwin::baselines::Kswin::new(
+            optwin::baselines::KswinConfig {
+                window_size: 120,
+                stat_size: 25,
+                alpha: 1e-4,
+            },
+        )),
+        kind => DetectorFactory::with_optwin_window(600).build(kind),
+    }
+}
+
+/// Sorted `(stream, seq, is_drift)` view of an event list, the canonical
+/// form for bit-exact comparison (events of different streams interleave
+/// arbitrarily in emission order).
+fn canonical(mut events: Vec<DriftEvent>) -> Vec<DriftEvent> {
+    events.sort_unstable_by_key(|e| (e.stream, e.seq));
+    events
+}
+
+/// The acceptance workload: 1 M elements over 64 streams submitted through
+/// the non-blocking handle with a deliberately small queue bound (so
+/// backpressure engages), compared event-for-event against the synchronous
+/// `ingest_batch` wrapper.
+#[test]
+fn one_million_elements_via_submit_match_ingest_batch() {
+    let per_stream_chunk = 128usize;
+    let chunk_records = per_stream_chunk * N_STREAMS as usize;
+
+    // Service path: pipelined submits, one flush at the end.
+    let sink = Arc::new(MemorySink::new());
+    let handle = EngineBuilder::new()
+        .shards(SHARDS)
+        // Two chunks of headroom per shard: submission regularly outruns
+        // detection, so the bounded queue genuinely blocks.
+        .queue_capacity(chunk_records * 2 / SHARDS)
+        .factory(build_detector)
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+        .build()
+        .expect("valid engine");
+    assert!(handle.num_shards() >= 4);
+
+    let mut records = Vec::with_capacity(chunk_records);
+    let mut start = 0usize;
+    while start < ELEMENTS_PER_STREAM {
+        let end = (start + per_stream_chunk).min(ELEMENTS_PER_STREAM);
+        records.clear();
+        for stream in 0..N_STREAMS {
+            for i in start..end {
+                records.push((stream, element(stream, i)));
+            }
+        }
+        handle.submit(&records).expect("engine running");
+        start = end;
+    }
+    handle.flush().expect("no ingestion errors");
+
+    let stats = handle.stats().expect("engine running");
+    assert_eq!(stats.streams, N_STREAMS as usize);
+    assert_eq!(stats.elements, 1_000_000);
+    let service_events = canonical(sink.drain());
+    assert_eq!(stats.drifts, service_events.len() as u64);
+    handle.shutdown().expect("clean shutdown");
+
+    // Blocking reference: the same records through the synchronous wrapper,
+    // with a different batching (the detector contract makes chunk
+    // boundaries irrelevant).
+    let mut engine = DriftEngine::with_factory(EngineConfig::with_shards(4), build_detector);
+    let mut reference_events = Vec::new();
+    let mut records = Vec::new();
+    let mut start = 0usize;
+    while start < ELEMENTS_PER_STREAM {
+        let end = (start + 500).min(ELEMENTS_PER_STREAM);
+        records.clear();
+        for stream in 0..N_STREAMS {
+            for i in start..end {
+                records.push((stream, element(stream, i)));
+            }
+        }
+        reference_events.extend(engine.ingest_batch(&records).expect("factory-backed"));
+        start = end;
+    }
+
+    assert_eq!(
+        service_events,
+        canonical(reference_events),
+        "submit path must match ingest_batch bit-exactly"
+    );
+    // Every stream was injected with one genuine drift; the line-up detects
+    // the vast majority of them.
+    let streams_with_detection: std::collections::HashSet<u64> =
+        service_events.iter().map(|e| e.stream).collect();
+    assert!(
+        streams_with_detection.len() >= 56,
+        "only {} of 64 streams saw a detection",
+        streams_with_detection.len()
+    );
+}
+
+/// OPTWIN factory shared by the snapshot tests: snapshot-capable and cheap.
+fn optwin_factory(w_max: usize) -> impl Fn(u64) -> Box<dyn DriftDetector + Send> + Clone {
+    move |_stream| {
+        let config = OptwinConfig::builder()
+            .robustness(0.5)
+            .max_window(w_max)
+            .build()
+            .expect("valid config");
+        Box::new(Optwin::with_shared_table(config).expect("valid config"))
+            as Box<dyn DriftDetector + Send>
+    }
+}
+
+/// Builds an OPTWIN-backed service engine and returns its handle and sink.
+fn optwin_engine(
+    shards: usize,
+    w_max: usize,
+    restore: Option<EngineSnapshot>,
+) -> (EngineHandle, Arc<MemorySink>) {
+    let sink = Arc::new(MemorySink::new());
+    let mut builder = EngineBuilder::new()
+        .shards(shards)
+        .factory(optwin_factory(w_max))
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>);
+    if let Some(snapshot) = restore {
+        builder = builder.restore(snapshot);
+    }
+    (builder.build().expect("valid engine"), sink)
+}
+
+/// Real-valued error stream with a per-stream degradation point.
+fn loss(stream: u64, i: usize) -> f64 {
+    let drift_at = 4_000 + (stream as usize * 131) % 1_500;
+    let base = if i < drift_at { 0.08 } else { 0.5 };
+    (base + 0.06 * jitter(stream << 32 | i as u64)).clamp(0.0, 1.0)
+}
+
+/// The second acceptance test: snapshot mid-stream, restore into a fresh
+/// builder (through JSON, as a real restart would), feed the remaining
+/// elements — the events must be identical to an uninterrupted engine's,
+/// even across a different shard count.
+#[test]
+fn snapshot_restore_produces_identical_remaining_events() {
+    const STREAMS: u64 = 48;
+    const TOTAL: usize = 8_000;
+    const CUT: usize = 4_500; // past some per-stream drift points, before others
+    let feed = |handle: &EngineHandle, from: usize, to: usize| {
+        let mut records = Vec::new();
+        for start in (from..to).step_by(250) {
+            let end = (start + 250).min(to);
+            records.clear();
+            for stream in 0..STREAMS {
+                for i in start..end {
+                    records.push((stream, loss(stream, i)));
+                }
+            }
+            handle.submit(&records).expect("engine running");
+        }
+        handle.flush().expect("no ingestion errors");
+    };
+
+    // Uninterrupted reference.
+    let (reference, reference_sink) = optwin_engine(4, 800, None);
+    feed(&reference, 0, TOTAL);
+    let reference_events = canonical(reference_sink.drain());
+    reference.shutdown().expect("clean shutdown");
+
+    // Interrupted run: feed to CUT, snapshot, tear the engine down.
+    let (original, original_sink) = optwin_engine(4, 800, None);
+    feed(&original, 0, CUT);
+    let early_events = canonical(original_sink.drain());
+    let snapshot = original.snapshot().expect("OPTWIN supports snapshots");
+    original.shutdown().expect("clean shutdown");
+    assert_eq!(snapshot.stream_count(), STREAMS as usize);
+
+    // Restore through the JSON wire format into a *differently sharded*
+    // fresh engine and feed the remainder.
+    let snapshot = EngineSnapshot::from_json(&snapshot.to_json()).expect("well-formed JSON");
+    let (restored, restored_sink) = optwin_engine(7, 800, Some(snapshot));
+    let stats = restored.stats().expect("engine running");
+    assert_eq!(stats.streams, STREAMS as usize);
+    assert_eq!(stats.elements, STREAMS * CUT as u64);
+    feed(&restored, CUT, TOTAL);
+    let late_events = canonical(restored_sink.drain());
+    restored.shutdown().expect("clean shutdown");
+
+    // Early + late must equal the uninterrupted run, bit-exactly.
+    let mut stitched = early_events;
+    stitched.extend(late_events);
+    assert_eq!(
+        canonical(stitched),
+        reference_events,
+        "restored engine must resume with identical decisions"
+    );
+    // Sanity: the workload actually produces detections on both sides of
+    // the cut.
+    assert!(
+        reference_events.iter().any(|e| (e.seq as usize) < CUT)
+            && reference_events.iter().any(|e| (e.seq as usize) >= CUT),
+        "test workload should drift on both sides of the cut"
+    );
+}
+
+/// Unknown streams auto-register through the factory on the submit path;
+/// without a factory the records are dropped and the error surfaces at
+/// flush.
+#[test]
+fn unknown_stream_handling_on_the_submit_path() {
+    // With a factory: auto-registration on first sight.
+    let (handle, _sink) = optwin_engine(3, 200, None);
+    assert!(handle.has_factory());
+    handle
+        .submit(&[(10, 0.1), (11, 0.2), (10, 0.3)])
+        .expect("engine running");
+    handle.flush().expect("no errors with a factory");
+    let stats = handle.stats().expect("engine running");
+    assert_eq!(stats.streams, 2);
+    assert_eq!(stats.elements, 3);
+    assert_eq!(
+        handle
+            .stream_stats(10)
+            .expect("engine running")
+            .expect("registered")
+            .elements,
+        2
+    );
+    handle.shutdown().expect("clean shutdown");
+
+    // Without a factory: the offending records are dropped, the rest are
+    // ingested, and flush reports the error.
+    let sink = Arc::new(MemorySink::new());
+    let handle = EngineBuilder::new()
+        .shards(2)
+        .stream(1, optwin_factory(200)(1))
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+        .build()
+        .expect("valid engine");
+    handle
+        .submit(&[(1, 0.1), (99, 0.5), (1, 0.2)])
+        .expect("submit itself succeeds");
+    assert_eq!(
+        handle.flush().expect_err("unknown stream must surface"),
+        EngineError::UnknownStream(99)
+    );
+    let stats = handle.stats().expect("engine running");
+    assert_eq!(stats.streams, 1);
+    assert_eq!(stats.elements, 2, "known-stream records are still ingested");
+    handle.shutdown().expect("no pending errors left");
+}
+
+/// Duplicate stream ids are rejected at build time (pre-registered or
+/// restored) and at runtime registration.
+#[test]
+fn duplicate_streams_are_rejected_everywhere() {
+    let factory = optwin_factory(100);
+    // Builder-level.
+    let err = EngineBuilder::new()
+        .shards(2)
+        .stream(5, factory(5))
+        .stream(5, factory(5))
+        .build()
+        .expect_err("duplicate pre-registration");
+    assert_eq!(err, EngineError::DuplicateStream(5));
+
+    // Runtime registration against a pre-registered stream.
+    let handle = EngineBuilder::new()
+        .shards(2)
+        .stream(5, factory(5))
+        .build()
+        .expect("valid engine");
+    assert_eq!(
+        handle
+            .register_stream(5, factory(5))
+            .expect_err("duplicate runtime registration"),
+        EngineError::DuplicateStream(5)
+    );
+    handle
+        .register_stream(6, factory(6))
+        .expect("new id is fine");
+    handle.shutdown().expect("clean shutdown");
+
+    // Restore-level: a snapshot colliding with a pre-registered stream.
+    let (donor, _sink) = optwin_engine(2, 100, None);
+    donor.submit(&[(5, 0.1)]).expect("engine running");
+    donor.flush().expect("no errors");
+    let snapshot = donor.snapshot().expect("snapshot-capable");
+    donor.shutdown().expect("clean shutdown");
+    let err = EngineBuilder::new()
+        .shards(2)
+        .factory(factory.clone())
+        .restore(snapshot)
+        .stream(5, factory(5))
+        .build()
+        .expect_err("restored id collides with pre-registered id");
+    assert_eq!(err, EngineError::DuplicateStream(5));
+}
+
+/// Builder validation and restore preconditions.
+#[test]
+fn builder_rejects_degenerate_configurations() {
+    assert_eq!(
+        EngineBuilder::new()
+            .shards(0)
+            .build()
+            .expect_err("no shards"),
+        EngineError::ZeroShards
+    );
+    assert_eq!(
+        EngineBuilder::new()
+            .queue_capacity(0)
+            .build()
+            .expect_err("no capacity"),
+        EngineError::ZeroQueueCapacity
+    );
+    // Restoring without a factory is refused.
+    let (donor, _sink) = optwin_engine(2, 100, None);
+    donor.submit(&[(1, 0.5)]).expect("engine running");
+    donor.flush().expect("no errors");
+    let snapshot = donor.snapshot().expect("snapshot-capable");
+    donor.shutdown().expect("clean shutdown");
+    let err = EngineBuilder::new()
+        .shards(2)
+        .restore(snapshot.clone())
+        .build()
+        .expect_err("restore requires a factory");
+    assert!(matches!(err, EngineError::InvalidSnapshot(_)));
+    assert!(err.to_string().contains("factory"));
+    // A factory building a *different* detector kind is refused by name.
+    let err = EngineBuilder::new()
+        .shards(2)
+        .factory(|_| Box::new(optwin::Adwin::with_defaults()) as Box<dyn DriftDetector + Send>)
+        .restore(snapshot)
+        .build()
+        .expect_err("detector kind mismatch");
+    assert!(err.to_string().contains("OPTWIN"));
+}
+
+/// Snapshotting an engine whose detectors cannot serialize state reports
+/// which stream is at fault.
+#[test]
+fn snapshot_unsupported_detectors_are_reported() {
+    let sink = Arc::new(MemorySink::new());
+    let handle = EngineBuilder::new()
+        .shards(2)
+        .factory(|_| Box::new(optwin::Adwin::with_defaults()) as Box<dyn DriftDetector + Send>)
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+        .build()
+        .expect("valid engine");
+    handle.submit(&[(3, 0.0)]).expect("engine running");
+    handle.flush().expect("no errors");
+    let err = handle
+        .snapshot()
+        .expect_err("ADWIN has no snapshot support");
+    assert_eq!(
+        err,
+        EngineError::SnapshotUnsupported {
+            stream: 3,
+            detector: "ADWIN".to_string(),
+        }
+    );
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// A detector that blocks inside `add_batch` until the test releases it,
+/// used to hold a worker busy so queue bounds can be observed
+/// deterministically.
+struct GateDetector {
+    gate: Receiver<()>,
+    seen: u64,
+}
+
+impl DriftDetector for GateDetector {
+    fn add_element(&mut self, _value: f64) -> optwin::DriftStatus {
+        self.seen += 1;
+        optwin::DriftStatus::Stable
+    }
+    fn add_batch(&mut self, values: &[f64]) -> optwin::BatchOutcome {
+        // Block until released (bounded so a broken test fails instead of
+        // hanging forever).
+        let _ = self.gate.recv_timeout(Duration::from_secs(30));
+        self.seen += values.len() as u64;
+        optwin::BatchOutcome::with_len(values.len())
+    }
+    fn reset(&mut self) {}
+    fn name(&self) -> &'static str {
+        "gate"
+    }
+    fn elements_seen(&self) -> u64 {
+        self.seen
+    }
+    fn drifts_detected(&self) -> u64 {
+        0
+    }
+}
+
+/// `try_submit` fails fast — atomically, enqueuing nothing — when a shard
+/// queue is at capacity, and `submit`/`flush` error once the engine is shut
+/// down.
+#[test]
+fn try_submit_backpressure_and_shutdown_errors() {
+    let (release, gate) = channel::<()>();
+    let handle = EngineBuilder::new()
+        .shards(1)
+        .queue_capacity(4)
+        .stream(0, Box::new(GateDetector { gate, seen: 0 }))
+        .build()
+        .expect("valid engine");
+
+    let batch: Vec<(u64, f64)> = (0..4).map(|_| (0u64, 0.5)).collect();
+    // First batch: the worker dequeues it and blocks inside the detector.
+    handle.submit(&batch).expect("engine running");
+    // Second batch: wait until it occupies the (now otherwise empty) queue.
+    while handle.try_submit(&batch) == Err(EngineError::QueueFull) {
+        std::thread::yield_now();
+    }
+    // Queue is full (4/4) and the worker is stuck on batch one: a third
+    // batch must be rejected without enqueuing anything.
+    assert_eq!(handle.try_submit(&batch), Err(EngineError::QueueFull));
+    assert_eq!(handle.try_submit(&[(0, 0.1)]), Err(EngineError::QueueFull));
+
+    // Release both batches and drain.
+    release.send(()).expect("worker is waiting");
+    release.send(()).expect("worker will wait again");
+    handle.flush().expect("no ingestion errors");
+    let stats = handle.stats().expect("engine running");
+    assert_eq!(stats.elements, 8, "exactly the two admitted batches ran");
+
+    // Shutdown: all further operations fail with ChannelClosed, on every
+    // clone.
+    let clone = handle.clone();
+    handle.shutdown().expect("clean shutdown");
+    assert_eq!(handle.submit(&batch), Err(EngineError::ChannelClosed));
+    assert_eq!(clone.try_submit(&batch), Err(EngineError::ChannelClosed));
+    assert_eq!(clone.flush(), Err(EngineError::ChannelClosed));
+    assert!(clone.stats().is_err());
+    // Idempotent.
+    handle.shutdown().expect("second shutdown is a no-op");
+}
+
+/// Clones of one handle feed the same engine; per-stream totals add up.
+#[test]
+fn handle_clones_feed_the_same_engine_from_multiple_threads() {
+    let (handle, sink) = optwin_engine(4, 200, None);
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                // Each thread owns its own disjoint stream ids, so per-stream
+                // order is preserved no matter how submissions interleave.
+                let mut records = Vec::new();
+                for i in 0..2_000usize {
+                    records.push((100 + t, loss(100 + t, i)));
+                    if records.len() == 250 {
+                        handle.submit(&records).expect("engine running");
+                        records.clear();
+                    }
+                }
+                handle.submit(&records).expect("engine running");
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().expect("no panics");
+    }
+    handle.flush().expect("no ingestion errors");
+    let stats = handle.stats().expect("engine running");
+    assert_eq!(stats.streams, 4);
+    assert_eq!(stats.elements, 8_000);
+    handle.shutdown().expect("clean shutdown");
+    // Events (if any) all belong to the four streams.
+    assert!(sink.drain().iter().all(|e| (100..104).contains(&e.stream)));
+}
+
+mod snapshot_property {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Snapshot → JSON → restore at an arbitrary cut point of an
+        /// arbitrary bounded stream reproduces the uninterrupted engine's
+        /// remaining events exactly.
+        #[test]
+        fn snapshot_round_trip_preserves_remaining_events(
+            values in proptest::collection::vec(0.0f64..=1.0, 50..400),
+            cut_fraction in 0.0f64..=1.0,
+            shards in 1usize..4,
+        ) {
+            let cut = ((values.len() as f64) * cut_fraction) as usize;
+            let cut = cut.min(values.len());
+            let records: Vec<(u64, f64)> = values.iter().map(|&v| (1u64, v)).collect();
+
+            // Uninterrupted reference.
+            let (reference, reference_sink) = optwin_engine(shards, 64, None);
+            reference.submit(&records).expect("engine running");
+            reference.flush().expect("no errors");
+            let all_events = reference_sink.drain();
+            reference.shutdown().expect("clean shutdown");
+
+            // Interrupted at `cut`.
+            let (original, original_sink) = optwin_engine(shards, 64, None);
+            original.submit(&records[..cut]).expect("engine running");
+            original.flush().expect("no errors");
+            let early = original_sink.drain();
+            let snapshot = original.snapshot().expect("snapshot-capable");
+            original.shutdown().expect("clean shutdown");
+
+            let snapshot = EngineSnapshot::from_json(&snapshot.to_json())
+                .expect("well-formed JSON");
+            let (restored, restored_sink) = optwin_engine(shards, 64, Some(snapshot));
+            restored.submit(&records[cut..]).expect("engine running");
+            restored.flush().expect("no errors");
+            let late = restored_sink.drain();
+            restored.shutdown().expect("clean shutdown");
+
+            let mut stitched = early;
+            stitched.extend(late);
+            prop_assert_eq!(stitched, all_events);
+        }
+    }
+}
