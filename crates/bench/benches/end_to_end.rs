@@ -23,7 +23,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         DetectorKind::Ddm,
     ] {
         group.bench_function(kind.label(), |b| {
-            let mut factory = DetectorFactory::with_optwin_window(4_000);
+            let factory = DetectorFactory::with_optwin_window(4_000);
             b.iter(|| {
                 let mut detector = factory.build(kind);
                 black_box(run_detector_on_sequence(

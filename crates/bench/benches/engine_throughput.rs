@@ -11,7 +11,10 @@
 //!    every batch onto the bounded per-shard queues without waiting, and a
 //!    single shutdown barrier drains the engine at the end. The submitting
 //!    thread never blocks on detection work, so this tier measures the
-//!    steady-state serving shape.
+//!    steady-state serving shape. Detectors are configured through the
+//!    declarative [`DetectorSpec`] path ([`EngineBuilder::default_spec`]),
+//!    which is the canonical construction route — so this tier also keeps
+//!    the spec layer's overhead (none beyond construction) honest.
 //!
 //! Elements/second is the headline number; on a multi-core host the sharded
 //! and pipelined tiers additionally scale with the shard count.
@@ -20,6 +23,7 @@ use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
+use optwin_baselines::DetectorSpec;
 use optwin_core::{DetectorExt, DriftDetector, Optwin, OptwinConfig};
 use optwin_engine::{
     DriftEngine, EngineBuilder, EngineConfig, EngineHandle, EventSink, MemorySink,
@@ -121,6 +125,12 @@ fn bench_sharded_engine(c: &mut Criterion) {
 
 fn bench_pipelined_engine(c: &mut Criterion) {
     let records = interleaved_records();
+    // The same OPTWIN configuration as the closure tiers, expressed
+    // declaratively: every stream auto-registers from this spec on first
+    // sight (and the engine's snapshots become self-describing for free).
+    let spec: DetectorSpec = "optwin:rho=0.5,w_max=2000"
+        .parse()
+        .expect("valid spec string");
 
     let mut group = c.benchmark_group("engine_pipelined_32_streams");
     group.throughput(Throughput::Elements(records.len() as u64));
@@ -135,7 +145,7 @@ fn bench_pipelined_engine(c: &mut Criterion) {
                     let handle: EngineHandle = EngineBuilder::new()
                         .shards(shards)
                         .queue_capacity(64 * 1_024)
-                        .factory(|_| Box::new(optwin(2_000)) as Box<dyn DriftDetector + Send>)
+                        .default_spec(spec.clone())
                         .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
                         .build()
                         .expect("valid engine");

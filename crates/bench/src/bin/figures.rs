@@ -29,7 +29,7 @@ fn run_figure(experiment: Table1Experiment, scale: &optwin_bench::RunScale) {
         "{:<18} {:>4} {:>4} {:>4} {:>10}   detections",
         "Detector", "TP", "FP", "FN", "mean delay"
     );
-    let mut factory = DetectorFactory::with_optwin_window(scale.optwin_w_max);
+    let factory = DetectorFactory::with_optwin_window(scale.optwin_w_max);
     for kind in experiment.applicable_detectors() {
         let mut detector = factory.build(kind);
         let run = run_detector_on_sequence(detector.as_mut(), &errors, &schedule);

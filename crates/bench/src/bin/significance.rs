@@ -24,14 +24,14 @@ fn main() {
     );
     println!();
 
-    let mut factory = DetectorFactory::with_optwin_window(scale.optwin_w_max);
+    let factory = DetectorFactory::with_optwin_window(scale.optwin_w_max);
     // Collect per-experiment F1 per detector.
     let mut f1_per_detector: std::collections::HashMap<String, Vec<f64>> =
         std::collections::HashMap::new();
     for experiment in Table1Experiment::all() {
         let rows = run_table1_experiment(
             experiment,
-            &mut factory,
+            &factory,
             scale.repetitions,
             scale.stream_len,
             scale.seed,

@@ -11,11 +11,18 @@
 //! cargo run --release -p optwin-bench --bin table1                 # quick run
 //! cargo run --release -p optwin-bench --bin table1 -- --full       # paper scale (30 reps, 100k streams)
 //! cargo run --release -p optwin-bench --bin table1 -- --experiment sudden-binary
+//! cargo run --release -p optwin-bench --bin table1 -- --detector adwin:delta=0.01
 //! cargo run --release -p optwin-bench --bin table1 -- --json results/table1.json
 //! ```
+//!
+//! `--detector <spec>` replaces the paper line-up with a single detector
+//! described by a [`DetectorSpec`] string (`<id>` or
+//! `<id>:<key>=<value>,...`); binary-only detectors are skipped on the
+//! non-binary experiments, as in the paper.
 
+use optwin_baselines::DetectorSpec;
 use optwin_bench::{Args, RunScale};
-use optwin_eval::experiment::{run_table1_experiment_sharded, Table1Experiment};
+use optwin_eval::experiment::{run_table1_experiment_sharded, run_table1_specs, Table1Experiment};
 use optwin_eval::report::{render_table1, to_json};
 use optwin_eval::DetectorFactory;
 
@@ -35,6 +42,14 @@ fn experiment_by_name(name: &str) -> Option<Table1Experiment> {
 fn main() {
     let args = Args::from_env();
     let scale = RunScale::from_args(&args);
+
+    let detector: Option<DetectorSpec> = args.get("detector").map(|text| {
+        text.parse().unwrap_or_else(|e| {
+            eprintln!("invalid --detector `{text}`: {e}");
+            eprintln!("{}", DetectorSpec::grammar_help());
+            std::process::exit(2);
+        })
+    });
 
     let experiments: Vec<Table1Experiment> = match args.get("experiment") {
         Some("all") | None => Table1Experiment::all().to_vec(),
@@ -66,17 +81,42 @@ fn main() {
     );
     println!();
 
-    let mut factory = DetectorFactory::with_optwin_window(scale.optwin_w_max);
+    if let Some(spec) = &detector {
+        println!("detector override: {spec}");
+        println!();
+    }
+
+    let factory = DetectorFactory::with_optwin_window(scale.optwin_w_max);
     let mut all_rows = Vec::new();
     for experiment in experiments {
-        let rows = run_table1_experiment_sharded(
-            experiment,
-            &mut factory,
-            scale.repetitions,
-            scale.stream_len,
-            scale.seed,
-            scale.shards,
-        );
+        let rows = match &detector {
+            Some(spec) => {
+                if spec.binary_only() && !experiment.binary_signal() {
+                    println!(
+                        "skipping {} — `{}` only accepts binary error indicators\n",
+                        experiment.label(),
+                        spec.id()
+                    );
+                    continue;
+                }
+                run_table1_specs(
+                    experiment,
+                    std::slice::from_ref(spec),
+                    scale.repetitions,
+                    scale.stream_len,
+                    scale.seed,
+                    scale.shards,
+                )
+            }
+            None => run_table1_experiment_sharded(
+                experiment,
+                &factory,
+                scale.repetitions,
+                scale.stream_len,
+                scale.seed,
+                scale.shards,
+            ),
+        };
         println!("{}", render_table1(&rows));
         all_rows.extend(rows);
     }

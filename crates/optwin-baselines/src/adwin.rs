@@ -20,11 +20,15 @@
 //! and the window is only inspected every `clock` insertions (default 32),
 //! giving O(log |W|) amortized work per element.
 
-use optwin_core::{BatchOutcome, DriftDetector, DriftStatus};
+use optwin_core::snapshot::{check_version, field, finite_field, invalid};
+use optwin_core::{BatchOutcome, CoreError, DriftDetector, DriftStatus};
 
 /// Maximum number of buckets per row before two are merged into the next row
 /// (the `M` parameter of the paper; MOA uses 5).
 const MAX_BUCKETS_PER_ROW: usize = 5;
+
+/// Serialization format version of [`Adwin`]'s state snapshot.
+const SNAPSHOT_VERSION: u64 = 1;
 
 /// Configuration for [`Adwin`].
 #[derive(Debug, Clone, PartialEq)]
@@ -378,6 +382,152 @@ impl DriftDetector for Adwin {
     fn supports_real_valued_input(&self) -> bool {
         true
     }
+
+    /// Serializes the exponential histogram verbatim — every bucket's
+    /// `(count, sum, variance)` triple per row — plus the raw window
+    /// aggregates and counters. The aggregates are *not* recomputed from the
+    /// buckets on restore: `total_variance` carries the rounding history of
+    /// every incremental update, and bit-exact resumption requires restoring
+    /// exactly that value.
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::Serialize as _;
+        let rows = serde::Value::Array(
+            self.rows
+                .iter()
+                .map(|row| {
+                    serde::Value::Array(
+                        row.iter()
+                            .map(|b| {
+                                serde::Value::Array(vec![
+                                    serde::Value::UInt(b.count),
+                                    serde::Value::Float(b.sum),
+                                    serde::Value::Float(b.variance),
+                                ])
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        );
+        Some(serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
+            ("rows".to_string(), rows),
+            (
+                "total_count".to_string(),
+                serde::Value::UInt(self.total_count),
+            ),
+            ("total_sum".to_string(), serde::Value::Float(self.total_sum)),
+            (
+                "total_variance".to_string(),
+                serde::Value::Float(self.total_variance),
+            ),
+            (
+                "elements_since_check".to_string(),
+                serde::Value::UInt(u64::from(self.elements_since_check)),
+            ),
+            (
+                "elements_seen".to_string(),
+                serde::Value::UInt(self.elements_seen),
+            ),
+            (
+                "drifts_detected".to_string(),
+                serde::Value::UInt(self.drifts_detected),
+            ),
+            ("last_status".to_string(), self.last_status.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
+        check_version(state, SNAPSHOT_VERSION, "ADWIN")?;
+
+        let rows_value = state
+            .get("rows")
+            .ok_or_else(|| invalid("missing field `rows`"))?;
+        let serde::Value::Array(row_values) = rows_value else {
+            return Err(invalid("`rows` must be an array"));
+        };
+        if row_values.is_empty() {
+            return Err(invalid("`rows` must contain at least one row"));
+        }
+        let mut rows: Vec<Vec<Bucket>> = Vec::with_capacity(row_values.len());
+        let mut bucket_total: u64 = 0;
+        for (r, row_value) in row_values.iter().enumerate() {
+            let serde::Value::Array(bucket_values) = row_value else {
+                return Err(invalid(format!("`rows[{r}]` must be an array")));
+            };
+            if bucket_values.len() > MAX_BUCKETS_PER_ROW + 1 {
+                return Err(invalid(format!(
+                    "`rows[{r}]` has {} buckets (limit {})",
+                    bucket_values.len(),
+                    MAX_BUCKETS_PER_ROW + 1
+                )));
+            }
+            let mut row = Vec::with_capacity(bucket_values.len());
+            for (k, bucket_value) in bucket_values.iter().enumerate() {
+                let serde::Value::Array(parts) = bucket_value else {
+                    return Err(invalid(format!("`rows[{r}][{k}]` must be an array")));
+                };
+                if parts.len() != 3 {
+                    return Err(invalid(format!(
+                        "`rows[{r}][{k}]` must have 3 elements, got {}",
+                        parts.len()
+                    )));
+                }
+                let count = <u64 as serde::Deserialize>::from_value(&parts[0])
+                    .map_err(|e| invalid(format!("`rows[{r}][{k}]` count: {e}")))?;
+                let sum = <f64 as serde::Deserialize>::from_value(&parts[1])
+                    .map_err(|e| invalid(format!("`rows[{r}][{k}]` sum: {e}")))?;
+                let variance = <f64 as serde::Deserialize>::from_value(&parts[2])
+                    .map_err(|e| invalid(format!("`rows[{r}][{k}]` variance: {e}")))?;
+                if count == 0 {
+                    return Err(invalid(format!("`rows[{r}][{k}]` has zero count")));
+                }
+                if !sum.is_finite() || !variance.is_finite() || variance < 0.0 {
+                    return Err(invalid(format!(
+                        "`rows[{r}][{k}]` has a non-finite or negative moment"
+                    )));
+                }
+                bucket_total = bucket_total.checked_add(count).ok_or_else(|| {
+                    invalid(format!("bucket counts overflow at `rows[{r}][{k}]`"))
+                })?;
+                row.push(Bucket {
+                    count,
+                    sum,
+                    variance,
+                });
+            }
+            rows.push(row);
+        }
+
+        let total_count: u64 = field(state, "total_count")?;
+        if total_count != bucket_total {
+            return Err(invalid(format!(
+                "total_count ({total_count}) does not match the buckets ({bucket_total})"
+            )));
+        }
+        let total_sum = finite_field(state, "total_sum")?;
+        let total_variance = finite_field(state, "total_variance")?;
+        let since_check: u64 = field(state, "elements_since_check")?;
+        if since_check >= u64::from(self.config.clock) {
+            return Err(invalid(format!(
+                "elements_since_check ({since_check}) must be below the clock ({})",
+                self.config.clock
+            )));
+        }
+        let last_status: DriftStatus = field(state, "last_status")?;
+        let elements_seen: u64 = field(state, "elements_seen")?;
+        let drifts_detected: u64 = field(state, "drifts_detected")?;
+
+        self.rows = rows;
+        self.total_count = total_count;
+        self.total_sum = total_sum;
+        self.total_variance = total_variance;
+        self.elements_since_check = since_check as u32;
+        self.elements_seen = elements_seen;
+        self.drifts_detected = drifts_detected;
+        self.last_status = last_status;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -512,6 +662,107 @@ mod tests {
             },
             &stream[..3_000],
         );
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_with_identical_decisions() {
+        let stream: Vec<f64> = (0..8_000u64)
+            .map(|i| {
+                let p = match i {
+                    0..=2_999 => 0.05,
+                    3_000..=5_999 => 0.40,
+                    _ => 0.75,
+                };
+                bernoulli(i, p)
+            })
+            .collect();
+        // Cuts off the clock boundary, right after the first drift region,
+        // and at the very start/end.
+        crate::test_util::assert_snapshot_equivalence(
+            Adwin::with_defaults,
+            &stream,
+            &[0, 13, 1_000, 3_200, 8_000],
+        );
+        // Also with a clock that never divides the cuts evenly.
+        crate::test_util::assert_snapshot_equivalence(
+            || {
+                Adwin::new(AdwinConfig {
+                    clock: 7,
+                    ..AdwinConfig::default()
+                })
+            },
+            &stream[..4_000],
+            &[5, 3_001],
+        );
+    }
+
+    #[test]
+    fn restore_rejects_bad_snapshots() {
+        let mut d = Adwin::with_defaults();
+        assert!(d.restore_state(&serde::Value::Null).is_err());
+
+        let mut donor = Adwin::with_defaults();
+        for i in 0..200u64 {
+            donor.add_element(bernoulli(i, 0.3));
+        }
+        let state = donor.snapshot_state().unwrap();
+
+        // Tampered total_count no longer matches the buckets.
+        let serde::Value::Object(mut fields) = state.clone() else {
+            panic!("snapshot must be an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "total_count" {
+                *v = serde::Value::UInt(9_999);
+            }
+        }
+        let err = d.restore_state(&serde::Value::Object(fields)).unwrap_err();
+        assert!(err.to_string().contains("total_count"), "{err}");
+
+        // Overflowing bucket counts are rejected instead of wrapping (which
+        // could forge a passing total_count check) or panicking in debug.
+        let serde::Value::Object(mut fields) = state.clone() else {
+            panic!("snapshot must be an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "rows" {
+                *v = serde::Value::Array(vec![serde::Value::Array(vec![
+                    serde::Value::Array(vec![
+                        serde::Value::UInt(u64::MAX),
+                        serde::Value::Float(0.0),
+                        serde::Value::Float(0.0),
+                    ]),
+                    serde::Value::Array(vec![
+                        serde::Value::UInt(u64::MAX),
+                        serde::Value::Float(0.0),
+                        serde::Value::Float(0.0),
+                    ]),
+                ])]);
+            }
+        }
+        let err = d.restore_state(&serde::Value::Object(fields)).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "{err}");
+
+        // A clock mismatch between snapshotter and restorer is rejected when
+        // the stored phase is out of range for the restoring configuration.
+        let mut fast_clock = Adwin::new(AdwinConfig {
+            clock: 2,
+            ..AdwinConfig::default()
+        });
+        let err = fast_clock.restore_state(&state).unwrap_err();
+        assert!(err.to_string().contains("clock"), "{err}");
+
+        // A failed restore leaves the detector untouched.
+        let before = d.elements_seen();
+        let serde::Value::Object(fields) = state else {
+            panic!("snapshot must be an object")
+        };
+        let truncated: Vec<(String, serde::Value)> = fields
+            .into_iter()
+            .filter(|(k, _)| k != "drifts_detected")
+            .collect();
+        assert!(d.restore_state(&serde::Value::Object(truncated)).is_err());
+        assert_eq!(d.elements_seen(), before);
     }
 
     #[test]

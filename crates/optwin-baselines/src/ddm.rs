@@ -13,7 +13,11 @@
 //! after at least `min_instances` (30) observations. On drift the statistics
 //! are reset.
 
-use optwin_core::{DriftDetector, DriftStatus};
+use optwin_core::snapshot::{check_version, field, finite_field};
+use optwin_core::{CoreError, DriftDetector, DriftStatus};
+
+/// Serialization format version of [`Ddm`]'s state snapshot.
+const SNAPSHOT_VERSION: u64 = 1;
 
 /// Configuration for [`Ddm`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -163,6 +167,58 @@ impl DriftDetector for Ddm {
     fn supports_real_valued_input(&self) -> bool {
         false
     }
+
+    /// Serializes the raw binomial accumulators (`n`, error count) and the
+    /// recorded `p_min`/`s_min` minimums verbatim, so the restored detector
+    /// evaluates exactly the same thresholds the original would have.
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::Serialize as _;
+        Some(serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
+            ("n".to_string(), serde::Value::UInt(self.n)),
+            ("errors".to_string(), serde::Value::Float(self.errors)),
+            ("p_min".to_string(), serde::Value::Float(self.p_min)),
+            ("s_min".to_string(), serde::Value::Float(self.s_min)),
+            (
+                "elements_seen".to_string(),
+                serde::Value::UInt(self.elements_seen),
+            ),
+            (
+                "drifts_detected".to_string(),
+                serde::Value::UInt(self.drifts_detected),
+            ),
+            ("last_status".to_string(), self.last_status.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
+        check_version(state, SNAPSHOT_VERSION, "DDM")?;
+        let n: u64 = field(state, "n")?;
+        let errors = finite_field(state, "errors")?;
+        // `errors` counts whole observations, so it must stay within [0, n];
+        // anything else makes the error-rate estimate p = errors/n nonsense.
+        if !(0.0..=n as f64).contains(&errors) {
+            return Err(optwin_core::snapshot::invalid(format!(
+                "errors ({errors}) must lie in [0, n = {n}]"
+            )));
+        }
+        // `p_min`/`s_min` start at f64::MAX (which is finite), so the plain
+        // finiteness check covers the pristine state too.
+        let p_min = finite_field(state, "p_min")?;
+        let s_min = finite_field(state, "s_min")?;
+        let elements_seen: u64 = field(state, "elements_seen")?;
+        let drifts_detected: u64 = field(state, "drifts_detected")?;
+        let last_status: DriftStatus = field(state, "last_status")?;
+
+        self.n = n;
+        self.errors = errors;
+        self.p_min = p_min;
+        self.s_min = s_min;
+        self.elements_seen = elements_seen;
+        self.drifts_detected = drifts_detected;
+        self.last_status = last_status;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +340,69 @@ mod tests {
             })
             .collect();
         crate::test_util::assert_batch_equivalence(Ddm::with_defaults, &stream);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_with_identical_decisions() {
+        let stream: Vec<f64> = (0..9_000u64)
+            .map(|i| {
+                let p = match i {
+                    0..=3_999 => 0.05,
+                    4_000..=6_999 => 0.35,
+                    _ => 0.70,
+                };
+                bernoulli(i, p)
+            })
+            .collect();
+        crate::test_util::assert_snapshot_equivalence(
+            Ddm::with_defaults,
+            &stream,
+            &[0, 17, 2_000, 4_300, 9_000],
+        );
+    }
+
+    #[test]
+    fn restore_rejects_bad_snapshots() {
+        let mut d = Ddm::with_defaults();
+        assert!(d.restore_state(&serde::Value::Null).is_err());
+        let err = d
+            .restore_state(&serde::Value::Object(vec![(
+                "version".to_string(),
+                serde::Value::UInt(99),
+            )]))
+            .unwrap_err();
+        assert!(err.to_string().contains("version"));
+
+        // Non-finite accumulators are rejected and nothing is assigned.
+        let mut donor = Ddm::with_defaults();
+        for i in 0..100u64 {
+            donor.add_element(bernoulli(i, 0.2));
+        }
+        let serde::Value::Object(mut fields) = donor.snapshot_state().unwrap() else {
+            panic!("snapshot must be an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "errors" {
+                *v = serde::Value::Float(f64::INFINITY);
+            }
+        }
+        let before = d.elements_seen();
+        let err = d.restore_state(&serde::Value::Object(fields)).unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+        assert_eq!(d.elements_seen(), before);
+
+        // An error count outside [0, n] is rejected: p = errors/n would be
+        // negative or above one.
+        let serde::Value::Object(mut fields) = donor.snapshot_state().unwrap() else {
+            panic!("snapshot must be an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "errors" {
+                *v = serde::Value::Float(-5.0);
+            }
+        }
+        let err = d.restore_state(&serde::Value::Object(fields)).unwrap_err();
+        assert!(err.to_string().contains("errors"), "{err}");
     }
 
     #[test]

@@ -24,8 +24,12 @@
 //! paper measured for ECDD — very fast reactions and the highest
 //! false-positive count of the line-up.
 
-use optwin_core::{DriftDetector, DriftStatus};
+use optwin_core::snapshot::{check_version, field, finite_field, invalid};
+use optwin_core::{CoreError, DriftDetector, DriftStatus};
 use optwin_stats::incremental::Ewma;
+
+/// Serialization format version of [`Ecdd`]'s state snapshot.
+const SNAPSHOT_VERSION: u64 = 1;
 
 /// Configuration for [`Ecdd`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -245,6 +249,67 @@ impl DriftDetector for Ecdd {
     fn supports_real_valued_input(&self) -> bool {
         false
     }
+
+    /// Serializes the raw EWMA accumulator (count, running mean, `z`,
+    /// `(1−λ)^{2t}`) and the lifetime counters. The control-limit cache is
+    /// *not* serialized: it is a pure, deterministic function of the
+    /// configuration and refills identically on demand.
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::Serialize as _;
+        let (count, mean, z, pow_2t) = self.ewma.to_raw();
+        Some(serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
+            // λ shapes every serialized EWMA weight, so it is recorded and
+            // validated on restore — restoring λ=0.2 state into a λ=0.05
+            // detector would be statistically wrong with no error.
+            (
+                "lambda".to_string(),
+                serde::Value::Float(self.config.lambda),
+            ),
+            ("ewma_count".to_string(), serde::Value::UInt(count)),
+            ("ewma_mean".to_string(), serde::Value::Float(mean)),
+            ("ewma_z".to_string(), serde::Value::Float(z)),
+            ("ewma_pow_2t".to_string(), serde::Value::Float(pow_2t)),
+            (
+                "elements_seen".to_string(),
+                serde::Value::UInt(self.elements_seen),
+            ),
+            (
+                "drifts_detected".to_string(),
+                serde::Value::UInt(self.drifts_detected),
+            ),
+            ("last_status".to_string(), self.last_status.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
+        check_version(state, SNAPSHOT_VERSION, "ECDD")?;
+        let lambda = finite_field(state, "lambda")?;
+        if lambda != self.config.lambda {
+            return Err(invalid(format!(
+                "snapshot was taken with lambda = {lambda}, detector has lambda = {}",
+                self.config.lambda
+            )));
+        }
+        let count: u64 = field(state, "ewma_count")?;
+        let mean = finite_field(state, "ewma_mean")?;
+        let z = finite_field(state, "ewma_z")?;
+        let pow_2t = finite_field(state, "ewma_pow_2t")?;
+        if !(0.0..=1.0).contains(&pow_2t) {
+            return Err(invalid(format!(
+                "ewma_pow_2t ({pow_2t}) must lie in [0, 1]"
+            )));
+        }
+        let elements_seen: u64 = field(state, "elements_seen")?;
+        let drifts_detected: u64 = field(state, "drifts_detected")?;
+        let last_status: DriftStatus = field(state, "last_status")?;
+
+        self.ewma = Ewma::from_raw(self.config.lambda, count, mean, z, pow_2t);
+        self.elements_seen = elements_seen;
+        self.drifts_detected = drifts_detected;
+        self.last_status = last_status;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -388,5 +453,55 @@ mod tests {
             })
             .collect();
         crate::test_util::assert_batch_equivalence(Ecdd::with_defaults, &stream);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_with_identical_decisions() {
+        let stream: Vec<f64> = (0..8_000u64)
+            .map(|i| {
+                let p = match i {
+                    0..=2_999 => 0.05,
+                    3_000..=5_499 => 0.35,
+                    _ => 0.65,
+                };
+                bernoulli(i, p)
+            })
+            .collect();
+        crate::test_util::assert_snapshot_equivalence(
+            Ecdd::with_defaults,
+            &stream,
+            &[0, 19, 1_500, 3_050, 8_000],
+        );
+    }
+
+    #[test]
+    fn restore_rejects_bad_snapshots() {
+        let mut d = Ecdd::with_defaults();
+        assert!(d.restore_state(&serde::Value::Null).is_err());
+
+        let mut donor = Ecdd::with_defaults();
+        for i in 0..500u64 {
+            donor.add_element(bernoulli(i, 0.2));
+        }
+        let serde::Value::Object(mut fields) = donor.snapshot_state().unwrap() else {
+            panic!("snapshot must be an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "ewma_pow_2t" {
+                *v = serde::Value::Float(2.5);
+            }
+        }
+        let err = d.restore_state(&serde::Value::Object(fields)).unwrap_err();
+        assert!(err.to_string().contains("ewma_pow_2t"), "{err}");
+
+        // A λ mismatch between snapshotter and restorer is rejected: the
+        // serialized EWMA weights are a function of λ.
+        let state = donor.snapshot_state().unwrap();
+        let mut other = Ecdd::new(EcddConfig {
+            lambda: 0.05,
+            ..EcddConfig::default()
+        });
+        let err = other.restore_state(&state).unwrap_err();
+        assert!(err.to_string().contains("lambda"), "{err}");
     }
 }

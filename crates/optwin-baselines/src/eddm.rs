@@ -12,7 +12,11 @@
 //! Detection only starts after `min_errors` (30) errors have been observed.
 //! On drift the statistics are reset.
 
-use optwin_core::{DriftDetector, DriftStatus};
+use optwin_core::snapshot::{check_version, field, finite_field};
+use optwin_core::{CoreError, DriftDetector, DriftStatus};
+
+/// Serialization format version of [`Eddm`]'s state snapshot.
+const SNAPSHOT_VERSION: u64 = 1;
 
 /// Configuration for [`Eddm`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -187,6 +191,64 @@ impl DriftDetector for Eddm {
     fn supports_real_valued_input(&self) -> bool {
         false
     }
+
+    /// Serializes the raw error-distance accumulators (Welford mean/M2, last
+    /// error position, recorded maximum) verbatim for bit-exact resumption.
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::Serialize as _;
+        Some(serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
+            ("n".to_string(), serde::Value::UInt(self.n)),
+            ("last_error_at".to_string(), self.last_error_at.to_value()),
+            (
+                "error_count".to_string(),
+                serde::Value::UInt(self.error_count),
+            ),
+            ("dist_mean".to_string(), serde::Value::Float(self.dist_mean)),
+            ("dist_m2".to_string(), serde::Value::Float(self.dist_m2)),
+            ("max_stat".to_string(), serde::Value::Float(self.max_stat)),
+            (
+                "elements_seen".to_string(),
+                serde::Value::UInt(self.elements_seen),
+            ),
+            (
+                "drifts_detected".to_string(),
+                serde::Value::UInt(self.drifts_detected),
+            ),
+            ("last_status".to_string(), self.last_status.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
+        check_version(state, SNAPSHOT_VERSION, "EDDM")?;
+        let n: u64 = field(state, "n")?;
+        let last_error_at: Option<u64> = field(state, "last_error_at")?;
+        if let Some(at) = last_error_at {
+            if at > n {
+                return Err(optwin_core::snapshot::invalid(format!(
+                    "last_error_at ({at}) exceeds n ({n})"
+                )));
+            }
+        }
+        let error_count: u64 = field(state, "error_count")?;
+        let dist_mean = finite_field(state, "dist_mean")?;
+        let dist_m2 = finite_field(state, "dist_m2")?;
+        let max_stat = finite_field(state, "max_stat")?;
+        let elements_seen: u64 = field(state, "elements_seen")?;
+        let drifts_detected: u64 = field(state, "drifts_detected")?;
+        let last_status: DriftStatus = field(state, "last_status")?;
+
+        self.n = n;
+        self.last_error_at = last_error_at;
+        self.error_count = error_count;
+        self.dist_mean = dist_mean;
+        self.dist_m2 = dist_m2;
+        self.max_stat = max_stat;
+        self.elements_seen = elements_seen;
+        self.drifts_detected = drifts_detected;
+        self.last_status = last_status;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -284,5 +346,48 @@ mod tests {
             })
             .collect();
         crate::test_util::assert_batch_equivalence(Eddm::with_defaults, &stream);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_with_identical_decisions() {
+        let stream: Vec<f64> = (0..9_000u64)
+            .map(|i| {
+                let p = match i {
+                    0..=3_999 => 0.10,
+                    4_000..=6_999 => 0.45,
+                    _ => 0.75,
+                };
+                bernoulli(i, p)
+            })
+            .collect();
+        // Include a cut in the pristine state (no error seen yet is
+        // impossible at rate 0.1 after a few elements, so cut 0 covers it).
+        crate::test_util::assert_snapshot_equivalence(
+            Eddm::with_defaults,
+            &stream,
+            &[0, 23, 2_500, 4_200, 9_000],
+        );
+    }
+
+    #[test]
+    fn restore_rejects_bad_snapshots() {
+        let mut d = Eddm::with_defaults();
+        assert!(d.restore_state(&serde::Value::Null).is_err());
+
+        let mut donor = Eddm::with_defaults();
+        for i in 0..300u64 {
+            donor.add_element(bernoulli(i, 0.2));
+        }
+        // An inconsistent error position is rejected.
+        let serde::Value::Object(mut fields) = donor.snapshot_state().unwrap() else {
+            panic!("snapshot must be an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "last_error_at" {
+                *v = serde::Value::UInt(10_000);
+            }
+        }
+        let err = d.restore_state(&serde::Value::Object(fields)).unwrap_err();
+        assert!(err.to_string().contains("last_error_at"), "{err}");
     }
 }

@@ -12,8 +12,12 @@
 
 use std::collections::VecDeque;
 
-use optwin_core::{BatchOutcome, DriftDetector, DriftStatus};
+use optwin_core::snapshot::{check_version, field, invalid};
+use optwin_core::{BatchOutcome, CoreError, DriftDetector, DriftStatus};
 use optwin_stats::tests::ks_two_sample;
+
+/// Serialization format version of [`Kswin`]'s state snapshot.
+const SNAPSHOT_VERSION: u64 = 1;
 
 /// Configuration for [`Kswin`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -164,6 +168,50 @@ impl DriftDetector for Kswin {
     fn drifts_detected(&self) -> u64 {
         self.drifts_detected
     }
+
+    /// Serializes the buffered window contents verbatim plus the lifetime
+    /// counters — KSWIN's entire mutable state is the raw window.
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::Serialize as _;
+        let window: Vec<f64> = self.window.iter().copied().collect();
+        Some(serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
+            ("window".to_string(), window.to_value()),
+            (
+                "elements_seen".to_string(),
+                serde::Value::UInt(self.elements_seen),
+            ),
+            (
+                "drifts_detected".to_string(),
+                serde::Value::UInt(self.drifts_detected),
+            ),
+            ("last_status".to_string(), self.last_status.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
+        check_version(state, SNAPSHOT_VERSION, "KSWIN")?;
+        let window: Vec<f64> = field(state, "window")?;
+        if window.len() > self.config.window_size {
+            return Err(invalid(format!(
+                "window has {} entries, configuration allows {}",
+                window.len(),
+                self.config.window_size
+            )));
+        }
+        if window.iter().any(|v| !v.is_finite()) {
+            return Err(invalid("window contains non-finite values"));
+        }
+        let elements_seen: u64 = field(state, "elements_seen")?;
+        let drifts_detected: u64 = field(state, "drifts_detected")?;
+        let last_status: DriftStatus = field(state, "last_status")?;
+
+        self.window = window.into_iter().collect();
+        self.elements_seen = elements_seen;
+        self.drifts_detected = drifts_detected;
+        self.last_status = last_status;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -277,5 +325,43 @@ mod tests {
             })
             .collect();
         crate::test_util::assert_batch_equivalence(Kswin::with_defaults, &stream);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_with_identical_decisions() {
+        let stream: Vec<f64> = (0..4_000u64)
+            .map(|i| {
+                let base = if i < 2_000 { 0.2 } else { 0.65 };
+                (base + 0.1 * jitter(i)).clamp(0.0, 1.0)
+            })
+            .collect();
+        // Cuts before the window fills, mid-stream, and right after the
+        // drift region (where the window was truncated to the recent slice).
+        crate::test_util::assert_snapshot_equivalence(
+            Kswin::with_defaults,
+            &stream,
+            &[0, 150, 1_000, 2_100, 4_000],
+        );
+    }
+
+    #[test]
+    fn restore_rejects_bad_snapshots() {
+        let mut d = Kswin::with_defaults();
+        assert!(d.restore_state(&serde::Value::Null).is_err());
+
+        let mut donor = Kswin::with_defaults();
+        for i in 0..500u64 {
+            donor.add_element(0.5 + 0.1 * jitter(i));
+        }
+        let state = donor.snapshot_state().unwrap();
+        // A restoring configuration with a smaller window rejects the
+        // oversized buffer.
+        let mut small = Kswin::new(KswinConfig {
+            window_size: 80,
+            stat_size: 20,
+            alpha: 1e-4,
+        });
+        let err = small.restore_state(&state).unwrap_err();
+        assert!(err.to_string().contains("window has"), "{err}");
     }
 }

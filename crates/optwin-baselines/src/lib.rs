@@ -40,6 +40,7 @@ pub mod ecdd;
 pub mod eddm;
 pub mod kswin;
 pub mod page_hinkley;
+pub mod spec;
 pub mod stepd;
 
 pub use adwin::{Adwin, AdwinConfig};
@@ -48,6 +49,7 @@ pub use ecdd::{Ecdd, EcddConfig};
 pub use eddm::{Eddm, EddmConfig};
 pub use kswin::{Kswin, KswinConfig};
 pub use page_hinkley::{PageHinkley, PageHinkleyConfig};
+pub use spec::{DetectorSpec, DETECTOR_IDS};
 pub use stepd::{Stepd, StepdConfig};
 
 /// Identifier for every detector the workspace ships, used by the evaluation
@@ -185,6 +187,44 @@ pub(crate) mod test_util {
             assert_eq!(batch_warnings, warnings, "{}: chunk {chunk}", scalar.name());
             assert_eq!(batched.elements_seen(), scalar.elements_seen());
             assert_eq!(batched.drifts_detected(), scalar.drifts_detected());
+        }
+    }
+
+    /// Asserts the snapshot contract for a detector: snapshotting at each of
+    /// `cuts` and restoring into a freshly built instance yields *identical*
+    /// decisions and counters for the remaining stream (mirroring the OPTWIN
+    /// equivalence test in `optwin-core`).
+    pub(crate) fn assert_snapshot_equivalence<D: DriftDetector>(
+        build: impl Fn() -> D,
+        stream: &[f64],
+        cuts: &[usize],
+    ) {
+        for &cut in cuts {
+            assert!(cut <= stream.len(), "cut {cut} beyond stream");
+            let mut original = build();
+            original.add_batch(&stream[..cut]);
+            let state = original
+                .snapshot_state()
+                .unwrap_or_else(|| panic!("{} must support snapshots", original.name()));
+
+            let mut restored = build();
+            restored
+                .restore_state(&state)
+                .unwrap_or_else(|e| panic!("restore at {cut} failed: {e}"));
+            assert_eq!(restored.elements_seen(), original.elements_seen());
+            assert_eq!(restored.drifts_detected(), original.drifts_detected());
+
+            let rest = &stream[cut..];
+            let a = original.add_batch(rest);
+            let b = restored.add_batch(rest);
+            assert_eq!(
+                a,
+                b,
+                "{}: divergence after restoring at {cut}",
+                original.name()
+            );
+            assert_eq!(original.elements_seen(), restored.elements_seen());
+            assert_eq!(original.drifts_detected(), restored.drifts_detected());
         }
     }
 

@@ -7,7 +7,11 @@
 //! threshold `lambda`, a change is flagged. It is not part of the paper's
 //! baseline set but is a classic single-pass detector useful for ablations.
 
-use optwin_core::{DriftDetector, DriftStatus};
+use optwin_core::snapshot::{check_version, field, finite_field};
+use optwin_core::{CoreError, DriftDetector, DriftStatus};
+
+/// Serialization format version of [`PageHinkley`]'s state snapshot.
+const SNAPSHOT_VERSION: u64 = 1;
 
 /// Configuration for [`PageHinkley`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -143,6 +147,55 @@ impl DriftDetector for PageHinkley {
     fn drifts_detected(&self) -> u64 {
         self.drifts_detected
     }
+
+    /// Serializes the raw running mean, cumulative statistic and its minimum
+    /// verbatim (the minimum starts at `f64::MAX`, which is finite and
+    /// round-trips exactly).
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::Serialize as _;
+        Some(serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
+            ("n".to_string(), serde::Value::UInt(self.n)),
+            ("mean".to_string(), serde::Value::Float(self.mean)),
+            (
+                "cumulative".to_string(),
+                serde::Value::Float(self.cumulative),
+            ),
+            (
+                "min_cumulative".to_string(),
+                serde::Value::Float(self.min_cumulative),
+            ),
+            (
+                "elements_seen".to_string(),
+                serde::Value::UInt(self.elements_seen),
+            ),
+            (
+                "drifts_detected".to_string(),
+                serde::Value::UInt(self.drifts_detected),
+            ),
+            ("last_status".to_string(), self.last_status.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
+        check_version(state, SNAPSHOT_VERSION, "PageHinkley")?;
+        let n: u64 = field(state, "n")?;
+        let mean = finite_field(state, "mean")?;
+        let cumulative = finite_field(state, "cumulative")?;
+        let min_cumulative = finite_field(state, "min_cumulative")?;
+        let elements_seen: u64 = field(state, "elements_seen")?;
+        let drifts_detected: u64 = field(state, "drifts_detected")?;
+        let last_status: DriftStatus = field(state, "last_status")?;
+
+        self.n = n;
+        self.mean = mean;
+        self.cumulative = cumulative;
+        self.min_cumulative = min_cumulative;
+        self.elements_seen = elements_seen;
+        self.drifts_detected = drifts_detected;
+        self.last_status = last_status;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -237,5 +290,42 @@ mod tests {
             })
             .collect();
         crate::test_util::assert_batch_equivalence(PageHinkley::with_defaults, &stream);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_with_identical_decisions() {
+        let stream: Vec<f64> = (0..8_000u64)
+            .map(|i| {
+                let base = if i < 4_000 { 0.1 } else { 0.5 };
+                (base + 0.05 * jitter(i)).clamp(0.0, 1.0)
+            })
+            .collect();
+        crate::test_util::assert_snapshot_equivalence(
+            PageHinkley::with_defaults,
+            &stream,
+            &[0, 11, 2_000, 4_100, 8_000],
+        );
+    }
+
+    #[test]
+    fn restore_rejects_bad_snapshots() {
+        let mut d = PageHinkley::with_defaults();
+        assert!(d.restore_state(&serde::Value::Null).is_err());
+        let mut donor = PageHinkley::with_defaults();
+        for i in 0..200u64 {
+            donor.add_element(bernoulli(i, 0.2));
+        }
+        let serde::Value::Object(mut fields) = donor.snapshot_state().unwrap() else {
+            panic!("snapshot must be an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "cumulative" {
+                *v = serde::Value::Float(f64::NAN);
+            }
+        }
+        let before = d.elements_seen();
+        let err = d.restore_state(&serde::Value::Object(fields)).unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+        assert_eq!(d.elements_seen(), before);
     }
 }

@@ -10,8 +10,12 @@
 
 use std::collections::VecDeque;
 
-use optwin_core::{DriftDetector, DriftStatus};
+use optwin_core::snapshot::{check_version, field, invalid};
+use optwin_core::{CoreError, DriftDetector, DriftStatus};
 use optwin_stats::tests::equal_proportions_test;
+
+/// Serialization format version of [`Stepd`]'s state snapshot.
+const SNAPSHOT_VERSION: u64 = 1;
 
 /// Configuration for [`Stepd`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -182,6 +186,67 @@ impl DriftDetector for Stepd {
     fn supports_real_valued_input(&self) -> bool {
         true
     }
+
+    /// Serializes the recent result window plus the integer "older" pool
+    /// counters. `recent_correct` is derived (the number of `true` entries in
+    /// the window), so it is recomputed on restore rather than trusted from
+    /// the wire.
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        use serde::Serialize as _;
+        let recent: Vec<bool> = self.recent.iter().copied().collect();
+        Some(serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
+            ("recent".to_string(), recent.to_value()),
+            (
+                "older_total".to_string(),
+                serde::Value::UInt(self.older_total),
+            ),
+            (
+                "older_correct".to_string(),
+                serde::Value::UInt(self.older_correct),
+            ),
+            (
+                "elements_seen".to_string(),
+                serde::Value::UInt(self.elements_seen),
+            ),
+            (
+                "drifts_detected".to_string(),
+                serde::Value::UInt(self.drifts_detected),
+            ),
+            ("last_status".to_string(), self.last_status.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
+        check_version(state, SNAPSHOT_VERSION, "STEPD")?;
+        let recent: Vec<bool> = field(state, "recent")?;
+        if recent.len() > self.config.window_size {
+            return Err(invalid(format!(
+                "recent window has {} entries, configuration allows {}",
+                recent.len(),
+                self.config.window_size
+            )));
+        }
+        let older_total: u64 = field(state, "older_total")?;
+        let older_correct: u64 = field(state, "older_correct")?;
+        if older_correct > older_total {
+            return Err(invalid(format!(
+                "older_correct ({older_correct}) exceeds older_total ({older_total})"
+            )));
+        }
+        let elements_seen: u64 = field(state, "elements_seen")?;
+        let drifts_detected: u64 = field(state, "drifts_detected")?;
+        let last_status: DriftStatus = field(state, "last_status")?;
+
+        self.recent_correct = recent.iter().filter(|&&c| c).count() as u64;
+        self.recent = recent.into_iter().collect();
+        self.older_total = older_total;
+        self.older_correct = older_correct;
+        self.elements_seen = elements_seen;
+        self.drifts_detected = drifts_detected;
+        self.last_status = last_status;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -292,5 +357,55 @@ mod tests {
             })
             .collect();
         crate::test_util::assert_batch_equivalence(Stepd::with_defaults, &stream);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_with_identical_decisions() {
+        let stream: Vec<f64> = (0..8_000u64)
+            .map(|i| {
+                let p = match i {
+                    0..=2_999 => 0.08,
+                    3_000..=5_499 => 0.40,
+                    _ => 0.70,
+                };
+                bernoulli(i, p)
+            })
+            .collect();
+        crate::test_util::assert_snapshot_equivalence(
+            Stepd::with_defaults,
+            &stream,
+            &[0, 15, 1_200, 3_100, 8_000],
+        );
+    }
+
+    #[test]
+    fn restore_rejects_bad_snapshots() {
+        let mut d = Stepd::with_defaults();
+        assert!(d.restore_state(&serde::Value::Null).is_err());
+
+        let mut donor = Stepd::with_defaults();
+        for i in 0..200u64 {
+            donor.add_element(bernoulli(i, 0.2));
+        }
+        let state = donor.snapshot_state().unwrap();
+        // A smaller restoring window rejects the oversized recent buffer.
+        let mut small = Stepd::new(StepdConfig {
+            window_size: 5,
+            ..StepdConfig::default()
+        });
+        let err = small.restore_state(&state).unwrap_err();
+        assert!(err.to_string().contains("recent window"), "{err}");
+
+        // Inconsistent older-pool counters are rejected.
+        let serde::Value::Object(mut fields) = state else {
+            panic!("snapshot must be an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "older_correct" {
+                *v = serde::Value::UInt(1_000_000);
+            }
+        }
+        let err = d.restore_state(&serde::Value::Object(fields)).unwrap_err();
+        assert!(err.to_string().contains("older_correct"), "{err}");
     }
 }

@@ -63,6 +63,7 @@ pub mod detector;
 pub mod error;
 pub mod optwin;
 pub mod registry;
+pub mod snapshot;
 pub mod window;
 
 pub use config::{DriftDirection, OptwinConfig, OptwinConfigBuilder};

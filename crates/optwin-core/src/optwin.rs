@@ -342,17 +342,7 @@ fn moments_from_value(value: &serde::Value, field: &str) -> Result<(u64, f64, f6
     Ok((count, floats[0], floats[1], floats[2]))
 }
 
-/// Looks up and deserializes a snapshot field.
-fn snapshot_field<T: serde::Deserialize>(state: &serde::Value, field: &'static str) -> Result<T> {
-    let value = state
-        .get(field)
-        .ok_or_else(|| crate::CoreError::InvalidSnapshot {
-            message: format!("missing field `{field}`"),
-        })?;
-    T::from_value(value).map_err(|e| crate::CoreError::InvalidSnapshot {
-        message: format!("field `{field}`: {e}"),
-    })
-}
+use crate::snapshot::{check_version, field as snapshot_field, invalid as invalid_snapshot};
 
 impl DriftDetector for Optwin {
     fn add_element(&mut self, value: f64) -> DriftStatus {
@@ -486,13 +476,8 @@ impl DriftDetector for Optwin {
     }
 
     fn restore_state(&mut self, state: &serde::Value) -> Result<()> {
-        let invalid = |message: String| crate::CoreError::InvalidSnapshot { message };
-        let version: u64 = snapshot_field(state, "version")?;
-        if version != SNAPSHOT_VERSION {
-            return Err(invalid(format!(
-                "unsupported OPTWIN snapshot version {version} (expected {SNAPSHOT_VERSION})"
-            )));
-        }
+        let invalid = |message: String| invalid_snapshot(message);
+        check_version(state, SNAPSHOT_VERSION, "OPTWIN")?;
         let w_max: u64 = snapshot_field(state, "w_max")?;
         if w_max != self.config.w_max as u64 {
             return Err(invalid(format!(

@@ -1,0 +1,123 @@
+//! Shared helpers for implementing
+//! [`DriftDetector::snapshot_state`](crate::DriftDetector::snapshot_state) /
+//! [`DriftDetector::restore_state`](crate::DriftDetector::restore_state).
+//!
+//! Every snapshot in the workspace is a JSON-shaped [`serde::Value`] object
+//! with a `version` field and one entry per piece of mutable state. These
+//! helpers centralise the field lookup, type conversion and validation
+//! boilerplate so each detector's `restore_state` reads as a flat list of
+//! `field(..)?` calls followed by a single all-or-nothing assignment block
+//! (a failed restore must leave the detector untouched, never
+//! half-restored).
+
+use crate::CoreError;
+
+/// Builds an [`CoreError::InvalidSnapshot`] with the given message.
+pub fn invalid(message: impl Into<String>) -> CoreError {
+    CoreError::InvalidSnapshot {
+        message: message.into(),
+    }
+}
+
+/// Looks up and deserializes a snapshot field, naming the field in every
+/// error.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSnapshot`] when the field is missing or its
+/// value does not convert to `T`.
+pub fn field<T: serde::Deserialize>(
+    state: &serde::Value,
+    name: &'static str,
+) -> Result<T, CoreError> {
+    let value = state
+        .get(name)
+        .ok_or_else(|| invalid(format!("missing field `{name}`")))?;
+    T::from_value(value).map_err(|e| invalid(format!("field `{name}`: {e}")))
+}
+
+/// [`field`] for a `usize` stored as `u64` on the wire.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSnapshot`] when the field is missing, not an
+/// integer, or out of range for `usize`.
+pub fn usize_field(state: &serde::Value, name: &'static str) -> Result<usize, CoreError> {
+    usize::try_from(field::<u64>(state, name)?)
+        .map_err(|_| invalid(format!("field `{name}` out of range for usize")))
+}
+
+/// [`field`] for an `f64` that must be finite. A NaN/Inf accumulator would
+/// restore into a detector whose every statistical test silently evaluates
+/// false, so non-finite values are rejected like any other corruption.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSnapshot`] when the field is missing, not a
+/// number, or not finite.
+pub fn finite_field(state: &serde::Value, name: &'static str) -> Result<f64, CoreError> {
+    let x: f64 = field(state, name)?;
+    if !x.is_finite() {
+        return Err(invalid(format!("field `{name}` is not finite")));
+    }
+    Ok(x)
+}
+
+/// Checks the snapshot's `version` field against the detector's current
+/// format version.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSnapshot`] when the field is missing or the
+/// version does not match.
+pub fn check_version(
+    state: &serde::Value,
+    expected: u64,
+    detector: &'static str,
+) -> Result<(), CoreError> {
+    let version: u64 = field(state, "version")?;
+    if version != expected {
+        return Err(invalid(format!(
+            "unsupported {detector} snapshot version {version} (expected {expected})"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> serde::Value {
+        serde::Value::Object(vec![
+            ("version".to_string(), serde::Value::UInt(3)),
+            ("count".to_string(), serde::Value::UInt(7)),
+            ("mean".to_string(), serde::Value::Float(0.25)),
+            ("bad".to_string(), serde::Value::Float(f64::NAN)),
+        ])
+    }
+
+    #[test]
+    fn field_lookup_and_errors() {
+        let s = state();
+        assert_eq!(field::<u64>(&s, "count").unwrap(), 7);
+        assert_eq!(usize_field(&s, "count").unwrap(), 7);
+        assert_eq!(finite_field(&s, "mean").unwrap(), 0.25);
+        let err = field::<u64>(&s, "missing").unwrap_err();
+        assert!(err.to_string().contains("missing"));
+        let err = field::<u64>(&s, "mean").unwrap_err();
+        assert!(err.to_string().contains("mean"));
+        let err = finite_field(&s, "bad").unwrap_err();
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn version_check() {
+        let s = state();
+        assert!(check_version(&s, 3, "TEST").is_ok());
+        let err = check_version(&s, 4, "TEST").unwrap_err();
+        assert!(err.to_string().contains("TEST snapshot version 3"));
+        let err = check_version(&serde::Value::Null, 1, "TEST").unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+}

@@ -3,11 +3,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use optwin_baselines::DetectorSpec;
 use optwin_core::DriftDetector;
 
 use crate::engine::{EngineConfig, EngineError};
-use crate::handle::{spawn_engine, EngineHandle, SharedDetectorFactory, StreamState};
-use crate::persist::{EngineSnapshot, ENGINE_SNAPSHOT_VERSION};
+use crate::handle::{
+    spawn_engine, DetectorSource, EngineHandle, SharedDetectorFactory, StreamState,
+};
+use crate::persist::EngineSnapshot;
 use crate::sink::EventSink;
 
 /// Default per-shard queue capacity, in records. Large enough to keep the
@@ -15,23 +18,31 @@ use crate::sink::EventSink;
 /// consumer exerts backpressure within a few megabytes.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 65_536;
 
-/// Builder for a running engine: shard count, detector factory, warning
-/// policy, event sinks, queue capacity and an optional snapshot to restore.
+/// Builder for a running engine: shard count, default detector (a
+/// declarative [`DetectorSpec`] or a closure factory), warning policy, event
+/// sinks, queue capacity and an optional snapshot to restore.
 ///
 /// [`EngineBuilder::build`] spawns one long-lived worker thread per shard
 /// and returns the cheaply-cloneable [`EngineHandle`] front door. The
-/// synchronous [`crate::DriftEngine`] facade is a thin wrapper over exactly
-/// this (a handle plus a [`crate::MemorySink`]). See the crate docs for a
-/// complete example.
+/// canonical construction path is declarative —
+/// [`EngineBuilder::default_spec`] for homogeneous fleets,
+/// [`EngineBuilder::stream_spec`] / [`EngineHandle::register_stream_spec`]
+/// for heterogeneous ones — which makes every stream introspectable and
+/// every snapshot self-describing. The closure-factory and
+/// explicit-instance paths survive as escape hatches for custom detector
+/// types. The synchronous [`crate::DriftEngine`] facade is a thin wrapper
+/// over exactly this (a handle plus a [`crate::MemorySink`]). See the crate
+/// docs for a complete example.
 #[must_use]
 pub struct EngineBuilder {
     shards: usize,
     emit_warnings: bool,
     queue_capacity: usize,
-    factory: Option<SharedDetectorFactory>,
+    source: Option<DetectorSource>,
     sinks: Vec<Arc<dyn EventSink>>,
     restore: Option<EngineSnapshot>,
     streams: Vec<(u64, Box<dyn DriftDetector + Send>)>,
+    spec_streams: Vec<(u64, DetectorSpec)>,
 }
 
 impl Default for EngineBuilder {
@@ -46,21 +57,24 @@ impl std::fmt::Debug for EngineBuilder {
             .field("shards", &self.shards)
             .field("emit_warnings", &self.emit_warnings)
             .field("queue_capacity", &self.queue_capacity)
-            .field("has_factory", &self.factory.is_some())
+            .field("has_factory", &self.source.is_some())
             .field("sinks", &self.sinks.len())
             .field(
                 "restore_streams",
                 &self.restore.as_ref().map(EngineSnapshot::stream_count),
             )
-            .field("pre_registered", &self.streams.len())
+            .field(
+                "pre_registered",
+                &(self.streams.len() + self.spec_streams.len()),
+            )
             .finish()
     }
 }
 
 impl EngineBuilder {
     /// Starts a builder with the default configuration: one shard per
-    /// available CPU core, warnings disabled, no sinks, no factory, and a
-    /// [`DEFAULT_QUEUE_CAPACITY`]-record queue per shard.
+    /// available CPU core, warnings disabled, no sinks, no default detector,
+    /// and a [`DEFAULT_QUEUE_CAPACITY`]-record queue per shard.
     pub fn new() -> Self {
         Self::from_config(EngineConfig::default())
     }
@@ -71,10 +85,11 @@ impl EngineBuilder {
             shards: config.shards,
             emit_warnings: config.emit_warnings,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
-            factory: None,
+            source: None,
             sinks: Vec::new(),
             restore: None,
             streams: Vec::new(),
+            spec_streams: Vec::new(),
         }
     }
 
@@ -102,9 +117,24 @@ impl EngineBuilder {
         self
     }
 
-    /// Installs a detector factory: unknown stream ids auto-register by
-    /// calling it on first sight. The factory is shared by all shard
-    /// workers, hence `Send + Sync`.
+    /// Installs the default [`DetectorSpec`]: unknown stream ids
+    /// auto-register on first sight with `spec.build()`, recording the spec
+    /// so the stream is introspectable ([`EngineHandle::stream_spec`]) and
+    /// snapshots of it restore with no factory. This is the canonical
+    /// configuration path; the spec is validated at
+    /// [`EngineBuilder::build`]. Replaces any previously installed default
+    /// (spec or closure).
+    pub fn default_spec(mut self, spec: DetectorSpec) -> Self {
+        self.source = Some(DetectorSource::Spec(spec));
+        self
+    }
+
+    /// Installs a closure detector factory: unknown stream ids auto-register
+    /// by calling it on first sight. The factory is shared by all shard
+    /// workers, hence `Send + Sync`. Streams it creates record no spec — an
+    /// escape hatch for custom detector types; prefer
+    /// [`EngineBuilder::default_spec`] when the detector can be described
+    /// declaratively. Replaces any previously installed default.
     pub fn factory<F>(self, factory: F) -> Self
     where
         F: Fn(u64) -> Box<dyn DriftDetector + Send> + Send + Sync + 'static,
@@ -112,10 +142,17 @@ impl EngineBuilder {
         self.shared_factory(Arc::new(factory))
     }
 
-    /// Installs an already-shared detector factory (useful when the caller
-    /// keeps a clone, as the [`crate::DriftEngine`] facade does).
-    pub fn shared_factory(mut self, factory: SharedDetectorFactory) -> Self {
-        self.factory = Some(factory);
+    /// Installs an already-shared closure detector factory (useful when the
+    /// caller keeps a clone). See [`EngineBuilder::factory`].
+    pub fn shared_factory(self, factory: SharedDetectorFactory) -> Self {
+        self.detector_source(DetectorSource::Closure(factory))
+    }
+
+    /// Installs a pre-assembled detector source (crate-internal; the public
+    /// surface is [`EngineBuilder::default_spec`] /
+    /// [`EngineBuilder::factory`]).
+    pub(crate) fn detector_source(mut self, source: DetectorSource) -> Self {
+        self.source = Some(source);
         self
     }
 
@@ -127,18 +164,35 @@ impl EngineBuilder {
     }
 
     /// Pre-registers a stream with an explicit detector instance (duplicates
-    /// are rejected at build time). Streams can also be registered later via
-    /// [`EngineHandle::register_stream`] or auto-registered by the factory.
+    /// are rejected at build time). The stream records no [`DetectorSpec`];
+    /// prefer [`EngineBuilder::stream_spec`] when possible. Streams can also
+    /// be registered later via [`EngineHandle::register_stream`] /
+    /// [`EngineHandle::register_stream_spec`] or auto-registered by the
+    /// default spec/factory.
     pub fn stream(mut self, stream: u64, detector: Box<dyn DriftDetector + Send>) -> Self {
         self.streams.push((stream, detector));
         self
     }
 
+    /// Pre-registers a stream declaratively: at build time the spec is
+    /// validated, its detector constructed, and the spec recorded on the
+    /// stream. This is how heterogeneous fleets are assembled from
+    /// configuration — different specs for different stream ids, no
+    /// closures anywhere.
+    pub fn stream_spec(mut self, stream: u64, spec: DetectorSpec) -> Self {
+        self.spec_streams.push((stream, spec));
+        self
+    }
+
     /// Restores every stream recorded in `snapshot` when the engine is
-    /// built: the factory constructs a fresh detector per stream and the
-    /// serialized state is restored into it, so the new engine makes
-    /// identical subsequent decisions to the snapshotted one. Requires a
-    /// factory. The snapshot's shard count and warning policy are
+    /// built. Streams whose snapshot embeds a [`DetectorSpec`] (wire format
+    /// v2, spec-registered) are rebuilt from that spec — **no factory
+    /// required**. Spec-less streams (v1 snapshots, or streams registered
+    /// with explicit instances / a closure factory) are rebuilt through this
+    /// builder's default spec or factory, which must then be configured. In
+    /// both cases the serialized state is restored into the fresh detector,
+    /// so the new engine makes identical subsequent decisions to the
+    /// snapshotted one. The snapshot's shard count and warning policy are
     /// provenance, not constraints — this builder's settings win, and
     /// streams re-pin to shards by `id % shards`.
     pub fn restore(mut self, snapshot: EngineSnapshot) -> Self {
@@ -154,10 +208,13 @@ impl EngineBuilder {
     ///
     /// * [`EngineError::ZeroShards`] / [`EngineError::ZeroQueueCapacity`]
     ///   for degenerate parameters,
-    /// * [`EngineError::InvalidSnapshot`] when a snapshot is set but no
-    ///   factory is, the snapshot's version is unsupported, a detector name
-    ///   does not match what the factory builds, or a detector rejects its
-    ///   serialized state,
+    /// * [`EngineError::InvalidSpec`] when the default spec or a
+    ///   [`EngineBuilder::stream_spec`] spec fails validation,
+    /// * [`EngineError::InvalidSnapshot`] when a snapshot stream has no
+    ///   embedded spec and no default spec/factory is configured, the
+    ///   snapshot's version is unsupported, a detector name does not match
+    ///   what the spec/factory builds, or a detector rejects its serialized
+    ///   state,
     /// * [`EngineError::DuplicateStream`] when a stream id is pre-registered
     ///   (or restored) twice.
     pub fn build(self) -> Result<EngineHandle, EngineError> {
@@ -167,50 +224,59 @@ impl EngineBuilder {
         if self.queue_capacity == 0 {
             return Err(EngineError::ZeroQueueCapacity);
         }
+        if let Some(DetectorSource::Spec(spec)) = &self.source {
+            spec.validate()
+                .map_err(|e| EngineError::InvalidSpec(e.to_string()))?;
+        }
 
         let mut initial: Vec<HashMap<u64, StreamState>> =
             (0..self.shards).map(|_| HashMap::new()).collect();
         let shard_of = |stream: u64| (stream % self.shards as u64) as usize;
 
         if let Some(snapshot) = self.restore {
-            if snapshot.version != ENGINE_SNAPSHOT_VERSION {
-                return Err(EngineError::InvalidSnapshot(format!(
-                    "unsupported engine snapshot version {} (expected {ENGINE_SNAPSHOT_VERSION})",
-                    snapshot.version
-                )));
-            }
-            let factory = self.factory.as_ref().ok_or_else(|| {
-                EngineError::InvalidSnapshot(
-                    "restoring a snapshot requires a detector factory".to_string(),
-                )
-            })?;
+            snapshot.check_version()?;
             for stream_snapshot in snapshot.streams {
-                let mut detector = factory(stream_snapshot.stream);
+                let stream = stream_snapshot.stream;
+                // v2 self-describing entry: rebuild from the embedded spec.
+                // Spec-less entry: fall back to the default spec/factory.
+                let (mut detector, spec) = match &stream_snapshot.spec {
+                    Some(spec) => {
+                        let detector = spec.build().map_err(|e| {
+                            EngineError::InvalidSnapshot(format!(
+                                "stream {stream}: embedded spec `{spec}`: {e}"
+                            ))
+                        })?;
+                        (detector, Some(spec.clone()))
+                    }
+                    None => match &self.source {
+                        Some(source) => source.make(stream).map_err(|e| {
+                            EngineError::InvalidSnapshot(format!("stream {stream}: {e}"))
+                        })?,
+                        None => {
+                            return Err(EngineError::InvalidSnapshot(format!(
+                                "stream {stream} has no embedded detector spec; restoring it \
+                                 requires a default spec or detector factory"
+                            )))
+                        }
+                    },
+                };
                 if detector.name() != stream_snapshot.detector {
                     return Err(EngineError::InvalidSnapshot(format!(
-                        "stream {}: snapshot was taken from a `{}` detector but the factory \
-                         builds `{}`",
-                        stream_snapshot.stream,
+                        "stream {}: snapshot was taken from a `{}` detector but the \
+                         spec/factory builds `{}`",
+                        stream,
                         stream_snapshot.detector,
                         detector.name()
                     )));
                 }
                 detector
                     .restore_state(&stream_snapshot.state)
-                    .map_err(|e| {
-                        EngineError::InvalidSnapshot(format!(
-                            "stream {}: {e}",
-                            stream_snapshot.stream
-                        ))
-                    })?;
-                let mut state = StreamState::new(detector);
+                    .map_err(|e| EngineError::InvalidSnapshot(format!("stream {stream}: {e}")))?;
+                let mut state = StreamState::with_spec(detector, spec);
                 state.seq = stream_snapshot.seq;
                 state.seconds = stream_snapshot.detector_seconds;
-                if initial[shard_of(stream_snapshot.stream)]
-                    .insert(stream_snapshot.stream, state)
-                    .is_some()
-                {
-                    return Err(EngineError::DuplicateStream(stream_snapshot.stream));
+                if initial[shard_of(stream)].insert(stream, state).is_some() {
+                    return Err(EngineError::DuplicateStream(stream));
                 }
             }
         }
@@ -218,6 +284,17 @@ impl EngineBuilder {
         for (stream, detector) in self.streams {
             if initial[shard_of(stream)]
                 .insert(stream, StreamState::new(detector))
+                .is_some()
+            {
+                return Err(EngineError::DuplicateStream(stream));
+            }
+        }
+        for (stream, spec) in self.spec_streams {
+            let detector = spec
+                .build()
+                .map_err(|e| EngineError::InvalidSpec(format!("stream {stream}: {e}")))?;
+            if initial[shard_of(stream)]
+                .insert(stream, StreamState::with_spec(detector, Some(spec)))
                 .is_some()
             {
                 return Err(EngineError::DuplicateStream(stream));
@@ -231,7 +308,7 @@ impl EngineBuilder {
         Ok(spawn_engine(
             config,
             self.queue_capacity,
-            self.factory,
+            self.source,
             self.sinks,
             initial,
         ))

@@ -6,11 +6,12 @@ use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
+use optwin_baselines::DetectorSpec;
 use optwin_core::DriftDetector;
 
 use crate::builder::EngineBuilder;
 use crate::event::DriftEvent;
-use crate::handle::{EngineHandle, SharedDetectorFactory};
+use crate::handle::{DetectorSource, EngineHandle};
 use crate::persist::EngineSnapshot;
 use crate::sink::MemorySink;
 
@@ -44,6 +45,9 @@ pub enum EngineError {
     },
     /// A persisted engine snapshot could not be restored.
     InvalidSnapshot(String),
+    /// A [`optwin_baselines::DetectorSpec`] failed validation or could not
+    /// be built into a detector.
+    InvalidSpec(String),
 }
 
 impl fmt::Display for EngineError {
@@ -75,6 +79,9 @@ impl fmt::Display for EngineError {
             ),
             EngineError::InvalidSnapshot(message) => {
                 write!(f, "invalid engine snapshot: {message}")
+            }
+            EngineError::InvalidSpec(message) => {
+                write!(f, "invalid detector spec: {message}")
             }
         }
     }
@@ -154,6 +161,10 @@ pub struct StreamSnapshot {
     pub detector_seconds: f64,
     /// The detector's stable name (e.g. `"OPTWIN"`).
     pub detector: &'static str,
+    /// The [`optwin_baselines::DetectorSpec`] the stream was registered
+    /// with, when registered declaratively (`None` for explicit-instance and
+    /// closure-factory streams).
+    pub spec: Option<optwin_baselines::DetectorSpec>,
 }
 
 thread_local! {
@@ -175,7 +186,7 @@ thread_local! {
 pub struct DriftEngine {
     handle: EngineHandle,
     sink: Arc<MemorySink>,
-    factory: Option<SharedDetectorFactory>,
+    source: Option<DetectorSource>,
     /// Stream ids known to be registered, maintained so the factory-less
     /// `ingest_batch` validation is an O(1) set lookup per record instead of
     /// a per-call all-shard query. Ids registered behind the facade's back
@@ -188,7 +199,7 @@ impl fmt::Debug for DriftEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DriftEngine")
             .field("config", &self.handle.config())
-            .field("has_factory", &self.factory.is_some())
+            .field("has_factory", &self.source.is_some())
             .finish()
     }
 }
@@ -216,16 +227,37 @@ impl DriftEngine {
     where
         F: Fn(u64) -> Box<dyn DriftDetector + Send> + Send + Sync + 'static,
     {
-        Self::with_parts(config, Some(Arc::new(factory)))
+        Self::with_parts(config, Some(DetectorSource::Closure(Arc::new(factory))))
     }
 
-    fn with_parts(config: EngineConfig, factory: Option<SharedDetectorFactory>) -> Self {
+    /// Creates an engine that builds every unknown stream's detector from
+    /// `spec` (the declarative counterpart of [`DriftEngine::with_factory`];
+    /// streams so created record their spec for introspection and
+    /// self-describing snapshots).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidSpec`] when the spec's parameters are
+    /// out of range, or [`EngineError::ZeroShards`] for a zero shard count.
+    pub fn with_default_spec(
+        config: EngineConfig,
+        spec: DetectorSpec,
+    ) -> Result<Self, EngineError> {
+        if config.shards == 0 {
+            return Err(EngineError::ZeroShards);
+        }
+        spec.validate()
+            .map_err(|e| EngineError::InvalidSpec(e.to_string()))?;
+        Ok(Self::with_parts(config, Some(DetectorSource::Spec(spec))))
+    }
+
+    fn with_parts(config: EngineConfig, source: Option<DetectorSource>) -> Self {
         assert!(config.shards > 0, "engine needs at least one shard");
         let sink = Arc::new(MemorySink::new());
         let mut builder =
             EngineBuilder::from_config(config).sink(Arc::clone(&sink) as Arc<dyn crate::EventSink>);
-        if let Some(factory) = &factory {
-            builder = builder.shared_factory(Arc::clone(factory));
+        if let Some(source) = source.clone() {
+            builder = builder.detector_source(source);
         }
         let handle = builder
             .build()
@@ -233,7 +265,7 @@ impl DriftEngine {
         Self {
             handle,
             sink,
-            factory,
+            source,
             known_streams: HashSet::new(),
         }
     }
@@ -348,7 +380,7 @@ impl DriftEngine {
     /// unregistered stream and no factory is configured. No records are
     /// ingested in that case.
     pub fn ingest_batch(&mut self, records: &[(u64, f64)]) -> Result<Vec<DriftEvent>, EngineError> {
-        if self.factory.is_none() {
+        if self.source.is_none() {
             // Preserve the all-or-nothing contract: validate before
             // submitting anything. The known-id cache makes this O(1) per
             // record; only ids never seen before cost a shard query.
@@ -379,13 +411,19 @@ impl DriftEngine {
     ) -> Result<Vec<DriftEvent>, EngineError> {
         if values.is_empty() {
             // Historical contract: an empty call still registers the stream
-            // (through the factory if needed) or reports it unknown.
+            // (through the default detector source if needed) or reports it
+            // unknown.
             if self.ensure_known(stream)? {
                 return Ok(Vec::new());
             }
-            return match self.factory.clone() {
-                Some(factory) => {
+            return match self.source.clone() {
+                Some(DetectorSource::Closure(factory)) => {
                     self.register_stream(stream, factory(stream))?;
+                    Ok(Vec::new())
+                }
+                Some(DetectorSource::Spec(spec)) => {
+                    self.handle.register_stream_spec(stream, spec)?;
+                    self.known_streams.insert(stream);
                     Ok(Vec::new())
                 }
                 None => Err(EngineError::UnknownStream(stream)),
@@ -662,6 +700,10 @@ mod tests {
             (
                 EngineError::InvalidSnapshot("bad version".to_string()),
                 "bad version",
+            ),
+            (
+                EngineError::InvalidSpec("`delta` must lie in (0, 1)".to_string()),
+                "delta",
             ),
         ];
         for (error, needle) in cases {

@@ -26,6 +26,7 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use optwin_baselines::DetectorSpec;
 use optwin_core::{DriftDetector, DriftStatus};
 
 use crate::engine::{EngineConfig, EngineError, StreamSnapshot};
@@ -37,6 +38,37 @@ use crate::sink::EventSink;
 /// facade, the submitting side): builds a detector the first time a record
 /// for an unknown stream id arrives.
 pub type SharedDetectorFactory = Arc<dyn Fn(u64) -> Box<dyn DriftDetector + Send> + Send + Sync>;
+
+/// How the engine builds detectors for auto-registered (first-sight) stream
+/// ids: declaratively from a [`DetectorSpec`] — the canonical path, which
+/// also records the spec on the stream so snapshots are self-describing —
+/// or through an opaque closure (the escape hatch for custom detector
+/// types, which leaves no spec behind).
+#[derive(Clone)]
+pub(crate) enum DetectorSource {
+    /// Every unknown stream gets `spec.build()` and records the spec.
+    Spec(DetectorSpec),
+    /// Every unknown stream gets `factory(id)`; no spec is recorded.
+    Closure(SharedDetectorFactory),
+}
+
+impl DetectorSource {
+    /// Builds a detector (and the spec to record, if any) for `stream`.
+    pub(crate) fn make(
+        &self,
+        stream: u64,
+    ) -> Result<(Box<dyn DriftDetector + Send>, Option<DetectorSpec>), EngineError> {
+        match self {
+            DetectorSource::Spec(spec) => {
+                let detector = spec
+                    .build()
+                    .map_err(|e| EngineError::InvalidSpec(e.to_string()))?;
+                Ok((detector, Some(spec.clone())))
+            }
+            DetectorSource::Closure(factory) => Ok((factory(stream), None)),
+        }
+    }
+}
 
 /// Aggregate lifetime counters across all streams of an engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,10 +87,13 @@ pub struct EngineStats {
 enum ShardMsg {
     /// A partition of a submitted batch (all records belong to this shard).
     Records(Vec<(u64, f64)>),
-    /// Register a stream with an explicit detector.
+    /// Register a stream with an explicit detector (and, when it was built
+    /// from a [`DetectorSpec`], the spec to record for introspection and
+    /// self-describing snapshots).
     Register {
         stream: u64,
         detector: Box<dyn DriftDetector + Send>,
+        spec: Option<DetectorSpec>,
         ack: Sender<Result<(), EngineError>>,
     },
     /// Flush the sinks and acknowledge (barrier).
@@ -104,6 +139,11 @@ impl QueueState {
 /// Per-stream state owned by exactly one shard worker.
 pub(crate) struct StreamState {
     pub(crate) detector: Box<dyn DriftDetector + Send>,
+    /// The spec the stream was registered with, when registered
+    /// declaratively (`None` for closure-factory and explicit-instance
+    /// registrations). Recorded so operators can introspect live streams
+    /// ([`EngineHandle::stream_spec`]) and snapshots are self-describing.
+    pub(crate) spec: Option<DetectorSpec>,
     /// Elements ingested for this stream so far (the next element's sequence
     /// number).
     pub(crate) seq: u64,
@@ -115,8 +155,16 @@ pub(crate) struct StreamState {
 
 impl StreamState {
     pub(crate) fn new(detector: Box<dyn DriftDetector + Send>) -> Self {
+        Self::with_spec(detector, None)
+    }
+
+    pub(crate) fn with_spec(
+        detector: Box<dyn DriftDetector + Send>,
+        spec: Option<DetectorSpec>,
+    ) -> Self {
         Self {
             detector,
+            spec,
             seq: 0,
             seconds: 0.0,
             staged: Vec::new(),
@@ -139,23 +187,25 @@ impl ShardState {
         &mut self,
         stream: u64,
         detector: Box<dyn DriftDetector + Send>,
+        spec: Option<DetectorSpec>,
     ) -> Result<(), EngineError> {
         if self.streams.contains_key(&stream) {
             return Err(EngineError::DuplicateStream(stream));
         }
-        self.streams.insert(stream, StreamState::new(detector));
+        self.streams
+            .insert(stream, StreamState::with_spec(detector, spec));
         Ok(())
     }
 
-    /// Stages `records`, creating unknown streams through the factory (or
-    /// recording [`EngineError::UnknownStream`] and skipping the record when
-    /// there is none), runs every staged stream's detector through its batch
-    /// path, and emits the events — sorted by `(stream, seq)` within this
-    /// call — into the sinks.
+    /// Stages `records`, creating unknown streams through the default
+    /// detector source (or recording [`EngineError::UnknownStream`] and
+    /// skipping the record when there is none), runs every staged stream's
+    /// detector through its batch path, and emits the events — sorted by
+    /// `(stream, seq)` within this call — into the sinks.
     fn ingest(
         &mut self,
         records: &[(u64, f64)],
-        factory: Option<&SharedDetectorFactory>,
+        source: Option<&DetectorSource>,
         sinks: &[Arc<dyn EventSink>],
         emit_warnings: bool,
         queue: &QueueState,
@@ -164,8 +214,16 @@ impl ShardState {
         for &(stream, value) in records {
             let state = match self.streams.entry(stream) {
                 std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(e) => match factory {
-                    Some(factory) => e.insert(StreamState::new(factory(stream))),
+                std::collections::hash_map::Entry::Vacant(e) => match source {
+                    Some(source) => match source.make(stream) {
+                        Ok((detector, spec)) => e.insert(StreamState::with_spec(detector, spec)),
+                        Err(error) => {
+                            // Unreachable for a builder-validated spec, but a
+                            // worker must never panic over it.
+                            queue.record_error(error);
+                            continue;
+                        }
+                    },
                     None => {
                         queue.record_error(EngineError::UnknownStream(stream));
                         continue;
@@ -220,6 +278,7 @@ impl ShardState {
                 drifts: state.detector.drifts_detected(),
                 detector_seconds: state.seconds,
                 detector: state.detector.name(),
+                spec: state.spec.clone(),
             })
             .collect()
     }
@@ -241,6 +300,7 @@ impl ShardState {
                     seq: state.seq,
                     detector: state.detector.name().to_string(),
                     detector_seconds: state.seconds,
+                    spec: state.spec.clone(),
                     state: detector_state,
                 })
             })
@@ -270,7 +330,7 @@ fn worker_loop(
     rx: Receiver<ShardMsg>,
     queue: Arc<QueueState>,
     mut shard: ShardState,
-    factory: Option<SharedDetectorFactory>,
+    source: Option<DetectorSource>,
     sinks: Vec<Arc<dyn EventSink>>,
     emit_warnings: bool,
 ) {
@@ -287,14 +347,15 @@ fn worker_loop(
                     depth[shard_index] = depth[shard_index].saturating_sub(records.len());
                 }
                 queue.space.notify_all();
-                shard.ingest(&records, factory.as_ref(), &sinks, emit_warnings, &queue);
+                shard.ingest(&records, source.as_ref(), &sinks, emit_warnings, &queue);
             }
             ShardMsg::Register {
                 stream,
                 detector,
+                spec,
                 ack,
             } => {
-                let _ = ack.send(shard.register(stream, detector));
+                let _ = ack.send(shard.register(stream, detector, spec));
             }
             ShardMsg::Flush { ack } => {
                 for sink in &sinks {
@@ -372,7 +433,7 @@ impl std::fmt::Debug for EngineHandle {
 pub(crate) fn spawn_engine(
     config: EngineConfig,
     queue_capacity: usize,
-    factory: Option<SharedDetectorFactory>,
+    source: Option<DetectorSource>,
     sinks: Vec<Arc<dyn EventSink>>,
     initial_streams: Vec<HashMap<u64, StreamState>>,
 ) -> EngineHandle {
@@ -393,13 +454,13 @@ pub(crate) fn spawn_engine(
             ..ShardState::default()
         };
         let queue = Arc::clone(&queue);
-        let factory = factory.clone();
+        let source = source.clone();
         let sinks = sinks.clone();
         let emit_warnings = config.emit_warnings;
         let worker = std::thread::Builder::new()
             .name(format!("optwin-shard-{shard_index}"))
             .spawn(move || {
-                worker_loop(shard_index, rx, queue, shard, factory, sinks, emit_warnings);
+                worker_loop(shard_index, rx, queue, shard, source, sinks, emit_warnings);
             })
             .expect("failed to spawn engine shard worker");
         senders.push(tx);
@@ -413,7 +474,7 @@ pub(crate) fn spawn_engine(
             workers: Mutex::new(workers),
             config,
             queue_capacity,
-            has_factory: factory.is_some(),
+            has_factory: source.is_some(),
         }),
     }
 }
@@ -438,7 +499,9 @@ impl EngineHandle {
     }
 
     /// `true` when the engine auto-registers unknown streams through a
-    /// detector factory.
+    /// default detector source — either a [`DetectorSpec`] installed with
+    /// [`crate::EngineBuilder::default_spec`] or a closure factory installed
+    /// with [`crate::EngineBuilder::factory`].
     #[must_use]
     pub fn has_factory(&self) -> bool {
         self.shared.has_factory
@@ -535,28 +598,81 @@ impl EngineHandle {
         Ok(())
     }
 
-    /// Registers a stream with an explicit detector instance, waiting for
-    /// the owning worker to acknowledge.
+    /// Registers a stream with an explicit, caller-constructed detector
+    /// instance, blocking until the owning shard worker acknowledges (so a
+    /// subsequent [`EngineHandle::submit`] from this thread is guaranteed to
+    /// find the stream registered).
+    ///
+    /// This is the escape hatch for detector types the declarative layer
+    /// does not know about. The stream records **no [`DetectorSpec`]**:
+    /// [`EngineHandle::stream_spec`] reports `None` for it, and an
+    /// [`EngineHandle::snapshot`] containing it is not self-describing —
+    /// restoring that snapshot requires a factory
+    /// ([`crate::EngineBuilder::factory`]) able to rebuild the detector.
+    /// Prefer [`EngineHandle::register_stream_spec`] when the detector can
+    /// be described declaratively.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::DuplicateStream`] if the id is already
-    /// registered, or [`EngineError::ChannelClosed`] when the engine has
-    /// shut down.
+    /// registered (the stream keeps its original detector), or
+    /// [`EngineError::ChannelClosed`] when the engine has shut down.
     pub fn register_stream(
         &self,
         stream: u64,
         detector: Box<dyn DriftDetector + Send>,
+    ) -> Result<(), EngineError> {
+        self.register_with(stream, detector, None)
+    }
+
+    /// Registers a stream declaratively: validates `spec`, builds its
+    /// detector, and records the spec on the stream — the canonical
+    /// registration path. Spec-registered streams are introspectable via
+    /// [`EngineHandle::stream_spec`] and make [`EngineHandle::snapshot`]
+    /// self-describing (restorable with zero caller-side factories).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidSpec`] when the spec's parameters are
+    /// out of range, [`EngineError::DuplicateStream`] if the id is already
+    /// registered, or [`EngineError::ChannelClosed`] when the engine has
+    /// shut down.
+    pub fn register_stream_spec(&self, stream: u64, spec: DetectorSpec) -> Result<(), EngineError> {
+        let detector = spec
+            .build()
+            .map_err(|e| EngineError::InvalidSpec(e.to_string()))?;
+        self.register_with(stream, detector, Some(spec))
+    }
+
+    fn register_with(
+        &self,
+        stream: u64,
+        detector: Box<dyn DriftDetector + Send>,
+        spec: Option<DetectorSpec>,
     ) -> Result<(), EngineError> {
         let (ack, response) = channel();
         self.senders[self.shard_of(stream)]
             .send(ShardMsg::Register {
                 stream,
                 detector,
+                spec,
                 ack,
             })
             .map_err(|_| EngineError::ChannelClosed)?;
         response.recv().map_err(|_| EngineError::ChannelClosed)?
+    }
+
+    /// The [`DetectorSpec`] a live stream is running, so operators can
+    /// introspect a fleet without bookkeeping on the side. Returns `None`
+    /// when the stream is not registered *or* was registered without a spec
+    /// (explicit instance / closure factory) — use
+    /// [`EngineHandle::stream_stats`] to distinguish the two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ChannelClosed`] when the engine has shut down.
+    pub fn stream_spec(&self, stream: u64) -> Result<Option<DetectorSpec>, EngineError> {
+        Ok(self.stream_stats(stream)?.and_then(|s| s.spec))
     }
 
     /// Barrier: waits until every record submitted (by this thread) before
@@ -667,12 +783,18 @@ impl EngineHandle {
     /// Serializes the state of every stream into an [`EngineSnapshot`], as
     /// a barrier: the snapshot reflects every record submitted by this
     /// thread before the call. Restore it with
-    /// [`crate::EngineBuilder::restore`].
+    /// [`crate::EngineBuilder::restore`] — with **no factory needed** when
+    /// every stream was registered through a [`DetectorSpec`] (the snapshot
+    /// then embeds `{spec, state}` per stream; see
+    /// [`EngineSnapshot::is_self_describing`]).
+    ///
+    /// All 8 shipped detector kinds (OPTWIN and every baseline) implement
+    /// state serialization with bit-exact resumption.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::SnapshotUnsupported`] when any stream's
-    /// detector does not implement
+    /// Returns [`EngineError::SnapshotUnsupported`] when a stream runs a
+    /// *custom* detector that does not implement
     /// [`optwin_core::DriftDetector::snapshot_state`], or
     /// [`EngineError::ChannelClosed`] when the engine has shut down.
     pub fn snapshot(&self) -> Result<EngineSnapshot, EngineError> {

@@ -4,10 +4,16 @@
 //! turns the batch-first [`DriftDetector`](optwin_core::DriftDetector)
 //! contract into a serving-scale runtime with a service-style front door:
 //!
-//! * [`EngineBuilder`] configures shard count, detector factory, warning
-//!   policy, event sinks and queue capacity, then spawns **one long-lived
-//!   worker thread per shard** (a stream lives on shard `id % shards` for
-//!   its whole life, so per-stream order is preserved with no locking).
+//! * [`EngineBuilder`] configures shard count, the default detector — a
+//!   declarative [`optwin_baselines::DetectorSpec`]
+//!   ([`EngineBuilder::default_spec`], the canonical path) or a closure
+//!   factory (the escape hatch) — warning policy, event sinks and queue
+//!   capacity, then spawns **one long-lived worker thread per shard** (a
+//!   stream lives on shard `id % shards` for its whole life, so per-stream
+//!   order is preserved with no locking). Heterogeneous fleets mix specs
+//!   per stream via [`EngineBuilder::stream_spec`] /
+//!   [`EngineHandle::register_stream_spec`], and
+//!   [`EngineHandle::stream_spec`] reports what a live stream is running.
 //! * [`EngineHandle`] — cheaply cloneable and thread-safe — is the front
 //!   door: [`EngineHandle::submit`] partitions a `(stream id, value)` record
 //!   batch onto bounded per-shard queues and **returns immediately**;
@@ -22,7 +28,10 @@
 //! * [`EngineHandle::snapshot`] serializes every stream's detector state
 //!   into an [`EngineSnapshot`]; [`EngineBuilder::restore`] rebuilds a
 //!   fresh engine that makes **identical subsequent decisions**, so a
-//!   restarted process resumes mid-stream.
+//!   restarted process resumes mid-stream. Snapshots of spec-registered
+//!   streams embed `{spec, state}` (wire format v2) and restore with **zero
+//!   caller-side factories**; all 8 shipped detector kinds serialize their
+//!   state bit-exactly.
 //!
 //! The original synchronous API survives as a thin blocking wrapper:
 //! [`DriftEngine::ingest_batch`] is exactly `submit` + `flush` + drain of an

@@ -6,50 +6,105 @@
 //! [`optwin_core::DriftDetector::snapshot_state`]) into an
 //! [`EngineSnapshot`], a plain serializable value that can be written to
 //! disk as JSON. [`crate::EngineBuilder::restore`] replays such a snapshot
-//! into a new engine: the builder's detector factory constructs a fresh
-//! detector per recorded stream and the serialized state is restored into
-//! it, so the rebuilt engine makes **identical subsequent decisions** to the
-//! one that was snapshotted — a restarted process resumes mid-stream with no
-//! re-warm-up and no double-reported drifts.
+//! into a new engine so that the rebuilt engine makes **identical subsequent
+//! decisions** to the one that was snapshotted — a restarted process resumes
+//! mid-stream with no re-warm-up and no double-reported drifts.
 //!
-//! The snapshot deliberately excludes detector *configuration*: restoration
-//! goes through the same factory that built the original detectors, which
-//! re-derives configuration (and shared cut tables) from code. Only the
-//! stream-dependent state crosses the file boundary. Shard count and warning
-//! policy are recorded as provenance but do not constrain the restoring
-//! builder — streams are re-pinned to shards by `id % shards` automatically.
+//! # Wire format v2: self-describing streams
+//!
+//! Since format version 2 every stream registered through a
+//! [`optwin_baselines::DetectorSpec`] (the builder's
+//! [`crate::EngineBuilder::default_spec`] / [`crate::EngineBuilder::stream_spec`]
+//! or the handle's [`crate::EngineHandle::register_stream_spec`]) records its
+//! spec in the snapshot as `{spec, state}`. Restoring such a snapshot needs
+//! **no caller-side factory at all**: the builder reconstructs each detector
+//! from its embedded spec and restores the serialized state into it.
+//!
+//! Streams registered with an opaque detector instance (the closure-factory
+//! escape hatch or [`crate::EngineHandle::register_stream`]) have no spec to
+//! embed — their snapshot entry carries `state` only and restoring them
+//! still requires a factory, exactly like the v1 format. Version-1 snapshots
+//! (no `spec` entries at all) therefore keep loading behind a factory,
+//! unchanged.
+//!
+//! The snapshot deliberately excludes detector *configuration* beyond the
+//! spec string: restoration re-derives shared resources (e.g. OPTWIN cut
+//! tables) from the spec or factory. Shard count and warning policy are
+//! recorded as provenance but do not constrain the restoring builder —
+//! streams are re-pinned to shards by `id % shards` automatically.
 
+use optwin_baselines::DetectorSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::EngineError;
 
-/// Serialization format version of [`EngineSnapshot`].
-pub const ENGINE_SNAPSHOT_VERSION: u64 = 1;
+/// Current serialization format version of [`EngineSnapshot`].
+///
+/// * **v1** — per-stream `{seq, detector, state}`; restore requires a
+///   factory.
+/// * **v2** — adds the optional per-stream `spec`, making restore
+///   factory-less for spec-registered streams. v1 snapshots still parse and
+///   restore (behind a factory).
+pub const ENGINE_SNAPSHOT_VERSION: u64 = 2;
 
-/// The persisted state of one stream: its position and its detector's
-/// serialized internals.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// The persisted state of one stream: its position, optionally the
+/// [`DetectorSpec`] it was registered with, and its detector's serialized
+/// internals.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StreamStateSnapshot {
     /// The stream id.
     pub stream: u64,
     /// Elements ingested for this stream so far (the next element's sequence
     /// number).
     pub seq: u64,
-    /// The detector's stable name, validated against the factory-built
-    /// detector on restore.
+    /// The detector's stable name, validated against the rebuilt detector on
+    /// restore.
     pub detector: String,
     /// Wall-clock seconds spent inside the detector (diagnostics; carried
     /// across restarts so lifetime stats stay meaningful).
     pub detector_seconds: f64,
+    /// The spec the stream was registered with, when it was registered
+    /// declaratively (`None` for closure-factory and explicit-instance
+    /// streams, and for every stream of a v1 snapshot).
+    pub spec: Option<DetectorSpec>,
     /// The detector state from
     /// [`optwin_core::DriftDetector::snapshot_state`].
     pub state: serde::Value,
 }
 
+// Hand-written (rather than derived) so that the `spec` entry may be absent
+// on the wire: v1 snapshots predate it, and omitting-vs-null must both read
+// back as `None`.
+impl Deserialize for StreamStateSnapshot {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let missing =
+            |name: &str| serde::DeError::new(format!("missing field `{name}` in stream snapshot"));
+        let spec = match value.get("spec") {
+            None | Some(serde::Value::Null) => None,
+            Some(v) => Some(DetectorSpec::from_value(v)?),
+        };
+        Ok(Self {
+            stream: u64::from_value(value.get("stream").ok_or_else(|| missing("stream"))?)?,
+            seq: u64::from_value(value.get("seq").ok_or_else(|| missing("seq"))?)?,
+            detector: String::from_value(
+                value.get("detector").ok_or_else(|| missing("detector"))?,
+            )?,
+            detector_seconds: f64::from_value(
+                value
+                    .get("detector_seconds")
+                    .ok_or_else(|| missing("detector_seconds"))?,
+            )?,
+            spec,
+            state: value.get("state").ok_or_else(|| missing("state"))?.clone(),
+        })
+    }
+}
+
 /// A point-in-time capture of every stream in an engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EngineSnapshot {
-    /// Format version ([`ENGINE_SNAPSHOT_VERSION`]).
+    /// Format version (parsed snapshots may be any supported version up to
+    /// [`ENGINE_SNAPSHOT_VERSION`]).
     pub version: u64,
     /// Shard count of the engine that produced the snapshot (provenance
     /// only; the restoring builder chooses its own shard count).
@@ -68,13 +123,21 @@ impl EngineSnapshot {
         self.streams.len()
     }
 
+    /// `true` when every stream embeds its [`DetectorSpec`], i.e. the
+    /// snapshot restores with no factory configured.
+    #[must_use]
+    pub fn is_self_describing(&self) -> bool {
+        self.streams.iter().all(|s| s.spec.is_some())
+    }
+
     /// Serializes the snapshot to compact JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("value-tree serialization is infallible")
     }
 
-    /// Parses a snapshot previously produced by [`EngineSnapshot::to_json`].
+    /// Parses a snapshot previously produced by [`EngineSnapshot::to_json`]
+    /// — any supported format version (v1 and v2).
     ///
     /// # Errors
     ///
@@ -83,13 +146,24 @@ impl EngineSnapshot {
     pub fn from_json(text: &str) -> Result<Self, EngineError> {
         let snapshot: Self =
             serde_json::from_str(text).map_err(|e| EngineError::InvalidSnapshot(e.to_string()))?;
-        if snapshot.version != ENGINE_SNAPSHOT_VERSION {
+        snapshot.check_version()?;
+        Ok(snapshot)
+    }
+
+    /// Validates that this snapshot's format version is supported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidSnapshot`] for version 0 or versions
+    /// newer than [`ENGINE_SNAPSHOT_VERSION`].
+    pub(crate) fn check_version(&self) -> Result<(), EngineError> {
+        if !(1..=ENGINE_SNAPSHOT_VERSION).contains(&self.version) {
             return Err(EngineError::InvalidSnapshot(format!(
-                "unsupported engine snapshot version {} (expected {ENGINE_SNAPSHOT_VERSION})",
-                snapshot.version
+                "unsupported engine snapshot version {} (supported: 1..={ENGINE_SNAPSHOT_VERSION})",
+                self.version
             )));
         }
-        Ok(snapshot)
+        Ok(())
     }
 }
 
@@ -102,15 +176,26 @@ mod tests {
             version: ENGINE_SNAPSHOT_VERSION,
             shards: 4,
             emit_warnings: true,
-            streams: vec![StreamStateSnapshot {
-                stream: 7,
-                seq: 1_234,
-                detector: "OPTWIN".to_string(),
-                detector_seconds: 0.25,
-                // `Int` (not `UInt`): in-range unsigned values re-parse as
-                // `Int`, and the round-trip assertion compares value trees.
-                state: serde::Value::Object(vec![("split".to_string(), serde::Value::Int(10))]),
-            }],
+            streams: vec![
+                StreamStateSnapshot {
+                    stream: 7,
+                    seq: 1_234,
+                    detector: "OPTWIN".to_string(),
+                    detector_seconds: 0.25,
+                    spec: Some("optwin:w_max=500".parse().expect("valid spec")),
+                    // `Int` (not `UInt`): in-range unsigned values re-parse as
+                    // `Int`, and the round-trip assertion compares value trees.
+                    state: serde::Value::Object(vec![("split".to_string(), serde::Value::Int(10))]),
+                },
+                StreamStateSnapshot {
+                    stream: 9,
+                    seq: 3,
+                    detector: "gate".to_string(),
+                    detector_seconds: 0.0,
+                    spec: None,
+                    state: serde::Value::Null,
+                },
+            ],
         }
     }
 
@@ -120,11 +205,36 @@ mod tests {
         let json = snapshot.to_json();
         let back = EngineSnapshot::from_json(&json).unwrap();
         assert_eq!(back, snapshot);
-        assert_eq!(back.stream_count(), 1);
+        assert_eq!(back.stream_count(), 2);
+        assert!(!back.is_self_describing());
         assert_eq!(
             back.streams[0].state.get("split"),
             Some(&serde::Value::Int(10))
         );
+        assert_eq!(
+            back.streams[0].spec.as_ref().map(DetectorSpec::id),
+            Some("optwin")
+        );
+    }
+
+    #[test]
+    fn v1_snapshots_without_spec_entries_parse() {
+        // A v1 snapshot has no `spec` field at all; it must read back as
+        // spec-less streams.
+        let v1 = r#"{"version":1,"shards":2,"emit_warnings":false,"streams":[
+            {"stream":3,"seq":10,"detector":"OPTWIN","detector_seconds":0.5,"state":null}
+        ]}"#;
+        let snapshot = EngineSnapshot::from_json(v1).unwrap();
+        assert_eq!(snapshot.version, 1);
+        assert_eq!(snapshot.streams[0].spec, None);
+        assert!(!snapshot.is_self_describing());
+    }
+
+    #[test]
+    fn self_describing_detection() {
+        let mut snapshot = sample();
+        snapshot.streams.truncate(1);
+        assert!(snapshot.is_self_describing());
     }
 
     #[test]
@@ -136,6 +246,10 @@ mod tests {
         let mut future = sample();
         future.version = ENGINE_SNAPSHOT_VERSION + 1;
         let err = EngineSnapshot::from_json(&future.to_json()).unwrap_err();
+        assert!(err.to_string().contains("version"));
+        let mut zero = sample();
+        zero.version = 0;
+        let err = EngineSnapshot::from_json(&zero.to_json()).unwrap_err();
         assert!(err.to_string().contains("version"));
     }
 }

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use optwin_baselines::DetectorKind;
+use optwin_baselines::{DetectorKind, DetectorSpec};
 use optwin_core::DriftDetector;
 use optwin_engine::{EngineBuilder, EngineConfig, EventSink, MemorySink};
 use optwin_learners::{NaiveBayes, OnlineLearner};
@@ -291,14 +291,10 @@ const TABLE1_BATCH: usize = 4_096;
 const TABLE1_QUEUE_CAPACITY: usize = 256 * 1_024;
 
 /// Runs the full (experiment × detector) grid for a number of repetitions,
-/// fanning the `detectors × repetitions` runs across engine shards.
-///
-/// The runner drives the service-style engine API end to end: an
-/// [`EngineBuilder`] spawns one worker per shard with a [`MemorySink`]
-/// attached, every record chunk is **pipelined** through
-/// [`optwin_engine::EngineHandle::submit`] (bounded queues provide
-/// backpressure; no per-chunk barrier), and a single final `flush` drains
-/// the queues before the sink is read back.
+/// fanning the `detectors × repetitions` runs across engine shards. The
+/// paper line-up is resolved to declarative [`DetectorSpec`]s through
+/// [`DetectorFactory::spec_for`] and the grid is delegated to
+/// [`run_table1_specs`].
 ///
 /// `stream_len` overrides the experiment's default length (useful for tests
 /// and quick runs); pass `None` for the paper-scale streams. `shards` picks
@@ -314,14 +310,81 @@ const TABLE1_QUEUE_CAPACITY: usize = 256 * 1_024;
 #[must_use]
 pub fn run_table1_experiment_sharded(
     experiment: Table1Experiment,
-    factory: &mut DetectorFactory,
+    factory: &DetectorFactory,
+    repetitions: usize,
+    stream_len: Option<usize>,
+    base_seed: u64,
+    shards: Option<usize>,
+) -> Vec<Table1Aggregate> {
+    let entries: Vec<(String, DetectorSpec)> = experiment
+        .applicable_detectors()
+        .into_iter()
+        .map(|kind| (kind.label(), factory.spec_for(kind)))
+        .collect();
+    run_table1_grid(
+        experiment,
+        &entries,
+        repetitions,
+        stream_len,
+        base_seed,
+        shards,
+    )
+}
+
+/// Runs a Table 1 experiment for an arbitrary list of detector specs (the
+/// `--detector <spec>` CLI path): one engine stream per
+/// `(spec, repetition)` run, labelled by each spec's canonical string.
+///
+/// Binary-only specs (DDM, EDDM, ECDD) are only meaningful on experiments
+/// with [`Table1Experiment::binary_signal`]; the caller is expected to
+/// filter (as [`Table1Experiment::applicable_detectors`] does for the paper
+/// line-up).
+///
+/// # Panics
+///
+/// Panics if a spec fails validation or the engine shuts down mid-run.
+#[must_use]
+pub fn run_table1_specs(
+    experiment: Table1Experiment,
+    specs: &[DetectorSpec],
+    repetitions: usize,
+    stream_len: Option<usize>,
+    base_seed: u64,
+    shards: Option<usize>,
+) -> Vec<Table1Aggregate> {
+    let entries: Vec<(String, DetectorSpec)> = specs
+        .iter()
+        .map(|spec| (spec.to_string(), spec.clone()))
+        .collect();
+    run_table1_grid(
+        experiment,
+        &entries,
+        repetitions,
+        stream_len,
+        base_seed,
+        shards,
+    )
+}
+
+/// The shared spec-driven grid runner behind [`run_table1_experiment_sharded`]
+/// and [`run_table1_specs`].
+///
+/// The runner drives the service-style engine API end to end: an
+/// [`EngineBuilder`] spawns one worker per shard with a [`MemorySink`]
+/// attached, every `(label, spec)` × repetition run is pre-registered
+/// declaratively via [`EngineBuilder::stream_spec`], every record chunk is
+/// **pipelined** through [`optwin_engine::EngineHandle::submit`] (bounded
+/// queues provide backpressure; no per-chunk barrier), and a single final
+/// `flush` drains the queues before the sink is read back.
+fn run_table1_grid(
+    experiment: Table1Experiment,
+    entries: &[(String, DetectorSpec)],
     repetitions: usize,
     stream_len: Option<usize>,
     base_seed: u64,
     shards: Option<usize>,
 ) -> Vec<Table1Aggregate> {
     let stream_len = stream_len.unwrap_or_else(|| experiment.default_stream_len());
-    let detectors = experiment.applicable_detectors();
 
     // Pre-generate the error sequences once per repetition so that every
     // detector sees exactly the same data (as in MOA).
@@ -329,42 +392,42 @@ pub fn run_table1_experiment_sharded(
         .map(|r| experiment.build_error_sequence(base_seed + r as u64, stream_len))
         .collect();
 
-    // One engine stream per (detector, repetition) run.
-    let n_streams = (detectors.len() * repetitions).max(1);
+    // One engine stream per (spec, repetition) run.
+    let n_streams = (entries.len() * repetitions).max(1);
     let shards = shards
         .unwrap_or_else(|| EngineConfig::default().shards)
         .clamp(1, n_streams);
-    // Ids are consecutive *within* a repetition (`rep * detectors + d`):
+    // Ids are consecutive *within* a repetition (`rep * entries + d`):
     // each submitted chunk carries one repetition's streams, and the engine
     // pins stream `id` to shard `id % shards`, so consecutive ids spread a
     // chunk round-robin over every shard worker. The transposed layout
     // (`d * repetitions + rep`) would stride a chunk's ids by `repetitions`
     // and collapse the fan-out onto `shards / gcd(repetitions, shards)`
     // shards — fully sequential at the paper's 30 repetitions on 6 cores.
-    let stream_id = |d: usize, rep: usize| (rep * detectors.len() + d) as u64;
+    let stream_id = |d: usize, rep: usize| (rep * entries.len() + d) as u64;
 
     let sink = Arc::new(MemorySink::new());
     let mut builder = EngineBuilder::from_config(EngineConfig::with_shards(shards))
         .queue_capacity(TABLE1_QUEUE_CAPACITY)
         .sink(Arc::clone(&sink) as Arc<dyn EventSink>);
-    for (d, &kind) in detectors.iter().enumerate() {
+    for (d, (_, spec)) in entries.iter().enumerate() {
         for rep in 0..repetitions {
-            builder = builder.stream(stream_id(d, rep), factory.build(kind));
+            builder = builder.stream_spec(stream_id(d, rep), spec.clone());
         }
     }
     let handle = builder
         .build()
-        .expect("stream ids are unique by construction");
+        .expect("specs are valid and stream ids unique by construction");
 
     // Pipeline every repetition's sequence to all of its detector streams in
     // chunks; the shard workers detect in parallel while the next chunks are
     // being staged. One flush at the very end is the only barrier.
-    let mut records: Vec<(u64, f64)> = Vec::with_capacity(TABLE1_BATCH * detectors.len());
+    let mut records: Vec<(u64, f64)> = Vec::with_capacity(TABLE1_BATCH * entries.len());
     for (rep, (errors, _)) in sequences.iter().enumerate() {
         for start in (0..errors.len()).step_by(TABLE1_BATCH) {
             let chunk = &errors[start..(start + TABLE1_BATCH).min(errors.len())];
             records.clear();
-            for d in 0..detectors.len() {
+            for d in 0..entries.len() {
                 let id = stream_id(d, rep);
                 records.extend(chunk.iter().map(|&e| (id, e)));
             }
@@ -390,10 +453,10 @@ pub fn run_table1_experiment_sharded(
         .collect();
     handle.shutdown().expect("clean shutdown");
 
-    detectors
+    entries
         .iter()
         .enumerate()
-        .map(|(d, &kind)| {
+        .map(|(d, (label, _))| {
             let mut outcomes = Vec::with_capacity(repetitions);
             let mut total_seconds = 0.0;
             for (rep, (_, schedule)) in sequences.iter().enumerate() {
@@ -404,7 +467,7 @@ pub fn run_table1_experiment_sharded(
             }
             Table1Aggregate {
                 experiment,
-                detector: kind.label(),
+                detector: label.clone(),
                 metrics: AggregateMetrics::from_outcomes(&outcomes),
                 mean_detector_seconds: total_seconds / repetitions.max(1) as f64,
             }
@@ -417,7 +480,7 @@ pub fn run_table1_experiment_sharded(
 #[must_use]
 pub fn run_table1_experiment(
     experiment: Table1Experiment,
-    factory: &mut DetectorFactory,
+    factory: &DetectorFactory,
     repetitions: usize,
     stream_len: Option<usize>,
     base_seed: u64,
@@ -490,7 +553,7 @@ mod tests {
     #[test]
     fn run_detector_on_sequence_scores_consistently() {
         let (errors, schedule) = Table1Experiment::SuddenBinary.build_error_sequence(5, 5_000);
-        let mut factory = DetectorFactory::with_optwin_window(1_000);
+        let factory = DetectorFactory::with_optwin_window(1_000);
         let mut detector = factory.build(DetectorKind::OptwinRho(500));
         let run = run_detector_on_sequence(detector.as_mut(), &errors, &schedule);
         assert_eq!(
@@ -503,10 +566,10 @@ mod tests {
     #[test]
     fn sharded_grid_is_deterministic_across_shard_counts() {
         let run = |shards: Option<usize>| {
-            let mut factory = DetectorFactory::with_optwin_window(800);
+            let factory = DetectorFactory::with_optwin_window(800);
             run_table1_experiment_sharded(
                 Table1Experiment::SuddenBinary,
-                &mut factory,
+                &factory,
                 2,
                 Some(4_000),
                 7,
@@ -524,15 +587,42 @@ mod tests {
     }
 
     #[test]
-    fn small_scale_table1_grid_runs() {
-        let mut factory = DetectorFactory::with_optwin_window(1_000);
-        let rows = run_table1_experiment(
+    fn spec_runner_matches_lineup_runner_row() {
+        // Running a single spec through `run_table1_specs` must reproduce
+        // the corresponding line-up row exactly (same streams, same specs,
+        // same engine path).
+        let factory = DetectorFactory::with_optwin_window(800);
+        let lineup = run_table1_experiment_sharded(
             Table1Experiment::SuddenBinary,
-            &mut factory,
+            &factory,
             2,
-            Some(5_000),
-            42,
+            Some(4_000),
+            11,
+            Some(2),
         );
+        let spec = factory.spec_for(DetectorKind::OptwinRho(500));
+        let custom = run_table1_specs(
+            Table1Experiment::SuddenBinary,
+            std::slice::from_ref(&spec),
+            2,
+            Some(4_000),
+            11,
+            Some(2),
+        );
+        assert_eq!(custom.len(), 1);
+        assert_eq!(custom[0].detector, spec.to_string());
+        let lineup_row = lineup
+            .iter()
+            .find(|r| r.detector == "OPTWIN rho=0.5")
+            .expect("line-up row present");
+        assert_eq!(custom[0].metrics, lineup_row.metrics);
+    }
+
+    #[test]
+    fn small_scale_table1_grid_runs() {
+        let factory = DetectorFactory::with_optwin_window(1_000);
+        let rows =
+            run_table1_experiment(Table1Experiment::SuddenBinary, &factory, 2, Some(5_000), 42);
         // All eight detectors apply to the binary experiment.
         assert_eq!(rows.len(), 8);
         for row in &rows {

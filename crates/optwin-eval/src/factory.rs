@@ -1,14 +1,21 @@
 //! Uniform construction of every detector in the paper's line-up.
 //!
 //! The experiment runners iterate over [`optwin_baselines::DetectorKind`]
-//! values and need fresh detector instances per run. OPTWIN's pre-computed
-//! cut tables are interned in the process-wide
-//! [`optwin_core::CutTableRegistry`], so every OPTWIN instance with the same
-//! (δ, ρ, w_max) — across repetitions, experiments, engine shards and even
-//! concurrently running factories — shares one table.
+//! values and need fresh detector instances per run. Each kind maps to a
+//! declarative [`DetectorSpec`] via [`DetectorFactory::spec_for`] — the
+//! experiment grid is "select detectors by spec" all the way down, and
+//! [`DetectorFactory::build`] is a thin wrapper over
+//! [`DetectorSpec::build`]. OPTWIN's pre-computed cut tables are interned
+//! in the process-wide [`optwin_core::CutTableRegistry`], so every OPTWIN
+//! instance with the same (δ, ρ, w_max) — across repetitions, experiments,
+//! engine shards and even concurrently running factories — shares one
+//! table.
 
-use optwin_baselines::{Adwin, Ddm, DetectorKind, Ecdd, Eddm, Kswin, PageHinkley, Stepd};
-use optwin_core::{DriftDetector, Optwin, OptwinConfig};
+use optwin_baselines::{
+    AdwinConfig, DdmConfig, DetectorKind, DetectorSpec, EcddConfig, EddmConfig, KswinConfig,
+    PageHinkleyConfig, StepdConfig,
+};
+use optwin_core::{DriftDetector, OptwinConfig};
 
 /// Builds detectors by [`DetectorKind`], with registry-shared OPTWIN cut
 /// tables.
@@ -42,31 +49,54 @@ impl DetectorFactory {
         self.optwin_w_max
     }
 
-    /// Builds a fresh detector of the requested kind.
+    /// The declarative [`DetectorSpec`] for the requested kind: reference
+    /// defaults for the baselines, and this factory's `w_max` (plus the
+    /// kind-encoded ρ) for OPTWIN.
+    #[must_use]
+    pub fn spec_for(&self, kind: DetectorKind) -> DetectorSpec {
+        match kind {
+            DetectorKind::OptwinRho(milli) => DetectorSpec::Optwin {
+                config: OptwinConfig {
+                    rho: f64::from(milli) / 1000.0,
+                    w_max: self.optwin_w_max,
+                    ..OptwinConfig::default()
+                },
+            },
+            DetectorKind::Adwin => DetectorSpec::Adwin {
+                config: AdwinConfig::default(),
+            },
+            DetectorKind::Ddm => DetectorSpec::Ddm {
+                config: DdmConfig::default(),
+            },
+            DetectorKind::Eddm => DetectorSpec::Eddm {
+                config: EddmConfig::default(),
+            },
+            DetectorKind::Stepd => DetectorSpec::Stepd {
+                config: StepdConfig::default(),
+            },
+            DetectorKind::Ecdd => DetectorSpec::Ecdd {
+                config: EcddConfig::default(),
+            },
+            DetectorKind::PageHinkley => DetectorSpec::PageHinkley {
+                config: PageHinkleyConfig::default(),
+            },
+            DetectorKind::Kswin => DetectorSpec::Kswin {
+                config: KswinConfig::default(),
+            },
+        }
+    }
+
+    /// Builds a fresh detector of the requested kind (through
+    /// [`DetectorFactory::spec_for`]).
     ///
     /// # Panics
     ///
-    /// Panics if an OPTWIN configuration cannot be constructed, which only
-    /// happens for invalid ρ values encoded in the kind (e.g. 0).
-    pub fn build(&mut self, kind: DetectorKind) -> Box<dyn DriftDetector + Send> {
-        match kind {
-            DetectorKind::OptwinRho(milli) => {
-                let rho = f64::from(milli) / 1000.0;
-                let config = OptwinConfig::builder()
-                    .robustness(rho)
-                    .max_window(self.optwin_w_max)
-                    .build()
-                    .expect("valid OPTWIN configuration");
-                Box::new(Optwin::with_shared_table(config).expect("valid OPTWIN configuration"))
-            }
-            DetectorKind::Adwin => Box::new(Adwin::with_defaults()),
-            DetectorKind::Ddm => Box::new(Ddm::with_defaults()),
-            DetectorKind::Eddm => Box::new(Eddm::with_defaults()),
-            DetectorKind::Stepd => Box::new(Stepd::with_defaults()),
-            DetectorKind::Ecdd => Box::new(Ecdd::with_defaults()),
-            DetectorKind::PageHinkley => Box::new(PageHinkley::with_defaults()),
-            DetectorKind::Kswin => Box::new(Kswin::with_defaults()),
-        }
+    /// Panics if the kind encodes an invalid OPTWIN configuration (e.g.
+    /// ρ = 0 or a `w_max` below `w_min`).
+    pub fn build(&self, kind: DetectorKind) -> Box<dyn DriftDetector + Send> {
+        self.spec_for(kind)
+            .build()
+            .expect("paper line-up specs are valid")
     }
 }
 
@@ -79,11 +109,11 @@ impl Default for DetectorFactory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use optwin_core::DriftStatus;
+    use optwin_core::{DriftStatus, Optwin};
 
     #[test]
     fn builds_every_kind_in_the_lineup() {
-        let mut factory = DetectorFactory::with_optwin_window(500);
+        let factory = DetectorFactory::with_optwin_window(500);
         for kind in DetectorKind::paper_lineup() {
             let mut detector = factory.build(kind);
             assert_eq!(detector.elements_seen(), 0);
@@ -98,7 +128,7 @@ mod tests {
 
     #[test]
     fn extension_detectors_also_build() {
-        let mut factory = DetectorFactory::with_optwin_window(200);
+        let factory = DetectorFactory::with_optwin_window(200);
         for kind in [DetectorKind::PageHinkley, DetectorKind::Kswin] {
             let mut d = factory.build(kind);
             assert_eq!(d.add_element(0.0), DriftStatus::Stable);
@@ -117,7 +147,7 @@ mod tests {
             .build()
             .unwrap();
         let a = Optwin::with_shared_table(config.clone()).unwrap();
-        let mut factory = DetectorFactory::with_optwin_window(300);
+        let factory = DetectorFactory::with_optwin_window(300);
         let _ = factory.build(DetectorKind::OptwinRho(500));
         let b = Optwin::with_shared_table(config).unwrap();
         assert!(Arc::ptr_eq(&a.cut_table(), &b.cut_table()));
@@ -125,10 +155,29 @@ mod tests {
 
     #[test]
     fn detector_names_match_labels() {
-        let mut factory = DetectorFactory::with_optwin_window(200);
+        let factory = DetectorFactory::with_optwin_window(200);
         let d = factory.build(DetectorKind::Adwin);
         assert_eq!(d.name(), "ADWIN");
         let d = factory.build(DetectorKind::OptwinRho(1000));
         assert_eq!(d.name(), "OPTWIN");
+    }
+
+    #[test]
+    fn spec_for_encodes_kind_parameters() {
+        let factory = DetectorFactory::with_optwin_window(777);
+        let spec = factory.spec_for(DetectorKind::OptwinRho(250));
+        let DetectorSpec::Optwin { config } = &spec else {
+            panic!("wrong variant")
+        };
+        assert_eq!(config.rho, 0.25);
+        assert_eq!(config.w_max, 777);
+        // The spec string round-trips, so experiment rows are reproducible
+        // from their printed spec alone.
+        let parsed: DetectorSpec = spec.to_string().parse().unwrap();
+        assert_eq!(parsed, spec);
+        // Every line-up kind maps to a valid spec.
+        for kind in DetectorKind::paper_lineup() {
+            factory.spec_for(kind).validate().expect("valid spec");
+        }
     }
 }

@@ -29,7 +29,7 @@ fn main() {
         "Detector", "TP", "FP", "FN", "P", "R", "F1", "mean delay"
     );
 
-    let mut factory = DetectorFactory::with_optwin_window(5_000);
+    let factory = DetectorFactory::with_optwin_window(5_000);
     for kind in DetectorKind::paper_lineup() {
         let mut detector = factory.build(kind);
         let run = run_detector_on_sequence(detector.as_mut(), &errors, &schedule);

@@ -1,7 +1,8 @@
-//! Multi-stream serving on the service-style engine API: one engine
-//! watching hundreds of model error streams, detections fanning out through
-//! pluggable sinks, and a snapshot/restore round trip demonstrating
-//! mid-stream recovery.
+//! Multi-stream serving on the declarative engine API: one engine watching
+//! hundreds of model error streams with **heterogeneous detectors** (a
+//! different [`DetectorSpec`] per stream group), detections fanning out
+//! through pluggable sinks, and a snapshot/restore round trip demonstrating
+//! a **factory-less** mid-stream restart.
 //!
 //! Run with:
 //!
@@ -10,9 +11,12 @@
 //! ```
 //!
 //! Simulates a fleet of 256 deployed models, each producing a stream of
-//! per-prediction errors. A handful of them degrade at different points in
-//! time. An [`EngineBuilder`] spawns shard-owning worker threads; the main
-//! thread plays the role of a network server, pushing interleaved
+//! per-prediction errors. Each model is watched by the detector its team
+//! picked — OPTWIN, ADWIN, KSWIN or Page–Hinkley, rotating by stream id —
+//! registered purely from spec strings: no closures, no hand-built detector
+//! instances. A handful of models degrade at different points in time. An
+//! [`EngineBuilder`] spawns shard-owning worker threads; the main thread
+//! plays the role of a network server, pushing interleaved
 //! `(stream, value)` batches through a non-blocking [`EngineHandle`] while
 //! the workers detect in parallel. Every drift is simultaneously:
 //!
@@ -21,8 +25,10 @@
 //! * collected by a [`MemorySink`] for the summary below.
 //!
 //! Halfway through, the engine is snapshotted, torn down, and restored into
-//! a brand-new engine — which then produces exactly the events the original
-//! would have.
+//! a brand-new engine **without registering a single stream or configuring
+//! any factory** — the v2 snapshot embeds each stream's `{spec, state}`, so
+//! the restarted process rebuilds all 256 heterogeneous detectors from the
+//! JSON alone and produces exactly the events the original would have.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,7 +37,7 @@ use std::time::Instant;
 use optwin::engine::{
     CallbackSink, EngineBuilder, EngineHandle, EventSink, JsonLinesSink, MemorySink,
 };
-use optwin::{DriftDetector, DriftEvent, Optwin, OptwinConfig};
+use optwin::{DetectorSpec, DriftEvent};
 
 const N_STREAMS: u64 = 256;
 const ELEMENTS_PER_STREAM: usize = 10_000;
@@ -56,19 +62,21 @@ fn element(stream: u64, i: usize) -> f64 {
     (base + 0.05 * jitter(stream << 32 | i as u64)).clamp(0.0, 1.0)
 }
 
-/// Every stream gets its own OPTWIN detector; the cut table for this
-/// configuration is computed once and shared by all 256 of them through the
-/// process-wide registry.
-fn detector_factory(_stream: u64) -> Box<dyn DriftDetector + Send> {
-    let config = OptwinConfig::builder()
+/// The heterogeneous fleet: each stream group runs the detector its team
+/// picked, written exactly as it would appear in a config file. All four
+/// accept real-valued losses; the OPTWIN group shares one cut table through
+/// the process-wide registry.
+fn spec_of(stream: u64) -> DetectorSpec {
+    let text = match stream % 4 {
         // High robustness: with hundreds of streams checked at every
         // element, only shifts of at least one historical standard
         // deviation are worth paging anyone about.
-        .robustness(1.0)
-        .max_window(2_000)
-        .build()
-        .expect("valid config");
-    Box::new(Optwin::with_shared_table(config).expect("valid config"))
+        0 => "optwin:rho=1.0,w_max=2000",
+        1 => "adwin:delta=0.002",
+        2 => "kswin:window_size=300,stat_size=30,alpha=0.0001",
+        _ => "page_hinkley:lambda=50,delta=0.005",
+    };
+    text.parse().expect("valid spec string")
 }
 
 /// Submits the half-open element range `[from, to)` of every stream in
@@ -96,31 +104,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shards = optwin::EngineConfig::default().shards;
     println!(
         "engine: {shards} shards, {N_STREAMS} streams x {ELEMENTS_PER_STREAM} elements \
-         ({} records total)",
+         ({} records total), heterogeneous detectors per stream",
         N_STREAMS as usize * ELEMENTS_PER_STREAM
     );
 
     let audit_path = std::env::temp_dir().join("optwin_multi_stream_events.jsonl");
     let live_alerts = Arc::new(AtomicU64::new(0));
 
-    let build_engine = |sink: &Arc<MemorySink>,
-                        audit: JsonLinesSink|
-     -> Result<EngineBuilder, Box<dyn std::error::Error>> {
+    let base_engine = |sink: &Arc<MemorySink>, audit: JsonLinesSink| -> EngineBuilder {
         let alerts = Arc::clone(&live_alerts);
-        Ok(EngineBuilder::new()
+        EngineBuilder::new()
             .shards(shards)
             .queue_capacity(64 * 1_024)
-            .factory(detector_factory)
             .sink(Arc::clone(sink) as Arc<dyn EventSink>)
             .sink(Arc::new(audit))
             .sink(Arc::new(CallbackSink::new(move |_event: &DriftEvent| {
                 alerts.fetch_add(1, Ordering::Relaxed);
-            }))))
+            })))
     };
 
-    // ---- Phase 1: first half of every stream, then snapshot + tear down.
+    // ---- Phase 1: the fleet is assembled declaratively — one spec per
+    // stream, no closures — then fed the first half of every stream,
+    // snapshotted and torn down.
     let first_half = Arc::new(MemorySink::new());
-    let handle = build_engine(&first_half, JsonLinesSink::create(&audit_path)?)?.build()?;
+    let mut builder = base_engine(&first_half, JsonLinesSink::create(&audit_path)?);
+    for stream in 0..N_STREAMS {
+        builder = builder.stream_spec(stream, spec_of(stream));
+    }
+    let handle = builder.build()?;
+    // Live introspection: ask the engine what stream 2 is running.
+    println!(
+        "stream 2 runs: {}",
+        handle.stream_spec(2)?.expect("registered by spec")
+    );
 
     let started = Instant::now();
     feed(&handle, 0, ELEMENTS_PER_STREAM / 2)?;
@@ -128,24 +144,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let phase1 = started.elapsed();
     let snapshot = handle.snapshot()?;
     handle.shutdown()?;
+    assert!(
+        snapshot.is_self_describing(),
+        "every stream was spec-registered"
+    );
     let snapshot_json = snapshot.to_json();
     println!(
-        "phase 1: {} elements in {phase1:.2?}; snapshot captured {} streams ({} KiB as JSON)",
+        "phase 1: {} elements in {phase1:.2?}; self-describing snapshot captured {} streams \
+         ({} KiB as JSON)",
         N_STREAMS as usize * ELEMENTS_PER_STREAM / 2,
         snapshot.stream_count(),
         snapshot_json.len() / 1024,
     );
 
-    // ---- Phase 2: a "restarted process" restores the snapshot (via its
-    // JSON form, as a real restart would) and resumes mid-stream.
+    // ---- Phase 2: a "restarted process" restores the snapshot from its
+    // JSON form alone — no factory, no register calls, no knowledge of
+    // which stream ran which detector. The specs embedded in the snapshot
+    // rebuild the whole heterogeneous fleet.
     let snapshot = optwin::engine::EngineSnapshot::from_json(&snapshot_json)?;
     let second_half = Arc::new(MemorySink::new());
-    let restored = build_engine(
+    let restored = base_engine(
         &second_half,
         JsonLinesSink::new(std::io::BufWriter::new(
             std::fs::OpenOptions::new().append(true).open(&audit_path)?,
         )),
-    )?
+    )
     .restore(snapshot)
     .build()?;
 
@@ -156,7 +179,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let phase2 = resumed.elapsed();
 
     println!(
-        "phase 2: resumed from snapshot, engine now reports {} elements total \
+        "phase 2: factory-less restore, engine now reports {} elements total \
          across {} streams ({phase2:.2?})",
         stats.elements, stats.streams,
     );
@@ -176,13 +199,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("drift events: {}", events.len());
     for event in &events {
         println!(
-            "  model {:>3} drifted at element {:>5}",
-            event.stream, event.seq
+            "  model {:>3} ({:>12}) drifted at element {:>5}",
+            event.stream,
+            spec_of(event.stream).id(),
+            event.seq
         );
     }
 
     // The healthy models should be silent and the degraded ones caught —
-    // across the restart boundary.
+    // across the restart boundary, whatever detector each one runs.
     let degraded: Vec<u64> = (0..N_STREAMS).filter(|s| s % 37 == 0).collect();
     let caught: Vec<u64> = degraded
         .iter()

@@ -60,7 +60,9 @@ pub use optwin_learners as learners;
 pub use optwin_stats as stats;
 pub use optwin_stream as stream;
 
-pub use optwin_baselines::{Adwin, Ddm, DetectorKind, Ecdd, Eddm, Kswin, PageHinkley, Stepd};
+pub use optwin_baselines::{
+    Adwin, Ddm, DetectorKind, DetectorSpec, Ecdd, Eddm, Kswin, PageHinkley, Stepd,
+};
 pub use optwin_core::{
     BatchOutcome, CutTable, CutTableRegistry, DetectorExt, DriftDetector, DriftStatus, Optwin,
     OptwinConfig,

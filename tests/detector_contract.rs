@@ -29,7 +29,7 @@ fn bernoulli(i: u64, p: f64) -> f64 {
 /// Every detector must eventually detect a massive error-rate increase.
 #[test]
 fn all_detectors_catch_a_massive_shift() {
-    let mut factory = DetectorFactory::with_optwin_window(2_000);
+    let factory = DetectorFactory::with_optwin_window(2_000);
     for kind in DetectorKind::paper_lineup() {
         let mut detector = factory.build(kind);
         let mut detected = false;
@@ -52,7 +52,7 @@ fn all_detectors_catch_a_massive_shift() {
 /// counters (they describe the detector's history, not its window).
 #[test]
 fn counters_and_reset_contract() {
-    let mut factory = DetectorFactory::with_optwin_window(500);
+    let factory = DetectorFactory::with_optwin_window(500);
     for kind in DetectorKind::paper_lineup() {
         let mut detector = factory.build(kind);
         for i in 0..1_000u64 {
@@ -80,7 +80,7 @@ fn counters_and_reset_contract() {
 /// fractional losses without panicking.
 #[test]
 fn input_domain_metadata_is_consistent() {
-    let mut factory = DetectorFactory::with_optwin_window(500);
+    let factory = DetectorFactory::with_optwin_window(500);
     for kind in DetectorKind::paper_lineup() {
         let mut detector = factory.build(kind);
         assert_eq!(
@@ -101,7 +101,7 @@ fn input_domain_metadata_is_consistent() {
 /// exactly the drift indices and counters of an `add_element` fold over the
 /// same input, for every way of chunking the stream.
 fn assert_batch_equivalence_on(stream: &[f64], optwin_window: usize) {
-    let mut factory = DetectorFactory::with_optwin_window(optwin_window);
+    let factory = DetectorFactory::with_optwin_window(optwin_window);
     for kind in DetectorKind::paper_lineup() {
         let mut scalar = factory.build(kind);
         let mut expected_drifts = Vec::new();
@@ -186,7 +186,7 @@ fn batch_equals_scalar_on_real_valued_streams() {
 /// (full determinism, a prerequisite for reproducible experiments).
 #[test]
 fn determinism_across_identical_runs() {
-    let mut factory = DetectorFactory::with_optwin_window(800);
+    let factory = DetectorFactory::with_optwin_window(800);
     for kind in DetectorKind::paper_lineup() {
         let mut a = factory.build(kind);
         let mut b = factory.build(kind);

@@ -15,7 +15,7 @@ use optwin::{
 /// because it produces (almost) no false positives.
 #[test]
 fn optwin_beats_adwin_on_sudden_binary_f1() {
-    let mut factory = DetectorFactory::with_optwin_window(2_000);
+    let factory = DetectorFactory::with_optwin_window(2_000);
     let experiment = Table1Experiment::SuddenBinary;
 
     let mut optwin_f1 = Vec::new();
@@ -126,7 +126,7 @@ fn classification_cell_reproducibility_and_improvement() {
 /// never report drifts on an all-zero (perfect learner) error stream.
 #[test]
 fn perfect_learner_never_triggers_any_detector() {
-    let mut factory = DetectorFactory::with_optwin_window(500);
+    let factory = DetectorFactory::with_optwin_window(500);
     for kind in DetectorKind::paper_lineup() {
         let mut detector = factory.build(kind);
         for _ in 0..5_000 {

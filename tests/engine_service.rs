@@ -17,8 +17,9 @@ use std::time::Duration;
 
 use optwin::engine::EngineError;
 use optwin::{
-    DetectorFactory, DetectorKind, DriftDetector, DriftEngine, DriftEvent, EngineBuilder,
-    EngineConfig, EngineHandle, EngineSnapshot, EventSink, MemorySink, Optwin, OptwinConfig,
+    DetectorFactory, DetectorKind, DetectorSpec, DriftDetector, DriftEngine, DriftEvent,
+    EngineBuilder, EngineConfig, EngineHandle, EngineSnapshot, EventSink, MemorySink, Optwin,
+    OptwinConfig,
 };
 
 /// Deterministic pseudo-random jitter in [-0.5, 0.5) (SplitMix64).
@@ -396,6 +397,30 @@ fn builder_rejects_degenerate_configurations() {
     assert!(err.to_string().contains("OPTWIN"));
 }
 
+/// A custom detector without snapshot support, standing in for downstream
+/// detector types outside the shipped line-up (every shipped kind — OPTWIN
+/// and all 7 baselines — now serializes its state).
+struct Opaque {
+    seen: u64,
+}
+
+impl DriftDetector for Opaque {
+    fn add_element(&mut self, _value: f64) -> optwin::DriftStatus {
+        self.seen += 1;
+        optwin::DriftStatus::Stable
+    }
+    fn reset(&mut self) {}
+    fn name(&self) -> &'static str {
+        "opaque"
+    }
+    fn elements_seen(&self) -> u64 {
+        self.seen
+    }
+    fn drifts_detected(&self) -> u64 {
+        0
+    }
+}
+
 /// Snapshotting an engine whose detectors cannot serialize state reports
 /// which stream is at fault.
 #[test]
@@ -403,7 +428,7 @@ fn snapshot_unsupported_detectors_are_reported() {
     let sink = Arc::new(MemorySink::new());
     let handle = EngineBuilder::new()
         .shards(2)
-        .factory(|_| Box::new(optwin::Adwin::with_defaults()) as Box<dyn DriftDetector + Send>)
+        .factory(|_| Box::new(Opaque { seen: 0 }) as Box<dyn DriftDetector + Send>)
         .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
         .build()
         .expect("valid engine");
@@ -411,12 +436,12 @@ fn snapshot_unsupported_detectors_are_reported() {
     handle.flush().expect("no errors");
     let err = handle
         .snapshot()
-        .expect_err("ADWIN has no snapshot support");
+        .expect_err("the custom detector has no snapshot support");
     assert_eq!(
         err,
         EngineError::SnapshotUnsupported {
             stream: 3,
-            detector: "ADWIN".to_string(),
+            detector: "opaque".to_string(),
         }
     );
     handle.shutdown().expect("clean shutdown");
@@ -530,6 +555,244 @@ fn handle_clones_feed_the_same_engine_from_multiple_threads() {
     handle.shutdown().expect("clean shutdown");
     // Events (if any) all belong to the four streams.
     assert!(sink.drain().iter().all(|e| (100..104).contains(&e.stream)));
+}
+
+/// The heterogeneous-fleet spec for a stream: all 8 detector kinds, tiled
+/// over the stream ids, with small windows so the run stays fast in debug
+/// builds.
+fn spec_of(stream: u64) -> DetectorSpec {
+    let text = match stream % 8 {
+        0 => "optwin:rho=0.5,w_max=600",
+        1 => "adwin",
+        2 => "ddm",
+        3 => "eddm",
+        4 => "stepd",
+        5 => "ecdd",
+        6 => "page_hinkley",
+        _ => "kswin:window_size=120,stat_size=25,alpha=0.0001",
+    };
+    text.parse().expect("valid spec string")
+}
+
+/// The `i`-th element of a heterogeneous-fleet stream: every stream
+/// degrades at its own drift point; binary-only specs get Bernoulli
+/// indicators, the rest real-valued losses.
+fn spec_element(stream: u64, i: usize) -> f64 {
+    let drift_at = 3_000 + (stream as usize * 211) % 1_200;
+    let p = if i < drift_at { 0.06 } else { 0.55 };
+    let u = jitter(stream.wrapping_mul(0x1234_5677) ^ i as u64) + 0.5;
+    if spec_of(stream).binary_only() {
+        f64::from(u < p)
+    } else {
+        (p + 0.4 * (u - 0.5)).clamp(0.0, 1.0)
+    }
+}
+
+/// The tentpole acceptance test: a heterogeneous fleet covering **all 8
+/// detector kinds** is assembled purely from specs, snapshotted mid-stream
+/// through `EngineHandle::snapshot()`, and restored through
+/// `EngineBuilder::restore()` with **no factory and no `register_stream`
+/// calls** — the v2 snapshot is self-describing — after which the restored
+/// engine produces bit-exact identical remaining events.
+#[test]
+fn heterogeneous_spec_fleet_restores_without_any_factory() {
+    const STREAMS: u64 = 16; // two streams per detector kind
+    const TOTAL: usize = 6_000;
+    const CUT: usize = 3_500; // past some per-stream drift points, before others
+
+    let build = |shards: usize| -> (EngineHandle, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        let mut builder = EngineBuilder::new()
+            .shards(shards)
+            .sink(Arc::clone(&sink) as Arc<dyn EventSink>);
+        for stream in 0..STREAMS {
+            builder = builder.stream_spec(stream, spec_of(stream));
+        }
+        (builder.build().expect("valid engine"), sink)
+    };
+    let feed = |handle: &EngineHandle, from: usize, to: usize| {
+        let mut records = Vec::new();
+        for start in (from..to).step_by(200) {
+            let end = (start + 200).min(to);
+            records.clear();
+            for stream in 0..STREAMS {
+                for i in start..end {
+                    records.push((stream, spec_element(stream, i)));
+                }
+            }
+            handle.submit(&records).expect("engine running");
+        }
+        handle.flush().expect("no ingestion errors");
+    };
+
+    // Uninterrupted reference.
+    let (reference, reference_sink) = build(4);
+    feed(&reference, 0, TOTAL);
+    let reference_events = canonical(reference_sink.drain());
+    reference.shutdown().expect("clean shutdown");
+
+    // Interrupted run: live streams are introspectable by spec, the
+    // snapshot is self-describing.
+    let (original, original_sink) = build(4);
+    for stream in 0..STREAMS {
+        assert_eq!(
+            original.stream_spec(stream).expect("engine running"),
+            Some(spec_of(stream)),
+            "stream {stream} spec introspection"
+        );
+    }
+    feed(&original, 0, CUT);
+    let early_events = canonical(original_sink.drain());
+    let snapshot = original.snapshot().expect("all 8 kinds snapshot");
+    original.shutdown().expect("clean shutdown");
+    assert_eq!(snapshot.stream_count(), STREAMS as usize);
+    assert!(snapshot.is_self_describing());
+
+    // Restore through JSON into a differently-sharded engine with NO
+    // factory, NO default spec, and NO stream registration of any kind.
+    let snapshot = EngineSnapshot::from_json(&snapshot.to_json()).expect("well-formed JSON");
+    let restored_sink = Arc::new(MemorySink::new());
+    let restored = EngineBuilder::new()
+        .shards(5)
+        .sink(Arc::clone(&restored_sink) as Arc<dyn EventSink>)
+        .restore(snapshot)
+        .build()
+        .expect("self-describing snapshot needs no factory");
+    // The restored fleet is still introspectable — specs survived the trip.
+    for stream in 0..STREAMS {
+        assert_eq!(
+            restored.stream_spec(stream).expect("engine running"),
+            Some(spec_of(stream))
+        );
+    }
+    feed(&restored, CUT, TOTAL);
+    let late_events = canonical(restored_sink.drain());
+    restored.shutdown().expect("clean shutdown");
+
+    let mut stitched = early_events;
+    stitched.extend(late_events);
+    assert_eq!(
+        canonical(stitched),
+        reference_events,
+        "restored heterogeneous fleet must resume with identical decisions"
+    );
+    // Sanity: the workload produced detections on both sides of the cut and
+    // on most streams (every stream has one genuine drift).
+    assert!(
+        reference_events.iter().any(|e| (e.seq as usize) < CUT)
+            && reference_events.iter().any(|e| (e.seq as usize) >= CUT),
+        "test workload should drift on both sides of the cut"
+    );
+    let streams_with_detection: std::collections::HashSet<u64> =
+        reference_events.iter().map(|e| e.stream).collect();
+    assert!(
+        streams_with_detection.len() >= 12,
+        "only {} of 16 streams saw a detection",
+        streams_with_detection.len()
+    );
+}
+
+/// v1 snapshots (and v2 snapshots of closure-factory streams, which embed
+/// no specs) still load — behind a factory, exactly as before the v2
+/// format.
+#[test]
+fn spec_less_snapshots_still_restore_behind_a_factory() {
+    let (donor, _sink) = optwin_engine(2, 200, None);
+    donor
+        .submit(&[(1, 0.1), (2, 0.2), (1, 0.3)])
+        .expect("engine running");
+    donor.flush().expect("no errors");
+    let snapshot = donor.snapshot().expect("snapshot-capable");
+    donor.shutdown().expect("clean shutdown");
+    // Closure-factory streams record no spec.
+    assert!(!snapshot.is_self_describing());
+    assert!(snapshot.streams.iter().all(|s| s.spec.is_none()));
+
+    // Downgrade the wire format to v1 (the v1 payload is the v2 payload
+    // minus the spec entries, which are already absent/null here).
+    let v1_json = snapshot.to_json().replace("\"version\":2", "\"version\":1");
+    let v1 = EngineSnapshot::from_json(&v1_json).expect("v1 parses");
+    assert_eq!(v1.version, 1);
+
+    // Without a factory the restore is refused, naming the problem.
+    let err = EngineBuilder::new()
+        .shards(2)
+        .restore(v1.clone())
+        .build()
+        .expect_err("spec-less restore requires a factory");
+    assert!(err.to_string().contains("spec"), "{err}");
+    assert!(err.to_string().contains("factory"), "{err}");
+
+    // Behind a factory it restores fine and resumes.
+    let (restored, _restored_sink) = optwin_engine(3, 200, Some(v1));
+    let stats = restored.stats().expect("engine running");
+    assert_eq!(stats.streams, 2);
+    assert_eq!(stats.elements, 3);
+    restored.shutdown().expect("clean shutdown");
+}
+
+/// A default spec auto-registers unknown streams (recording the spec), and
+/// `register_stream_spec` validates before it registers.
+#[test]
+fn default_spec_and_register_stream_spec() {
+    let spec: DetectorSpec = "adwin:delta=0.01".parse().expect("valid spec");
+    let sink = Arc::new(MemorySink::new());
+    let handle = EngineBuilder::new()
+        .shards(2)
+        .default_spec(spec.clone())
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+        .build()
+        .expect("valid engine");
+    assert!(handle.has_factory());
+
+    // Auto-registration on first sight records the default spec.
+    handle
+        .submit(&[(7, 0.0), (8, 1.0)])
+        .expect("engine running");
+    handle.flush().expect("no errors");
+    assert_eq!(handle.stream_spec(7).expect("running"), Some(spec.clone()));
+    let stats = handle
+        .stream_stats(7)
+        .expect("running")
+        .expect("registered");
+    assert_eq!(stats.detector, "ADWIN");
+    assert_eq!(stats.spec, Some(spec.clone()));
+
+    // Declarative runtime registration with a different spec.
+    let kswin: DetectorSpec = "kswin:window_size=90,stat_size=20".parse().expect("valid");
+    handle
+        .register_stream_spec(42, kswin.clone())
+        .expect("valid spec registers");
+    assert_eq!(handle.stream_spec(42).expect("running"), Some(kswin));
+    // Unknown stream / spec-less queries report None.
+    assert_eq!(handle.stream_spec(999).expect("running"), None);
+
+    // An invalid spec is rejected before anything is registered.
+    let bad = DetectorSpec::Adwin {
+        config: optwin::baselines::AdwinConfig {
+            delta: 0.0,
+            ..optwin::baselines::AdwinConfig::default()
+        },
+    };
+    assert!(matches!(
+        handle.register_stream_spec(43, bad),
+        Err(EngineError::InvalidSpec(_))
+    ));
+    assert_eq!(handle.stream_spec(43).expect("running"), None);
+
+    // A degenerate default spec is rejected at build time.
+    let err = EngineBuilder::new()
+        .shards(1)
+        .default_spec(DetectorSpec::Adwin {
+            config: optwin::baselines::AdwinConfig {
+                delta: 0.0,
+                ..optwin::baselines::AdwinConfig::default()
+            },
+        })
+        .build()
+        .expect_err("invalid default spec");
+    assert!(matches!(err, EngineError::InvalidSpec(_)));
+    handle.shutdown().expect("clean shutdown");
 }
 
 mod snapshot_property {
