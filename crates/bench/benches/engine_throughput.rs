@@ -18,6 +18,13 @@
 //!
 //! Elements/second is the headline number; on a multi-core host the sharded
 //! and pipelined tiers additionally scale with the shard count.
+//!
+//! A fifth tier measures the **skewed-load** serving shape: Zipf-distributed
+//! traffic over 64 streams (a handful of hot streams carry most of the
+//! records — the pattern static `id % shards` placement handles worst),
+//! with and without load-aware rebalancing at flush barriers. On a
+//! multi-core host the rebalanced variant un-skews the hot shard; results
+//! are bit-identical either way (the migration preserves per-stream order).
 
 use std::sync::Arc;
 
@@ -26,7 +33,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use optwin_baselines::DetectorSpec;
 use optwin_core::{DetectorExt, DriftDetector, Optwin, OptwinConfig};
 use optwin_engine::{
-    DriftEngine, EngineBuilder, EngineConfig, EngineHandle, EventSink, MemorySink,
+    DriftEngine, EngineBuilder, EngineConfig, EngineHandle, EventSink, MemorySink, RebalancePolicy,
 };
 use optwin_stream::{DriftKind, DriftSchedule, ErrorStream, ErrorStreamConfig};
 
@@ -163,10 +170,92 @@ fn bench_pipelined_engine(c: &mut Criterion) {
     group.finish();
 }
 
+/// SplitMix64 step, for deterministic Zipf sampling without a rand dep.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `total` records whose stream ids follow a Zipf(`exponent`) law over
+/// `n_streams` ranks (stream 0 hottest), values a small stationary noise.
+fn zipf_records(n_streams: u64, total: usize, exponent: f64, seed: u64) -> Vec<(u64, f64)> {
+    let weights: Vec<f64> = (0..n_streams)
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(exponent))
+        .collect();
+    let sum: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    let cdf: Vec<f64> = weights
+        .iter()
+        .map(|w| {
+            acc += w / sum;
+            acc
+        })
+        .collect();
+    let mut state = seed;
+    (0..total)
+        .map(|_| {
+            let u = (splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+            let stream = (cdf.partition_point(|&c| c < u) as u64).min(n_streams - 1);
+            let value = 0.05 + 0.02 * ((splitmix(&mut state) >> 11) as f64 / (1u64 << 53) as f64);
+            (stream, value)
+        })
+        .collect()
+}
+
+fn bench_skewed_zipf_engine(c: &mut Criterion) {
+    const ZIPF_STREAMS: u64 = 64;
+    const ZIPF_RECORDS: usize = 160_000;
+    // s = 1.1: the hottest stream alone carries ~20 % of the traffic, the
+    // top 8 streams about half — with modulo placement, shard 0 gets the
+    // hottest stream *and* its share of the cold tail.
+    let records = zipf_records(ZIPF_STREAMS, ZIPF_RECORDS, 1.1, 42);
+    let spec: DetectorSpec = "optwin:rho=0.5,w_max=2000".parse().expect("valid spec");
+
+    let mut group = c.benchmark_group("engine_skewed_zipf_64_streams");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.sample_size(10);
+    for &(label, rebalance) in &[("static", false), ("rebalanced", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &rebalance, {
+            let records = &records;
+            let spec = &spec;
+            move |b, &rebalance| {
+                b.iter(|| {
+                    let sink = Arc::new(MemorySink::new());
+                    let handle: EngineHandle = EngineBuilder::new()
+                        .shards(4)
+                        .queue_capacity(64 * 1_024)
+                        .default_spec(spec.clone())
+                        .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+                        .build()
+                        .expect("valid engine");
+                    for (i, batch) in records.chunks(16_000).enumerate() {
+                        handle.submit(batch).expect("engine running");
+                        // Rebalance at a flush barrier every few batches,
+                        // exactly as a serving deployment would.
+                        if rebalance && i % 4 == 3 {
+                            handle.flush().expect("no ingestion errors");
+                            handle
+                                .rebalance(RebalancePolicy::Records)
+                                .expect("engine running");
+                        }
+                    }
+                    handle.shutdown().expect("clean drain");
+                    black_box(sink.drain().len())
+                });
+            }
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_scalar_vs_batched,
     bench_sharded_engine,
-    bench_pipelined_engine
+    bench_pipelined_engine,
+    bench_skewed_zipf_engine
 );
 criterion_main!(benches);

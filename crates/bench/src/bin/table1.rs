@@ -12,17 +12,27 @@
 //! cargo run --release -p optwin-bench --bin table1 -- --full       # paper scale (30 reps, 100k streams)
 //! cargo run --release -p optwin-bench --bin table1 -- --experiment sudden-binary
 //! cargo run --release -p optwin-bench --bin table1 -- --detector adwin:delta=0.01
+//! cargo run --release -p optwin-bench --bin table1 -- --fleet configs/fleet_example.json
+//! cargo run --release -p optwin-bench --bin table1 -- --rebalance
 //! cargo run --release -p optwin-bench --bin table1 -- --json results/table1.json
 //! ```
 //!
 //! `--detector <spec>` replaces the paper line-up with a single detector
 //! described by a [`DetectorSpec`] string (`<id>` or
-//! `<id>:<key>=<value>,...`); binary-only detectors are skipped on the
-//! non-binary experiments, as in the paper.
+//! `<id>:<key>=<value>,...`); `--fleet <file>` replaces it with a whole
+//! configured fleet (a JSON map of `stream id → spec string`), one row per
+//! fleet entry. Binary-only detectors are skipped on the non-binary
+//! experiments, as in the paper. `--rebalance` inserts a load-aware shard
+//! rebalance at every repetition boundary — results are bit-identical with
+//! and without it; the flag exists to exercise (and time) the migration
+//! path on real workloads.
 
 use optwin_baselines::DetectorSpec;
 use optwin_bench::{Args, RunScale};
-use optwin_eval::experiment::{run_table1_experiment_sharded, run_table1_specs, Table1Experiment};
+use optwin_engine::FleetConfig;
+use optwin_eval::experiment::{
+    run_table1_experiment_sharded, run_table1_fleet, run_table1_specs, Table1Experiment,
+};
 use optwin_eval::report::{render_table1, to_json};
 use optwin_eval::DetectorFactory;
 
@@ -42,6 +52,7 @@ fn experiment_by_name(name: &str) -> Option<Table1Experiment> {
 fn main() {
     let args = Args::from_env();
     let scale = RunScale::from_args(&args);
+    let rebalance = args.has_flag("rebalance");
 
     let detector: Option<DetectorSpec> = args.get("detector").map(|text| {
         text.parse().unwrap_or_else(|e| {
@@ -50,6 +61,20 @@ fn main() {
             std::process::exit(2);
         })
     });
+
+    // Lenient load: fleet files come from external config producers, so
+    // unknown spec keys surface as printed warnings instead of a hard exit.
+    let fleet: Option<FleetConfig> = args.get("fleet").map(|path| {
+        FleetConfig::from_path_lenient(path).unwrap_or_else(|e| {
+            eprintln!("cannot load --fleet `{path}`: {e}");
+            eprintln!("{}", DetectorSpec::grammar_help());
+            std::process::exit(2);
+        })
+    });
+    if detector.is_some() && fleet.is_some() {
+        eprintln!("--detector and --fleet are mutually exclusive");
+        std::process::exit(2);
+    }
 
     let experiments: Vec<Table1Experiment> = match args.get("experiment") {
         Some("all") | None => Table1Experiment::all().to_vec(),
@@ -68,7 +93,7 @@ fn main() {
 
     println!(
         "Table 1 reproduction — {} repetition(s) per experiment, seed {}, \
-         OPTWIN w_max {}, stream length {}, pipelined engine shards {}",
+         OPTWIN w_max {}, stream length {}, pipelined engine shards {}{}",
         scale.repetitions,
         scale.seed,
         scale.optwin_w_max,
@@ -78,6 +103,11 @@ fn main() {
         scale
             .shards
             .map_or_else(|| "auto".to_string(), |s| s.to_string()),
+        if rebalance {
+            ", rebalancing at repetition boundaries"
+        } else {
+            ""
+        },
     );
     println!();
 
@@ -85,12 +115,19 @@ fn main() {
         println!("detector override: {spec}");
         println!();
     }
+    if let Some(fleet) = &fleet {
+        println!("fleet override: {} configured streams", fleet.streams.len());
+        for warning in &fleet.warnings {
+            println!("  warning: {warning}");
+        }
+        println!();
+    }
 
     let factory = DetectorFactory::with_optwin_window(scale.optwin_w_max);
     let mut all_rows = Vec::new();
     for experiment in experiments {
-        let rows = match &detector {
-            Some(spec) => {
+        let rows = match (&detector, &fleet) {
+            (Some(spec), _) => {
                 if spec.binary_only() && !experiment.binary_signal() {
                     println!(
                         "skipping {} — `{}` only accepts binary error indicators\n",
@@ -106,15 +143,36 @@ fn main() {
                     scale.stream_len,
                     scale.seed,
                     scale.shards,
+                    rebalance,
                 )
             }
-            None => run_table1_experiment_sharded(
+            (None, Some(fleet)) => {
+                let rows = run_table1_fleet(
+                    experiment,
+                    &fleet.streams,
+                    scale.repetitions,
+                    scale.stream_len,
+                    scale.seed,
+                    scale.shards,
+                    rebalance,
+                );
+                if rows.is_empty() {
+                    println!(
+                        "skipping {} — every fleet entry is binary-only\n",
+                        experiment.label()
+                    );
+                    continue;
+                }
+                rows
+            }
+            (None, None) => run_table1_experiment_sharded(
                 experiment,
                 &factory,
                 scale.repetitions,
                 scale.stream_len,
                 scale.seed,
                 scale.shards,
+                rebalance,
             ),
         };
         println!("{}", render_table1(&rows));

@@ -12,7 +12,11 @@
 
 #![deny(missing_docs)]
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+
+// Guard types are std's (parking_lot's own guards are API-compatible for
+// the deref/drop subset this workspace uses).
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion primitive with parking_lot's non-poisoning API.
 #[derive(Debug, Default)]

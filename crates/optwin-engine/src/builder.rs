@@ -1,12 +1,14 @@
 //! Construction of the service-style engine.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use optwin_baselines::DetectorSpec;
 use optwin_core::DriftDetector;
 
 use crate::engine::{EngineConfig, EngineError};
+use crate::fleet::FleetConfig;
 use crate::handle::{
     spawn_engine, DetectorSource, EngineHandle, SharedDetectorFactory, StreamState,
 };
@@ -43,6 +45,7 @@ pub struct EngineBuilder {
     restore: Option<EngineSnapshot>,
     streams: Vec<(u64, Box<dyn DriftDetector + Send>)>,
     spec_streams: Vec<(u64, DetectorSpec)>,
+    auto_rebalance: Option<f64>,
 }
 
 impl Default for EngineBuilder {
@@ -90,7 +93,45 @@ impl EngineBuilder {
             restore: None,
             streams: Vec::new(),
             spec_streams: Vec::new(),
+            auto_rebalance: None,
         }
+    }
+
+    /// Starts a builder pre-loaded with a fleet configuration: a JSON map
+    /// of `stream id → spec string`, e.g.
+    /// `{"0": "optwin:rho=0.5", "1": "adwin:delta=0.002"}`. Every entry is
+    /// pre-registered declaratively (as [`EngineBuilder::stream_spec`]
+    /// would), so the built engine is fully config-driven — no closures,
+    /// no code changes per fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidFleetConfig`] for malformed JSON, a
+    /// non-object top level, an unparsable stream id or spec string, or a
+    /// duplicate stream id.
+    pub fn from_config_json(text: &str) -> Result<Self, EngineError> {
+        Ok(Self::from_fleet(FleetConfig::from_json(text)?))
+    }
+
+    /// [`EngineBuilder::from_config_json`], reading the JSON from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidFleetConfig`] when the file cannot be
+    /// read, plus every error `from_config_json` reports.
+    pub fn from_config_path(path: impl AsRef<Path>) -> Result<Self, EngineError> {
+        Ok(Self::from_fleet(FleetConfig::from_path(path)?))
+    }
+
+    /// Pre-registers every stream of an already-parsed [`FleetConfig`]
+    /// (warnings, if any, are the caller's to surface).
+    pub fn from_fleet(fleet: FleetConfig) -> Self {
+        fleet
+            .streams
+            .into_iter()
+            .fold(Self::new(), |builder, (stream, spec)| {
+                builder.stream_spec(stream, spec)
+            })
     }
 
     /// Sets the shard (worker thread) count. Validated at
@@ -114,6 +155,18 @@ impl EngineBuilder {
     /// this many unprocessed records. Zero is rejected at build time.
     pub fn queue_capacity(mut self, records: usize) -> Self {
         self.queue_capacity = records;
+        self
+    }
+
+    /// Enables automatic load-aware rebalancing: every
+    /// [`EngineHandle::flush`] checks the shard record-load imbalance
+    /// (hottest shard over mean) and, when it exceeds `threshold`, runs a
+    /// [`crate::RebalancePolicy::Records`] rebalance at that flush barrier.
+    /// `threshold` must exceed 1.0 (1.0 = perfectly balanced); values
+    /// around 1.25–2.0 are sensible. Validated at build time. Explicit
+    /// [`EngineHandle::rebalance`] calls remain available either way.
+    pub fn auto_rebalance(mut self, threshold: f64) -> Self {
+        self.auto_rebalance = Some(threshold);
         self
     }
 
@@ -186,15 +239,17 @@ impl EngineBuilder {
 
     /// Restores every stream recorded in `snapshot` when the engine is
     /// built. Streams whose snapshot embeds a [`DetectorSpec`] (wire format
-    /// v2, spec-registered) are rebuilt from that spec — **no factory
+    /// v2+, spec-registered) are rebuilt from that spec — **no factory
     /// required**. Spec-less streams (v1 snapshots, or streams registered
     /// with explicit instances / a closure factory) are rebuilt through this
     /// builder's default spec or factory, which must then be configured. In
     /// both cases the serialized state is restored into the fresh detector,
     /// so the new engine makes identical subsequent decisions to the
     /// snapshotted one. The snapshot's shard count and warning policy are
-    /// provenance, not constraints — this builder's settings win, and
-    /// streams re-pin to shards by `id % shards`.
+    /// provenance, not constraints — this builder's settings win. Streams
+    /// with a recorded shard placement (wire format v3) re-pin to
+    /// `recorded_shard % shards`, reproducing a rebalanced routing table;
+    /// older snapshots re-pin by `id % shards`.
     pub fn restore(mut self, snapshot: EngineSnapshot) -> Self {
         self.restore = Some(snapshot);
         self
@@ -224,6 +279,14 @@ impl EngineBuilder {
         if self.queue_capacity == 0 {
             return Err(EngineError::ZeroQueueCapacity);
         }
+        if let Some(threshold) = self.auto_rebalance {
+            // Written so NaN also lands in the error branch.
+            if threshold <= 1.0 || !threshold.is_finite() {
+                return Err(EngineError::InvalidRebalanceThreshold(format!(
+                    "must be a finite ratio above 1.0 (1.0 = perfectly balanced), got {threshold}"
+                )));
+            }
+        }
         if let Some(DetectorSource::Spec(spec)) = &self.source {
             spec.validate()
                 .map_err(|e| EngineError::InvalidSpec(e.to_string()))?;
@@ -232,11 +295,21 @@ impl EngineBuilder {
         let mut initial: Vec<HashMap<u64, StreamState>> =
             (0..self.shards).map(|_| HashMap::new()).collect();
         let shard_of = |stream: u64| (stream % self.shards as u64) as usize;
+        // Duplicate ids can no longer be caught by per-shard map collisions
+        // alone: two occurrences of one id may target *different* shards
+        // (a restored placement vs. the modulo default).
+        let mut seen = std::collections::HashSet::new();
 
         if let Some(snapshot) = self.restore {
             snapshot.check_version()?;
             for stream_snapshot in snapshot.streams {
                 let stream = stream_snapshot.stream;
+                // v3 placement-preserving entry: land on the recorded shard
+                // (folded into the new shard count); older entries fall back
+                // to the modulo default.
+                let target = stream_snapshot
+                    .shard
+                    .map_or_else(|| shard_of(stream), |shard| shard % self.shards);
                 // v2 self-describing entry: rebuild from the embedded spec.
                 // Spec-less entry: fall back to the default spec/factory.
                 let (mut detector, spec) = match &stream_snapshot.spec {
@@ -275,30 +348,27 @@ impl EngineBuilder {
                 let mut state = StreamState::with_spec(detector, spec);
                 state.seq = stream_snapshot.seq;
                 state.seconds = stream_snapshot.detector_seconds;
-                if initial[shard_of(stream)].insert(stream, state).is_some() {
+                if !seen.insert(stream) {
                     return Err(EngineError::DuplicateStream(stream));
                 }
+                initial[target].insert(stream, state);
             }
         }
 
         for (stream, detector) in self.streams {
-            if initial[shard_of(stream)]
-                .insert(stream, StreamState::new(detector))
-                .is_some()
-            {
+            if !seen.insert(stream) {
                 return Err(EngineError::DuplicateStream(stream));
             }
+            initial[shard_of(stream)].insert(stream, StreamState::new(detector));
         }
         for (stream, spec) in self.spec_streams {
             let detector = spec
                 .build()
                 .map_err(|e| EngineError::InvalidSpec(format!("stream {stream}: {e}")))?;
-            if initial[shard_of(stream)]
-                .insert(stream, StreamState::with_spec(detector, Some(spec)))
-                .is_some()
-            {
+            if !seen.insert(stream) {
                 return Err(EngineError::DuplicateStream(stream));
             }
+            initial[shard_of(stream)].insert(stream, StreamState::with_spec(detector, Some(spec)));
         }
 
         let config = EngineConfig {
@@ -311,6 +381,7 @@ impl EngineBuilder {
             self.source,
             self.sinks,
             initial,
+            self.auto_rebalance,
         ))
     }
 }

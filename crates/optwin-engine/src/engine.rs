@@ -48,6 +48,11 @@ pub enum EngineError {
     /// A [`optwin_baselines::DetectorSpec`] failed validation or could not
     /// be built into a detector.
     InvalidSpec(String),
+    /// A fleet configuration file (JSON map of stream id → spec string)
+    /// could not be read or parsed.
+    InvalidFleetConfig(String),
+    /// An auto-rebalance threshold was not a finite ratio above 1.0.
+    InvalidRebalanceThreshold(String),
 }
 
 impl fmt::Display for EngineError {
@@ -83,6 +88,12 @@ impl fmt::Display for EngineError {
             EngineError::InvalidSpec(message) => {
                 write!(f, "invalid detector spec: {message}")
             }
+            EngineError::InvalidFleetConfig(message) => {
+                write!(f, "invalid fleet config: {message}")
+            }
+            EngineError::InvalidRebalanceThreshold(message) => {
+                write!(f, "invalid auto-rebalance threshold: {message}")
+            }
         }
     }
 }
@@ -93,8 +104,10 @@ impl std::error::Error for EngineError {}
 /// [`EngineBuilder::from_config`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Number of shards (≥ 1). Streams are pinned to shard `id % shards`;
-    /// each shard is owned by one long-lived worker thread.
+    /// Number of shards (≥ 1). Streams route to shard `id % shards` by
+    /// default, until a restore or a [`crate::EngineHandle::rebalance`]
+    /// pins them elsewhere; each shard is owned by one long-lived worker
+    /// thread.
     pub shards: usize,
     /// Emit [`optwin_core::DriftStatus::Warning`] events in addition to
     /// drifts (default `false`: drifts only).
@@ -153,6 +166,9 @@ impl Default for EngineConfig {
 pub struct StreamSnapshot {
     /// The stream id.
     pub stream: u64,
+    /// The shard the stream currently lives on (may change across
+    /// [`crate::EngineHandle::rebalance`] calls).
+    pub shard: usize,
     /// Elements ingested so far.
     pub elements: u64,
     /// Drifts the stream's detector has flagged.
@@ -704,6 +720,14 @@ mod tests {
             (
                 EngineError::InvalidSpec("`delta` must lie in (0, 1)".to_string()),
                 "delta",
+            ),
+            (
+                EngineError::InvalidFleetConfig("expected a JSON object".to_string()),
+                "fleet config",
+            ),
+            (
+                EngineError::InvalidRebalanceThreshold("got 0.5".to_string()),
+                "0.5",
             ),
         ];
         for (error, needle) in cases {

@@ -20,6 +20,7 @@
 //! processed and the sinks have been flushed.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -32,6 +33,7 @@ use optwin_core::{DriftDetector, DriftStatus};
 use crate::engine::{EngineConfig, EngineError, StreamSnapshot};
 use crate::event::DriftEvent;
 use crate::persist::{EngineSnapshot, StreamStateSnapshot, ENGINE_SNAPSHOT_VERSION};
+use crate::router::Router;
 use crate::sink::EventSink;
 
 /// A detector factory shared by every shard worker (and, for the blocking
@@ -70,8 +72,40 @@ impl DetectorSource {
     }
 }
 
-/// Aggregate lifetime counters across all streams of an engine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Decay factor of the per-shard batch-latency EWMA: each new batch
+/// contributes 20 % — responsive to load shifts without jittering on a
+/// single slow batch.
+const BATCH_EWMA_ALPHA: f64 = 0.2;
+
+/// Observed load of one shard worker.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardLoad {
+    /// The shard index.
+    pub shard: usize,
+    /// Streams currently placed on this shard.
+    pub streams: usize,
+    /// Lifetime records of the streams **currently placed** on this shard
+    /// (migrated streams carry their history with them) — the
+    /// placement-attributed load [`EngineStats::imbalance`] and the
+    /// auto-rebalance trigger act on.
+    pub stream_records: u64,
+    /// Lifetime records this *worker* has processed (history stays with the
+    /// worker that did the work, so this diverges from `stream_records`
+    /// after a migration).
+    pub records: u64,
+    /// Records currently sitting in this shard's queue (instantaneous
+    /// occupancy at the time of the query).
+    pub queue_depth: usize,
+    /// Exponentially-weighted moving average of the wall-clock seconds this
+    /// worker spends processing one submitted batch partition. Zero until
+    /// the first batch lands.
+    pub batch_ewma_seconds: f64,
+}
+
+/// Aggregate lifetime counters across all streams of an engine, plus the
+/// per-shard and per-stream load breakdown that makes imbalance observable
+/// from the handle.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EngineStats {
     /// Number of registered streams.
     pub streams: usize,
@@ -79,6 +113,139 @@ pub struct EngineStats {
     pub elements: u64,
     /// Total drifts flagged across all streams.
     pub drifts: u64,
+    /// Per-shard load (indexed by shard).
+    pub shards: Vec<ShardLoad>,
+    /// Lifetime records per stream, sorted by stream id.
+    pub stream_records: Vec<(u64, u64)>,
+}
+
+impl EngineStats {
+    /// Load-imbalance ratio across shards: the hottest shard's
+    /// placement-attributed record count ([`ShardLoad::stream_records`])
+    /// over the mean (1.0 = perfectly balanced; 1.0 for an engine that has
+    /// ingested nothing). Drops back toward 1.0 after a successful
+    /// rebalance, since moved streams take their history with them.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        imbalance(
+            &self
+                .shards
+                .iter()
+                .map(|s| s.stream_records as f64)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl fmt::Display for EngineStats {
+    /// Compact multi-line dump for CLIs: aggregate counters, one line per
+    /// shard, and the hottest streams.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} streams · {} records · {} drifts · imbalance {:.2}",
+            self.streams,
+            self.elements,
+            self.drifts,
+            self.imbalance()
+        )?;
+        for shard in &self.shards {
+            writeln!(
+                f,
+                "  shard {}: {} streams · {} records · {} processed · queue {} · \
+                 batch EWMA {:.3}ms",
+                shard.shard,
+                shard.streams,
+                shard.stream_records,
+                shard.records,
+                shard.queue_depth,
+                shard.batch_ewma_seconds * 1e3
+            )?;
+        }
+        // Top-k selection, not a full sort: stats() carries one entry per
+        // stream and fleets are large.
+        let mut hottest: Vec<(u64, u64)> = self.stream_records.clone();
+        let by_heat = |a: &(u64, u64), b: &(u64, u64)| b.1.cmp(&a.1).then(a.0.cmp(&b.0));
+        if hottest.len() > 5 {
+            hottest.select_nth_unstable_by(4, by_heat);
+            hottest.truncate(5);
+        }
+        hottest.sort_unstable_by(by_heat);
+        if !hottest.is_empty() {
+            write!(f, "  hottest streams:")?;
+            for (stream, records) in hottest {
+                write!(f, " #{stream} ({records})")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// `max / mean` of a load vector (1.0 when the total load is zero).
+fn imbalance(loads: &[f64]) -> f64 {
+    let total: f64 = loads.iter().sum();
+    if loads.is_empty() || total <= 0.0 {
+        return 1.0;
+    }
+    let max = loads.iter().copied().fold(0.0f64, f64::max);
+    max * loads.len() as f64 / total
+}
+
+/// The observed per-stream quantity a rebalance packs into bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RebalancePolicy {
+    /// Balance lifetime records ingested per stream — the right default for
+    /// skewed traffic (a few hot streams, many cold ones).
+    #[default]
+    Records,
+    /// Balance wall-clock seconds observed inside each stream's detector —
+    /// accounts for heterogeneous per-element detector cost (e.g. large
+    /// OPTWIN windows next to cheap DDM streams).
+    DetectorSeconds,
+}
+
+/// What a [`EngineHandle::rebalance`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceReport {
+    /// The policy the plan was computed under.
+    pub policy: RebalancePolicy,
+    /// Streams considered.
+    pub streams: usize,
+    /// Streams actually migrated to a different shard.
+    pub moved: usize,
+    /// Per-shard load (in policy units) under the old placement.
+    pub load_before: Vec<f64>,
+    /// Per-shard load (in policy units) under the new placement.
+    pub load_after: Vec<f64>,
+}
+
+impl RebalanceReport {
+    /// `max / mean` shard load before the rebalance (1.0 = balanced).
+    #[must_use]
+    pub fn imbalance_before(&self) -> f64 {
+        imbalance(&self.load_before)
+    }
+
+    /// `max / mean` shard load after the rebalance.
+    #[must_use]
+    pub fn imbalance_after(&self) -> f64 {
+        imbalance(&self.load_after)
+    }
+}
+
+impl fmt::Display for RebalanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rebalance({:?}): moved {}/{} streams, imbalance {:.2} -> {:.2}",
+            self.policy,
+            self.moved,
+            self.streams,
+            self.imbalance_before(),
+            self.imbalance_after()
+        )
+    }
 }
 
 /// Messages a worker accepts over its FIFO channel. Control messages ride
@@ -98,14 +265,42 @@ enum ShardMsg {
     },
     /// Flush the sinks and acknowledge (barrier).
     Flush { ack: Sender<()> },
-    /// Report per-stream lifetime statistics (barrier).
-    Query { ack: Sender<Vec<StreamSnapshot>> },
+    /// Report per-stream lifetime statistics and shard-level load (barrier).
+    Query { ack: Sender<ShardReport> },
+    /// Report only `(sum of current streams' lifetime records, stream
+    /// count)` — the cheap (two words, no per-stream allocation) probe
+    /// behind the auto-rebalance trigger, which runs on **every** flush
+    /// (barrier).
+    LoadProbe { ack: Sender<(u64, usize)> },
     /// Serialize per-stream detector state (barrier).
     Snapshot {
         ack: Sender<Result<Vec<StreamStateSnapshot>, EngineError>>,
     },
+    /// Remove the named streams' [`StreamState`]s and hand them back — the
+    /// outbound half of a migration. Sent only under the router write lock,
+    /// so it rides the FIFO queue behind every record previously routed to
+    /// this shard and acts as a per-stream barrier.
+    Extract {
+        streams: Vec<u64>,
+        ack: Sender<Vec<(u64, StreamState)>>,
+    },
+    /// Adopt migrated [`StreamState`]s — the inbound half of a migration.
+    Install {
+        states: Vec<(u64, StreamState)>,
+        ack: Sender<()>,
+    },
     /// Exit the worker loop after draining everything queued before this.
     Shutdown,
+}
+
+/// One shard's answer to [`ShardMsg::Query`]: its streams plus its own load
+/// counters (queue occupancy is accounted handle-side).
+pub(crate) struct ShardReport {
+    streams: Vec<StreamSnapshot>,
+    /// Lifetime records this worker has ingested.
+    records: u64,
+    /// EWMA of per-batch processing latency, seconds.
+    batch_ewma_seconds: f64,
 }
 
 /// Queue accounting shared between producers and workers.
@@ -175,11 +370,21 @@ impl StreamState {
 /// A shard: a disjoint set of streams processed sequentially by one worker.
 #[derive(Default)]
 struct ShardState {
+    /// This shard's index (for [`StreamSnapshot::shard`]).
+    shard_index: usize,
     streams: HashMap<u64, StreamState>,
     /// First-seen order of the streams staged in the current batch.
     batch_order: Vec<u64>,
     /// Event staging buffer, reused across batches.
     events: Vec<DriftEvent>,
+    /// Lifetime records ingested by this worker (migrated streams keep their
+    /// own counters; this one follows the *worker*).
+    records: u64,
+    /// Batch partitions processed (0 ⇔ the EWMA below is unseeded).
+    batches: u64,
+    /// EWMA of the wall-clock seconds spent processing one batch partition
+    /// (zero until the first batch).
+    batch_ewma_seconds: f64,
 }
 
 impl ShardState {
@@ -269,18 +474,37 @@ impl ShardState {
         }
     }
 
-    fn query(&self) -> Vec<StreamSnapshot> {
-        self.streams
-            .iter()
-            .map(|(&stream, state)| StreamSnapshot {
-                stream,
-                elements: state.seq,
-                drifts: state.detector.drifts_detected(),
-                detector_seconds: state.seconds,
-                detector: state.detector.name(),
-                spec: state.spec.clone(),
-            })
-            .collect()
+    /// Folds one processed batch partition into the load counters. A batch
+    /// counter (not a 0.0 sentinel) marks the unseeded EWMA, since a coarse
+    /// clock can legitimately measure a batch at exactly zero seconds.
+    fn note_batch(&mut self, records: usize, seconds: f64) {
+        self.records += records as u64;
+        if self.batches == 0 {
+            self.batch_ewma_seconds = seconds;
+        } else {
+            self.batch_ewma_seconds += BATCH_EWMA_ALPHA * (seconds - self.batch_ewma_seconds);
+        }
+        self.batches += 1;
+    }
+
+    fn query(&self) -> ShardReport {
+        ShardReport {
+            streams: self
+                .streams
+                .iter()
+                .map(|(&stream, state)| StreamSnapshot {
+                    stream,
+                    shard: self.shard_index,
+                    elements: state.seq,
+                    drifts: state.detector.drifts_detected(),
+                    detector_seconds: state.seconds,
+                    detector: state.detector.name(),
+                    spec: state.spec.clone(),
+                })
+                .collect(),
+            records: self.records,
+            batch_ewma_seconds: self.batch_ewma_seconds,
+        }
     }
 
     fn snapshot(&self) -> Result<Vec<StreamStateSnapshot>, EngineError> {
@@ -301,6 +525,7 @@ impl ShardState {
                     detector: state.detector.name().to_string(),
                     detector_seconds: state.seconds,
                     spec: state.spec.clone(),
+                    shard: Some(self.shard_index),
                     state: detector_state,
                 })
             })
@@ -347,7 +572,9 @@ fn worker_loop(
                     depth[shard_index] = depth[shard_index].saturating_sub(records.len());
                 }
                 queue.space.notify_all();
+                let started = Instant::now();
                 shard.ingest(&records, source.as_ref(), &sinks, emit_warnings, &queue);
+                shard.note_batch(records.len(), started.elapsed().as_secs_f64());
             }
             ShardMsg::Register {
                 stream,
@@ -366,8 +593,31 @@ fn worker_loop(
             ShardMsg::Query { ack } => {
                 let _ = ack.send(shard.query());
             }
+            ShardMsg::LoadProbe { ack } => {
+                let load: u64 = shard.streams.values().map(|s| s.seq).sum();
+                let _ = ack.send((load, shard.streams.len()));
+            }
             ShardMsg::Snapshot { ack } => {
                 let _ = ack.send(shard.snapshot());
+            }
+            ShardMsg::Extract { streams, ack } => {
+                let mut extracted = Vec::with_capacity(streams.len());
+                for stream in streams {
+                    if let Some(state) = shard.streams.remove(&stream) {
+                        extracted.push((stream, state));
+                    }
+                }
+                let _ = ack.send(extracted);
+            }
+            ShardMsg::Install { states, ack } => {
+                for (stream, state) in states {
+                    debug_assert!(
+                        !shard.streams.contains_key(&stream),
+                        "migration target already owns stream {stream}"
+                    );
+                    shard.streams.insert(stream, state);
+                }
+                let _ = ack.send(());
             }
             ShardMsg::Shutdown => break,
         }
@@ -380,12 +630,27 @@ fn worker_loop(
 /// State shared by every clone of an [`EngineHandle`].
 struct HandleShared {
     queue: Arc<QueueState>,
+    /// The stream → shard routing table. Read-locked by every send path,
+    /// write-locked by [`EngineHandle::rebalance`] (see [`crate::router`]).
+    router: Router,
     /// Worker join handles, taken by the first successful
     /// [`EngineHandle::shutdown`].
     workers: Mutex<Vec<JoinHandle<()>>>,
     config: EngineConfig,
     queue_capacity: usize,
     has_factory: bool,
+    /// When set, [`EngineHandle::flush`] triggers a
+    /// [`RebalancePolicy::Records`] rebalance whenever the shard record-load
+    /// imbalance (`max / mean`) exceeds this threshold.
+    auto_rebalance_threshold: Option<f64>,
+    /// Auto-rebalance hysteresis: after a triggered rebalance whose plan
+    /// could not improve the placement (`moved == 0` — e.g. fewer active
+    /// streams than shards makes the threshold structurally unreachable),
+    /// records `(imbalance, active streams)` of the futile attempt. Further
+    /// triggers are suppressed until the imbalance worsens or the stream
+    /// population changes, so flush-per-batch callers do not pay a full
+    /// plan computation on every flush forever.
+    futile_auto_rebalance: Mutex<Option<(f64, usize)>>,
 }
 
 /// A cheaply-cloneable, thread-safe front door to a running engine.
@@ -429,13 +694,17 @@ impl std::fmt::Debug for EngineHandle {
 }
 
 /// Spawns the shard workers and assembles the handle. Called by
-/// [`crate::EngineBuilder::build`] after validation.
+/// [`crate::EngineBuilder::build`] after validation. `initial_streams` is
+/// the per-shard placement of restored and pre-registered streams; it seeds
+/// the routing table, so non-modulo placements (a restored v3 snapshot)
+/// stick.
 pub(crate) fn spawn_engine(
     config: EngineConfig,
     queue_capacity: usize,
     source: Option<DetectorSource>,
     sinks: Vec<Arc<dyn EventSink>>,
     initial_streams: Vec<HashMap<u64, StreamState>>,
+    auto_rebalance_threshold: Option<f64>,
 ) -> EngineHandle {
     debug_assert_eq!(initial_streams.len(), config.shards);
     let queue = Arc::new(QueueState {
@@ -444,12 +713,20 @@ pub(crate) fn spawn_engine(
         closed: AtomicBool::new(false),
         errors: Mutex::new(Vec::new()),
     });
+    let router = Router::new(
+        config.shards,
+        initial_streams
+            .iter()
+            .enumerate()
+            .flat_map(|(shard, streams)| streams.keys().map(move |&stream| (stream, shard))),
+    );
 
     let mut senders = Vec::with_capacity(config.shards);
     let mut workers = Vec::with_capacity(config.shards);
     for (shard_index, streams) in initial_streams.into_iter().enumerate() {
         let (tx, rx) = channel();
         let shard = ShardState {
+            shard_index,
             streams,
             ..ShardState::default()
         };
@@ -471,10 +748,13 @@ pub(crate) fn spawn_engine(
         senders,
         shared: Arc::new(HandleShared {
             queue,
+            router,
             workers: Mutex::new(workers),
             config,
             queue_capacity,
             has_factory: source.is_some(),
+            auto_rebalance_threshold,
+            futile_auto_rebalance: Mutex::new(None),
         }),
     }
 }
@@ -507,10 +787,30 @@ impl EngineHandle {
         self.shared.has_factory
     }
 
-    /// The shard a stream id is pinned to.
-    #[inline]
-    fn shard_of(&self, stream: u64) -> usize {
-        (stream % self.senders.len() as u64) as usize
+    /// The shard records for `stream` currently route to — the routing
+    /// table's answer, whether the stream is registered or not (unknown ids
+    /// report the shard they *would* land on). The modulo default applies
+    /// unless a restore or a [`EngineHandle::rebalance`] pinned the stream
+    /// elsewhere.
+    #[must_use]
+    pub fn shard_of(&self, stream: u64) -> usize {
+        self.shared.router.read().shard_of(stream)
+    }
+
+    /// `true` when `stream` has an explicit routing pin (placed by a
+    /// rebalance or a restored v3 snapshot) overriding the `id % shards`
+    /// default.
+    #[must_use]
+    pub fn is_rerouted(&self, stream: u64) -> bool {
+        self.shared.router.read().is_pinned(stream)
+    }
+
+    /// Number of streams currently routed away from their `id % shards`
+    /// default (0 until a rebalance or a placement-preserving restore moves
+    /// one).
+    #[must_use]
+    pub fn rerouted_streams(&self) -> usize {
+        self.shared.router.read().pin_count()
     }
 
     /// Enqueues a batch of `(stream id, value)` records and returns
@@ -555,9 +855,13 @@ impl EngineHandle {
             return Ok(());
         }
         let nshards = self.senders.len();
+        // The router read lock is held across partitioning *and* the sends
+        // below: a concurrent rebalance (write lock) can therefore never
+        // observe — or invalidate — a half-enqueued batch.
+        let router = self.shared.router.read();
         let mut parts: Vec<Vec<(u64, f64)>> = vec![Vec::new(); nshards];
         for &record in records {
-            parts[(record.0 % nshards as u64) as usize].push(record);
+            parts[router.shard_of(record.0)].push(record);
         }
 
         {
@@ -651,14 +955,19 @@ impl EngineHandle {
         spec: Option<DetectorSpec>,
     ) -> Result<(), EngineError> {
         let (ack, response) = channel();
-        self.senders[self.shard_of(stream)]
-            .send(ShardMsg::Register {
-                stream,
-                detector,
-                spec,
-                ack,
-            })
-            .map_err(|_| EngineError::ChannelClosed)?;
+        {
+            // Route-and-send under the router read lock so a concurrent
+            // rebalance cannot move the stream between lookup and enqueue.
+            let router = self.shared.router.read();
+            self.senders[router.shard_of(stream)]
+                .send(ShardMsg::Register {
+                    stream,
+                    detector,
+                    spec,
+                    ack,
+                })
+                .map_err(|_| EngineError::ChannelClosed)?;
+        }
         response.recv().map_err(|_| EngineError::ChannelClosed)?
     }
 
@@ -687,20 +996,80 @@ impl EngineHandle {
     /// shut down, or [`EngineError::Poisoned`] after a worker panic.
     pub fn flush(&self) -> Result<(), EngineError> {
         let mut acks = Vec::with_capacity(self.senders.len());
-        for sender in &self.senders {
-            let (ack, response) = channel();
-            sender
-                .send(ShardMsg::Flush { ack })
-                .map_err(|_| EngineError::ChannelClosed)?;
-            acks.push(response);
+        {
+            let _router = self.shared.router.read();
+            for sender in &self.senders {
+                let (ack, response) = channel();
+                sender
+                    .send(ShardMsg::Flush { ack })
+                    .map_err(|_| EngineError::ChannelClosed)?;
+                acks.push(response);
+            }
         }
         for response in acks {
             response.recv().map_err(|_| EngineError::ChannelClosed)?;
         }
-        match self.take_error() {
-            Some(error) => Err(error),
-            None => Ok(()),
+        if let Some(error) = self.take_error() {
+            return Err(error);
         }
+        // The flush barrier is the designated rebalance point: with the
+        // queues just drained, migrations are cheap and cheap to reason
+        // about. A no-op when the load is within threshold (or when no plan
+        // improves on the current placement). The trigger probes the sum of
+        // per-*stream* records under the *current* placement (migrated
+        // streams carry their history with them — per-worker lifetime
+        // counters would keep re-triggering on a long-fixed warm-up skew),
+        // one `u64` per shard so the per-flush cost stays flat in fleet
+        // size.
+        if let Some(threshold) = self.shared.auto_rebalance_threshold {
+            let mut acks = Vec::with_capacity(self.senders.len());
+            {
+                let _router = self.shared.router.read();
+                for sender in &self.senders {
+                    let (ack, response) = channel();
+                    sender
+                        .send(ShardMsg::LoadProbe { ack })
+                        .map_err(|_| EngineError::ChannelClosed)?;
+                    acks.push(response);
+                }
+            }
+            let mut loads = Vec::with_capacity(acks.len());
+            let mut active_streams = 0usize;
+            for response in acks {
+                let (load, streams) = response.recv().map_err(|_| EngineError::ChannelClosed)?;
+                loads.push(load as f64);
+                active_streams += streams;
+            }
+            let observed = imbalance(&loads);
+            if observed > threshold {
+                // Hysteresis: a previous attempt at (no worse) imbalance
+                // with the same stream population produced no improving
+                // plan — skip until something changed.
+                let futile = *self
+                    .shared
+                    .futile_auto_rebalance
+                    .lock()
+                    .map_err(|_| EngineError::Poisoned)?;
+                let skip = matches!(
+                    futile,
+                    Some((imbalance, streams))
+                        if streams == active_streams && observed <= imbalance + 1e-9
+                );
+                if !skip {
+                    let report = self.rebalance(RebalancePolicy::Records)?;
+                    *self
+                        .shared
+                        .futile_auto_rebalance
+                        .lock()
+                        .map_err(|_| EngineError::Poisoned)? = if report.moved == 0 {
+                        Some((observed, active_streams))
+                    } else {
+                        None
+                    };
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Removes and returns the oldest pending ingestion error, discarding
@@ -723,22 +1092,24 @@ impl EngineHandle {
         }
     }
 
-    /// Per-stream snapshots of every shard, as a barrier (reflects all
-    /// records submitted by this thread before the call).
-    fn query_all(&self) -> Result<Vec<StreamSnapshot>, EngineError> {
+    /// Per-shard reports (streams plus shard load), as a barrier (reflects
+    /// all records submitted by this thread before the call). Indexed by
+    /// shard.
+    fn query_all(&self) -> Result<Vec<ShardReport>, EngineError> {
         let mut acks = Vec::with_capacity(self.senders.len());
-        for sender in &self.senders {
-            let (ack, response) = channel();
-            sender
-                .send(ShardMsg::Query { ack })
-                .map_err(|_| EngineError::ChannelClosed)?;
-            acks.push(response);
+        {
+            let _router = self.shared.router.read();
+            for sender in &self.senders {
+                let (ack, response) = channel();
+                sender
+                    .send(ShardMsg::Query { ack })
+                    .map_err(|_| EngineError::ChannelClosed)?;
+                acks.push(response);
+            }
         }
-        let mut snapshots = Vec::new();
-        for response in acks {
-            snapshots.extend(response.recv().map_err(|_| EngineError::ChannelClosed)?);
-        }
-        Ok(snapshots)
+        acks.into_iter()
+            .map(|response| response.recv().map_err(|_| EngineError::ChannelClosed))
+            .collect()
     }
 
     /// Lifetime statistics for every registered stream, sorted by stream id.
@@ -747,7 +1118,11 @@ impl EngineHandle {
     ///
     /// Returns [`EngineError::ChannelClosed`] when the engine has shut down.
     pub fn stream_snapshots(&self) -> Result<Vec<StreamSnapshot>, EngineError> {
-        let mut snapshots = self.query_all()?;
+        let mut snapshots: Vec<StreamSnapshot> = self
+            .query_all()?
+            .into_iter()
+            .flat_map(|report| report.streams)
+            .collect();
         snapshots.sort_unstable_by_key(|s| s.stream);
         Ok(snapshots)
     }
@@ -759,25 +1134,229 @@ impl EngineHandle {
     /// Returns [`EngineError::ChannelClosed`] when the engine has shut down.
     pub fn stream_stats(&self, stream: u64) -> Result<Option<StreamSnapshot>, EngineError> {
         let (ack, response) = channel();
-        self.senders[self.shard_of(stream)]
-            .send(ShardMsg::Query { ack })
-            .map_err(|_| EngineError::ChannelClosed)?;
-        let snapshots = response.recv().map_err(|_| EngineError::ChannelClosed)?;
-        Ok(snapshots.into_iter().find(|s| s.stream == stream))
+        {
+            let router = self.shared.router.read();
+            self.senders[router.shard_of(stream)]
+                .send(ShardMsg::Query { ack })
+                .map_err(|_| EngineError::ChannelClosed)?;
+        }
+        let report = response.recv().map_err(|_| EngineError::ChannelClosed)?;
+        Ok(report.streams.into_iter().find(|s| s.stream == stream))
     }
 
-    /// Aggregate lifetime counters across all streams.
+    /// Aggregate lifetime counters across all streams, including the
+    /// per-shard load breakdown (records ingested, instantaneous queue
+    /// occupancy, batch-latency EWMA) and per-stream record counts — the
+    /// observability surface behind [`EngineHandle::rebalance`]. `Display`
+    /// renders it as a compact table for CLI dumps.
     ///
     /// # Errors
     ///
-    /// Returns [`EngineError::ChannelClosed`] when the engine has shut down.
+    /// Returns [`EngineError::ChannelClosed`] when the engine has shut down,
+    /// or [`EngineError::Poisoned`] when queue accounting was poisoned.
     pub fn stats(&self) -> Result<EngineStats, EngineError> {
-        let snapshots = self.query_all()?;
+        let reports = self.query_all()?;
+        let depths: Vec<usize> = self
+            .shared
+            .queue
+            .depth
+            .lock()
+            .map_err(|_| EngineError::Poisoned)?
+            .clone();
+        let mut stream_records: Vec<(u64, u64)> = reports
+            .iter()
+            .flat_map(|report| report.streams.iter().map(|s| (s.stream, s.elements)))
+            .collect();
+        stream_records.sort_unstable();
         Ok(EngineStats {
-            streams: snapshots.len(),
-            elements: snapshots.iter().map(|s| s.elements).sum(),
-            drifts: snapshots.iter().map(|s| s.drifts).sum(),
+            streams: stream_records.len(),
+            elements: stream_records.iter().map(|&(_, n)| n).sum(),
+            drifts: reports
+                .iter()
+                .flat_map(|report| report.streams.iter().map(|s| s.drifts))
+                .sum(),
+            shards: reports
+                .iter()
+                .enumerate()
+                .map(|(shard, report)| ShardLoad {
+                    shard,
+                    streams: report.streams.len(),
+                    stream_records: report.streams.iter().map(|s| s.elements).sum(),
+                    records: report.records,
+                    queue_depth: depths.get(shard).copied().unwrap_or(0),
+                    batch_ewma_seconds: report.batch_ewma_seconds,
+                })
+                .collect(),
+            stream_records,
         })
+    }
+
+    /// Recomputes the stream placement from observed load and migrates the
+    /// moved streams' state between shard workers — detector, spec, `seq`
+    /// counter, lifetime stats — atomically with respect to every other
+    /// handle operation.
+    ///
+    /// The plan is greedy bin-packing (longest-processing-time): streams
+    /// sorted by observed load (policy units; ties by id) are assigned one
+    /// by one to the least-loaded shard. The call acts as its own barrier —
+    /// the migration messages ride the same FIFO queues as records, and the
+    /// router's write lock excludes concurrent submits — so per-stream
+    /// record order, and therefore every future [`DriftEvent`] and its
+    /// `seq`, is exactly what it would have been without the rebalance.
+    /// Moving a stream moves its *future* work only; per-shard lifetime
+    /// `records` counters stay with the workers that did the work.
+    ///
+    /// Returns a [`RebalanceReport`] with the move count and the before /
+    /// after load vectors. When the greedy plan matches the current
+    /// placement the call is a cheap no-op (`moved == 0`, no messages
+    /// beyond the load query).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ChannelClosed`] when the engine has shut
+    /// down.
+    pub fn rebalance(&self, policy: RebalancePolicy) -> Result<RebalanceReport, EngineError> {
+        let nshards = self.senders.len();
+        let mut router = self.shared.router.write();
+
+        // Load query under the write lock: the answer reflects exactly the
+        // records that will have been processed before the migration cut.
+        let mut acks = Vec::with_capacity(nshards);
+        for sender in &self.senders {
+            let (ack, response) = channel();
+            sender
+                .send(ShardMsg::Query { ack })
+                .map_err(|_| EngineError::ChannelClosed)?;
+            acks.push(response);
+        }
+        // (stream, current shard, load in policy units)
+        let mut streams: Vec<(u64, usize, f64)> = Vec::new();
+        for (shard, response) in acks.into_iter().enumerate() {
+            let report = response.recv().map_err(|_| EngineError::ChannelClosed)?;
+            for s in report.streams {
+                let load = match policy {
+                    RebalancePolicy::Records => s.elements as f64,
+                    RebalancePolicy::DetectorSeconds => s.detector_seconds,
+                };
+                streams.push((s.stream, shard, load));
+            }
+        }
+
+        let mut load_before = vec![0.0; nshards];
+        for &(_, shard, load) in &streams {
+            load_before[shard] += load;
+        }
+
+        // Greedy LPT: heaviest stream first onto the least-loaded shard
+        // (ties by lowest shard index). Deterministic for a given load
+        // vector. Streams with **no observed load stay put** — packing them
+        // by LPT would dump every zero onto one shard (adding 0.0 never
+        // advances the minimum), and there is no evidence to justify moving
+        // them anyway.
+        streams.sort_unstable_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut load_after = vec![0.0; nshards];
+        let mut assignment: Vec<(u64, usize)> = Vec::with_capacity(streams.len());
+        let mut moves: Vec<(u64, usize, usize)> = Vec::new(); // (stream, from, to)
+        for &(stream, current, load) in &streams {
+            let target = if load > 0.0 {
+                load_after
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map_or(0, |(i, _)| i)
+            } else {
+                current
+            };
+            load_after[target] += load;
+            assignment.push((stream, target));
+            if target != current {
+                moves.push((stream, current, target));
+            }
+        }
+
+        // LPT from scratch is not monotone against an arbitrary existing
+        // placement (e.g. loads {3,3}|{2,2,2} re-pack to {3,2,2}|{3,2}): a
+        // plan that does not *strictly* lower the hottest shard is
+        // discarded and the current placement kept — so rebalance never
+        // makes things worse and an auto-rebalance loop cannot thrash.
+        let max_of = |loads: &[f64]| loads.iter().copied().fold(0.0f64, f64::max);
+        if !moves.is_empty() && max_of(&load_after) >= max_of(&load_before) {
+            moves.clear();
+            assignment.clear();
+            assignment.extend(
+                streams
+                    .iter()
+                    .map(|&(stream, current, _)| (stream, current)),
+            );
+            load_after.clone_from(&load_before);
+        }
+
+        let report = RebalanceReport {
+            policy,
+            streams: streams.len(),
+            moved: moves.len(),
+            load_before,
+            load_after,
+        };
+        if moves.is_empty() {
+            return Ok(report);
+        }
+
+        // Extract every moved stream from its source shard (the message is
+        // a per-shard barrier: all previously routed records are already
+        // processed when it lands)...
+        let mut outgoing: Vec<Vec<u64>> = vec![Vec::new(); nshards];
+        for &(stream, from, _) in &moves {
+            outgoing[from].push(stream);
+        }
+        let mut extract_acks = Vec::new();
+        for (shard, streams) in outgoing.into_iter().enumerate() {
+            if streams.is_empty() {
+                continue;
+            }
+            let (ack, response) = channel();
+            self.senders[shard]
+                .send(ShardMsg::Extract { streams, ack })
+                .map_err(|_| EngineError::ChannelClosed)?;
+            extract_acks.push(response);
+        }
+        let mut extracted: HashMap<u64, StreamState> = HashMap::new();
+        for response in extract_acks {
+            for (stream, state) in response.recv().map_err(|_| EngineError::ChannelClosed)? {
+                extracted.insert(stream, state);
+            }
+        }
+
+        // ... and install it on its destination.
+        let mut incoming: Vec<Vec<(u64, StreamState)>> = (0..nshards).map(|_| Vec::new()).collect();
+        for &(stream, _, to) in &moves {
+            if let Some(state) = extracted.remove(&stream) {
+                incoming[to].push((stream, state));
+            }
+        }
+        let mut install_acks = Vec::new();
+        for (shard, states) in incoming.into_iter().enumerate() {
+            if states.is_empty() {
+                continue;
+            }
+            let (ack, response) = channel();
+            self.senders[shard]
+                .send(ShardMsg::Install { states, ack })
+                .map_err(|_| EngineError::ChannelClosed)?;
+            install_acks.push(response);
+        }
+        for response in install_acks {
+            response.recv().map_err(|_| EngineError::ChannelClosed)?;
+        }
+
+        // Only now does the routing table flip: every record submitted
+        // after the write lock releases follows the new placement.
+        router.repin(assignment);
+        Ok(report)
     }
 
     /// Serializes the state of every stream into an [`EngineSnapshot`], as
@@ -786,7 +1365,9 @@ impl EngineHandle {
     /// [`crate::EngineBuilder::restore`] — with **no factory needed** when
     /// every stream was registered through a [`DetectorSpec`] (the snapshot
     /// then embeds `{spec, state}` per stream; see
-    /// [`EngineSnapshot::is_self_describing`]).
+    /// [`EngineSnapshot::is_self_describing`]). Wire format v3 additionally
+    /// records each stream's **shard placement**, so a restore reproduces a
+    /// rebalanced (tuned) routing table instead of resetting to modulo.
     ///
     /// All 8 shipped detector kinds (OPTWIN and every baseline) implement
     /// state serialization with bit-exact resumption.
@@ -799,12 +1380,15 @@ impl EngineHandle {
     /// [`EngineError::ChannelClosed`] when the engine has shut down.
     pub fn snapshot(&self) -> Result<EngineSnapshot, EngineError> {
         let mut acks = Vec::with_capacity(self.senders.len());
-        for sender in &self.senders {
-            let (ack, response) = channel();
-            sender
-                .send(ShardMsg::Snapshot { ack })
-                .map_err(|_| EngineError::ChannelClosed)?;
-            acks.push(response);
+        {
+            let _router = self.shared.router.read();
+            for sender in &self.senders {
+                let (ack, response) = channel();
+                sender
+                    .send(ShardMsg::Snapshot { ack })
+                    .map_err(|_| EngineError::ChannelClosed)?;
+                acks.push(response);
+            }
         }
         let mut streams = Vec::new();
         for response in acks {
@@ -829,9 +1413,14 @@ impl EngineHandle {
     /// Returns [`EngineError::Poisoned`] when a worker thread panicked, or
     /// the first pending ingestion error (as [`EngineHandle::flush`]).
     pub fn shutdown(&self) -> Result<(), EngineError> {
-        for sender in &self.senders {
-            // A closed channel means the worker is already gone — fine.
-            let _ = sender.send(ShardMsg::Shutdown);
+        {
+            // Taken so a shutdown cannot cut a concurrent migration in
+            // half (the write lock is held across extract + install).
+            let _router = self.shared.router.read();
+            for sender in &self.senders {
+                // A closed channel means the worker is already gone — fine.
+                let _ = sender.send(ShardMsg::Shutdown);
+            }
         }
         let workers: Vec<JoinHandle<()>> = {
             let mut guard = self

@@ -25,13 +25,26 @@
 //!   (collect and drain in-process), [`JsonLinesSink`] (serialize to a
 //!   writer/file), [`CallbackSink`] (invoke a closure) — or any custom
 //!   implementation.
+//! * Stream placement is a first-class **routing table**: streams route to
+//!   `id % shards` by default, and [`EngineHandle::rebalance`] recomputes
+//!   the placement from *observed* load ([`RebalancePolicy`]: lifetime
+//!   records or detector seconds), migrating each moved stream's state
+//!   between workers at a barrier — event streams and per-stream `seq`
+//!   stay bit-exact. [`EngineHandle::stats`] exposes the per-shard load
+//!   (records, queue occupancy, batch-latency EWMA) behind the decision,
+//!   and [`EngineBuilder::auto_rebalance`] triggers the whole cycle
+//!   automatically at flush barriers past an imbalance threshold.
 //! * [`EngineHandle::snapshot`] serializes every stream's detector state
 //!   into an [`EngineSnapshot`]; [`EngineBuilder::restore`] rebuilds a
 //!   fresh engine that makes **identical subsequent decisions**, so a
 //!   restarted process resumes mid-stream. Snapshots of spec-registered
-//!   streams embed `{spec, state}` (wire format v2) and restore with **zero
-//!   caller-side factories**; all 8 shipped detector kinds serialize their
-//!   state bit-exactly.
+//!   streams embed `{spec, state, shard}` (wire format v3) and restore
+//!   with **zero caller-side factories**, reproducing a rebalanced
+//!   placement; all 8 shipped detector kinds serialize their state
+//!   bit-exactly. v1/v2 snapshots still load.
+//! * Whole fleets load from config files: [`FleetConfig`] /
+//!   [`EngineBuilder::from_config_json`] turn a JSON map of
+//!   `stream id → spec string` into a fully registered engine.
 //!
 //! The original synchronous API survives as a thin blocking wrapper:
 //! [`DriftEngine::ingest_batch`] is exactly `submit` + `flush` + drain of an
@@ -107,13 +120,18 @@
 mod builder;
 mod engine;
 mod event;
+mod fleet;
 mod handle;
 mod persist;
+mod router;
 mod sink;
 
 pub use builder::{EngineBuilder, DEFAULT_QUEUE_CAPACITY};
 pub use engine::{DriftEngine, EngineConfig, EngineError, StreamSnapshot};
 pub use event::DriftEvent;
-pub use handle::{EngineHandle, EngineStats, SharedDetectorFactory};
+pub use fleet::FleetConfig;
+pub use handle::{
+    EngineHandle, EngineStats, RebalancePolicy, RebalanceReport, ShardLoad, SharedDetectorFactory,
+};
 pub use persist::{EngineSnapshot, StreamStateSnapshot, ENGINE_SNAPSHOT_VERSION};
 pub use sink::{CallbackSink, EventSink, JsonLinesSink, MemorySink};

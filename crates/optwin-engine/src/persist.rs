@@ -27,11 +27,22 @@
 //! (no `spec` entries at all) therefore keep loading behind a factory,
 //! unchanged.
 //!
+//! # Wire format v3: placement-preserving streams
+//!
+//! Since format version 3 every stream entry additionally records the
+//! **shard** it lived on (`{spec, state, shard}`), so a restore reproduces
+//! a placement tuned by [`crate::EngineHandle::rebalance`] instead of
+//! resetting it to modulo. The restoring builder seeds its routing table
+//! with `persisted_shard % shards` per stream — exact when the new engine
+//! has at least as many shards as the old one, a deterministic fold
+//! otherwise — and streams with no recorded shard (v1/v2 snapshots) fall
+//! back to the `id % shards` default, so older snapshots keep loading
+//! unchanged.
+//!
 //! The snapshot deliberately excludes detector *configuration* beyond the
 //! spec string: restoration re-derives shared resources (e.g. OPTWIN cut
 //! tables) from the spec or factory. Shard count and warning policy are
-//! recorded as provenance but do not constrain the restoring builder —
-//! streams are re-pinned to shards by `id % shards` automatically.
+//! recorded as provenance and do not constrain the restoring builder.
 
 use optwin_baselines::DetectorSpec;
 use serde::{Deserialize, Serialize};
@@ -45,7 +56,10 @@ use crate::engine::EngineError;
 /// * **v2** — adds the optional per-stream `spec`, making restore
 ///   factory-less for spec-registered streams. v1 snapshots still parse and
 ///   restore (behind a factory).
-pub const ENGINE_SNAPSHOT_VERSION: u64 = 2;
+/// * **v3** — adds the optional per-stream `shard`, making restore
+///   placement-preserving (a rebalanced routing table survives a restart).
+///   v1/v2 snapshots still parse and restore, defaulting to `id % shards`.
+pub const ENGINE_SNAPSHOT_VERSION: u64 = 3;
 
 /// The persisted state of one stream: its position, optionally the
 /// [`DetectorSpec`] it was registered with, and its detector's serialized
@@ -67,14 +81,18 @@ pub struct StreamStateSnapshot {
     /// declaratively (`None` for closure-factory and explicit-instance
     /// streams, and for every stream of a v1 snapshot).
     pub spec: Option<DetectorSpec>,
+    /// The shard the stream lived on when the snapshot was taken (`None`
+    /// for v1/v2 snapshots). Restores re-pin the stream to
+    /// `shard % new_shard_count`.
+    pub shard: Option<usize>,
     /// The detector state from
     /// [`optwin_core::DriftDetector::snapshot_state`].
     pub state: serde::Value,
 }
 
-// Hand-written (rather than derived) so that the `spec` entry may be absent
-// on the wire: v1 snapshots predate it, and omitting-vs-null must both read
-// back as `None`.
+// Hand-written (rather than derived) so that the `spec` and `shard` entries
+// may be absent on the wire: v1 snapshots predate both and v2 predates
+// `shard`, and omitting-vs-null must both read back as `None`.
 impl Deserialize for StreamStateSnapshot {
     fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
         let missing =
@@ -82,6 +100,10 @@ impl Deserialize for StreamStateSnapshot {
         let spec = match value.get("spec") {
             None | Some(serde::Value::Null) => None,
             Some(v) => Some(DetectorSpec::from_value(v)?),
+        };
+        let shard = match value.get("shard") {
+            None | Some(serde::Value::Null) => None,
+            Some(v) => Some(usize::from_value(v)?),
         };
         Ok(Self {
             stream: u64::from_value(value.get("stream").ok_or_else(|| missing("stream"))?)?,
@@ -95,6 +117,7 @@ impl Deserialize for StreamStateSnapshot {
                     .ok_or_else(|| missing("detector_seconds"))?,
             )?,
             spec,
+            shard,
             state: value.get("state").ok_or_else(|| missing("state"))?.clone(),
         })
     }
@@ -128,6 +151,14 @@ impl EngineSnapshot {
     #[must_use]
     pub fn is_self_describing(&self) -> bool {
         self.streams.iter().all(|s| s.spec.is_some())
+    }
+
+    /// `true` when every stream records its shard placement (wire format
+    /// v3), i.e. a restore reproduces the producing engine's routing table
+    /// instead of re-pinning by `id % shards`.
+    #[must_use]
+    pub fn records_placement(&self) -> bool {
+        self.streams.iter().all(|s| s.shard.is_some())
     }
 
     /// Serializes the snapshot to compact JSON.
@@ -183,6 +214,7 @@ mod tests {
                     detector: "OPTWIN".to_string(),
                     detector_seconds: 0.25,
                     spec: Some("optwin:w_max=500".parse().expect("valid spec")),
+                    shard: Some(3),
                     // `Int` (not `UInt`): in-range unsigned values re-parse as
                     // `Int`, and the round-trip assertion compares value trees.
                     state: serde::Value::Object(vec![("split".to_string(), serde::Value::Int(10))]),
@@ -193,6 +225,7 @@ mod tests {
                     detector: "gate".to_string(),
                     detector_seconds: 0.0,
                     spec: None,
+                    shard: None,
                     state: serde::Value::Null,
                 },
             ],
@@ -219,22 +252,40 @@ mod tests {
 
     #[test]
     fn v1_snapshots_without_spec_entries_parse() {
-        // A v1 snapshot has no `spec` field at all; it must read back as
-        // spec-less streams.
+        // A v1 snapshot has no `spec` (nor `shard`) field at all; it must
+        // read back as spec-less, placement-less streams.
         let v1 = r#"{"version":1,"shards":2,"emit_warnings":false,"streams":[
             {"stream":3,"seq":10,"detector":"OPTWIN","detector_seconds":0.5,"state":null}
         ]}"#;
         let snapshot = EngineSnapshot::from_json(v1).unwrap();
         assert_eq!(snapshot.version, 1);
         assert_eq!(snapshot.streams[0].spec, None);
+        assert_eq!(snapshot.streams[0].shard, None);
         assert!(!snapshot.is_self_describing());
+        assert!(!snapshot.records_placement());
     }
 
     #[test]
-    fn self_describing_detection() {
+    fn v2_snapshots_without_shard_entries_parse() {
+        // A v2 snapshot embeds specs but predates the `shard` entry.
+        let v2 = r#"{"version":2,"shards":2,"emit_warnings":false,"streams":[
+            {"stream":3,"seq":10,"detector":"ADWIN","detector_seconds":0.5,
+             "spec":"adwin:delta=0.002,clock=32,min_window_len=10,min_sub_window_len=5",
+             "state":null}
+        ]}"#;
+        let snapshot = EngineSnapshot::from_json(v2).unwrap();
+        assert_eq!(snapshot.version, 2);
+        assert!(snapshot.is_self_describing());
+        assert_eq!(snapshot.streams[0].shard, None);
+        assert!(!snapshot.records_placement());
+    }
+
+    #[test]
+    fn self_describing_and_placement_detection() {
         let mut snapshot = sample();
         snapshot.streams.truncate(1);
         assert!(snapshot.is_self_describing());
+        assert!(snapshot.records_placement());
     }
 
     #[test]

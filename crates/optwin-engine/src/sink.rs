@@ -30,6 +30,14 @@ use std::sync::{Mutex, PoisonError};
 use crate::event::DriftEvent;
 
 /// A consumer of [`DriftEvent`]s, shared by all engine worker threads.
+///
+/// Implementations must **not call back into the emitting engine's own
+/// [`crate::EngineHandle`]** (submit, flush, stats, rebalance, …) from
+/// [`EventSink::emit`] or [`EventSink::flush`]: sinks run inline on the
+/// worker threads, and a concurrent [`crate::EngineHandle::rebalance`]
+/// excludes every handle operation while it waits for those same workers —
+/// a reentrant call can deadlock the engine. Forward events to *another*
+/// engine, a channel, or a buffer instead.
 pub trait EventSink: Send + Sync {
     /// Consumes one event. Called by engine workers as soon as a detector
     /// fires; implementations must not block for long.

@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use optwin_baselines::{DetectorKind, DetectorSpec};
 use optwin_core::DriftDetector;
-use optwin_engine::{EngineBuilder, EngineConfig, EventSink, MemorySink};
+use optwin_engine::{EngineBuilder, EngineConfig, EventSink, MemorySink, RebalancePolicy};
 use optwin_learners::{NaiveBayes, OnlineLearner};
 use optwin_stream::drift::MultiConceptStream;
 use optwin_stream::generators::{
@@ -299,9 +299,13 @@ const TABLE1_QUEUE_CAPACITY: usize = 256 * 1_024;
 /// `stream_len` overrides the experiment's default length (useful for tests
 /// and quick runs); pass `None` for the paper-scale streams. `shards` picks
 /// the engine shard count; `None` uses one shard per available CPU core.
-/// Results are identical for every shard count (and to the historical
-/// strictly sequential runner): each run is an isolated detector stream, and
-/// the batch path is contractually equivalent to element-wise ingestion.
+/// With `rebalance` the engine's stream placement is recomputed from
+/// observed load at a flush barrier after every repetition's traffic — the
+/// `--rebalance` CLI knob. Results are identical for every shard count,
+/// with and without rebalancing, and to the historical strictly sequential
+/// runner: each run is an isolated detector stream, the batch path is
+/// contractually equivalent to element-wise ingestion, and migrations
+/// preserve per-stream record order bit-exactly.
 ///
 /// # Panics
 ///
@@ -315,6 +319,7 @@ pub fn run_table1_experiment_sharded(
     stream_len: Option<usize>,
     base_seed: u64,
     shards: Option<usize>,
+    rebalance: bool,
 ) -> Vec<Table1Aggregate> {
     let entries: Vec<(String, DetectorSpec)> = experiment
         .applicable_detectors()
@@ -328,6 +333,7 @@ pub fn run_table1_experiment_sharded(
         stream_len,
         base_seed,
         shards,
+        rebalance,
     )
 }
 
@@ -351,6 +357,7 @@ pub fn run_table1_specs(
     stream_len: Option<usize>,
     base_seed: u64,
     shards: Option<usize>,
+    rebalance: bool,
 ) -> Vec<Table1Aggregate> {
     let entries: Vec<(String, DetectorSpec)> = specs
         .iter()
@@ -363,6 +370,44 @@ pub fn run_table1_specs(
         stream_len,
         base_seed,
         shards,
+        rebalance,
+    )
+}
+
+/// Runs a Table 1 experiment for a configured fleet (the `--fleet <file>`
+/// CLI path): one engine stream per `(fleet entry, repetition)`, every
+/// stream running the detector its config entry names, rows labelled
+/// `#<id> <spec id>`.
+///
+/// Binary-only specs (DDM, EDDM, ECDD) are filtered out on non-binary
+/// experiments, matching the paper's treatment of those detectors.
+///
+/// # Panics
+///
+/// Panics if a spec fails validation or the engine shuts down mid-run.
+#[must_use]
+pub fn run_table1_fleet(
+    experiment: Table1Experiment,
+    fleet: &[(u64, DetectorSpec)],
+    repetitions: usize,
+    stream_len: Option<usize>,
+    base_seed: u64,
+    shards: Option<usize>,
+    rebalance: bool,
+) -> Vec<Table1Aggregate> {
+    let entries: Vec<(String, DetectorSpec)> = fleet
+        .iter()
+        .filter(|(_, spec)| experiment.binary_signal() || !spec.binary_only())
+        .map(|(stream, spec)| (format!("#{stream} {}", spec.id()), spec.clone()))
+        .collect();
+    run_table1_grid(
+        experiment,
+        &entries,
+        repetitions,
+        stream_len,
+        base_seed,
+        shards,
+        rebalance,
     )
 }
 
@@ -383,6 +428,7 @@ fn run_table1_grid(
     stream_len: Option<usize>,
     base_seed: u64,
     shards: Option<usize>,
+    rebalance: bool,
 ) -> Vec<Table1Aggregate> {
     let stream_len = stream_len.unwrap_or_else(|| experiment.default_stream_len());
 
@@ -421,7 +467,10 @@ fn run_table1_grid(
 
     // Pipeline every repetition's sequence to all of its detector streams in
     // chunks; the shard workers detect in parallel while the next chunks are
-    // being staged. One flush at the very end is the only barrier.
+    // being staged. Without `--rebalance` one flush at the very end is the
+    // only barrier; with it, every repetition boundary becomes a flush
+    // barrier followed by a load-aware rebalance (which must not change a
+    // single detection — verified by `rebalancing_grid_is_deterministic`).
     let mut records: Vec<(u64, f64)> = Vec::with_capacity(TABLE1_BATCH * entries.len());
     for (rep, (errors, _)) in sequences.iter().enumerate() {
         for start in (0..errors.len()).step_by(TABLE1_BATCH) {
@@ -432,6 +481,12 @@ fn run_table1_grid(
                 records.extend(chunk.iter().map(|&e| (id, e)));
             }
             handle.submit(&records).expect("engine running");
+        }
+        if rebalance {
+            handle.flush().expect("all streams registered");
+            handle
+                .rebalance(RebalancePolicy::DetectorSeconds)
+                .expect("engine running");
         }
     }
     handle.flush().expect("all streams registered");
@@ -492,6 +547,7 @@ pub fn run_table1_experiment(
         stream_len,
         base_seed,
         None,
+        false,
     )
 }
 
@@ -565,7 +621,7 @@ mod tests {
 
     #[test]
     fn sharded_grid_is_deterministic_across_shard_counts() {
-        let run = |shards: Option<usize>| {
+        let run = |shards: Option<usize>, rebalance: bool| {
             let factory = DetectorFactory::with_optwin_window(800);
             run_table1_experiment_sharded(
                 Table1Experiment::SuddenBinary,
@@ -574,16 +630,74 @@ mod tests {
                 Some(4_000),
                 7,
                 shards,
+                rebalance,
             )
         };
-        let sequential = run(Some(1));
-        let parallel = run(Some(4));
-        let auto = run(None);
-        for ((a, b), c) in sequential.iter().zip(&parallel).zip(&auto) {
+        let sequential = run(Some(1), false);
+        let parallel = run(Some(4), false);
+        let auto = run(None, false);
+        let rebalanced = run(Some(4), true);
+        for (((a, b), c), d) in sequential.iter().zip(&parallel).zip(&auto).zip(&rebalanced) {
             assert_eq!(a.detector, b.detector);
             assert_eq!(a.metrics, b.metrics, "{}", a.detector);
             assert_eq!(a.metrics, c.metrics, "{}", a.detector);
+            // Mid-run rebalancing must not change a single detection.
+            assert_eq!(a.metrics, d.metrics, "{}", a.detector);
         }
+    }
+
+    #[test]
+    fn fleet_runner_matches_spec_runner() {
+        // A fleet of one stream per spec reproduces the per-spec rows of
+        // `run_table1_specs` exactly (same engine path, same sequences),
+        // and binary-only fleet entries are filtered on non-binary
+        // experiments.
+        let specs: Vec<DetectorSpec> =
+            vec!["adwin".parse().unwrap(), "page_hinkley".parse().unwrap()];
+        let fleet: Vec<(u64, DetectorSpec)> = specs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (i as u64 * 10, s))
+            .collect();
+        let by_spec = run_table1_specs(
+            Table1Experiment::SuddenBinary,
+            &specs,
+            2,
+            Some(3_000),
+            13,
+            Some(2),
+            false,
+        );
+        let by_fleet = run_table1_fleet(
+            Table1Experiment::SuddenBinary,
+            &fleet,
+            2,
+            Some(3_000),
+            13,
+            Some(2),
+            true,
+        );
+        assert_eq!(by_fleet.len(), by_spec.len());
+        for (f, s) in by_fleet.iter().zip(&by_spec) {
+            assert_eq!(f.metrics, s.metrics, "{} vs {}", f.detector, s.detector);
+        }
+        assert_eq!(by_fleet[0].detector, "#0 adwin");
+        assert_eq!(by_fleet[1].detector, "#10 page_hinkley");
+
+        let mixed: Vec<(u64, DetectorSpec)> =
+            vec![(1, "ddm".parse().unwrap()), (2, "adwin".parse().unwrap())];
+        let rows = run_table1_fleet(
+            Table1Experiment::SuddenNonBinary,
+            &mixed,
+            1,
+            Some(2_000),
+            5,
+            Some(2),
+            false,
+        );
+        assert_eq!(rows.len(), 1, "binary-only DDM filtered out");
+        assert_eq!(rows[0].detector, "#2 adwin");
     }
 
     #[test]
@@ -599,6 +713,7 @@ mod tests {
             Some(4_000),
             11,
             Some(2),
+            false,
         );
         let spec = factory.spec_for(DetectorKind::OptwinRho(500));
         let custom = run_table1_specs(
@@ -608,6 +723,7 @@ mod tests {
             Some(4_000),
             11,
             Some(2),
+            false,
         );
         assert_eq!(custom.len(), 1);
         assert_eq!(custom[0].detector, spec.to_string());

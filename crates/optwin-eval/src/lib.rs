@@ -44,8 +44,8 @@ pub mod report;
 
 pub use classification::{ClassificationExperiment, ClassificationOutcome};
 pub use experiment::{
-    run_table1_experiment, run_table1_experiment_sharded, run_table1_specs, DetectionRun,
-    Table1Aggregate, Table1Experiment,
+    run_table1_experiment, run_table1_experiment_sharded, run_table1_fleet, run_table1_specs,
+    DetectionRun, Table1Aggregate, Table1Experiment,
 };
 pub use factory::DetectorFactory;
 pub use metrics::{score_detections, AggregateMetrics, DetectionOutcome};

@@ -24,11 +24,13 @@
 //! * appended as JSON lines to a [`JsonLinesSink`] (the "audit log"),
 //! * collected by a [`MemorySink`] for the summary below.
 //!
-//! Halfway through, the engine is snapshotted, torn down, and restored into
+//! Halfway through, the engine's per-shard load is dumped, its placement
+//! rebalanced, and the engine snapshotted, torn down, and restored into
 //! a brand-new engine **without registering a single stream or configuring
-//! any factory** — the v2 snapshot embeds each stream's `{spec, state}`, so
-//! the restarted process rebuilds all 256 heterogeneous detectors from the
-//! JSON alone and produces exactly the events the original would have.
+//! any factory** — the v3 snapshot embeds each stream's
+//! `{spec, state, shard}`, so the restarted process rebuilds all 256
+//! heterogeneous detectors (and the tuned placement) from the JSON alone
+//! and produces exactly the events the original would have.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -37,7 +39,7 @@ use std::time::Instant;
 use optwin::engine::{
     CallbackSink, EngineBuilder, EngineHandle, EventSink, JsonLinesSink, MemorySink,
 };
-use optwin::{DetectorSpec, DriftEvent};
+use optwin::{DetectorSpec, DriftEvent, RebalancePolicy};
 
 const N_STREAMS: u64 = 256;
 const ELEMENTS_PER_STREAM: usize = 10_000;
@@ -142,11 +144,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     feed(&handle, 0, ELEMENTS_PER_STREAM / 2)?;
     handle.flush()?;
     let phase1 = started.elapsed();
+
+    // Load observability + load-aware rebalancing: the flush barrier is the
+    // natural point to inspect per-shard load and re-pack the streams.
+    // (With uniform traffic the modulo default is already near-balanced, so
+    // the report usually shows few or no moves — the interesting numbers
+    // come from skewed fleets; see the engine_throughput Zipf tier.)
+    print!("per-shard load after phase 1:\n{}", handle.stats()?);
+    let report = handle.rebalance(RebalancePolicy::Records)?;
+    println!(
+        "{report}; {} streams now rerouted",
+        handle.rerouted_streams()
+    );
+
     let snapshot = handle.snapshot()?;
     handle.shutdown()?;
     assert!(
         snapshot.is_self_describing(),
         "every stream was spec-registered"
+    );
+    assert!(
+        snapshot.records_placement(),
+        "v3 snapshots capture the (rebalanced) placement"
     );
     let snapshot_json = snapshot.to_json();
     println!(
@@ -180,8 +199,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "phase 2: factory-less restore, engine now reports {} elements total \
-         across {} streams ({phase2:.2?})",
-        stats.elements, stats.streams,
+         across {} streams ({phase2:.2?}); {} rerouted placements survived the restart",
+        stats.elements,
+        stats.streams,
+        restored.rerouted_streams(),
     );
     let ingest = phase1 + phase2;
     println!(

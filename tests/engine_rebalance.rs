@@ -1,0 +1,566 @@
+//! End-to-end tests of dynamic stream routing: load-aware rebalancing,
+//! observable per-shard load, and the placement-preserving v3 snapshot
+//! format — run through the public facade exactly as a downstream user
+//! would.
+//!
+//! The headline properties:
+//!
+//! * **Rebalance equivalence** — migrating streams between shards at flush
+//!   barriers produces bit-exact `DriftEvent` streams (same events, same
+//!   per-stream `seq`) versus a never-rebalanced run, on a skewed (Zipf-ish)
+//!   workload and under proptest-generated interleavings of submits,
+//!   registrations, rebalances and flushes against a 1-shard reference.
+//! * **Placement persistence** — a v3 snapshot records the rebalanced
+//!   placement and a restore reproduces it; v2/v1 snapshots still load,
+//!   defaulting to `id % shards`.
+
+use std::sync::Arc;
+
+use optwin::engine::EngineError;
+use optwin::{
+    DetectorSpec, DriftEvent, EngineBuilder, EngineHandle, EngineSnapshot, EventSink, MemorySink,
+    RebalancePolicy,
+};
+
+/// Deterministic pseudo-random jitter in [-0.5, 0.5) (SplitMix64).
+fn jitter(i: u64) -> f64 {
+    let mut x = i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+}
+
+/// Sorted `(stream, seq)` view of an event list, the canonical form for
+/// bit-exact comparison.
+fn canonical(mut events: Vec<DriftEvent>) -> Vec<DriftEvent> {
+    events.sort_unstable_by_key(|e| (e.stream, e.seq));
+    events
+}
+
+/// Shard count override for CI matrixing (see `tests/engine_service.rs`).
+fn test_shards() -> usize {
+    std::env::var("OPTWIN_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(4)
+}
+
+const SKEW_STREAMS: u64 = 16;
+const SKEW_TOTAL: usize = 6_000; // elements for stream 0; colder streams get less
+
+/// Zipf-ish skew: stream 0 sees every index, stream `s` every `s+1`-th —
+/// so stream 0 carries ~`H(16) ≈ 3.4×` the load of the average stream.
+fn skewed_chunk(from: usize, to: usize) -> Vec<(u64, f64)> {
+    let mut records = Vec::new();
+    for i in from..to {
+        for stream in 0..SKEW_STREAMS {
+            if i % (stream as usize + 1) != 0 {
+                continue;
+            }
+            // Every stream degrades at its own point of its *own* element
+            // sequence so both hot and cold streams produce events.
+            let seq_no = i / (stream as usize + 1);
+            let drift_at = 1_500 / (stream as usize + 1) + 50 * stream as usize;
+            let base = if seq_no < drift_at { 0.08 } else { 0.55 };
+            let value = (base + 0.06 * jitter(stream << 32 | i as u64)).clamp(0.0, 1.0);
+            records.push((stream, value));
+        }
+    }
+    records
+}
+
+fn skewed_engine(shards: usize) -> (EngineHandle, Arc<MemorySink>) {
+    let sink = Arc::new(MemorySink::new());
+    let spec: DetectorSpec = "optwin:rho=0.5,w_max=400".parse().expect("valid spec");
+    let handle = EngineBuilder::new()
+        .shards(shards)
+        .default_spec(spec)
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+        .build()
+        .expect("valid engine");
+    (handle, sink)
+}
+
+/// The skewed-load acceptance test: rebalancing mid-run (both policies, at
+/// flush barriers) moves streams, reduces the record-load imbalance, and
+/// changes **nothing** about the emitted events.
+#[test]
+fn skewed_load_rebalance_is_bit_exact_and_balances() {
+    let shards = test_shards();
+
+    // Never-rebalanced reference.
+    let (reference, reference_sink) = skewed_engine(shards);
+    reference
+        .submit(&skewed_chunk(0, SKEW_TOTAL))
+        .expect("engine running");
+    reference.flush().expect("no ingestion errors");
+    let reference_events = canonical(reference_sink.drain());
+    let reference_stats = reference.stats().expect("engine running");
+    reference.shutdown().expect("clean shutdown");
+
+    // Rebalanced run: four segments, a rebalance at each boundary.
+    let (rebalanced, rebalanced_sink) = skewed_engine(shards);
+    let mut moved_total = 0;
+    for (k, bounds) in [
+        (0, 1_500),
+        (1_500, 3_000),
+        (3_000, 4_500),
+        (4_500, SKEW_TOTAL),
+    ]
+    .iter()
+    .enumerate()
+    {
+        rebalanced
+            .submit(&skewed_chunk(bounds.0, bounds.1))
+            .expect("engine running");
+        rebalanced.flush().expect("no ingestion errors");
+        let policy = if k % 2 == 0 {
+            RebalancePolicy::Records
+        } else {
+            RebalancePolicy::DetectorSeconds
+        };
+        let report = rebalanced.rebalance(policy).expect("engine running");
+        assert_eq!(report.streams, SKEW_STREAMS as usize);
+        moved_total += report.moved;
+        if policy == RebalancePolicy::Records && shards > 1 {
+            // The greedy plan can never be worse than what it replaces.
+            assert!(
+                report.imbalance_after() <= report.imbalance_before() + 1e-9,
+                "{report}"
+            );
+        }
+    }
+    let rebalanced_events = canonical(rebalanced_sink.drain());
+    let rebalanced_stats = rebalanced.stats().expect("engine running");
+
+    if shards > 1 {
+        assert!(
+            moved_total > 0,
+            "Zipf skew over modulo placement must trigger migrations"
+        );
+        assert!(
+            rebalanced.rerouted_streams() > 0,
+            "moved streams must be pinned in the routing table"
+        );
+        // The routing table keeps answering for every stream, moved or not.
+        for stream in 0..SKEW_STREAMS {
+            let stats = rebalanced
+                .stream_stats(stream)
+                .expect("engine running")
+                .expect("stream registered");
+            assert_eq!(stats.shard, rebalanced.shard_of(stream));
+        }
+        // Record-load balance improved over the static placement.
+        assert!(
+            rebalanced_stats.imbalance() <= reference_stats.imbalance() + 1e-9,
+            "imbalance {:.3} (rebalanced) vs {:.3} (static)",
+            rebalanced_stats.imbalance(),
+            reference_stats.imbalance()
+        );
+    }
+    rebalanced.shutdown().expect("clean shutdown");
+
+    // The core contract: not a single event differs.
+    assert!(
+        !reference_events.is_empty(),
+        "workload should produce drift events"
+    );
+    assert_eq!(rebalanced_events, reference_events);
+    // Per-stream element counts agree too.
+    assert_eq!(
+        rebalanced_stats.stream_records,
+        reference_stats.stream_records
+    );
+}
+
+/// A v3 snapshot taken after a rebalance records the tuned placement, and a
+/// restore reproduces it — along with bit-exact remaining events.
+#[test]
+fn v3_snapshot_round_trips_rebalanced_placement() {
+    const CUT: usize = 3_200;
+    let shards = test_shards();
+
+    // Uninterrupted, never-rebalanced reference.
+    let (reference, reference_sink) = skewed_engine(shards);
+    reference
+        .submit(&skewed_chunk(0, SKEW_TOTAL))
+        .expect("engine running");
+    reference.flush().expect("no ingestion errors");
+    let reference_events = canonical(reference_sink.drain());
+    reference.shutdown().expect("clean shutdown");
+
+    // Original: feed to CUT, rebalance, snapshot, tear down.
+    let (original, original_sink) = skewed_engine(shards);
+    original
+        .submit(&skewed_chunk(0, CUT))
+        .expect("engine running");
+    original.flush().expect("no ingestion errors");
+    original
+        .rebalance(RebalancePolicy::Records)
+        .expect("engine running");
+    let placement: Vec<usize> = (0..SKEW_STREAMS).map(|s| original.shard_of(s)).collect();
+    let rerouted = original.rerouted_streams();
+    let early_events = canonical(original_sink.drain());
+    let snapshot = original.snapshot().expect("snapshot-capable");
+    original.shutdown().expect("clean shutdown");
+    assert!(snapshot.is_self_describing());
+    assert!(snapshot.records_placement());
+    for entry in &snapshot.streams {
+        assert_eq!(entry.shard, Some(placement[entry.stream as usize]));
+    }
+
+    // Restore through JSON into the same shard count: placement survives.
+    let snapshot = EngineSnapshot::from_json(&snapshot.to_json()).expect("well-formed JSON");
+    let restored_sink = Arc::new(MemorySink::new());
+    let restored = EngineBuilder::new()
+        .shards(shards)
+        .sink(Arc::clone(&restored_sink) as Arc<dyn EventSink>)
+        .restore(snapshot)
+        .build()
+        .expect("self-describing snapshot needs no factory");
+    let restored_placement: Vec<usize> = (0..SKEW_STREAMS).map(|s| restored.shard_of(s)).collect();
+    assert_eq!(
+        restored_placement, placement,
+        "placement must survive restore"
+    );
+    assert_eq!(restored.rerouted_streams(), rerouted);
+    for stream in 0..SKEW_STREAMS {
+        let stats = restored
+            .stream_stats(stream)
+            .expect("engine running")
+            .expect("restored");
+        assert_eq!(stats.shard, placement[stream as usize]);
+    }
+
+    // ... and the remaining events are exactly the reference's.
+    restored
+        .submit(&skewed_chunk(CUT, SKEW_TOTAL))
+        .expect("engine running");
+    restored.flush().expect("no ingestion errors");
+    let late_events = canonical(restored_sink.drain());
+    restored.shutdown().expect("clean shutdown");
+    let mut stitched = early_events;
+    stitched.extend(late_events);
+    assert_eq!(canonical(stitched), reference_events);
+}
+
+/// v2 snapshots (no `shard` entries) still restore — placement falls back
+/// to the `id % shards` default, decisions stay bit-exact.
+#[test]
+fn v2_snapshots_restore_with_modulo_placement() {
+    const CUT: usize = 3_200;
+    let shards = test_shards();
+
+    let (reference, reference_sink) = skewed_engine(shards);
+    reference
+        .submit(&skewed_chunk(0, SKEW_TOTAL))
+        .expect("engine running");
+    reference.flush().expect("no ingestion errors");
+    let reference_events = canonical(reference_sink.drain());
+    reference.shutdown().expect("clean shutdown");
+
+    let (original, original_sink) = skewed_engine(shards);
+    original
+        .submit(&skewed_chunk(0, CUT))
+        .expect("engine running");
+    original.flush().expect("no ingestion errors");
+    original
+        .rebalance(RebalancePolicy::Records)
+        .expect("engine running");
+    let early_events = canonical(original_sink.drain());
+    let snapshot = original.snapshot().expect("snapshot-capable");
+    original.shutdown().expect("clean shutdown");
+
+    // Downgrade to wire format v2: strip the placement entries.
+    let mut v2 = snapshot;
+    v2.version = 2;
+    for stream in &mut v2.streams {
+        stream.shard = None;
+    }
+    let v2 = EngineSnapshot::from_json(&v2.to_json()).expect("v2 parses");
+    assert_eq!(v2.version, 2);
+    assert!(!v2.records_placement());
+
+    let restored_sink = Arc::new(MemorySink::new());
+    let restored = EngineBuilder::new()
+        .shards(shards)
+        .sink(Arc::clone(&restored_sink) as Arc<dyn EventSink>)
+        .restore(v2)
+        .build()
+        .expect("v2 snapshots still restore");
+    // No placement info ⇒ everything on its modulo shard, no pins.
+    assert_eq!(restored.rerouted_streams(), 0);
+    for stream in 0..SKEW_STREAMS {
+        assert_eq!(restored.shard_of(stream), (stream as usize) % shards);
+    }
+    restored
+        .submit(&skewed_chunk(CUT, SKEW_TOTAL))
+        .expect("engine running");
+    restored.flush().expect("no ingestion errors");
+    let late_events = canonical(restored_sink.drain());
+    restored.shutdown().expect("clean shutdown");
+    let mut stitched = early_events;
+    stitched.extend(late_events);
+    assert_eq!(canonical(stitched), reference_events);
+}
+
+/// `EngineBuilder::auto_rebalance` triggers migrations at flush barriers
+/// once the imbalance threshold is crossed, and rejects degenerate
+/// thresholds at build time.
+#[test]
+fn auto_rebalance_triggers_at_flush_barriers() {
+    for bad in [1.0, 0.5, f64::NAN, f64::INFINITY] {
+        let err = EngineBuilder::new()
+            .shards(2)
+            .auto_rebalance(bad)
+            .build()
+            .expect_err("degenerate threshold");
+        assert!(
+            matches!(err, EngineError::InvalidRebalanceThreshold(_)),
+            "{bad}: {err}"
+        );
+    }
+
+    let shards = test_shards();
+    let sink = Arc::new(MemorySink::new());
+    let spec: DetectorSpec = "optwin:rho=0.5,w_max=400".parse().expect("valid spec");
+    let handle = EngineBuilder::new()
+        .shards(shards)
+        .default_spec(spec)
+        .auto_rebalance(1.2)
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+        .build()
+        .expect("valid engine");
+
+    // One scorching stream plus a cold tail: modulo placement leaves shard
+    // 0 with nearly all the load.
+    let mut records: Vec<(u64, f64)> = Vec::new();
+    for i in 0..4_000usize {
+        records.push((0, 0.1 + 0.05 * jitter(i as u64)));
+        if i % 20 == 0 {
+            for stream in 1..8u64 {
+                records.push((stream, 0.1));
+            }
+        }
+    }
+    handle.submit(&records).expect("engine running");
+    handle.flush().expect("flush runs the auto-rebalance");
+    if shards > 1 {
+        assert!(
+            handle.rerouted_streams() > 0,
+            "auto-rebalance must have moved something at imbalance {:.2}",
+            handle.stats().expect("engine running").imbalance()
+        );
+    }
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// Per-shard load is observable from the handle: record counts, queue
+/// occupancy, batch EWMA, per-stream counts, and a Display rendering.
+#[test]
+fn stats_expose_per_shard_load_and_render() {
+    let (handle, _sink) = skewed_engine(2);
+    handle
+        .submit(&skewed_chunk(0, 1_000))
+        .expect("engine running");
+    handle.flush().expect("no ingestion errors");
+    let stats = handle.stats().expect("engine running");
+
+    assert_eq!(stats.shards.len(), 2);
+    assert_eq!(stats.streams, SKEW_STREAMS as usize);
+    let shard_records: u64 = stats.shards.iter().map(|s| s.records).sum();
+    assert_eq!(shard_records, stats.elements, "every record is accounted");
+    let placed_records: u64 = stats.shards.iter().map(|s| s.stream_records).sum();
+    assert_eq!(placed_records, stats.elements, "placement view is complete");
+    let stream_records: u64 = stats.stream_records.iter().map(|&(_, n)| n).sum();
+    assert_eq!(stream_records, stats.elements);
+    // Stream 0 saw every index; stream 1 every second one.
+    assert_eq!(stats.stream_records[0], (0, 1_000));
+    assert_eq!(stats.stream_records[1], (1, 500));
+    for shard in &stats.shards {
+        assert_eq!(shard.queue_depth, 0, "queues are empty after a flush");
+        // (`> 0.0` would flake on hosts whose clock is coarser than a
+        // small batch's processing time.)
+        assert!(
+            shard.batch_ewma_seconds.is_finite() && shard.batch_ewma_seconds >= 0.0,
+            "EWMA primed by the batch"
+        );
+        assert!(shard.streams > 0);
+    }
+    assert!(stats.imbalance() >= 1.0);
+
+    let rendered = stats.to_string();
+    assert!(rendered.contains("shard 0:"), "{rendered}");
+    assert!(rendered.contains("shard 1:"), "{rendered}");
+    assert!(rendered.contains("hottest streams:"), "{rendered}");
+    assert!(rendered.contains("#0 (1000)"), "{rendered}");
+    handle.shutdown().expect("clean shutdown");
+}
+
+/// A fleet config file builds a fully registered engine with zero code —
+/// `EngineBuilder::from_config_path` / `from_config_json`.
+#[test]
+fn fleet_config_builds_a_running_engine() {
+    // Integration tests run with the package root as CWD, so the
+    // checked-in example config (also smoke-run by CI) resolves directly.
+    let sink = Arc::new(MemorySink::new());
+    let handle = EngineBuilder::from_config_path("configs/fleet_example.json")
+        .expect("checked-in example config parses")
+        .shards(2)
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+        .build()
+        .expect("valid engine");
+    let stats = handle.stats().expect("engine running");
+    assert_eq!(stats.streams, 6);
+    assert_eq!(
+        handle
+            .stream_spec(1)
+            .expect("engine running")
+            .expect("configured")
+            .id(),
+        "adwin"
+    );
+    handle
+        .submit(&[(0, 0.1), (3, 0.2)])
+        .expect("engine running");
+    handle.flush().expect("no ingestion errors");
+    assert_eq!(handle.stats().expect("engine running").elements, 2);
+    handle.shutdown().expect("clean shutdown");
+
+    assert!(matches!(
+        EngineBuilder::from_config_path("configs/no_such_fleet.json"),
+        Err(EngineError::InvalidFleetConfig(_))
+    ));
+
+    let inline = EngineBuilder::from_config_json(r#"{"9": "ddm"}"#)
+        .expect("inline config parses")
+        .shards(1)
+        .build()
+        .expect("valid engine");
+    assert_eq!(
+        inline
+            .stream_spec(9)
+            .expect("engine running")
+            .expect("configured")
+            .id(),
+        "ddm"
+    );
+    inline.shutdown().expect("clean shutdown");
+}
+
+mod churn_property {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One step of the churn workload.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Submit a deterministic batch derived from the seed (records over
+        /// streams 0..8, 60 % of traffic on streams 0–1, mean flipping with
+        /// the seed so ADWIN actually fires).
+        Submit(u64),
+        /// Register a stream id declaratively (may collide — both engines
+        /// must agree on the outcome).
+        Register(u64),
+        /// Rebalance under one of the two policies.
+        Rebalance(bool),
+        /// Flush barrier.
+        Flush,
+    }
+
+    fn batch_for(seed: u64) -> Vec<(u64, f64)> {
+        (0..150u64)
+            .map(|i| {
+                let h = (seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i.wrapping_mul(0xBF58_476D_1CE4_E5B9)))
+                    >> 7;
+                let stream = if h % 10 < 6 { h % 2 } else { 2 + h % 6 };
+                let mean = if (seed / 3).is_multiple_of(2) {
+                    0.1
+                } else {
+                    0.9
+                };
+                let value = (mean + 0.08 * jitter(h)).clamp(0.0, 1.0);
+                (stream, value)
+            })
+            .collect()
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+        proptest::collection::vec(
+            prop_oneof![
+                (0u64..1_000).prop_map(Op::Submit),
+                (0u64..12).prop_map(Op::Register),
+                (0u8..2).prop_map(|p| Op::Rebalance(p == 0)),
+                (0u8..2).prop_map(|_| Op::Flush),
+            ],
+            2..24,
+        )
+    }
+
+    /// Applies the op sequence to a fresh engine with `shards` shards and
+    /// returns `(events, per-stream (id, elements, drifts))`.
+    fn run(ops: &[Op], shards: usize) -> (Vec<DriftEvent>, Vec<(u64, u64, u64)>) {
+        let sink = Arc::new(MemorySink::new());
+        let spec: DetectorSpec = "adwin:delta=0.3,clock=4".parse().expect("valid spec");
+        let handle = EngineBuilder::new()
+            .shards(shards)
+            .default_spec(spec)
+            .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+            .build()
+            .expect("valid engine");
+        let mut register_outcomes = Vec::new();
+        for op in ops {
+            match op {
+                Op::Submit(seed) => handle.submit(&batch_for(*seed)).expect("engine running"),
+                Op::Register(stream) => {
+                    let kswin: DetectorSpec = "kswin:window_size=60,stat_size=12"
+                        .parse()
+                        .expect("valid spec");
+                    register_outcomes.push(handle.register_stream_spec(*stream, kswin).is_ok());
+                }
+                Op::Rebalance(records) => {
+                    let policy = if *records {
+                        RebalancePolicy::Records
+                    } else {
+                        RebalancePolicy::DetectorSeconds
+                    };
+                    handle.rebalance(policy).expect("engine running");
+                }
+                Op::Flush => handle.flush().expect("no ingestion errors"),
+            }
+        }
+        handle.flush().expect("no ingestion errors");
+        let streams = handle
+            .stream_snapshots()
+            .expect("engine running")
+            .into_iter()
+            .map(|s| (s.stream, s.elements, s.drifts))
+            .collect();
+        handle.shutdown().expect("clean shutdown");
+        let mut events = sink.drain();
+        events.sort_unstable_by_key(|e| (e.stream, e.seq));
+        (events, streams)
+    }
+
+    proptest! {
+        /// Any interleaving of submits / registrations / rebalances /
+        /// flushes on a sharded engine yields exactly the event sequence of
+        /// a 1-shard reference engine running the same ops.
+        #[test]
+        fn churn_matches_single_shard_reference(
+            ops in arb_ops(),
+            shards in 2usize..6,
+        ) {
+            let (reference_events, reference_streams) = run(&ops, 1);
+            let (events, streams) = run(&ops, shards);
+            prop_assert_eq!(events, reference_events);
+            prop_assert_eq!(streams, reference_streams);
+        }
+    }
+}

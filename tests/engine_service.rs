@@ -35,7 +35,18 @@ fn jitter(i: u64) -> f64 {
 
 const N_STREAMS: u64 = 64;
 const ELEMENTS_PER_STREAM: usize = 15_625; // 64 × 15 625 = 1 000 000
-const SHARDS: usize = 8;
+
+/// Shard count for the acceptance workloads: 8 by default, overridable via
+/// `OPTWIN_TEST_SHARDS` so CI can matrix the whole suite over shard counts
+/// (results must be identical for every value — that is the engine's core
+/// determinism contract).
+fn test_shards() -> usize {
+    std::env::var("OPTWIN_TEST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(8)
+}
 
 /// The detector kind assigned to a stream: the full 8-kind paper line-up,
 /// tiled over the streams.
@@ -91,17 +102,18 @@ fn one_million_elements_via_submit_match_ingest_batch() {
     let chunk_records = per_stream_chunk * N_STREAMS as usize;
 
     // Service path: pipelined submits, one flush at the end.
+    let shards = test_shards();
     let sink = Arc::new(MemorySink::new());
     let handle = EngineBuilder::new()
-        .shards(SHARDS)
+        .shards(shards)
         // Two chunks of headroom per shard: submission regularly outruns
         // detection, so the bounded queue genuinely blocks.
-        .queue_capacity(chunk_records * 2 / SHARDS)
+        .queue_capacity((chunk_records * 2 / shards).max(1))
         .factory(build_detector)
         .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
         .build()
         .expect("valid engine");
-    assert!(handle.num_shards() >= 4);
+    assert_eq!(handle.num_shards(), shards);
 
     let mut records = Vec::with_capacity(chunk_records);
     let mut start = 0usize;
@@ -222,13 +234,13 @@ fn snapshot_restore_produces_identical_remaining_events() {
     };
 
     // Uninterrupted reference.
-    let (reference, reference_sink) = optwin_engine(4, 800, None);
+    let (reference, reference_sink) = optwin_engine(test_shards(), 800, None);
     feed(&reference, 0, TOTAL);
     let reference_events = canonical(reference_sink.drain());
     reference.shutdown().expect("clean shutdown");
 
     // Interrupted run: feed to CUT, snapshot, tear the engine down.
-    let (original, original_sink) = optwin_engine(4, 800, None);
+    let (original, original_sink) = optwin_engine(test_shards(), 800, None);
     feed(&original, 0, CUT);
     let early_events = canonical(original_sink.drain());
     let snapshot = original.snapshot().expect("OPTWIN supports snapshots");
@@ -626,14 +638,14 @@ fn heterogeneous_spec_fleet_restores_without_any_factory() {
     };
 
     // Uninterrupted reference.
-    let (reference, reference_sink) = build(4);
+    let (reference, reference_sink) = build(test_shards());
     feed(&reference, 0, TOTAL);
     let reference_events = canonical(reference_sink.drain());
     reference.shutdown().expect("clean shutdown");
 
     // Interrupted run: live streams are introspectable by spec, the
     // snapshot is self-describing.
-    let (original, original_sink) = build(4);
+    let (original, original_sink) = build(test_shards());
     for stream in 0..STREAMS {
         assert_eq!(
             original.stream_spec(stream).expect("engine running"),
@@ -647,6 +659,10 @@ fn heterogeneous_spec_fleet_restores_without_any_factory() {
     original.shutdown().expect("clean shutdown");
     assert_eq!(snapshot.stream_count(), STREAMS as usize);
     assert!(snapshot.is_self_describing());
+    assert!(
+        snapshot.records_placement(),
+        "v3 snapshots record placement"
+    );
 
     // Restore through JSON into a differently-sharded engine with NO
     // factory, NO default spec, and NO stream registration of any kind.
@@ -708,11 +724,17 @@ fn spec_less_snapshots_still_restore_behind_a_factory() {
     assert!(!snapshot.is_self_describing());
     assert!(snapshot.streams.iter().all(|s| s.spec.is_none()));
 
-    // Downgrade the wire format to v1 (the v1 payload is the v2 payload
-    // minus the spec entries, which are already absent/null here).
-    let v1_json = snapshot.to_json().replace("\"version\":2", "\"version\":1");
-    let v1 = EngineSnapshot::from_json(&v1_json).expect("v1 parses");
+    // Downgrade the wire format to v1 (the v1 payload is the v3 payload
+    // minus the spec entries — already absent/null here — and the shard
+    // placements).
+    let mut downgraded = snapshot.clone();
+    downgraded.version = 1;
+    for stream in &mut downgraded.streams {
+        stream.shard = None;
+    }
+    let v1 = EngineSnapshot::from_json(&downgraded.to_json()).expect("v1 parses");
     assert_eq!(v1.version, 1);
+    assert!(!v1.records_placement());
 
     // Without a factory the restore is refused, naming the problem.
     let err = EngineBuilder::new()
