@@ -1,0 +1,176 @@
+//! Snapshot wire-format comparison: **v3 JSON** number arrays vs the **v4
+//! compact binary** window encoding, on a 1 000-stream OPTWIN fleet at the
+//! paper's `w_max = 25 000` — the configuration the ROADMAP called out as
+//! expensive to checkpoint.
+//!
+//! Two tiers, each for both layouts:
+//!
+//! * **encode** — `EngineHandle::snapshot_with(..)` + `to_json()`: the full
+//!   serialize path a checkpoint pays.
+//! * **decode** — `EngineSnapshot::from_json` + a factory-less
+//!   `EngineBuilder::restore(..).build()`: the full restore path a restart
+//!   pays (the spawned engine is shut down inside the iteration).
+//!
+//! The payload sizes of both layouts are printed up front — for binary
+//! error streams (the paper's input) the v4 windows bit-pack to ~1/8 byte
+//! per element, for real-valued loss streams they fall back to raw 8-byte
+//! frames (still well below the ~19 bytes JSON spends per
+//! full-precision float).
+//!
+//! Fleet size and fill level scale down via `OPTWIN_SNAPSHOT_BENCH_STREAMS`
+//! / `OPTWIN_SNAPSHOT_BENCH_ELEMENTS` for small hosts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use optwin_baselines::DetectorSpec;
+use optwin_core::SnapshotEncoding;
+use optwin_engine::{EngineBuilder, EngineHandle, EngineSnapshot};
+
+fn env_or(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn n_streams() -> u64 {
+    env_or("OPTWIN_SNAPSHOT_BENCH_STREAMS", 1_000) as u64
+}
+
+fn elements_per_stream() -> usize {
+    env_or("OPTWIN_SNAPSHOT_BENCH_ELEMENTS", 2_500)
+}
+
+/// SplitMix64 jitter in [0, 1).
+fn unit(i: u64) -> f64 {
+    let mut x = i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Builds the fleet and fills every window: `streams` OPTWIN detectors at
+/// `w_max = 25_000`, fed `elements` values each — binary error indicators
+/// or real-valued losses.
+fn filled_fleet(streams: u64, elements: usize, binary: bool) -> EngineHandle {
+    let spec: DetectorSpec = "optwin:rho=0.5,w_max=25000".parse().expect("valid spec");
+    let handle = EngineBuilder::new()
+        .shards(4)
+        .queue_capacity(256 * 1_024)
+        .default_spec(spec)
+        .build()
+        .expect("valid engine");
+    let mut records = Vec::with_capacity(streams as usize * 500);
+    for start in (0..elements).step_by(500) {
+        records.clear();
+        for stream in 0..streams {
+            for i in start..(start + 500).min(elements) {
+                let u = unit(stream.wrapping_mul(0x00C0_FFEE) ^ i as u64);
+                let value = if binary {
+                    f64::from(u < 0.07)
+                } else {
+                    0.07 + 0.05 * (u - 0.5)
+                };
+                records.push((stream, value));
+            }
+        }
+        handle.submit(&records).expect("engine running");
+    }
+    handle.flush().expect("no ingestion errors");
+    handle
+}
+
+fn bench_snapshot_codec(c: &mut Criterion) {
+    let streams = n_streams();
+    let elements = elements_per_stream();
+
+    // Size report: both layouts, both value profiles (the latency tiers
+    // below use the binary profile — the paper's input).
+    let real = filled_fleet(streams.min(64), elements, false);
+    let real_v3 = real
+        .snapshot_with(SnapshotEncoding::Json)
+        .expect("snapshot-capable")
+        .to_json();
+    let real_v4 = real.snapshot_compact().expect("snapshot-capable").to_json();
+    real.shutdown().expect("clean shutdown");
+    println!(
+        "real-valued losses, {} streams x {elements}: v3 = {} KiB, v4 = {} KiB ({:.1}%)",
+        streams.min(64),
+        real_v3.len() / 1024,
+        real_v4.len() / 1024,
+        real_v4.len() as f64 / real_v3.len() as f64 * 100.0
+    );
+    drop((real_v3, real_v4));
+
+    let handle = filled_fleet(streams, elements, true);
+    let v3_json = handle
+        .snapshot_with(SnapshotEncoding::Json)
+        .expect("snapshot-capable")
+        .to_json();
+    let v4_json = handle
+        .snapshot_compact()
+        .expect("snapshot-capable")
+        .to_json();
+    println!(
+        "binary error streams, {streams} streams x {elements} (w_max=25k): \
+         v3 = {} KiB, v4 = {} KiB ({:.1}%)",
+        v3_json.len() / 1024,
+        v4_json.len() / 1024,
+        v4_json.len() as f64 / v3_json.len() as f64 * 100.0
+    );
+
+    let total_elements = streams * elements as u64;
+    let mut encode = c.benchmark_group(format!("snapshot_encode_{streams}_streams"));
+    encode.throughput(Throughput::Elements(total_elements));
+    encode.sample_size(10);
+    encode.bench_function("v3_json", |b| {
+        b.iter(|| {
+            let json = handle
+                .snapshot_with(SnapshotEncoding::Json)
+                .expect("snapshot-capable")
+                .to_json();
+            black_box(json.len())
+        });
+    });
+    encode.bench_function("v4_binary", |b| {
+        b.iter(|| {
+            let json = handle
+                .snapshot_compact()
+                .expect("snapshot-capable")
+                .to_json();
+            black_box(json.len())
+        });
+    });
+    encode.finish();
+
+    let mut decode = c.benchmark_group(format!("snapshot_decode_{streams}_streams"));
+    decode.throughput(Throughput::Elements(total_elements));
+    // Restoring a 1k-detector fleet takes tens of seconds per iteration on
+    // a laptop-class core (the v3 JSON parse dominates); keep the sample
+    // count low so the whole bench stays in single-digit minutes.
+    decode.sample_size(3);
+    for (label, json) in [("v3_json", &v3_json), ("v4_binary", &v4_json)] {
+        decode.bench_function(label, |b| {
+            b.iter(|| {
+                let snapshot = EngineSnapshot::from_json(json).expect("well-formed JSON");
+                let restored = EngineBuilder::new()
+                    .shards(4)
+                    .restore(snapshot)
+                    .build()
+                    .expect("self-describing snapshot");
+                let streams = restored.stats().expect("engine running").streams;
+                restored.shutdown().expect("clean shutdown");
+                black_box(streams)
+            });
+        });
+    }
+    decode.finish();
+    handle.shutdown().expect("clean shutdown");
+}
+
+criterion_group!(benches, bench_snapshot_codec);
+criterion_main!(benches);

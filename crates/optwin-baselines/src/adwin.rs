@@ -390,25 +390,66 @@ impl DriftDetector for Adwin {
     /// every incremental update, and bit-exact resumption requires restoring
     /// exactly that value.
     fn snapshot_state(&self) -> Option<serde::Value> {
+        self.snapshot_state_encoded(optwin_core::SnapshotEncoding::Json)
+    }
+
+    /// [`Adwin::snapshot_state`] with an explicit layout for the bucket
+    /// rows. The JSON layout keeps the historical nested
+    /// `[[count, sum, variance], ..]` arrays; the binary layout stores the
+    /// same buckets **columnar** — per-row lengths plus one blob each for
+    /// the flattened counts (varints), sums and variances — so the integral
+    /// columns compress far below their JSON forms.
+    fn snapshot_state_encoded(
+        &self,
+        encoding: optwin_core::SnapshotEncoding,
+    ) -> Option<serde::Value> {
+        use optwin_core::snapshot::{f64_seq_value, u64_seq_value};
         use serde::Serialize as _;
-        let rows = serde::Value::Array(
-            self.rows
-                .iter()
-                .map(|row| {
-                    serde::Value::Array(
-                        row.iter()
-                            .map(|b| {
-                                serde::Value::Array(vec![
-                                    serde::Value::UInt(b.count),
-                                    serde::Value::Float(b.sum),
-                                    serde::Value::Float(b.variance),
-                                ])
-                            })
-                            .collect(),
-                    )
-                })
-                .collect(),
-        );
+        let rows = match encoding {
+            optwin_core::SnapshotEncoding::Json => serde::Value::Array(
+                self.rows
+                    .iter()
+                    .map(|row| {
+                        serde::Value::Array(
+                            row.iter()
+                                .map(|b| {
+                                    serde::Value::Array(vec![
+                                        serde::Value::UInt(b.count),
+                                        serde::Value::Float(b.sum),
+                                        serde::Value::Float(b.variance),
+                                    ])
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+            optwin_core::SnapshotEncoding::Binary => {
+                let lens: Vec<u64> = self.rows.iter().map(|row| row.len() as u64).collect();
+                let buckets = self.rows.iter().flatten();
+                let counts: Vec<u64> = buckets.clone().map(|b| b.count).collect();
+                let sums: Vec<f64> = buckets.clone().map(|b| b.sum).collect();
+                let variances: Vec<f64> = buckets.map(|b| b.variance).collect();
+                serde::Value::Object(vec![
+                    (
+                        "row_lens".to_string(),
+                        u64_seq_value(optwin_core::SnapshotEncoding::Binary, &lens),
+                    ),
+                    (
+                        "counts".to_string(),
+                        u64_seq_value(optwin_core::SnapshotEncoding::Binary, &counts),
+                    ),
+                    (
+                        "sums".to_string(),
+                        f64_seq_value(optwin_core::SnapshotEncoding::Binary, &sums),
+                    ),
+                    (
+                        "variances".to_string(),
+                        f64_seq_value(optwin_core::SnapshotEncoding::Binary, &variances),
+                    ),
+                ])
+            }
+        };
         Some(serde::Value::Object(vec![
             ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
             ("rows".to_string(), rows),
@@ -443,61 +484,15 @@ impl DriftDetector for Adwin {
         let rows_value = state
             .get("rows")
             .ok_or_else(|| invalid("missing field `rows`"))?;
-        let serde::Value::Array(row_values) = rows_value else {
-            return Err(invalid("`rows` must be an array"));
+        let (rows, bucket_total) = match rows_value {
+            serde::Value::Array(row_values) => rows_from_nested(row_values)?,
+            serde::Value::Object(_) => rows_from_columnar(rows_value)?,
+            _ => {
+                return Err(invalid(
+                    "`rows` must be a nested bucket array or a columnar blob object",
+                ))
+            }
         };
-        if row_values.is_empty() {
-            return Err(invalid("`rows` must contain at least one row"));
-        }
-        let mut rows: Vec<Vec<Bucket>> = Vec::with_capacity(row_values.len());
-        let mut bucket_total: u64 = 0;
-        for (r, row_value) in row_values.iter().enumerate() {
-            let serde::Value::Array(bucket_values) = row_value else {
-                return Err(invalid(format!("`rows[{r}]` must be an array")));
-            };
-            if bucket_values.len() > MAX_BUCKETS_PER_ROW + 1 {
-                return Err(invalid(format!(
-                    "`rows[{r}]` has {} buckets (limit {})",
-                    bucket_values.len(),
-                    MAX_BUCKETS_PER_ROW + 1
-                )));
-            }
-            let mut row = Vec::with_capacity(bucket_values.len());
-            for (k, bucket_value) in bucket_values.iter().enumerate() {
-                let serde::Value::Array(parts) = bucket_value else {
-                    return Err(invalid(format!("`rows[{r}][{k}]` must be an array")));
-                };
-                if parts.len() != 3 {
-                    return Err(invalid(format!(
-                        "`rows[{r}][{k}]` must have 3 elements, got {}",
-                        parts.len()
-                    )));
-                }
-                let count = <u64 as serde::Deserialize>::from_value(&parts[0])
-                    .map_err(|e| invalid(format!("`rows[{r}][{k}]` count: {e}")))?;
-                let sum = <f64 as serde::Deserialize>::from_value(&parts[1])
-                    .map_err(|e| invalid(format!("`rows[{r}][{k}]` sum: {e}")))?;
-                let variance = <f64 as serde::Deserialize>::from_value(&parts[2])
-                    .map_err(|e| invalid(format!("`rows[{r}][{k}]` variance: {e}")))?;
-                if count == 0 {
-                    return Err(invalid(format!("`rows[{r}][{k}]` has zero count")));
-                }
-                if !sum.is_finite() || !variance.is_finite() || variance < 0.0 {
-                    return Err(invalid(format!(
-                        "`rows[{r}][{k}]` has a non-finite or negative moment"
-                    )));
-                }
-                bucket_total = bucket_total.checked_add(count).ok_or_else(|| {
-                    invalid(format!("bucket counts overflow at `rows[{r}][{k}]`"))
-                })?;
-                row.push(Bucket {
-                    count,
-                    sum,
-                    variance,
-                });
-            }
-            rows.push(row);
-        }
 
         let total_count: u64 = field(state, "total_count")?;
         if total_count != bucket_total {
@@ -528,6 +523,139 @@ impl DriftDetector for Adwin {
         self.last_status = last_status;
         Ok(())
     }
+}
+
+/// Shared bucket validation for both snapshot layouts: positive count,
+/// finite moments, non-negative variance, and an overflow-checked running
+/// total.
+fn validated_bucket(
+    count: u64,
+    sum: f64,
+    variance: f64,
+    bucket_total: &mut u64,
+    at: impl Fn() -> String,
+) -> Result<Bucket, CoreError> {
+    if count == 0 {
+        return Err(invalid(format!("{} has zero count", at())));
+    }
+    if !sum.is_finite() || !variance.is_finite() || variance < 0.0 {
+        return Err(invalid(format!(
+            "{} has a non-finite or negative moment",
+            at()
+        )));
+    }
+    *bucket_total = bucket_total
+        .checked_add(count)
+        .ok_or_else(|| invalid(format!("bucket counts overflow at {}", at())))?;
+    Ok(Bucket {
+        count,
+        sum,
+        variance,
+    })
+}
+
+/// Parses the historical JSON layout of `rows`: an array of rows, each an
+/// array of `[count, sum, variance]` triples.
+fn rows_from_nested(row_values: &[serde::Value]) -> Result<(Vec<Vec<Bucket>>, u64), CoreError> {
+    if row_values.is_empty() {
+        return Err(invalid("`rows` must contain at least one row"));
+    }
+    let mut rows: Vec<Vec<Bucket>> = Vec::with_capacity(row_values.len());
+    let mut bucket_total: u64 = 0;
+    for (r, row_value) in row_values.iter().enumerate() {
+        let serde::Value::Array(bucket_values) = row_value else {
+            return Err(invalid(format!("`rows[{r}]` must be an array")));
+        };
+        if bucket_values.len() > MAX_BUCKETS_PER_ROW + 1 {
+            return Err(invalid(format!(
+                "`rows[{r}]` has {} buckets (limit {})",
+                bucket_values.len(),
+                MAX_BUCKETS_PER_ROW + 1
+            )));
+        }
+        let mut row = Vec::with_capacity(bucket_values.len());
+        for (k, bucket_value) in bucket_values.iter().enumerate() {
+            let serde::Value::Array(parts) = bucket_value else {
+                return Err(invalid(format!("`rows[{r}][{k}]` must be an array")));
+            };
+            if parts.len() != 3 {
+                return Err(invalid(format!(
+                    "`rows[{r}][{k}]` must have 3 elements, got {}",
+                    parts.len()
+                )));
+            }
+            let count = <u64 as serde::Deserialize>::from_value(&parts[0])
+                .map_err(|e| invalid(format!("`rows[{r}][{k}]` count: {e}")))?;
+            let sum = <f64 as serde::Deserialize>::from_value(&parts[1])
+                .map_err(|e| invalid(format!("`rows[{r}][{k}]` sum: {e}")))?;
+            let variance = <f64 as serde::Deserialize>::from_value(&parts[2])
+                .map_err(|e| invalid(format!("`rows[{r}][{k}]` variance: {e}")))?;
+            row.push(validated_bucket(
+                count,
+                sum,
+                variance,
+                &mut bucket_total,
+                || format!("`rows[{r}][{k}]`"),
+            )?);
+        }
+        rows.push(row);
+    }
+    Ok((rows, bucket_total))
+}
+
+/// Parses the columnar binary layout of `rows` (wire format v4): per-row
+/// lengths plus flattened `counts` / `sums` / `variances` blobs, all columns
+/// required to agree on the bucket count.
+fn rows_from_columnar(value: &serde::Value) -> Result<(Vec<Vec<Bucket>>, u64), CoreError> {
+    use optwin_core::snapshot::{f64_seq_field, u64_seq_field};
+    let lens = u64_seq_field(value, "row_lens")?;
+    let counts = u64_seq_field(value, "counts")?;
+    let sums = f64_seq_field(value, "sums")?;
+    let variances = f64_seq_field(value, "variances")?;
+    if lens.is_empty() {
+        return Err(invalid("`rows.row_lens` must contain at least one row"));
+    }
+    let total: u64 = lens.iter().try_fold(0u64, |acc, &len| {
+        acc.checked_add(len)
+            .ok_or_else(|| invalid("`rows.row_lens` overflows"))
+    })?;
+    if total != counts.len() as u64 || counts.len() != sums.len() || counts.len() != variances.len()
+    {
+        return Err(invalid(format!(
+            "`rows` column lengths disagree: row_lens sum to {total}, counts {}, sums {}, \
+             variances {}",
+            counts.len(),
+            sums.len(),
+            variances.len()
+        )));
+    }
+    let mut rows: Vec<Vec<Bucket>> = Vec::with_capacity(lens.len());
+    let mut bucket_total: u64 = 0;
+    let mut offset = 0usize;
+    for (r, &len) in lens.iter().enumerate() {
+        let len = usize::try_from(len)
+            .map_err(|_| invalid(format!("`rows.row_lens[{r}]` out of range")))?;
+        if len > MAX_BUCKETS_PER_ROW + 1 {
+            return Err(invalid(format!(
+                "`rows.row_lens[{r}]` is {len} buckets (limit {})",
+                MAX_BUCKETS_PER_ROW + 1
+            )));
+        }
+        let mut row = Vec::with_capacity(len);
+        for k in 0..len {
+            let i = offset + k;
+            row.push(validated_bucket(
+                counts[i],
+                sums[i],
+                variances[i],
+                &mut bucket_total,
+                || format!("`rows[{r}][{k}]`"),
+            )?);
+        }
+        offset += len;
+        rows.push(row);
+    }
+    Ok((rows, bucket_total))
 }
 
 #[cfg(test)]
@@ -763,6 +891,61 @@ mod tests {
             .collect();
         assert!(d.restore_state(&serde::Value::Object(truncated)).is_err());
         assert_eq!(d.elements_seen(), before);
+    }
+
+    #[test]
+    fn binary_snapshot_is_columnar_and_validated() {
+        let mut donor = Adwin::with_defaults();
+        for i in 0..2_000u64 {
+            donor.add_element(bernoulli(i, 0.3));
+        }
+        let state = donor
+            .snapshot_state_encoded(optwin_core::SnapshotEncoding::Binary)
+            .unwrap();
+        // The bucket rows become a columnar object of blob strings.
+        let rows = state.get("rows").expect("rows present");
+        assert!(rows.as_object().is_some(), "columnar layout");
+        for column in ["row_lens", "counts", "sums", "variances"] {
+            assert!(
+                matches!(rows.get(column), Some(serde::Value::Str(_))),
+                "column `{column}` must be a blob string"
+            );
+        }
+
+        // Disagreeing column lengths are rejected, naming the columns.
+        let serde::Value::Object(mut fields) = state.clone() else {
+            panic!("snapshot must be an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "rows" {
+                let serde::Value::Object(mut columns) = v.clone() else {
+                    panic!("rows must be columnar")
+                };
+                for (name, column) in &mut columns {
+                    if name == "sums" {
+                        *column = optwin_core::snapshot::encode_f64_seq(&[1.0]);
+                    }
+                }
+                *v = serde::Value::Object(columns);
+            }
+        }
+        let mut d = Adwin::with_defaults();
+        let err = d.restore_state(&serde::Value::Object(fields)).unwrap_err();
+        assert!(err.to_string().contains("column lengths disagree"), "{err}");
+
+        // The intact columnar state restores bit-exactly (the shared
+        // equivalence helper exercises decisions; spot-check the aggregates).
+        let mut restored = Adwin::with_defaults();
+        restored.restore_state(&state).unwrap();
+        assert_eq!(restored.elements_seen(), donor.elements_seen());
+        assert_eq!(
+            restored.window_mean().to_bits(),
+            donor.window_mean().to_bits()
+        );
+        assert_eq!(
+            restored.window_variance().to_bits(),
+            donor.window_variance().to_bits()
+        );
     }
 
     #[test]

@@ -172,11 +172,24 @@ impl DriftDetector for Kswin {
     /// Serializes the buffered window contents verbatim plus the lifetime
     /// counters — KSWIN's entire mutable state is the raw window.
     fn snapshot_state(&self) -> Option<serde::Value> {
+        self.snapshot_state_encoded(optwin_core::SnapshotEncoding::Json)
+    }
+
+    /// [`Kswin::snapshot_state`] with an explicit window layout: the raw
+    /// window (the bulk of KSWIN's state at large `window_size`) serializes
+    /// as a JSON array or a compact binary blob.
+    fn snapshot_state_encoded(
+        &self,
+        encoding: optwin_core::SnapshotEncoding,
+    ) -> Option<serde::Value> {
         use serde::Serialize as _;
         let window: Vec<f64> = self.window.iter().copied().collect();
         Some(serde::Value::Object(vec![
             ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
-            ("window".to_string(), window.to_value()),
+            (
+                "window".to_string(),
+                optwin_core::snapshot::f64_seq_value(encoding, &window),
+            ),
             (
                 "elements_seen".to_string(),
                 serde::Value::UInt(self.elements_seen),
@@ -191,7 +204,7 @@ impl DriftDetector for Kswin {
 
     fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
         check_version(state, SNAPSHOT_VERSION, "KSWIN")?;
-        let window: Vec<f64> = field(state, "window")?;
+        let window: Vec<f64> = optwin_core::snapshot::f64_seq_field(state, "window")?;
         if window.len() > self.config.window_size {
             return Err(invalid(format!(
                 "window has {} entries, configuration allows {}",

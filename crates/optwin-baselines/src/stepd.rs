@@ -192,11 +192,24 @@ impl DriftDetector for Stepd {
     /// the window), so it is recomputed on restore rather than trusted from
     /// the wire.
     fn snapshot_state(&self) -> Option<serde::Value> {
+        self.snapshot_state_encoded(optwin_core::SnapshotEncoding::Json)
+    }
+
+    /// [`Stepd::snapshot_state`] with an explicit window layout: the recent
+    /// result window serializes as a JSON bool array or a bit-packed binary
+    /// blob (one bit per buffered result).
+    fn snapshot_state_encoded(
+        &self,
+        encoding: optwin_core::SnapshotEncoding,
+    ) -> Option<serde::Value> {
         use serde::Serialize as _;
         let recent: Vec<bool> = self.recent.iter().copied().collect();
         Some(serde::Value::Object(vec![
             ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
-            ("recent".to_string(), recent.to_value()),
+            (
+                "recent".to_string(),
+                optwin_core::snapshot::bool_seq_value(encoding, &recent),
+            ),
             (
                 "older_total".to_string(),
                 serde::Value::UInt(self.older_total),
@@ -219,7 +232,7 @@ impl DriftDetector for Stepd {
 
     fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
         check_version(state, SNAPSHOT_VERSION, "STEPD")?;
-        let recent: Vec<bool> = field(state, "recent")?;
+        let recent: Vec<bool> = optwin_core::snapshot::bool_seq_field(state, "recent")?;
         if recent.len() > self.config.window_size {
             return Err(invalid(format!(
                 "recent window has {} entries, configuration allows {}",

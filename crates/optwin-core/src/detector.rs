@@ -16,6 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::snapshot::SnapshotEncoding;
 use crate::CoreError;
 
 /// Outcome of ingesting one element into a drift detector.
@@ -169,7 +170,26 @@ pub trait DriftDetector {
         None
     }
 
-    /// Restores state captured by [`DriftDetector::snapshot_state`] into this
+    /// [`DriftDetector::snapshot_state`] with an explicit layout for
+    /// sequence-shaped state: [`SnapshotEncoding::Json`] serializes windows
+    /// and bucket rows as plain JSON arrays (wire formats v1–v3), while
+    /// [`SnapshotEncoding::Binary`] embeds them as compact base64 binary
+    /// blobs (wire format v4; see [`crate::snapshot`]). Both layouts carry
+    /// the identical raw state — restores are bit-exact either way — and
+    /// [`DriftDetector::restore_state`] accepts both transparently.
+    ///
+    /// The default implementation ignores the encoding and returns
+    /// [`DriftDetector::snapshot_state`], so custom detectors that only
+    /// implement the JSON layout keep working inside v4 engine snapshots
+    /// (their state simply stays JSON-shaped). Every shipped detector
+    /// overrides this with a real binary layout.
+    fn snapshot_state_encoded(&self, encoding: SnapshotEncoding) -> Option<serde::Value> {
+        let _ = encoding;
+        self.snapshot_state()
+    }
+
+    /// Restores state captured by [`DriftDetector::snapshot_state`] (or
+    /// [`DriftDetector::snapshot_state_encoded`], either layout) into this
     /// detector, which must have been freshly constructed with the same
     /// configuration as the snapshotted one.
     ///
@@ -318,6 +338,10 @@ mod tests {
             drifts: 0,
         };
         assert!(d.snapshot_state().is_none());
+        // The encoded variant delegates to `snapshot_state` by default, for
+        // both encodings.
+        assert!(d.snapshot_state_encoded(SnapshotEncoding::Json).is_none());
+        assert!(d.snapshot_state_encoded(SnapshotEncoding::Binary).is_none());
         let err = d.restore_state(&serde::Value::Null).unwrap_err();
         assert!(matches!(err, CoreError::SnapshotUnsupported { .. }));
         assert!(err.to_string().contains("periodic"));

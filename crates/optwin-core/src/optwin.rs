@@ -435,6 +435,14 @@ impl DriftDetector for Optwin {
     /// *not* serialized; restoration happens into a detector constructed with
     /// the same configuration (`w_max` is embedded for validation).
     fn snapshot_state(&self) -> Option<serde::Value> {
+        self.snapshot_state_encoded(crate::SnapshotEncoding::Json)
+    }
+
+    /// [`Optwin::snapshot_state`] with an explicit window layout: the
+    /// (potentially `w_max`-sized) window serializes as a JSON array or a
+    /// compact binary blob; everything else is scalar and identical in both
+    /// layouts.
+    fn snapshot_state_encoded(&self, encoding: crate::SnapshotEncoding) -> Option<serde::Value> {
         use serde::Serialize as _;
         Some(serde::Value::Object(vec![
             ("version".to_string(), serde::Value::UInt(SNAPSHOT_VERSION)),
@@ -442,7 +450,10 @@ impl DriftDetector for Optwin {
                 "w_max".to_string(),
                 serde::Value::UInt(self.config.w_max as u64),
             ),
-            ("window".to_string(), self.window.to_vec().to_value()),
+            (
+                "window".to_string(),
+                crate::snapshot::f64_seq_value(encoding, &self.window.to_vec()),
+            ),
             (
                 "split".to_string(),
                 serde::Value::UInt(self.window.split() as u64),
@@ -485,7 +496,7 @@ impl DriftDetector for Optwin {
                 self.config.w_max
             )));
         }
-        let values: Vec<f64> = snapshot_field(state, "window")?;
+        let values: Vec<f64> = crate::snapshot::f64_seq_field(state, "window")?;
         if values.iter().any(|v| !v.is_finite()) {
             return Err(invalid("window contains non-finite values".to_string()));
         }
@@ -887,34 +898,45 @@ mod tests {
             .collect();
 
         // Snapshot at several cut points, including right after a drift reset
-        // (~2_100) and mid-saturation.
-        for &cut in &[0usize, 17, 1_000, 2_100, 4_500] {
-            let mut original = Optwin::new(small_config(0.5)).unwrap();
-            original.add_batch(&stream[..cut]);
-            let state = original
-                .snapshot_state()
-                .expect("OPTWIN supports snapshots");
+        // (~2_100) and mid-saturation, in both window layouts.
+        for encoding in [
+            crate::SnapshotEncoding::Json,
+            crate::SnapshotEncoding::Binary,
+        ] {
+            for &cut in &[0usize, 17, 1_000, 2_100, 4_500] {
+                let mut original = Optwin::new(small_config(0.5)).unwrap();
+                original.add_batch(&stream[..cut]);
+                let state = original
+                    .snapshot_state_encoded(encoding)
+                    .expect("OPTWIN supports snapshots");
+                if encoding == crate::SnapshotEncoding::Binary && cut > 0 {
+                    assert!(
+                        matches!(state.get("window"), Some(serde::Value::Str(_))),
+                        "binary layout embeds the window as a blob string"
+                    );
+                }
 
-            // Round-trip the state value through the crate's own accessors to
-            // mimic what an engine-level persistence layer does.
-            let mut restored = Optwin::new(small_config(0.5)).unwrap();
-            restored.restore_state(&state).unwrap();
+                // Round-trip the state value through the crate's own accessors
+                // to mimic what an engine-level persistence layer does.
+                let mut restored = Optwin::new(small_config(0.5)).unwrap();
+                restored.restore_state(&state).unwrap();
 
-            assert_eq!(restored.window_len(), original.window_len());
-            assert_eq!(restored.elements_seen(), original.elements_seen());
-            assert_eq!(restored.drifts_detected(), original.drifts_detected());
+                assert_eq!(restored.window_len(), original.window_len());
+                assert_eq!(restored.elements_seen(), original.elements_seen());
+                assert_eq!(restored.drifts_detected(), original.drifts_detected());
 
-            let rest = &stream[cut..];
-            let a = original.add_batch(rest);
-            let b = restored.add_batch(rest);
-            assert_eq!(a, b, "divergence after restoring at {cut}");
-            assert_eq!(original.drifts_detected(), restored.drifts_detected());
-            assert_eq!(original.warnings_detected(), restored.warnings_detected());
-            assert_eq!(original.last_status(), restored.last_status());
-            assert_eq!(
-                original.hist_mean().to_bits(),
-                restored.hist_mean().to_bits()
-            );
+                let rest = &stream[cut..];
+                let a = original.add_batch(rest);
+                let b = restored.add_batch(rest);
+                assert_eq!(a, b, "divergence after restoring at {cut} ({encoding:?})");
+                assert_eq!(original.drifts_detected(), restored.drifts_detected());
+                assert_eq!(original.warnings_detected(), restored.warnings_detected());
+                assert_eq!(original.last_status(), restored.last_status());
+                assert_eq!(
+                    original.hist_mean().to_bits(),
+                    restored.hist_mean().to_bits()
+                );
+            }
         }
     }
 

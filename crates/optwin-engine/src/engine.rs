@@ -381,6 +381,16 @@ impl DriftEngine {
         self.handle.snapshot()
     }
 
+    /// [`DriftEngine::snapshot`] in the v4 compact binary layout (see
+    /// [`crate::EngineHandle::snapshot_compact`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DriftEngine::snapshot`].
+    pub fn snapshot_compact(&self) -> Result<EngineSnapshot, EngineError> {
+        self.handle.snapshot_compact()
+    }
+
     /// Ingests a batch of `(stream id, value)` records and returns the
     /// events it produced, sorted by `(stream, seq)`.
     ///

@@ -28,11 +28,11 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use optwin_baselines::DetectorSpec;
-use optwin_core::{DriftDetector, DriftStatus};
+use optwin_core::{DriftDetector, DriftStatus, SnapshotEncoding};
 
 use crate::engine::{EngineConfig, EngineError, StreamSnapshot};
 use crate::event::DriftEvent;
-use crate::persist::{EngineSnapshot, StreamStateSnapshot, ENGINE_SNAPSHOT_VERSION};
+use crate::persist::{wire_version, EngineSnapshot, StreamStateSnapshot};
 use crate::router::Router;
 use crate::sink::EventSink;
 
@@ -272,8 +272,10 @@ enum ShardMsg {
     /// behind the auto-rebalance trigger, which runs on **every** flush
     /// (barrier).
     LoadProbe { ack: Sender<(u64, usize)> },
-    /// Serialize per-stream detector state (barrier).
+    /// Serialize per-stream detector state in the given sequence layout
+    /// (barrier).
     Snapshot {
+        encoding: SnapshotEncoding,
         ack: Sender<Result<Vec<StreamStateSnapshot>, EngineError>>,
     },
     /// Remove the named streams' [`StreamState`]s and hand them back — the
@@ -507,18 +509,23 @@ impl ShardState {
         }
     }
 
-    fn snapshot(&self) -> Result<Vec<StreamStateSnapshot>, EngineError> {
+    fn snapshot(
+        &self,
+        encoding: SnapshotEncoding,
+    ) -> Result<Vec<StreamStateSnapshot>, EngineError> {
         let mut ids: Vec<u64> = self.streams.keys().copied().collect();
         ids.sort_unstable();
         ids.into_iter()
             .map(|stream| {
                 let state = &self.streams[&stream];
-                let detector_state = state.detector.snapshot_state().ok_or_else(|| {
-                    EngineError::SnapshotUnsupported {
-                        stream,
-                        detector: state.detector.name().to_string(),
-                    }
-                })?;
+                let detector_state =
+                    state
+                        .detector
+                        .snapshot_state_encoded(encoding)
+                        .ok_or_else(|| EngineError::SnapshotUnsupported {
+                            stream,
+                            detector: state.detector.name().to_string(),
+                        })?;
                 Ok(StreamStateSnapshot {
                     stream,
                     seq: state.seq,
@@ -597,8 +604,8 @@ fn worker_loop(
                 let load: u64 = shard.streams.values().map(|s| s.seq).sum();
                 let _ = ack.send((load, shard.streams.len()));
             }
-            ShardMsg::Snapshot { ack } => {
-                let _ = ack.send(shard.snapshot());
+            ShardMsg::Snapshot { encoding, ack } => {
+                let _ = ack.send(shard.snapshot(encoding));
             }
             ShardMsg::Extract { streams, ack } => {
                 let mut extracted = Vec::with_capacity(streams.len());
@@ -639,6 +646,11 @@ struct HandleShared {
     config: EngineConfig,
     queue_capacity: usize,
     has_factory: bool,
+    /// The sequence layout [`EngineHandle::snapshot`] writes —
+    /// [`SnapshotEncoding::Json`] (wire v3) unless the builder opted into
+    /// compact binary (wire v4) via
+    /// [`crate::EngineBuilder::snapshot_encoding`].
+    snapshot_encoding: SnapshotEncoding,
     /// When set, [`EngineHandle::flush`] triggers a
     /// [`RebalancePolicy::Records`] rebalance whenever the shard record-load
     /// imbalance (`max / mean`) exceeds this threshold.
@@ -705,6 +717,7 @@ pub(crate) fn spawn_engine(
     sinks: Vec<Arc<dyn EventSink>>,
     initial_streams: Vec<HashMap<u64, StreamState>>,
     auto_rebalance_threshold: Option<f64>,
+    snapshot_encoding: SnapshotEncoding,
 ) -> EngineHandle {
     debug_assert_eq!(initial_streams.len(), config.shards);
     let queue = Arc::new(QueueState {
@@ -753,6 +766,7 @@ pub(crate) fn spawn_engine(
             config,
             queue_capacity,
             has_factory: source.is_some(),
+            snapshot_encoding,
             auto_rebalance_threshold,
             futile_auto_rebalance: Mutex::new(None),
         }),
@@ -1369,8 +1383,12 @@ impl EngineHandle {
     /// records each stream's **shard placement**, so a restore reproduces a
     /// rebalanced (tuned) routing table instead of resetting to modulo.
     ///
-    /// All 8 shipped detector kinds (OPTWIN and every baseline) implement
-    /// state serialization with bit-exact resumption.
+    /// Writes the layout configured at build time
+    /// ([`crate::EngineBuilder::snapshot_encoding`], default: v3 JSON
+    /// arrays); [`EngineHandle::snapshot_compact`] always writes the v4
+    /// compact binary layout. All 8 shipped detector kinds (OPTWIN and
+    /// every baseline) implement state serialization with bit-exact
+    /// resumption, in both layouts.
     ///
     /// # Errors
     ///
@@ -1379,13 +1397,37 @@ impl EngineHandle {
     /// [`optwin_core::DriftDetector::snapshot_state`], or
     /// [`EngineError::ChannelClosed`] when the engine has shut down.
     pub fn snapshot(&self) -> Result<EngineSnapshot, EngineError> {
+        self.snapshot_with(self.shared.snapshot_encoding)
+    }
+
+    /// [`EngineHandle::snapshot`] in the **v4 compact binary** layout:
+    /// detector windows and bucket rows are embedded as base64 binary blobs
+    /// (bit-packed / fixed-point-delta / raw frames, whichever is smallest
+    /// per sequence — see [`optwin_core::snapshot`]) instead of JSON number
+    /// arrays. At the paper's large-`w_max` OPTWIN configurations this
+    /// shrinks fleet snapshots by several ×; restores remain bit-exact.
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineHandle::snapshot`].
+    pub fn snapshot_compact(&self) -> Result<EngineSnapshot, EngineError> {
+        self.snapshot_with(SnapshotEncoding::Binary)
+    }
+
+    /// [`EngineHandle::snapshot`] with an explicit sequence layout (the
+    /// wire version follows it: v3 for JSON, v4 for binary).
+    ///
+    /// # Errors
+    ///
+    /// As [`EngineHandle::snapshot`].
+    pub fn snapshot_with(&self, encoding: SnapshotEncoding) -> Result<EngineSnapshot, EngineError> {
         let mut acks = Vec::with_capacity(self.senders.len());
         {
             let _router = self.shared.router.read();
             for sender in &self.senders {
                 let (ack, response) = channel();
                 sender
-                    .send(ShardMsg::Snapshot { ack })
+                    .send(ShardMsg::Snapshot { encoding, ack })
                     .map_err(|_| EngineError::ChannelClosed)?;
                 acks.push(response);
             }
@@ -1396,7 +1438,7 @@ impl EngineHandle {
         }
         streams.sort_unstable_by_key(|s| s.stream);
         Ok(EngineSnapshot {
-            version: ENGINE_SNAPSHOT_VERSION,
+            version: wire_version(encoding),
             shards: self.senders.len(),
             emit_warnings: self.shared.config.emit_warnings,
             streams,

@@ -133,5 +133,9 @@ pub use fleet::FleetConfig;
 pub use handle::{
     EngineHandle, EngineStats, RebalancePolicy, RebalanceReport, ShardLoad, SharedDetectorFactory,
 };
-pub use persist::{EngineSnapshot, StreamStateSnapshot, ENGINE_SNAPSHOT_VERSION};
+pub use persist::{wire_version, EngineSnapshot, StreamStateSnapshot, ENGINE_SNAPSHOT_VERSION};
 pub use sink::{CallbackSink, EventSink, JsonLinesSink, MemorySink};
+
+// Re-exported so engine users can pick a snapshot layout without depending
+// on `optwin-core` directly.
+pub use optwin_core::SnapshotEncoding;

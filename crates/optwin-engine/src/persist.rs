@@ -39,12 +39,28 @@
 //! back to the `id % shards` default, so older snapshots keep loading
 //! unchanged.
 //!
+//! # Wire format v4: compact binary window payloads
+//!
+//! Since format version 4 the per-stream detector `state` may embed its
+//! sequence-shaped payloads — OPTWIN/KSWIN windows, the STEPD result
+//! window, ADWIN's bucket columns — as compact base64 binary blobs (see
+//! [`optwin_core::snapshot`]) instead of JSON number arrays, shrinking
+//! large-window fleet snapshots by an order of magnitude while keeping
+//! restores **bit-exact** (the blobs carry the same raw accumulators; no
+//! recomputation happens on either side). The outer JSON structure is
+//! unchanged, and every detector's `restore_state` accepts both layouts, so
+//! a v4 reader loads v1–v3 snapshots unchanged and the layout is chosen
+//! purely at write time: [`crate::EngineHandle::snapshot_compact`] (or the
+//! [`crate::EngineBuilder::snapshot_encoding`] knob) writes v4,
+//! [`crate::EngineHandle::snapshot`] defaults to v3 JSON.
+//!
 //! The snapshot deliberately excludes detector *configuration* beyond the
 //! spec string: restoration re-derives shared resources (e.g. OPTWIN cut
 //! tables) from the spec or factory. Shard count and warning policy are
 //! recorded as provenance and do not constrain the restoring builder.
 
 use optwin_baselines::DetectorSpec;
+use optwin_core::SnapshotEncoding;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::EngineError;
@@ -59,7 +75,22 @@ use crate::engine::EngineError;
 /// * **v3** — adds the optional per-stream `shard`, making restore
 ///   placement-preserving (a rebalanced routing table survives a restart).
 ///   v1/v2 snapshots still parse and restore, defaulting to `id % shards`.
-pub const ENGINE_SNAPSHOT_VERSION: u64 = 3;
+/// * **v4** — detector states embed window/bucket payloads as compact
+///   binary blobs instead of JSON number arrays. v1–v3 snapshots still
+///   parse and restore unchanged; v3 remains the default *write* format
+///   ([`wire_version`]).
+pub const ENGINE_SNAPSHOT_VERSION: u64 = 4;
+
+/// The wire version written for a given sequence layout: v3 for
+/// [`SnapshotEncoding::Json`] (the historical number-array layout), v4 for
+/// [`SnapshotEncoding::Binary`] (compact blobs).
+#[must_use]
+pub fn wire_version(encoding: SnapshotEncoding) -> u64 {
+    match encoding {
+        SnapshotEncoding::Json => 3,
+        SnapshotEncoding::Binary => ENGINE_SNAPSHOT_VERSION,
+    }
+}
 
 /// The persisted state of one stream: its position, optionally the
 /// [`DetectorSpec`] it was registered with, and its detector's serialized
@@ -168,7 +199,7 @@ impl EngineSnapshot {
     }
 
     /// Parses a snapshot previously produced by [`EngineSnapshot::to_json`]
-    /// — any supported format version (v1 and v2).
+    /// — any supported format version (v1 through v4).
     ///
     /// # Errors
     ///

@@ -27,10 +27,14 @@
 //! Halfway through, the engine's per-shard load is dumped, its placement
 //! rebalanced, and the engine snapshotted, torn down, and restored into
 //! a brand-new engine **without registering a single stream or configuring
-//! any factory** — the v3 snapshot embeds each stream's
+//! any factory** — the snapshot embeds each stream's
 //! `{spec, state, shard}`, so the restarted process rebuilds all 256
 //! heterogeneous detectors (and the tuned placement) from the JSON alone
-//! and produces exactly the events the original would have.
+//! and produces exactly the events the original would have. The restart
+//! uses the **v4 compact binary** snapshot
+//! ([`EngineHandle::snapshot_compact`]): detector windows travel as
+//! bit-packed / fixed-point binary blobs instead of JSON number arrays,
+//! and both layouts' sizes are printed side by side.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -157,7 +161,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         handle.rerouted_streams()
     );
 
-    let snapshot = handle.snapshot()?;
+    // Snapshot the fleet in both wire layouts: v3 (JSON number arrays) for
+    // the size comparison, v4 (compact binary blobs) for the actual restart.
+    let v3_size = handle.snapshot()?.to_json().len();
+    let snapshot = handle.snapshot_compact()?;
     handle.shutdown()?;
     assert!(
         snapshot.is_self_describing(),
@@ -165,15 +172,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(
         snapshot.records_placement(),
-        "v3 snapshots capture the (rebalanced) placement"
+        "v3+ snapshots capture the (rebalanced) placement"
     );
+    assert_eq!(snapshot.version, 4, "snapshot_compact writes wire v4");
     let snapshot_json = snapshot.to_json();
     println!(
         "phase 1: {} elements in {phase1:.2?}; self-describing snapshot captured {} streams \
-         ({} KiB as JSON)",
+         (v3 JSON: {} KiB, v4 binary: {} KiB — {:.0}% of v3)",
         N_STREAMS as usize * ELEMENTS_PER_STREAM / 2,
         snapshot.stream_count(),
+        v3_size / 1024,
         snapshot_json.len() / 1024,
+        snapshot_json.len() as f64 / v3_size as f64 * 100.0,
     );
 
     // ---- Phase 2: a "restarted process" restores the snapshot from its

@@ -65,7 +65,7 @@ pub use optwin_baselines::{
 };
 pub use optwin_core::{
     BatchOutcome, CutTable, CutTableRegistry, DetectorExt, DriftDetector, DriftStatus, Optwin,
-    OptwinConfig,
+    OptwinConfig, SnapshotEncoding,
 };
 pub use optwin_engine::{
     CallbackSink, DriftEngine, DriftEvent, EngineBuilder, EngineConfig, EngineHandle,

@@ -819,12 +819,69 @@ fn default_spec_and_register_stream_spec() {
 
 mod snapshot_property {
     use super::*;
+    use optwin::SnapshotEncoding;
     use proptest::prelude::*;
+
+    /// One stream per `DetectorSpec` kind, with small windows so the
+    /// property stays fast in debug builds.
+    fn prop_spec_of(stream: u64) -> DetectorSpec {
+        let text = match stream % 8 {
+            0 => "optwin:rho=0.5,w_max=64",
+            1 => "adwin",
+            2 => "ddm",
+            3 => "eddm",
+            4 => "stepd",
+            5 => "ecdd",
+            6 => "page_hinkley",
+            _ => "kswin:window_size=60,stat_size=15,alpha=0.0001",
+        };
+        text.parse().expect("valid spec string")
+    }
+
+    /// An 8-kind fleet engine: freshly spec-registered, or restored from a
+    /// snapshot with no factory (the snapshot is self-describing).
+    fn fleet_engine(
+        shards: usize,
+        restore: Option<EngineSnapshot>,
+    ) -> (EngineHandle, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        let mut builder = EngineBuilder::new()
+            .shards(shards)
+            .sink(Arc::clone(&sink) as Arc<dyn EventSink>);
+        match restore {
+            Some(snapshot) => builder = builder.restore(snapshot),
+            None => {
+                for stream in 0..8u64 {
+                    builder = builder.stream_spec(stream, prop_spec_of(stream));
+                }
+            }
+        }
+        (builder.build().expect("valid engine"), sink)
+    }
+
+    /// The generated value for stream `s` at position `i`: binary-only
+    /// detectors get a thresholded indicator, the rest the raw value.
+    fn fleet_records(values: &[f64]) -> Vec<(u64, f64)> {
+        let mut records = Vec::with_capacity(values.len() * 8);
+        for (i, &v) in values.iter().enumerate() {
+            for stream in 0..8u64 {
+                let x = if prop_spec_of(stream).binary_only() {
+                    f64::from(v > 0.5 || (i + stream as usize).is_multiple_of(7))
+                } else {
+                    v
+                };
+                records.push((stream, x));
+            }
+        }
+        records
+    }
 
     proptest! {
         /// Snapshot → JSON → restore at an arbitrary cut point of an
-        /// arbitrary bounded stream reproduces the uninterrupted engine's
-        /// remaining events exactly.
+        /// arbitrary bounded stream — over a fleet covering **all 8
+        /// detector kinds**, in **both** the v3-JSON and the v4-binary wire
+        /// layout — reproduces the uninterrupted engine's remaining events
+        /// exactly.
         #[test]
         fn snapshot_round_trip_preserves_remaining_events(
             values in proptest::collection::vec(0.0f64..=1.0, 50..400),
@@ -833,34 +890,44 @@ mod snapshot_property {
         ) {
             let cut = ((values.len() as f64) * cut_fraction) as usize;
             let cut = cut.min(values.len());
-            let records: Vec<(u64, f64)> = values.iter().map(|&v| (1u64, v)).collect();
+            let records = fleet_records(&values);
+            let record_cut = cut * 8;
 
-            // Uninterrupted reference.
-            let (reference, reference_sink) = optwin_engine(shards, 64, None);
+            // Uninterrupted reference (shared by both encodings).
+            let (reference, reference_sink) = fleet_engine(shards, None);
             reference.submit(&records).expect("engine running");
             reference.flush().expect("no errors");
-            let all_events = reference_sink.drain();
+            let all_events = canonical(reference_sink.drain());
             reference.shutdown().expect("clean shutdown");
 
-            // Interrupted at `cut`.
-            let (original, original_sink) = optwin_engine(shards, 64, None);
-            original.submit(&records[..cut]).expect("engine running");
-            original.flush().expect("no errors");
-            let early = original_sink.drain();
-            let snapshot = original.snapshot().expect("snapshot-capable");
-            original.shutdown().expect("clean shutdown");
+            for encoding in [SnapshotEncoding::Json, SnapshotEncoding::Binary] {
+                // Interrupted at `cut`.
+                let (original, original_sink) = fleet_engine(shards, None);
+                original.submit(&records[..record_cut]).expect("engine running");
+                original.flush().expect("no errors");
+                let early = original_sink.drain();
+                let snapshot = original.snapshot_with(encoding).expect("snapshot-capable");
+                original.shutdown().expect("clean shutdown");
+                let expected_version =
+                    if encoding == SnapshotEncoding::Binary { 4 } else { 3 };
+                prop_assert_eq!(snapshot.version, expected_version);
+                prop_assert!(snapshot.is_self_describing());
 
-            let snapshot = EngineSnapshot::from_json(&snapshot.to_json())
-                .expect("well-formed JSON");
-            let (restored, restored_sink) = optwin_engine(shards, 64, Some(snapshot));
-            restored.submit(&records[cut..]).expect("engine running");
-            restored.flush().expect("no errors");
-            let late = restored_sink.drain();
-            restored.shutdown().expect("clean shutdown");
+                let snapshot = EngineSnapshot::from_json(&snapshot.to_json())
+                    .expect("well-formed JSON");
+                let (restored, restored_sink) = fleet_engine(shards, Some(snapshot));
+                restored.submit(&records[record_cut..]).expect("engine running");
+                restored.flush().expect("no errors");
+                let late = restored_sink.drain();
+                restored.shutdown().expect("clean shutdown");
 
-            let mut stitched = early;
-            stitched.extend(late);
-            prop_assert_eq!(stitched, all_events);
+                let mut stitched = early;
+                stitched.extend(late);
+                prop_assert!(
+                    canonical(stitched) == all_events,
+                    "stitched events diverge under {encoding:?} at cut {cut}"
+                );
+            }
         }
     }
 }

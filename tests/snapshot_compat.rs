@@ -1,0 +1,482 @@
+//! Golden-corpus compatibility, corruption-fuzzing and size-regression
+//! suite for the engine snapshot wire formats (v1–v4).
+//!
+//! A heterogeneous 8-detector fleet (one stream per [`DetectorSpec`] kind)
+//! is fed a fixed deterministic prefix; the resulting snapshots — one
+//! checked-in fixture per wire format under `tests/fixtures/snapshots/` —
+//! must keep restoring **bit-exactly** forever: every fixture, restored
+//! into a fresh engine and fed the remaining stream, must produce exactly
+//! the drift decisions of an uninterrupted reference engine. Regenerate the
+//! corpus (only after a deliberate, versioned format change) with:
+//!
+//! ```text
+//! cargo test --test snapshot_compat regenerate_golden_corpus -- --ignored
+//! ```
+//!
+//! The suite also fuzzes the v4 binary blob layer (truncation, checksum
+//! flips, bad magic, count mismatches, invalid base64 — all must surface as
+//! [`EngineError::InvalidSnapshot`] with the stream and field named, never
+//! a panic) and guards the headline size win: the v4 snapshot of a fixed
+//! 64-stream fleet must stay at or below **40 %** of its v3 size.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use optwin::engine::EngineError;
+use optwin::{
+    DetectorSpec, DriftEvent, EngineBuilder, EngineHandle, EngineSnapshot, EventSink, MemorySink,
+    SnapshotEncoding,
+};
+
+/// Deterministic pseudo-random jitter in [-0.5, 0.5) (SplitMix64).
+fn jitter(i: u64) -> f64 {
+    let mut x = i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+}
+
+// ---------------------------------------------------------------------------
+// The corpus fleet: 8 streams, one per detector kind, deterministic input
+// ---------------------------------------------------------------------------
+
+const STREAMS: u64 = 8;
+const TOTAL: usize = 4_000;
+/// The prefix length the checked-in fixtures were generated from. Changing
+/// it (or [`element`], or [`spec_of`]) invalidates the corpus — regenerate.
+const CUT: usize = 2_500;
+
+fn spec_of(stream: u64) -> DetectorSpec {
+    let text = match stream % 8 {
+        0 => "optwin:rho=0.5,w_max=600",
+        1 => "adwin",
+        2 => "ddm",
+        3 => "eddm",
+        4 => "stepd",
+        5 => "ecdd",
+        6 => "page_hinkley",
+        _ => "kswin:window_size=120,stat_size=25,alpha=0.0001",
+    };
+    text.parse().expect("valid spec string")
+}
+
+/// The `i`-th element of a stream: every stream degrades at its own drift
+/// point; binary-only detectors get Bernoulli indicators, the rest
+/// real-valued losses.
+fn element(stream: u64, i: usize) -> f64 {
+    let drift_at = 2_000 + (stream as usize * 173) % 1_100;
+    let p = if i < drift_at { 0.06 } else { 0.55 };
+    let u = jitter(stream.wrapping_mul(0x5150_5150) ^ i as u64) + 0.5;
+    if spec_of(stream).binary_only() {
+        f64::from(u < p)
+    } else {
+        (p + 0.4 * (u - 0.5)).clamp(0.0, 1.0)
+    }
+}
+
+fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/snapshots")
+}
+
+fn fixture_path(version: u64) -> PathBuf {
+    fixtures_dir().join(format!("v{version}.json"))
+}
+
+fn build_fleet(restore: Option<EngineSnapshot>, factory: bool) -> (EngineHandle, Arc<MemorySink>) {
+    let sink = Arc::new(MemorySink::new());
+    let mut builder = EngineBuilder::new()
+        .shards(4)
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>);
+    if factory {
+        // The v1 fixture embeds no specs; restoring it needs a factory that
+        // knows the fleet layout — exactly the pre-v2 contract.
+        builder = builder.factory(|stream| spec_of(stream).build().expect("valid spec"));
+    }
+    match restore {
+        Some(snapshot) => builder = builder.restore(snapshot),
+        None => {
+            for stream in 0..STREAMS {
+                builder = builder.stream_spec(stream, spec_of(stream));
+            }
+        }
+    }
+    (builder.build().expect("valid engine"), sink)
+}
+
+fn feed(handle: &EngineHandle, from: usize, to: usize) {
+    let mut records = Vec::new();
+    for start in (from..to).step_by(250) {
+        let end = (start + 250).min(to);
+        records.clear();
+        for stream in 0..STREAMS {
+            for i in start..end {
+                records.push((stream, element(stream, i)));
+            }
+        }
+        handle.submit(&records).expect("engine running");
+    }
+    handle.flush().expect("no ingestion errors");
+}
+
+fn canonical(mut events: Vec<DriftEvent>) -> Vec<DriftEvent> {
+    events.sort_unstable_by_key(|e| (e.stream, e.seq));
+    events
+}
+
+/// The uninterrupted reference: the full run's events, split at [`CUT`].
+fn reference_events() -> (Vec<DriftEvent>, Vec<DriftEvent>) {
+    let (handle, sink) = build_fleet(None, false);
+    feed(&handle, 0, TOTAL);
+    let events = canonical(sink.drain());
+    handle.shutdown().expect("clean shutdown");
+    events.into_iter().partition(|e| (e.seq as usize) < CUT)
+}
+
+// ---------------------------------------------------------------------------
+// Corpus regeneration (checked-in fixtures; run explicitly with --ignored)
+// ---------------------------------------------------------------------------
+
+/// Writes the four golden fixtures. v3 and v4 are genuine snapshots of the
+/// same engine state in both layouts; v2 and v1 are the historically exact
+/// reductions of the v3 payload (v2 predates `shard`, v1 predates `spec`),
+/// which is precisely how those writers laid out the wire.
+#[test]
+#[ignore = "regenerates the checked-in golden corpus"]
+fn regenerate_golden_corpus() {
+    let (handle, _sink) = build_fleet(None, false);
+    feed(&handle, 0, CUT);
+    let v3 = handle
+        .snapshot_with(SnapshotEncoding::Json)
+        .expect("snapshot-capable");
+    let v4 = handle
+        .snapshot_with(SnapshotEncoding::Binary)
+        .expect("snapshot-capable");
+    handle.shutdown().expect("clean shutdown");
+    assert_eq!(v3.version, 3);
+    assert_eq!(v4.version, 4);
+
+    let mut v2 = v3.clone();
+    v2.version = 2;
+    for stream in &mut v2.streams {
+        stream.shard = None;
+    }
+    let mut v1 = v2.clone();
+    v1.version = 1;
+    for stream in &mut v1.streams {
+        stream.spec = None;
+    }
+
+    std::fs::create_dir_all(fixtures_dir()).expect("fixtures dir");
+    for (version, snapshot) in [(1, &v1), (2, &v2), (3, &v3), (4, &v4)] {
+        std::fs::write(fixture_path(version), snapshot.to_json()).expect("write fixture");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden-corpus compatibility
+// ---------------------------------------------------------------------------
+
+/// Every checked-in fixture — one per wire format generation — restores
+/// into an engine whose subsequent drift decisions are identical to a
+/// freshly-built reference that never stopped.
+#[test]
+fn golden_corpus_restores_bit_exact() {
+    let (_early, expected_late) = reference_events();
+    assert!(
+        !expected_late.is_empty(),
+        "the corpus workload must drift after the cut"
+    );
+
+    for version in 1..=4u64 {
+        let path = fixture_path(version);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} — run the ignored \
+                 `regenerate_golden_corpus` test to rebuild the corpus: {e}",
+                path.display()
+            )
+        });
+        let snapshot = EngineSnapshot::from_json(&text)
+            .unwrap_or_else(|e| panic!("fixture v{version} must parse: {e}"));
+        assert_eq!(snapshot.version, version, "fixture v{version} self-reports");
+        assert_eq!(snapshot.stream_count(), STREAMS as usize);
+        assert_eq!(snapshot.is_self_describing(), version >= 2);
+        assert_eq!(snapshot.records_placement(), version >= 3);
+
+        // v1 predates embedded specs: restore needs the fleet factory.
+        let (restored, sink) = build_fleet(Some(snapshot), version == 1);
+        let stats = restored.stats().expect("engine running");
+        assert_eq!(stats.streams, STREAMS as usize, "v{version}");
+        assert_eq!(stats.elements, STREAMS * CUT as u64, "v{version}");
+        feed(&restored, CUT, TOTAL);
+        let late = canonical(sink.drain());
+        restored.shutdown().expect("clean shutdown");
+        assert_eq!(
+            late, expected_late,
+            "fixture v{version} must resume with identical decisions"
+        );
+    }
+}
+
+/// A v4 snapshot taken right now round-trips through JSON and restores
+/// bit-exactly — the live-format twin of the corpus test (and the path that
+/// will mint the v5 fixture one day).
+#[test]
+fn live_v4_snapshot_round_trips() {
+    let (_early, expected_late) = reference_events();
+    let (handle, _sink) = build_fleet(None, false);
+    feed(&handle, 0, CUT);
+    let snapshot = handle.snapshot_compact().expect("snapshot-capable");
+    handle.shutdown().expect("clean shutdown");
+    assert_eq!(snapshot.version, 4);
+    assert!(snapshot.is_self_describing());
+
+    let snapshot = EngineSnapshot::from_json(&snapshot.to_json()).expect("well-formed JSON");
+    let (restored, sink) = build_fleet(Some(snapshot), false);
+    feed(&restored, CUT, TOTAL);
+    let late = canonical(sink.drain());
+    restored.shutdown().expect("clean shutdown");
+    assert_eq!(late, expected_late);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption fuzzing at the engine level
+// ---------------------------------------------------------------------------
+
+/// Applies `mutate` to the OPTWIN stream's `window` blob inside a freshly
+/// taken v4 snapshot and returns the restore error the builder reports.
+fn restore_error_after(mutate: impl Fn(&str) -> String) -> EngineError {
+    let (handle, _sink) = build_fleet(None, false);
+    feed(&handle, 0, 700);
+    let mut snapshot = handle.snapshot_compact().expect("snapshot-capable");
+    handle.shutdown().expect("clean shutdown");
+
+    let state = &mut snapshot
+        .streams
+        .iter_mut()
+        .find(|s| s.detector == "OPTWIN")
+        .expect("the fleet has an OPTWIN stream")
+        .state;
+    let serde::Value::Object(fields) = state else {
+        panic!("detector state must be an object")
+    };
+    let mut mutated = false;
+    for (name, value) in fields.iter_mut() {
+        if name == "window" {
+            let serde::Value::Str(blob) = value else {
+                panic!("v4 OPTWIN window must be a blob string")
+            };
+            *value = serde::Value::Str(mutate(blob));
+            mutated = true;
+        }
+    }
+    assert!(mutated, "no window field found to corrupt");
+
+    // Through the JSON wire, exactly as a real restart would hit it.
+    let snapshot = EngineSnapshot::from_json(&snapshot.to_json())
+        .expect("corruption lives inside a JSON string; the envelope still parses");
+    EngineBuilder::new()
+        .shards(2)
+        .restore(snapshot)
+        .build()
+        .expect_err("corrupted blob must fail the restore")
+}
+
+/// Every corruption class — truncated blobs, flipped checksum bytes, bad
+/// magic, element-count mismatches, invalid base64 — surfaces as
+/// [`EngineError::InvalidSnapshot`] whose message names the stream and the
+/// offending field (a path-like context), and never panics.
+#[test]
+fn corrupted_v4_blobs_fail_restores_cleanly() {
+    use optwin::core::snapshot::{frame_checksum, from_base64, to_base64};
+
+    type Mutation = Box<dyn Fn(&str) -> String>;
+    let cases: Vec<(&str, Mutation, &str)> = vec![
+        (
+            "truncated blob",
+            Box::new(|blob: &str| {
+                let mut bytes = from_base64(blob).expect("fixture blob decodes");
+                bytes.truncate(bytes.len() - 16);
+                to_base64(&bytes)
+            }),
+            "mismatch",
+        ),
+        (
+            "flipped checksum byte",
+            Box::new(|blob: &str| {
+                let mut bytes = from_base64(blob).expect("fixture blob decodes");
+                bytes[10] ^= 0x5a;
+                to_base64(&bytes)
+            }),
+            "checksum mismatch",
+        ),
+        (
+            "bad magic",
+            Box::new(|blob: &str| {
+                let mut bytes = from_base64(blob).expect("fixture blob decodes");
+                bytes[..4].copy_from_slice(b"NOPE");
+                to_base64(&bytes)
+            }),
+            "bad magic",
+        ),
+        (
+            "element count mismatch",
+            Box::new(|blob: &str| {
+                // Re-sealed with a valid checksum, so the count validation
+                // itself (not the checksum) must catch the forgery.
+                let mut bytes = from_base64(blob).expect("fixture blob decodes");
+                let count = u32::from_le_bytes(bytes[6..10].try_into().unwrap());
+                bytes[6..10].copy_from_slice(&(count + 7).to_le_bytes());
+                let checksum = frame_checksum(&bytes);
+                bytes[10..14].copy_from_slice(&checksum.to_le_bytes());
+                to_base64(&bytes)
+            }),
+            "element count mismatch",
+        ),
+        (
+            "invalid base64",
+            Box::new(|blob: &str| format!("{}~~~~", &blob[..blob.len() - 4])),
+            "base64",
+        ),
+    ];
+
+    for (label, mutate, needle) in cases {
+        let error = restore_error_after(mutate);
+        let EngineError::InvalidSnapshot(message) = &error else {
+            panic!("{label}: expected InvalidSnapshot, got {error:?}")
+        };
+        let text = error.to_string();
+        assert!(
+            text.contains("stream"),
+            "{label}: no stream context: {text}"
+        );
+        assert!(
+            message.contains("window"),
+            "{label}: no field context: {text}"
+        );
+        assert!(
+            text.contains(needle),
+            "{label}: `{text}` missing `{needle}`"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Size regression guard
+// ---------------------------------------------------------------------------
+
+/// The headline claim of wire format v4, pinned as a regression test: for a
+/// fixed 64-stream heterogeneous fleet monitoring binary error streams (the
+/// paper's primary input), the v4 snapshot payload is at most **40 %** of
+/// the v3 payload. Both sizes are printed so CI logs track the ratio over
+/// time.
+#[test]
+fn v4_snapshot_is_at_most_40_percent_of_v3() {
+    const GUARD_STREAMS: u64 = 64;
+    const GUARD_ELEMENTS: usize = 2_500;
+
+    let guard_spec = |stream: u64| -> DetectorSpec {
+        let text = match stream % 8 {
+            0 => "optwin:rho=0.5,w_max=2000",
+            1 => "adwin",
+            2 => "ddm",
+            3 => "eddm",
+            4 => "stepd",
+            5 => "ecdd",
+            6 => "page_hinkley",
+            _ => "kswin:window_size=300,stat_size=30,alpha=0.0001",
+        };
+        text.parse().expect("valid spec string")
+    };
+
+    let sink = Arc::new(MemorySink::new());
+    let mut builder = EngineBuilder::new()
+        .shards(4)
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>);
+    for stream in 0..GUARD_STREAMS {
+        builder = builder.stream_spec(stream, guard_spec(stream));
+    }
+    let handle = builder.build().expect("valid engine");
+
+    // Binary error indicators for every stream: all 8 kinds accept them,
+    // and they are what the paper's detectors monitor in production.
+    let mut records = Vec::new();
+    for start in (0..GUARD_ELEMENTS).step_by(500) {
+        records.clear();
+        for stream in 0..GUARD_STREAMS {
+            for i in start..(start + 500).min(GUARD_ELEMENTS) {
+                let p = 0.04 + (stream % 7) as f64 * 0.03;
+                records.push((
+                    stream,
+                    f64::from(jitter(stream.wrapping_mul(0xABCD_EF12) ^ i as u64) + 0.5 < p),
+                ));
+            }
+        }
+        handle.submit(&records).expect("engine running");
+    }
+    handle.flush().expect("no ingestion errors");
+
+    let v3 = handle
+        .snapshot_with(SnapshotEncoding::Json)
+        .expect("snapshot-capable")
+        .to_json();
+    let v4 = handle
+        .snapshot_compact()
+        .expect("snapshot-capable")
+        .to_json();
+
+    println!(
+        "snapshot size guard: v3 = {} bytes, v4 = {} bytes, ratio = {:.1}%",
+        v3.len(),
+        v4.len(),
+        v4.len() as f64 / v3.len() as f64 * 100.0
+    );
+    assert!(
+        v4.len() * 100 <= v3.len() * 40,
+        "v4 ({} bytes) exceeds 40% of v3 ({} bytes)",
+        v4.len(),
+        v3.len()
+    );
+
+    // The compact snapshot is not just small — it restores to the same
+    // engine: both layouts, fed the same suffix, emit identical events.
+    let run_suffix = |snapshot: EngineSnapshot| -> Vec<DriftEvent> {
+        let sink = Arc::new(MemorySink::new());
+        let restored = EngineBuilder::new()
+            .shards(3)
+            .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+            .restore(snapshot)
+            .build()
+            .expect("valid engine");
+        let records: Vec<(u64, f64)> = (0..GUARD_STREAMS)
+            .flat_map(|stream| {
+                (0..300).map(move |i| {
+                    (
+                        stream,
+                        f64::from(
+                            jitter(stream.wrapping_mul(0xABCD_EF12) ^ (GUARD_ELEMENTS + i) as u64)
+                                + 0.5
+                                < 0.6,
+                        ),
+                    )
+                })
+            })
+            .collect();
+        restored.submit(&records).expect("engine running");
+        restored.flush().expect("no ingestion errors");
+        let events = canonical(sink.drain());
+        restored.shutdown().expect("clean shutdown");
+        events
+    };
+    let from_v3 = run_suffix(EngineSnapshot::from_json(&v3).expect("v3 parses"));
+    let from_v4 = run_suffix(EngineSnapshot::from_json(&v4).expect("v4 parses"));
+    assert_eq!(from_v3, from_v4, "both layouts restore the same engine");
+    assert!(
+        !from_v4.is_empty(),
+        "the 0.6-error suffix must trigger detections"
+    );
+    handle.shutdown().expect("clean shutdown");
+}
