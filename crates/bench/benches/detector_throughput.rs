@@ -98,6 +98,34 @@ fn bench_detectors(c: &mut Criterion) {
     });
     group.finish();
 
+    // The batch-first hot paths: `add_batch` over the whole stream. OPTWIN
+    // shares a process-wide pre-warmed cut table (the engine's construction
+    // route), so this tier isolates the per-batch kernel cost rather than the
+    // one-off table build the scalar tier above pays every iteration.
+    let mut group = c.benchmark_group("detector_ingest_20k_batched");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+    group.bench_function("OPTWIN rho=0.5 (w_max=4k) add_batch", |b| {
+        b.iter(|| {
+            let mut d = Optwin::with_shared_table(
+                OptwinConfig::builder()
+                    .robustness(0.5)
+                    .max_window(4_000)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            black_box(d.add_batch(&stream)).drifts()
+        });
+    });
+    group.bench_function("KSWIN add_batch", |b| {
+        b.iter(|| {
+            let mut d = Kswin::with_defaults();
+            black_box(d.add_batch(&stream)).drifts()
+        });
+    });
+    group.finish();
+
     // OPTWIN cost as a function of w_max: amortized O(1) means the per-element
     // cost should stay flat as the window bound grows.
     let mut group = c.benchmark_group("optwin_cost_vs_w_max");

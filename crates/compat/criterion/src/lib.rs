@@ -14,7 +14,98 @@
 #![deny(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark, as recorded for the machine-readable report.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    group: String,
+    label: String,
+    mean_ns: u128,
+    best_ns: u128,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// Process-wide registry of finished benchmarks, drained by
+/// [`write_json_report`] at the end of the bench binary.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes every benchmark recorded so far to `BENCH_<name>.json` in the
+/// working directory (or `$OPTWIN_BENCH_JSON_DIR` when set), so the perf
+/// trajectory can be tracked across revisions. Called automatically by the
+/// [`criterion_main!`] expansion; harmless to call with no records.
+pub fn write_json_report(name: &str) {
+    let records = RECORDS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if records.is_empty() {
+        return;
+    }
+    let dir = std::env::var("OPTWIN_BENCH_JSON_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{name}.json"));
+    let mut body = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let mean_secs = r.mean_ns as f64 / 1e9;
+        let mut entry = format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}, \"samples\": {}",
+            json_escape(&r.group),
+            json_escape(&r.label),
+            r.mean_ns,
+            r.best_ns,
+            r.samples
+        );
+        match r.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = if mean_secs > 0.0 {
+                    n as f64 / mean_secs
+                } else {
+                    0.0
+                };
+                entry.push_str(&format!(", \"elements\": {n}, \"elem_per_sec\": {rate:.1}"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = if mean_secs > 0.0 {
+                    n as f64 / mean_secs
+                } else {
+                    0.0
+                };
+                entry.push_str(&format!(", \"bytes\": {n}, \"bytes_per_sec\": {rate:.1}"));
+            }
+            None => {}
+        }
+        entry.push('}');
+        if i + 1 < records.len() {
+            entry.push(',');
+        }
+        entry.push('\n');
+        body.push_str(&entry);
+    }
+    body.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("machine-readable report: {}", path.display());
+    }
+}
 
 /// Opaque black box preventing the optimiser from deleting a computation.
 pub fn black_box<T>(x: T) -> T {
@@ -134,6 +225,17 @@ fn report(group: &str, label: &str, samples: &[Duration], throughput: Option<Thr
         }
     }
     println!("{line}");
+    RECORDS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(BenchRecord {
+            group: group.to_string(),
+            label: label.to_string(),
+            mean_ns: mean.as_nanos(),
+            best_ns: best.as_nanos(),
+            samples: samples.len(),
+            throughput,
+        });
 }
 
 /// A named collection of related benchmarks sharing settings.
@@ -244,11 +346,17 @@ macro_rules! criterion_group {
 }
 
 /// Declares the benchmark binary's `main`, mirroring criterion's macro.
+///
+/// On top of running the groups, the expansion writes every recorded result
+/// to `BENCH_<crate name>.json` (for a `[[bench]]` target the crate name *is*
+/// the bench name), giving each bench binary a machine-readable twin of its
+/// text report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -290,5 +398,34 @@ mod tests {
         assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
         assert_eq!(BenchmarkId::from_parameter("x").label, "x");
         assert_eq!(BenchmarkId::from("abc").label, "abc");
+    }
+
+    #[test]
+    fn json_report_written_with_rates() {
+        let dir = std::env::temp_dir().join("criterion_shim_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("OPTWIN_BENCH_JSON_DIR", &dir);
+        report(
+            "g",
+            "fast \"path\"",
+            &[Duration::from_micros(10), Duration::from_micros(20)],
+            Some(Throughput::Elements(1_500)),
+        );
+        report(
+            "g",
+            "bytes",
+            &[Duration::from_micros(10)],
+            Some(Throughput::Bytes(4_096)),
+        );
+        write_json_report("unit_test");
+        std::env::remove_var("OPTWIN_BENCH_JSON_DIR");
+        let body = std::fs::read_to_string(dir.join("BENCH_unit_test.json")).unwrap();
+        assert!(body.contains("\"group\": \"g\""));
+        assert!(body.contains("fast \\\"path\\\""));
+        assert!(body.contains("\"elements\": 1500"));
+        assert!(body.contains("\"elem_per_sec\""));
+        assert!(body.contains("\"bytes_per_sec\""));
+        // The mean of 10 µs and 20 µs is 15 µs -> 1e8 elem/s.
+        assert!(body.contains("\"mean_ns\": 15000"));
     }
 }

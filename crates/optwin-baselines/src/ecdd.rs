@@ -24,6 +24,8 @@
 //! paper measured for ECDD — very fast reactions and the highest
 //! false-positive count of the line-up.
 
+use std::sync::{Arc, OnceLock, RwLock};
+
 use optwin_core::snapshot::{check_version, field, finite_field, invalid};
 use optwin_core::{CoreError, DriftDetector, DriftStatus};
 use optwin_stats::incremental::Ewma;
@@ -62,9 +64,11 @@ pub struct Ecdd {
     config: EcddConfig,
     ewma: Ewma,
     /// Cache of control limits keyed by the rounded error-rate estimate
-    /// (index = round(p̂ / P_RESOLUTION)), so the Chernoff calibration runs at
-    /// most once per distinct rounded rate.
-    limit_cache: Vec<Option<f64>>,
+    /// (index = round(p̂ / P_RESOLUTION)), shared process-wide between every
+    /// detector with the same `(λ, ARL₀)` calibration, so the Chernoff
+    /// calibration runs at most once per distinct rounded rate per process —
+    /// not once per detector instance.
+    limit_cache: SharedLimitCache,
     elements_seen: u64,
     drifts_detected: u64,
     last_status: DriftStatus,
@@ -73,6 +77,45 @@ pub struct Ecdd {
 /// Resolution at which the error-rate estimate is rounded for the control
 /// limit cache.
 const P_RESOLUTION: f64 = 0.005;
+
+/// Number of slots in a control-limit cache (one per rounded rate in
+/// `[0, 1]`, plus headroom for the clamp).
+const LIMIT_CACHE_LEN: usize = (1.0 / P_RESOLUTION) as usize + 2;
+
+/// A control-limit cache shared between detector instances.
+type SharedLimitCache = Arc<RwLock<Vec<Option<f64>>>>;
+
+/// Registry of interned caches, keyed by the `(λ, ARL₀)` bit patterns.
+type LimitRegistry = RwLock<Vec<((u64, u64), SharedLimitCache)>>;
+
+/// Process-wide interning of control-limit caches by `(λ, ARL₀)`. The limit
+/// is a pure, deterministic function of those two parameters and the rounded
+/// rate, so sharing the cache changes no decision — it only deduplicates the
+/// expensive Chernoff calibration (a golden-section search inside a binary
+/// search, ~10⁵ transcendental evaluations per miss) across fleets of
+/// detectors, clones and resets.
+fn shared_limit_cache(lambda: f64, arl0: f64) -> SharedLimitCache {
+    static REGISTRY: OnceLock<LimitRegistry> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(|| RwLock::new(Vec::new()));
+    let key = (lambda.to_bits(), arl0.to_bits());
+    if let Some((_, cache)) = registry
+        .read()
+        .expect("ECDD limit registry poisoned")
+        .iter()
+        .find(|(k, _)| *k == key)
+    {
+        return Arc::clone(cache);
+    }
+    let mut entries = registry.write().expect("ECDD limit registry poisoned");
+    // Re-check under the write lock: another thread may have interned the
+    // key between the two acquisitions.
+    if let Some((_, cache)) = entries.iter().find(|(k, _)| *k == key) {
+        return Arc::clone(cache);
+    }
+    let cache: SharedLimitCache = Arc::new(RwLock::new(vec![None; LIMIT_CACHE_LEN]));
+    entries.push((key, Arc::clone(&cache)));
+    cache
+}
 
 impl Ecdd {
     /// Creates a detector with the given configuration.
@@ -88,11 +131,10 @@ impl Ecdd {
             "ECDD warning fraction must be in (0, 1]"
         );
         assert!(config.arl0 >= 2.0, "ECDD ARL0 must be at least 2");
-        let cache_len = (1.0 / P_RESOLUTION) as usize + 2;
         Self {
             ewma: Ewma::new(config.lambda),
+            limit_cache: shared_limit_cache(config.lambda, config.arl0),
             config,
-            limit_cache: vec![None; cache_len],
             elements_seen: 0,
             drifts_detected: 0,
             last_status: DriftStatus::Stable,
@@ -189,13 +231,16 @@ impl Ecdd {
     /// Cached lookup of the control limit for the current error-rate
     /// estimate.
     fn cached_limit(&mut self, p: f64) -> f64 {
-        let idx = ((p / P_RESOLUTION).round() as usize).min(self.limit_cache.len() - 1);
-        if let Some(c) = self.limit_cache[idx] {
+        let idx = ((p / P_RESOLUTION).round() as usize).min(LIMIT_CACHE_LEN - 1);
+        if let Some(c) = self.limit_cache.read().expect("ECDD limit cache poisoned")[idx] {
             return c;
         }
+        // Compute outside the lock: the calibration is slow and its result
+        // for a given slot is deterministic, so a concurrent duplicate
+        // computation publishes the identical value.
         let rounded_p = idx as f64 * P_RESOLUTION;
         let c = Self::control_limit(rounded_p, self.config.lambda, self.config.arl0);
-        self.limit_cache[idx] = Some(c);
+        self.limit_cache.write().expect("ECDD limit cache poisoned")[idx] = Some(c);
         c
     }
 }

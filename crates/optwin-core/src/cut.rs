@@ -316,6 +316,23 @@ impl CutTable {
     /// outside `[w_min, w_max]`, or a wrapped statistics error from entry
     /// computation (practically unreachable).
     pub fn entries_range(&self, lo: usize, hi: usize) -> Result<Vec<CutEntry>> {
+        let mut out = Vec::new();
+        self.entries_range_into(lo, hi, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`CutTable::entries_range`] writing into a caller-owned buffer, which
+    /// is cleared and then filled with the entries for `[lo, hi]`.
+    ///
+    /// This is the allocation-free variant the detector batch path uses: one
+    /// scratch `Vec` per detector absorbs every prefetch chunk instead of a
+    /// fresh allocation per chunk.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CutTable::entries_range`]; on error the buffer
+    /// contents are unspecified (but valid).
+    pub fn entries_range_into(&self, lo: usize, hi: usize, out: &mut Vec<CutEntry>) -> Result<()> {
         if lo > hi || lo < self.w_min || hi > self.w_max {
             return Err(CoreError::InvalidConfig {
                 field: "window_len",
@@ -325,33 +342,48 @@ impl CutTable {
                 ),
             });
         }
-        let mut out: Vec<Option<CutEntry>> = {
+        // One read-lock copies the cached slots into the output buffer;
+        // missing entries are marked with a `window_len == 0` placeholder (no
+        // real entry has one — lengths start at `w_min >= 1`).
+        out.clear();
+        let missing = {
             let cache = self.cache.read();
-            cache[lo - self.w_min..=hi - self.w_min].to_vec()
+            let slots = &cache[lo - self.w_min..=hi - self.w_min];
+            let placeholder = CutEntry {
+                window_len: 0,
+                split: 0,
+                nu: 0.0,
+                exact: false,
+                t_crit: f64::INFINITY,
+                f_crit: f64::INFINITY,
+                df: 1.0,
+                t_warn: None,
+                f_warn: None,
+            };
+            out.extend(slots.iter().map(|slot| slot.unwrap_or(placeholder)));
+            slots.iter().filter(|e| e.is_none()).count()
         };
-        if out.iter().all(Option::is_some) {
-            return Ok(out.into_iter().map(|e| e.expect("checked above")).collect());
+        if missing == 0 {
+            return Ok(());
         }
         // Compute the missing entries outside any lock, warm-starting each
-        // search from its predecessor in the range.
+        // search from its predecessor in the range, then publish the whole
+        // chunk under one write lock.
         let mut hint: Option<usize> = None;
         for (offset, slot) in out.iter_mut().enumerate() {
-            match slot {
-                Some(entry) => hint = Some(entry.split + 1),
-                None => {
-                    let entry = self.compute_entry(lo + offset, hint)?;
-                    hint = Some(entry.split + 1);
-                    *slot = Some(entry);
-                }
+            if slot.window_len == 0 {
+                let entry = self.compute_entry(lo + offset, hint)?;
+                *slot = entry;
             }
+            hint = Some(slot.split + 1);
         }
         {
             let mut cache = self.cache.write();
             for (offset, entry) in out.iter().enumerate() {
-                cache[lo - self.w_min + offset] = *entry;
+                cache[lo - self.w_min + offset] = Some(*entry);
             }
         }
-        Ok(out.into_iter().map(|e| e.expect("filled above")).collect())
+        Ok(())
     }
 
     /// Eagerly computes every entry in `[w_min, w_max]`.
@@ -632,6 +664,27 @@ mod tests {
         }
         // Everything touched is now cached.
         assert!(table.cached_entries() >= 41);
+    }
+
+    #[test]
+    fn entries_range_into_reuses_buffer_and_matches() {
+        let table = CutTable::new(&config(0.5, 200)).unwrap();
+        let _ = table.entry(55).unwrap();
+        let mut buf = Vec::new();
+        table.entries_range_into(40, 80, &mut buf).unwrap();
+        assert_eq!(buf.len(), 41);
+        for (offset, entry) in buf.iter().enumerate() {
+            assert_eq!(*entry, table.entry(40 + offset).unwrap());
+        }
+        // Refill with a fully cached range: the buffer is reused, no stale
+        // leftovers, same entries as the allocating variant.
+        let cap_before = buf.capacity();
+        table.entries_range_into(60, 70, &mut buf).unwrap();
+        assert_eq!(buf.len(), 11);
+        assert_eq!(buf.capacity(), cap_before);
+        assert_eq!(buf, table.entries_range(60, 70).unwrap());
+        // Errors leave the buffer valid.
+        assert!(table.entries_range_into(10, 20, &mut buf).is_err());
     }
 
     #[test]

@@ -27,6 +27,49 @@ pub struct Optwin {
     elements_seen: u64,
     drifts_detected: u64,
     warnings_detected: u64,
+    /// Batch-path scratch: cut-table entries for window lengths
+    /// `entry_scratch_start + k`. The table is immutable, so cached entries
+    /// stay valid for the detector's lifetime; the buffer is transient state
+    /// and is not serialized.
+    entry_scratch: Vec<CutEntry>,
+    entry_scratch_start: usize,
+}
+
+/// The per-split test statistics consulted by both the drift and the warning
+/// thresholds. Computed **once** per window evaluation: the statistics depend
+/// only on the window and the split, not on the critical values, so the
+/// warning check reuses them instead of redoing the sqrt/divide work.
+///
+/// All gates are plain booleans combined without short-circuiting in
+/// [`TestStatistics::rejects`]; the floating-point computations have no side
+/// effects, so the statistics can be computed (or skipped) independently of
+/// the threshold checks without changing any decision. A statistic whose gate
+/// is closed is never compared, so its lane holds a placeholder `0.0`.
+#[derive(Debug, Clone, Copy)]
+struct TestStatistics {
+    /// Degradation-direction gate (§3.4): false suppresses both tests.
+    direction_ok: bool,
+    /// F-test eligibility: non-binary window contents *and* the §3.1 spread
+    /// margin hold.
+    f_applicable: bool,
+    /// Variance-ratio statistic (η-stabilised); placeholder `0.0` while
+    /// `direction_ok & f_applicable` is closed.
+    f_value: f64,
+    /// Mean robustness margin (§3.1): `|μ_new − μ_hist| ≥ ρ·σ_hist`.
+    mean_margin_ok: bool,
+    /// Welch t statistic magnitude; placeholder `0.0` while
+    /// `direction_ok & mean_margin_ok` is closed.
+    t_value: f64,
+}
+
+impl TestStatistics {
+    /// `true` when either test rejects at the supplied critical values.
+    #[inline]
+    fn rejects(&self, t_crit: f64, f_crit: f64) -> bool {
+        self.direction_ok
+            & ((self.f_applicable & (self.f_value > f_crit))
+                | (self.mean_margin_ok & (self.t_value > t_crit)))
+    }
 }
 
 impl Optwin {
@@ -103,6 +146,8 @@ impl Optwin {
             elements_seen: 0,
             drifts_detected: 0,
             warnings_detected: 0,
+            entry_scratch: Vec::new(),
+            entry_scratch_start: usize::MAX,
         })
     }
 
@@ -148,8 +193,10 @@ impl Optwin {
         self.window.new_mean()
     }
 
-    /// Evaluates the t- and f-tests for the current window split against the
-    /// supplied critical values. Returns `true` when either test rejects.
+    /// Computes the t- and f-test statistics and their eligibility gates for
+    /// the current window split. The result is checked against the drift and
+    /// warning critical values via [`TestStatistics::rejects`] — one
+    /// computation serves both threshold pairs.
     ///
     /// Two interpretation choices (documented in DESIGN.md §5) are applied on
     /// top of the literal Algorithm 1:
@@ -170,58 +217,91 @@ impl Optwin {
     ///   contains at least one non-{0,1} value; binary streams are covered
     ///   by the (margin-gated) mean test, exactly like the binomial-based
     ///   baselines (DDM, ECDD).
-    fn tests_reject(&self, entry: &CutEntry, t_crit: f64, f_crit: f64) -> bool {
+    fn compute_statistics(&self, entry: &CutEntry) -> TestStatistics {
         let n_hist = entry.split as f64;
         let n_new = (entry.window_len - entry.split) as f64;
 
         let mean_hist = self.window.hist_mean();
         let mean_new = self.window.new_mean();
         let std_hist = self.window.hist_std();
-        let std_new = self.window.new_std();
 
         // Optional degradation-only gate (§3.4): only changes where the error
         // mean did not decrease are eligible.
-        if self.config.direction == DriftDirection::DegradationOnly && mean_new < mean_hist {
-            return false;
-        }
-
-        // f-test (Algorithm 1, line 11) with the η stabiliser; skipped for
-        // purely binary window contents (see above). The same §3.1 robustness
-        // margin is applied to the spread: the new standard deviation must
-        // exceed the historical one by at least ρ·σ_hist (or fall below it by
-        // that much in the symmetric configuration) before the statistical
-        // test is consulted.
-        if self.non_binary_in_window > 0 {
-            let eta = self.config.eta;
-            let f_value = (std_new + eta).powi(2) / (std_hist + eta).powi(2);
-            let margin_ok = match self.config.direction {
-                DriftDirection::DegradationOnly => std_new - std_hist >= self.config.rho * std_hist,
-                DriftDirection::Both => (std_new - std_hist).abs() >= self.config.rho * std_hist,
-            };
-            if margin_ok && f_value > f_crit {
-                return true;
-            }
-        }
+        let direction_ok =
+            !(self.config.direction == DriftDirection::DegradationOnly && mean_new < mean_hist);
 
         // Robustness margin (§3.1): μ_new must differ from μ_hist by at least
-        // ρ·σ_hist before the mean-shift branch may flag a drift.
+        // ρ·σ_hist before the mean-shift branch may flag a drift. Written as
+        // `!(<)` so a NaN margin comparison keeps the original fall-through
+        // behaviour.
         let mean_diff = (mean_hist - mean_new).abs();
-        if mean_diff < self.config.rho * std_hist {
-            return false;
-        }
+        let mean_margin_ok = !(mean_diff < self.config.rho * std_hist);
+
+        // σ_new feeds only the f-branch (dead on binary windows) and the
+        // t-statistic's standard error (dead while the margin gate is
+        // closed). When both consumers are masked off its sqrt is skipped;
+        // the placeholder is never read because every use below sits behind
+        // one of these two masks.
+        let non_binary = self.non_binary_in_window > 0;
+        let t_open = direction_ok & mean_margin_ok;
+        let std_new = if non_binary | t_open {
+            self.window.new_std()
+        } else {
+            0.0
+        };
+
+        // f-test (Algorithm 1, line 11) with the η stabiliser; see above for
+        // the binary-content gate. The same §3.1 robustness margin is applied
+        // to the spread: the new standard deviation must exceed the
+        // historical one by at least ρ·σ_hist (or fall below it by that much
+        // in the symmetric configuration) before the statistical test is
+        // consulted.
+        let f_margin_ok = match self.config.direction {
+            DriftDirection::DegradationOnly => std_new - std_hist >= self.config.rho * std_hist,
+            DriftDirection::Both => (std_new - std_hist).abs() >= self.config.rho * std_hist,
+        };
+        let f_applicable = non_binary & f_margin_ok;
+
+        // The statistic is consulted by `TestStatistics::rejects` only behind
+        // the `direction_ok & f_applicable` mask, so when that mask is closed
+        // the value is dead and the two squarings and the division can be
+        // skipped without changing any decision (the placeholder 0.0 is
+        // never compared). On binary streams this removes the whole f-branch
+        // from the per-element cost.
+        let eta = self.config.eta;
+        let f_value = if direction_ok & f_applicable {
+            (std_new + eta).powi(2) / (std_hist + eta).powi(2)
+        } else {
+            0.0
+        };
 
         // Welch t-test (Algorithm 1, line 14). The magnitude of the statistic
         // is compared against the one-sided critical value; with the
         // degradation gate above this amounts to testing μ_new > μ_hist.
-        let se = (std_hist * std_hist / n_hist + std_new * std_new / n_new).sqrt();
-        let t_value = if se > 0.0 {
-            mean_diff / se
-        } else if mean_diff == 0.0 {
-            0.0
+        // Masked the same way as the f-statistic: when the robustness margin
+        // already rules the mean branch out (the overwhelmingly common case
+        // on a stationary stream), the standard-error square root is dead
+        // work and is skipped.
+        let t_value = if direction_ok & mean_margin_ok {
+            let se = (std_hist * std_hist / n_hist + std_new * std_new / n_new).sqrt();
+            if se > 0.0 {
+                mean_diff / se
+            } else if mean_diff == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
         } else {
-            f64::INFINITY
+            0.0
         };
-        t_value > t_crit
+
+        TestStatistics {
+            direction_ok,
+            f_applicable,
+            f_value,
+            mean_margin_ok,
+            t_value,
+        }
     }
 
     /// `true` when a value is an exact binary error indicator.
@@ -272,9 +352,10 @@ impl Optwin {
     #[inline]
     fn evaluate_window(&mut self, entry: &CutEntry) -> DriftStatus {
         self.window.set_split(entry.split);
+        let stats = self.compute_statistics(entry);
 
         // Drift tests (lines 11–16).
-        if self.tests_reject(entry, entry.t_crit, entry.f_crit) {
+        if stats.rejects(entry.t_crit, entry.f_crit) {
             self.drifts_detected += 1;
             self.window.clear();
             self.non_binary_in_window = 0;
@@ -283,9 +364,10 @@ impl Optwin {
         }
 
         // Warning zone: the relaxed thresholds reject but the strict ones do
-        // not.
+        // not. The statistics are reused — only the threshold comparison
+        // differs between the two checks.
         if let (Some(t_warn), Some(f_warn)) = (entry.t_warn, entry.f_warn) {
-            if self.tests_reject(entry, t_warn, f_warn) {
+            if stats.rejects(t_warn, f_warn) {
                 self.warnings_detected += 1;
                 self.last_status = DriftStatus::Warning;
                 return self.last_status;
@@ -363,45 +445,66 @@ impl DriftDetector for Optwin {
     }
 
     /// Native batch ingestion: identical decisions to the element-wise fold,
-    /// but cut-table entries are prefetched in contiguous chunks
-    /// (`ENTRY_PREFETCH` — 128 — per read-lock acquisition instead of one), which
-    /// removes the dominant shared-state synchronisation from the hot loop
-    /// when thousands of detectors share one [`CutTable`].
+    /// restructured into two run types so the per-element work is branch-free:
+    ///
+    /// * **Warm-up runs** — while the window stays below `w_min` even after
+    ///   the push, no evaluation can happen. The whole run is appended with
+    ///   one [`SplitWindow::push_slice`] (two `copy_from_slice` calls plus a
+    ///   vectorizable moments kernel) and a branch-free non-binary count,
+    ///   instead of a per-element `push_value` + length check.
+    /// * **Evaluate runs** — cut-table entries are prefetched in contiguous
+    ///   chunks (`ENTRY_PREFETCH` — 128 — per read-lock acquisition instead
+    ///   of one) into a scratch buffer that persists across batches, so
+    ///   steady-state ingestion allocates nothing and the shared-table lock
+    ///   is off the hot loop entirely.
     fn add_batch(&mut self, values: &[f64]) -> BatchOutcome {
         let mut outcome = BatchOutcome::with_len(values.len());
         let w_min = self.config.w_min;
         let w_max = self.config.w_max;
-        // Local entry cache: `cache[k]` is the entry for window length
-        // `cache_start + k`.
-        let mut cache: Vec<CutEntry> = Vec::new();
-        let mut cache_start = usize::MAX;
 
-        for (i, &value) in values.iter().enumerate() {
-            self.push_value(value);
-            let w = self.window.len();
-            if w < w_min {
+        let mut i = 0usize;
+        while i < values.len() {
+            let len = self.window.len();
+            if len + 1 < w_min {
+                // Warm-up run: every element in it leaves the window strictly
+                // below w_min, so the scalar path would record Stable for
+                // each. No eviction is possible (len < w_min − 1 < w_max).
+                let take = (w_min - 1 - len).min(values.len() - i);
+                let run = &values[i..i + take];
+                self.window.push_slice(run);
+                self.non_binary_in_window += run
+                    .iter()
+                    .map(|&v| usize::from(!Self::is_binary(v)))
+                    .sum::<usize>();
+                self.elements_seen += take as u64;
                 self.last_status = DriftStatus::Stable;
-                outcome.record(i, DriftStatus::Stable);
+                outcome.record(i + take - 1, DriftStatus::Stable);
+                i += take;
                 continue;
             }
-            let entry = if w >= cache_start && w - cache_start < cache.len() {
-                cache[w - cache_start]
+
+            self.push_value(values[i]);
+            let w = self.window.len();
+            let entry = if w >= self.entry_scratch_start
+                && w - self.entry_scratch_start < self.entry_scratch.len()
+            {
+                self.entry_scratch[w - self.entry_scratch_start]
             } else {
                 let hi = (w + ENTRY_PREFETCH - 1).min(w_max);
-                match self.cut.entries_range(w, hi) {
-                    Ok(entries) => {
-                        cache = entries;
-                        cache_start = w;
-                        cache[0]
+                match self.cut.entries_range_into(w, hi, &mut self.entry_scratch) {
+                    Ok(()) => {
+                        self.entry_scratch_start = w;
+                        self.entry_scratch[0]
                     }
                     Err(_) => {
-                        cache.clear();
-                        cache_start = usize::MAX;
+                        self.entry_scratch.clear();
+                        self.entry_scratch_start = usize::MAX;
                         Self::fallback_entry(w)
                     }
                 }
             };
             outcome.record(i, self.evaluate_window(&entry));
+            i += 1;
         }
         outcome
     }

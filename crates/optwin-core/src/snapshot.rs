@@ -344,35 +344,43 @@ fn unframe(text: &str) -> Result<Blob, String> {
 // Varints
 // ---------------------------------------------------------------------------
 
-fn push_varint(out: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            out.push(byte);
-            return;
-        }
-        out.push(byte | 0x80);
+fn push_varint(out: &mut Vec<u8>, v: u64) {
+    // Branch-free encode: the byte count comes straight from the bit width
+    // (`| 1` maps v = 0 to one byte), every lane is written with its
+    // continuation bit set in a fixed-trip loop, and the last byte's
+    // continuation bit is cleared afterwards. Byte-for-byte identical to the
+    // classic emit-until-zero loop.
+    let bits = 64 - (v | 1).leading_zeros() as usize;
+    let n = bits.div_ceil(7);
+    let mut buf = [0u8; 10];
+    for (k, byte) in buf.iter_mut().enumerate() {
+        *byte = ((v >> (7 * k)) & 0x7f) as u8 | 0x80;
     }
+    buf[n - 1] &= 0x7f;
+    out.extend_from_slice(&buf[..n]);
 }
 
 fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    // One range check up front instead of a bounds check per byte; the
+    // validation (10-byte cap, final-part overflow) is unchanged.
+    let tail = &bytes[(*pos).min(bytes.len())..];
     let mut value: u64 = 0;
-    for shift in 0..10 {
-        let &byte = bytes
-            .get(*pos)
-            .ok_or_else(|| "element count mismatch: varint payload ends early".to_string())?;
-        *pos += 1;
+    for (shift, &byte) in tail.iter().take(10).enumerate() {
         let part = u64::from(byte & 0x7f);
         if shift == 9 && part > 1 {
             return Err("invalid varint: exceeds 64 bits".to_string());
         }
         value |= part << (shift * 7);
         if byte & 0x80 == 0 {
+            *pos += shift + 1;
             return Ok(value);
         }
     }
-    Err("invalid varint: more than 10 bytes".to_string())
+    if tail.len() < 10 {
+        Err("element count mismatch: varint payload ends early".to_string())
+    } else {
+        Err("invalid varint: more than 10 bytes".to_string())
+    }
 }
 
 fn zigzag(i: i64) -> u64 {
@@ -388,6 +396,23 @@ fn unzigzag(u: u64) -> i64 {
 // ---------------------------------------------------------------------------
 
 const ONE_BITS: u64 = 1.0f64.to_bits();
+
+/// Bit-packs one flag per element, LSB-first within each byte — 64 elements
+/// at a time: each chunk is assembled into a `u64` with branch-free shifts
+/// and stored through its little-endian byte image, which reproduces the
+/// byte-at-a-time layout exactly (bit `i` lands in `payload[i / 8]` at
+/// position `i % 8`).
+fn pack_bits<T>(values: &[T], bit: impl Fn(&T) -> bool) -> Vec<u8> {
+    let mut payload = vec![0u8; values.len().div_ceil(8)];
+    for (chunk, bytes) in values.chunks(64).zip(payload.chunks_mut(8)) {
+        let mut word = 0u64;
+        for (k, v) in chunk.iter().enumerate() {
+            word |= u64::from(bit(v)) << k;
+        }
+        bytes.copy_from_slice(&word.to_le_bytes()[..bytes.len()]);
+    }
+    payload
+}
 
 /// Probes the smallest decimal scale whose fixed-point integers reproduce
 /// every value bit-exactly: `(i as f64) / 10^k` is the identical IEEE
@@ -446,13 +471,11 @@ pub fn encode_f64_seq(values: &[f64]) -> serde::Value {
         .iter()
         .all(|v| v.to_bits() == 0 || v.to_bits() == ONE_BITS)
     {
-        let mut payload = vec![0u8; values.len().div_ceil(8)];
-        for (i, &v) in values.iter().enumerate() {
-            if v.to_bits() == ONE_BITS {
-                payload[i / 8] |= 1 << (i % 8);
-            }
-        }
-        best = Some((KIND_BITS01, 0, payload));
+        best = Some((
+            KIND_BITS01,
+            0,
+            pack_bits(values, |v| v.to_bits() == ONE_BITS),
+        ));
     }
     if best.is_none() {
         if let Some((scale, ints)) = fixed_scale_ints(values) {
@@ -542,9 +565,18 @@ fn bits_from_blob(blob: &Blob) -> Result<Vec<bool>, String> {
             return Err("element count mismatch: non-zero padding bits".to_string());
         }
     }
-    Ok((0..blob.count)
-        .map(|i| blob.payload[i / 8] >> (i % 8) & 1 == 1)
-        .collect())
+    // Byte-at-a-time unpack: eight branch-free pushes per full byte instead
+    // of a divide, modulo and bounds check per bit.
+    let full = blob.count / 8;
+    let mut bits = Vec::with_capacity(blob.count);
+    for &byte in &blob.payload[..full] {
+        let b = |k: u8| byte >> k & 1 == 1;
+        bits.extend_from_slice(&[b(0), b(1), b(2), b(3), b(4), b(5), b(6), b(7)]);
+    }
+    for k in 0..blob.count % 8 {
+        bits.push(blob.payload[full] >> k & 1 == 1);
+    }
+    Ok(bits)
 }
 
 // ---------------------------------------------------------------------------
@@ -558,12 +590,7 @@ pub fn encode_bool_seq(values: &[bool]) -> serde::Value {
         use serde::Serialize as _;
         return values.to_value();
     }
-    let mut payload = vec![0u8; values.len().div_ceil(8)];
-    for (i, &b) in values.iter().enumerate() {
-        if b {
-            payload[i / 8] |= 1 << (i % 8);
-        }
-    }
+    let payload = pack_bits(values, |&b| b);
     serde::Value::Str(frame(KIND_BITS_BOOL, 0, values.len(), &payload))
 }
 

@@ -54,6 +54,21 @@ impl SplitWindow {
         self.buf.len()
     }
 
+    /// Reduces a ring index in `[0, 2·capacity)` into `[0, capacity)`.
+    ///
+    /// `head` stays below the capacity and offsets never exceed it, so a
+    /// single conditional subtract replaces the `%` the hot paths would
+    /// otherwise pay — an integer division per push/pop/probe.
+    #[inline]
+    fn wrap(&self, i: usize) -> usize {
+        debug_assert!(i < 2 * self.buf.len());
+        if i >= self.buf.len() {
+            i - self.buf.len()
+        } else {
+            i
+        }
+    }
+
     /// Number of elements currently stored.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -86,7 +101,7 @@ impl SplitWindow {
     #[must_use]
     pub fn get(&self, i: usize) -> f64 {
         assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
-        self.buf[(self.head + i) % self.buf.len()]
+        self.buf[self.wrap(self.head + i)]
     }
 
     /// Appends a new (most recent) element to `W_new`.
@@ -96,10 +111,36 @@ impl SplitWindow {
     /// Panics if the window is full; callers must [`Self::pop_front`] first.
     pub fn push(&mut self, x: f64) {
         assert!(self.len < self.buf.len(), "window is full");
-        let idx = (self.head + self.len) % self.buf.len();
+        let idx = self.wrap(self.head + self.len);
         self.buf[idx] = x;
         self.len += 1;
         self.new.add(x);
+    }
+
+    /// Appends every element of `xs` (oldest first) to `W_new`, bit-exactly
+    /// equivalent to calling [`SplitWindow::push`] once per element.
+    ///
+    /// This is the batch warm-up fast path: the ring copy collapses to at
+    /// most two `memcpy` segments and the sub-window accumulator is updated
+    /// with the branch-hoisted [`WindowMoments::add_slice`] kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the elements do not all fit; callers must evict first.
+    pub fn push_slice(&mut self, xs: &[f64]) {
+        let cap = self.buf.len();
+        assert!(
+            self.len + xs.len() <= cap,
+            "pushing {} elements into a window with {} free slots",
+            xs.len(),
+            cap - self.len
+        );
+        let start = self.wrap(self.head + self.len);
+        let first = xs.len().min(cap - start);
+        self.buf[start..start + first].copy_from_slice(&xs[..first]);
+        self.buf[..xs.len() - first].copy_from_slice(&xs[first..]);
+        self.len += xs.len();
+        self.new.add_slice(xs);
     }
 
     /// Removes and returns the oldest element.
@@ -111,7 +152,7 @@ impl SplitWindow {
             return None;
         }
         let x = self.buf[self.head];
-        self.head = (self.head + 1) % self.buf.len();
+        self.head = self.wrap(self.head + 1);
         self.len -= 1;
         if self.split > 0 {
             self.split -= 1;
@@ -337,6 +378,41 @@ mod tests {
         w.set_split(1);
         let (hist, _) = xs.split_at(1);
         assert!((w.hist_mean() - hist[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_slice_is_bit_exact_and_wraps() {
+        // Exercise the wrapped-ring case: advance head first, then bulk-push
+        // a slice that spans the wrap point.
+        let xs: Vec<f64> = (0..10).map(|i| 0.1 + 0.07 * f64::from(i)).collect();
+        let mut scalar = SplitWindow::with_capacity(8);
+        let mut bulk = SplitWindow::with_capacity(8);
+        for w in [&mut scalar, &mut bulk] {
+            w.push(9.0);
+            w.push(8.0);
+            w.push(7.0);
+            w.pop_front();
+            w.pop_front();
+            w.pop_front();
+        }
+        for &x in &xs[..6] {
+            scalar.push(x);
+        }
+        bulk.push_slice(&xs[..6]);
+        assert_eq!(bulk.to_vec(), scalar.to_vec());
+        assert_eq!(bulk.new_moments_raw(), scalar.new_moments_raw());
+        assert_eq!(bulk.len(), scalar.len());
+        // Empty slice is a no-op.
+        bulk.push_slice(&[]);
+        assert_eq!(bulk.to_vec(), scalar.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "free slots")]
+    fn push_slice_past_capacity_panics() {
+        let mut w = SplitWindow::with_capacity(3);
+        w.push(1.0);
+        w.push_slice(&[2.0, 3.0, 4.0]);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!   proportions, Wilcoxon signed-rank, two-sample KS).
 //! * [`incremental`] — numerically careful streaming moments (Welford and
 //!   add/remove window accumulators) and EWMA estimators.
+//! * [`kernels`] — chunked, branch-hoisted slice kernels over the
+//!   incremental accumulators, bit-exact to the element-wise folds.
 //! * [`descriptive`] — batch descriptive statistics over slices.
 //! * [`roots`] — bracketing root finders (bisection, Brent) used by the
 //!   quantile inversions and by OPTWIN's optimal-cut search.
@@ -51,6 +53,7 @@ pub mod descriptive;
 pub mod dist;
 pub mod error;
 pub mod incremental;
+pub mod kernels;
 pub mod roots;
 pub mod special;
 pub mod tests;

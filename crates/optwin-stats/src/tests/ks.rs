@@ -18,6 +18,11 @@ pub struct KsTestResult {
 
 /// Two-sample Kolmogorov–Smirnov test.
 ///
+/// Sorts copies of both samples and delegates to [`ks_two_sample_sorted`];
+/// callers that already maintain their samples in sorted order (KSWIN's
+/// incrementally sorted sliding window) should call the sorted variant
+/// directly and skip the `O(n log n)` work entirely.
+///
 /// # Errors
 ///
 /// Returns [`StatsError::InsufficientData`] if either sample is empty.
@@ -32,7 +37,27 @@ pub fn ks_two_sample(sample1: &[f64], sample2: &[f64]) -> Result<KsTestResult> {
     let mut b: Vec<f64> = sample2.to_vec();
     a.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
     b.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    ks_two_sample_sorted(&a, &b)
+}
 
+/// Two-sample Kolmogorov–Smirnov test over samples that are **already sorted
+/// ascending**: a single linear merge-scan of the two empirical CDFs.
+///
+/// The statistic depends only on the order statistics, so any permutation of
+/// tied values (including `-0.0` vs `0.0`, which compare equal) yields the
+/// identical result — which is what lets KSWIN maintain its samples
+/// incrementally instead of re-sorting per element.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InsufficientData`] if either sample is empty.
+pub fn ks_two_sample_sorted(a: &[f64], b: &[f64]) -> Result<KsTestResult> {
+    if a.is_empty() || b.is_empty() {
+        return Err(StatsError::InsufficientData {
+            required: 1,
+            available: 0,
+        });
+    }
     let n1 = a.len();
     let n2 = b.len();
     let (mut i, mut j) = (0usize, 0usize);
@@ -124,6 +149,47 @@ mod tests {
         let r2 = ks_two_sample(&b, &a).unwrap();
         assert!((r1.statistic - r2.statistic).abs() < 1e-12);
         assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_variant_matches_unsorted_bit_for_bit() {
+        // Unsorted, tied, signed-zero-laden samples: the public entry point
+        // (sort + merge-scan) and the pre-sorted path must agree exactly.
+        let a = [0.4, -0.0, 0.0, 0.4, 1e300, 5e-324, 0.4, -1.0];
+        let b = [0.2, 0.2, -0.0, 0.9, 0.4, -5e-324];
+        let via_sort = ks_two_sample(&a, &b).unwrap();
+        let mut sa = a.to_vec();
+        let mut sb = b.to_vec();
+        sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let direct = ks_two_sample_sorted(&sa, &sb).unwrap();
+        assert_eq!(via_sort.statistic.to_bits(), direct.statistic.to_bits());
+        assert_eq!(via_sort.p_value.to_bits(), direct.p_value.to_bits());
+        // Swapping tied equal values (a different permutation of the
+        // multiset) cannot change the result.
+        let sa_perm: Vec<f64> = {
+            let mut v = sa.clone();
+            // -0.0 and 0.0 compare equal; exchange them.
+            let zeros: Vec<usize> = v
+                .iter()
+                .enumerate()
+                .filter(|(_, x)| **x == 0.0)
+                .map(|(i, _)| i)
+                .collect();
+            if zeros.len() >= 2 {
+                v.swap(zeros[0], zeros[1]);
+            }
+            v
+        };
+        let permuted = ks_two_sample_sorted(&sa_perm, &sb).unwrap();
+        assert_eq!(permuted.statistic.to_bits(), direct.statistic.to_bits());
+        assert_eq!(permuted.p_value.to_bits(), direct.p_value.to_bits());
+    }
+
+    #[test]
+    fn sorted_variant_rejects_empty_samples() {
+        assert!(ks_two_sample_sorted(&[], &[1.0]).is_err());
+        assert!(ks_two_sample_sorted(&[1.0], &[]).is_err());
     }
 
     #[test]

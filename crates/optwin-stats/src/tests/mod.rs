@@ -20,7 +20,7 @@ mod variance_ratio;
 mod welch;
 mod wilcoxon;
 
-pub use ks::{ks_two_sample, KsTestResult};
+pub use ks::{ks_two_sample, ks_two_sample_sorted, KsTestResult};
 pub use proportions::{equal_proportions_test, ProportionsTestResult};
 pub use variance_ratio::{variance_ratio_test, variance_ratio_test_from_stats, FTestResult};
 pub use welch::{welch_degrees_of_freedom, welch_t_test, welch_t_test_from_stats, TTestResult};

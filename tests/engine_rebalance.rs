@@ -118,10 +118,15 @@ fn skewed_load_rebalance_is_bit_exact_and_balances() {
             .submit(&skewed_chunk(bounds.0, bounds.1))
             .expect("engine running");
         rebalanced.flush().expect("no ingestion errors");
+        // Alternate the policies but end on Records: the final assertion
+        // below compares *record*-load imbalance against the static run, and
+        // only a record-based final plan optimizes that quantity — a
+        // timing-based (DetectorSeconds) final plan depends on wall-clock
+        // noise and can legitimately leave record counts skewed.
         let policy = if k % 2 == 0 {
-            RebalancePolicy::Records
-        } else {
             RebalancePolicy::DetectorSeconds
+        } else {
+            RebalancePolicy::Records
         };
         let report = rebalanced.rebalance(policy).expect("engine running");
         assert_eq!(report.streams, SKEW_STREAMS as usize);
