@@ -301,13 +301,20 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Re-borrow the full UTF-8 character starting at pos - 1.
-                    let rest = &self.bytes[self.pos - 1..];
-                    let s = std::str::from_utf8(rest)
+                    // Consume the whole contiguous run of unescaped bytes and
+                    // validate it as UTF-8 once. Validating per character from
+                    // `pos` to end-of-input made parsing O(n²) — a 2 MiB fleet
+                    // snapshot took over a minute to read back.
+                    let start = self.pos - 1;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| Error::new("invalid utf-8 in string"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8() - 1;
+                    out.push_str(run);
                 }
             }
         }

@@ -20,7 +20,7 @@
 //! and the window is only inspected every `clock` insertions (default 32),
 //! giving O(log |W|) amortized work per element.
 
-use optwin_core::snapshot::{check_version, field, finite_field, invalid};
+use optwin_core::snapshot::{check_version, field, float_field, invalid};
 use optwin_core::{BatchOutcome, CoreError, DriftDetector, DriftStatus};
 
 /// Maximum number of buckets per row before two are merged into the next row
@@ -383,6 +383,18 @@ impl DriftDetector for Adwin {
         true
     }
 
+    /// Struct size plus the exponential histogram's heap: the row spine and
+    /// every row's bucket storage, counted at capacity.
+    fn mem_footprint(&self) -> usize {
+        std::mem::size_of_val(self)
+            + self.rows.capacity() * std::mem::size_of::<Vec<Bucket>>()
+            + self
+                .rows
+                .iter()
+                .map(|row| row.capacity() * std::mem::size_of::<Bucket>())
+                .sum::<usize>()
+    }
+
     /// Serializes the exponential histogram verbatim — every bucket's
     /// `(count, sum, variance)` triple per row — plus the raw window
     /// aggregates and counters. The aggregates are *not* recomputed from the
@@ -500,8 +512,8 @@ impl DriftDetector for Adwin {
                 "total_count ({total_count}) does not match the buckets ({bucket_total})"
             )));
         }
-        let total_sum = finite_field(state, "total_sum")?;
-        let total_variance = finite_field(state, "total_variance")?;
+        let total_sum = float_field(state, "total_sum")?;
+        let total_variance = float_field(state, "total_variance")?;
         let since_check: u64 = field(state, "elements_since_check")?;
         if since_check >= u64::from(self.config.clock) {
             return Err(invalid(format!(
@@ -525,9 +537,11 @@ impl DriftDetector for Adwin {
     }
 }
 
-/// Shared bucket validation for both snapshot layouts: positive count,
-/// finite moments, non-negative variance, and an overflow-checked running
-/// total.
+/// Shared bucket validation for both snapshot layouts: positive count and
+/// an overflow-checked running total. The float moments are accepted
+/// verbatim — a bucket fed `±1e300` legitimately saturates its sum or
+/// variance to `±inf`/NaN, and restore must round-trip every state its
+/// paired snapshot can emit.
 fn validated_bucket(
     count: u64,
     sum: f64,
@@ -537,12 +551,6 @@ fn validated_bucket(
 ) -> Result<Bucket, CoreError> {
     if count == 0 {
         return Err(invalid(format!("{} has zero count", at())));
-    }
-    if !sum.is_finite() || !variance.is_finite() || variance < 0.0 {
-        return Err(invalid(format!(
-            "{} has a non-finite or negative moment",
-            at()
-        )));
     }
     *bucket_total = bucket_total
         .checked_add(count)

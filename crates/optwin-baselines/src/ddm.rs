@@ -13,7 +13,7 @@
 //! after at least `min_instances` (30) observations. On drift the statistics
 //! are reset.
 
-use optwin_core::snapshot::{check_version, field, finite_field};
+use optwin_core::snapshot::{check_version, field, float_field};
 use optwin_core::{CoreError, DriftDetector, DriftStatus};
 
 /// Serialization format version of [`Ddm`]'s state snapshot.
@@ -203,7 +203,7 @@ impl DriftDetector for Ddm {
     fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
         check_version(state, SNAPSHOT_VERSION, "DDM")?;
         let n: u64 = field(state, "n")?;
-        let errors = finite_field(state, "errors")?;
+        let errors = float_field(state, "errors")?;
         // `errors` counts whole observations, so it must stay within [0, n];
         // anything else makes the error-rate estimate p = errors/n nonsense.
         if !(0.0..=n as f64).contains(&errors) {
@@ -213,8 +213,8 @@ impl DriftDetector for Ddm {
         }
         // `p_min`/`s_min` start at f64::MAX (which is finite), so the plain
         // finiteness check covers the pristine state too.
-        let p_min = finite_field(state, "p_min")?;
-        let s_min = finite_field(state, "s_min")?;
+        let p_min = float_field(state, "p_min")?;
+        let s_min = float_field(state, "s_min")?;
         let elements_seen: u64 = field(state, "elements_seen")?;
         let drifts_detected: u64 = field(state, "drifts_detected")?;
         let last_status: DriftStatus = field(state, "last_status")?;

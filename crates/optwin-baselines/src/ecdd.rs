@@ -26,7 +26,7 @@
 
 use std::sync::{Arc, OnceLock, RwLock};
 
-use optwin_core::snapshot::{check_version, field, finite_field, invalid};
+use optwin_core::snapshot::{check_version, field, float_field, invalid};
 use optwin_core::{CoreError, DriftDetector, DriftStatus};
 use optwin_stats::incremental::Ewma;
 
@@ -88,15 +88,26 @@ type SharedLimitCache = Arc<RwLock<Vec<Option<f64>>>>;
 /// Registry of interned caches, keyed by the `(λ, ARL₀)` bit patterns.
 type LimitRegistry = RwLock<Vec<((u64, u64), SharedLimitCache)>>;
 
+/// Maximum number of distinct `(λ, ARL₀)` calibrations the registry holds.
+/// Real fleets use a handful; the cap only matters for adversarial callers
+/// cycling many calibrations, where unbounded interning would otherwise
+/// grow the registry (and pin every cache) for the life of the process.
+const MAX_SHARED_LIMIT_CACHES: usize = 64;
+
 /// Process-wide interning of control-limit caches by `(λ, ARL₀)`. The limit
 /// is a pure, deterministic function of those two parameters and the rounded
 /// rate, so sharing the cache changes no decision — it only deduplicates the
 /// expensive Chernoff calibration (a golden-section search inside a binary
 /// search, ~10⁵ transcendental evaluations per miss) across fleets of
 /// detectors, clones and resets.
+///
+/// The registry is bounded at [`MAX_SHARED_LIMIT_CACHES`] entries: when a
+/// new calibration would exceed the cap, the oldest-interned entry is
+/// evicted. Detectors already holding the evicted cache keep their `Arc`
+/// and stay fully correct (the limit is deterministic); only *future*
+/// constructions with that calibration recompute limits into a fresh cache.
 fn shared_limit_cache(lambda: f64, arl0: f64) -> SharedLimitCache {
-    static REGISTRY: OnceLock<LimitRegistry> = OnceLock::new();
-    let registry = REGISTRY.get_or_init(|| RwLock::new(Vec::new()));
+    let registry = limit_registry();
     let key = (lambda.to_bits(), arl0.to_bits());
     if let Some((_, cache)) = registry
         .read()
@@ -112,9 +123,19 @@ fn shared_limit_cache(lambda: f64, arl0: f64) -> SharedLimitCache {
     if let Some((_, cache)) = entries.iter().find(|(k, _)| *k == key) {
         return Arc::clone(cache);
     }
+    if entries.len() >= MAX_SHARED_LIMIT_CACHES {
+        // FIFO eviction: entry 0 is the oldest interning.
+        entries.remove(0);
+    }
     let cache: SharedLimitCache = Arc::new(RwLock::new(vec![None; LIMIT_CACHE_LEN]));
     entries.push((key, Arc::clone(&cache)));
     cache
+}
+
+/// The process-wide registry backing [`shared_limit_cache`].
+fn limit_registry() -> &'static LimitRegistry {
+    static REGISTRY: OnceLock<LimitRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
 }
 
 impl Ecdd {
@@ -338,7 +359,7 @@ impl DriftDetector for Ecdd {
 
     fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
         check_version(state, SNAPSHOT_VERSION, "ECDD")?;
-        let lambda = finite_field(state, "lambda")?;
+        let lambda = float_field(state, "lambda")?;
         if lambda != self.config.lambda {
             return Err(invalid(format!(
                 "snapshot was taken with lambda = {lambda}, detector has lambda = {}",
@@ -346,9 +367,9 @@ impl DriftDetector for Ecdd {
             )));
         }
         let count: u64 = field(state, "ewma_count")?;
-        let mean = finite_field(state, "ewma_mean")?;
-        let z = finite_field(state, "ewma_z")?;
-        let pow_2t = finite_field(state, "ewma_pow_2t")?;
+        let mean = float_field(state, "ewma_mean")?;
+        let z = float_field(state, "ewma_z")?;
+        let pow_2t = float_field(state, "ewma_pow_2t")?;
         if !(0.0..=1.0).contains(&pow_2t) {
             return Err(invalid(format!(
                 "ewma_pow_2t ({pow_2t}) must lie in [0, 1]"
@@ -557,5 +578,54 @@ mod tests {
         });
         let err = other.restore_state(&state).unwrap_err();
         assert!(err.to_string().contains("lambda"), "{err}");
+    }
+
+    #[test]
+    fn limit_registry_is_bounded_with_fifo_eviction() {
+        // Cycle far more distinct (λ, ARL₀) calibrations than the cap. Each
+        // ARL₀ here is unrealistic but valid; what matters is key identity.
+        for i in 0..(3 * MAX_SHARED_LIMIT_CACHES) {
+            let _ = shared_limit_cache(0.2, 100.0 + i as f64);
+        }
+        let len = limit_registry()
+            .read()
+            .expect("ECDD limit registry poisoned")
+            .len();
+        assert!(
+            len <= MAX_SHARED_LIMIT_CACHES,
+            "registry grew to {len} entries (cap {MAX_SHARED_LIMIT_CACHES})"
+        );
+
+        // The most recent calibration survived the churn and re-interning it
+        // does not allocate a fresh cache...
+        let last_arl0 = 100.0 + (3 * MAX_SHARED_LIMIT_CACHES - 1) as f64;
+        let kept = shared_limit_cache(0.2, last_arl0);
+        assert!(Arc::ptr_eq(&kept, &shared_limit_cache(0.2, last_arl0)));
+
+        // ...while an evicted one is simply recomputed into a fresh cache:
+        // detectors still behave identically either way because the limit is
+        // a pure function of the calibration. Prove it on real decisions.
+        let mut before = Ecdd::with_defaults();
+        let evicted_cfg = EcddConfig::default();
+        for _ in 0..MAX_SHARED_LIMIT_CACHES + 4 {
+            let _ = shared_limit_cache(0.31, 7777.0 + before.elements_seen as f64);
+            before.add_element(0.0);
+        }
+        let mut after = Ecdd::new(evicted_cfg);
+        let mut reference = Ecdd::with_defaults();
+        // `before` was built earlier; replay the same prefix into `reference`
+        // so all three detectors have seen identical streams.
+        for _ in 0..MAX_SHARED_LIMIT_CACHES + 4 {
+            reference.add_element(0.0);
+            after.add_element(0.0);
+        }
+        for i in 0..2_000u64 {
+            let x = bernoulli(i, if i < 1_000 { 0.1 } else { 0.6 });
+            let b = before.add_element(x);
+            let r = reference.add_element(x);
+            let a = after.add_element(x);
+            assert_eq!(b, r, "element {i}");
+            assert_eq!(r, a, "element {i}");
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! Detection only starts after `min_errors` (30) errors have been observed.
 //! On drift the statistics are reset.
 
-use optwin_core::snapshot::{check_version, field, finite_field};
+use optwin_core::snapshot::{check_version, field, float_field};
 use optwin_core::{CoreError, DriftDetector, DriftStatus};
 
 /// Serialization format version of [`Eddm`]'s state snapshot.
@@ -240,9 +240,9 @@ impl DriftDetector for Eddm {
             }
         }
         let error_count: u64 = field(state, "error_count")?;
-        let dist_mean = finite_field(state, "dist_mean")?;
-        let dist_m2 = finite_field(state, "dist_m2")?;
-        let max_stat = finite_field(state, "max_stat")?;
+        let dist_mean = float_field(state, "dist_mean")?;
+        let dist_m2 = float_field(state, "dist_m2")?;
+        let max_stat = float_field(state, "max_stat")?;
         let elements_seen: u64 = field(state, "elements_seen")?;
         let drifts_detected: u64 = field(state, "drifts_detected")?;
         let last_status: DriftStatus = field(state, "last_status")?;

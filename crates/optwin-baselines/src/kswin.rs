@@ -236,6 +236,16 @@ impl DriftDetector for Kswin {
         self.drifts_detected
     }
 
+    /// Struct size plus the window ring and both sorted mirrors, counted at
+    /// capacity (all three are pre-allocated to their full size).
+    fn mem_footprint(&self) -> usize {
+        std::mem::size_of_val(self)
+            + (self.window.capacity()
+                + self.older_sorted.capacity()
+                + self.recent_sorted.capacity())
+                * std::mem::size_of::<f64>()
+    }
+
     /// Serializes the buffered window contents verbatim plus the lifetime
     /// counters — KSWIN's entire mutable state is the raw window.
     fn snapshot_state(&self) -> Option<serde::Value> {
@@ -279,9 +289,8 @@ impl DriftDetector for Kswin {
                 self.config.window_size
             )));
         }
-        if window.iter().any(|v| !v.is_finite()) {
-            return Err(invalid("window contains non-finite values"));
-        }
+        // Window elements are raw user input and restore verbatim —
+        // `add_element` never rejected them, so restore cannot either.
         let elements_seen: u64 = field(state, "elements_seen")?;
         let drifts_detected: u64 = field(state, "drifts_detected")?;
         let last_status: DriftStatus = field(state, "last_status")?;

@@ -7,7 +7,7 @@
 //! threshold `lambda`, a change is flagged. It is not part of the paper's
 //! baseline set but is a classic single-pass detector useful for ablations.
 
-use optwin_core::snapshot::{check_version, field, finite_field};
+use optwin_core::snapshot::{check_version, field, float_field};
 use optwin_core::{CoreError, DriftDetector, DriftStatus};
 
 /// Serialization format version of [`PageHinkley`]'s state snapshot.
@@ -190,9 +190,9 @@ impl DriftDetector for PageHinkley {
     fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
         check_version(state, SNAPSHOT_VERSION, "PageHinkley")?;
         let n: u64 = field(state, "n")?;
-        let mean = finite_field(state, "mean")?;
-        let cumulative = finite_field(state, "cumulative")?;
-        let min_cumulative = finite_field(state, "min_cumulative")?;
+        let mean = float_field(state, "mean")?;
+        let cumulative = float_field(state, "cumulative")?;
+        let min_cumulative = float_field(state, "min_cumulative")?;
         let elements_seen: u64 = field(state, "elements_seen")?;
         let drifts_detected: u64 = field(state, "drifts_detected")?;
         let last_status: DriftStatus = field(state, "last_status")?;

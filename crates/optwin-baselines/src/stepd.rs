@@ -227,6 +227,11 @@ impl DriftDetector for Stepd {
         self.drifts_detected
     }
 
+    /// Struct size plus the recent-results ring, counted at capacity.
+    fn mem_footprint(&self) -> usize {
+        std::mem::size_of_val(self) + self.recent.capacity() * std::mem::size_of::<bool>()
+    }
+
     fn supports_real_valued_input(&self) -> bool {
         true
     }

@@ -188,6 +188,26 @@ pub trait DriftDetector {
         self.snapshot_state()
     }
 
+    /// Approximate resident memory footprint of this detector in bytes:
+    /// the size of the detector struct itself plus every heap buffer it
+    /// owns (window rings, bucket rows, sorted mirrors, scratch space),
+    /// counted at **capacity**, not length — capacity is what the
+    /// allocator actually holds.
+    ///
+    /// Shared structures (OPTWIN's `Arc<CutTable>`, ECDD's process-wide
+    /// control-limit cache) are deliberately excluded: they are amortized
+    /// across a whole fleet and counting them per stream would overstate
+    /// per-stream cost by orders of magnitude.
+    ///
+    /// The default implementation returns `size_of_val(self)` (correct for
+    /// heap-free detectors — DDM, EDDM, Page–Hinkley and ECDD ship no
+    /// per-instance heap buffers); detectors that own heap storage
+    /// override it. The engine's hibernation tier uses this to surface
+    /// resident bytes per stream and per shard.
+    fn mem_footprint(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+
     /// Restores state captured by [`DriftDetector::snapshot_state`] (or
     /// [`DriftDetector::snapshot_state_encoded`], either layout) into this
     /// detector, which must have been freshly constructed with the same

@@ -413,13 +413,11 @@ fn moments_from_value(value: &serde::Value, field: &str) -> Result<(u64, f64, f6
         .map_err(|e| invalid(format!("`{field}[0]`: {e}")))?;
     let mut floats = [0.0; 3];
     for (k, slot) in floats.iter_mut().enumerate() {
+        // Non-finite accumulators restore verbatim: a window fed ±1e300
+        // legitimately saturates its sum-of-squares to +inf, and restore
+        // must accept every state `snapshot_state` can emit.
         *slot = <f64 as serde::Deserialize>::from_value(&items[k + 1])
             .map_err(|e| invalid(format!("`{field}[{}]`: {e}", k + 1)))?;
-        // A NaN/Inf accumulator would restore into a detector whose every
-        // test silently evaluates false; reject it like any other corruption.
-        if !slot.is_finite() {
-            return Err(invalid(format!("`{field}[{}]` is not finite", k + 1)));
-        }
     }
     Ok((count, floats[0], floats[1], floats[2]))
 }
@@ -531,6 +529,17 @@ impl DriftDetector for Optwin {
         true
     }
 
+    /// Struct size plus the eagerly allocated `w_max`-sized window ring and
+    /// the cut-entry scratch buffer. The shared `Arc<CutTable>` is excluded:
+    /// one table serves every detector built from the same configuration
+    /// (see [`Optwin::with_shared_table`]), so it is fleet-amortized cost,
+    /// not per-stream cost.
+    fn mem_footprint(&self) -> usize {
+        std::mem::size_of_val(self)
+            + self.window.heap_bytes()
+            + self.entry_scratch.capacity() * std::mem::size_of::<CutEntry>()
+    }
+
     /// Serializes the full mutable state: window contents, split point, the
     /// two raw moment accumulators (bit-exact — see
     /// [`SplitWindow::from_state`]), the binary-content counter, and the
@@ -599,10 +608,9 @@ impl DriftDetector for Optwin {
                 self.config.w_max
             )));
         }
+        // Window elements are raw user input and restore verbatim —
+        // `add_element` never rejected them, so restore cannot either.
         let values: Vec<f64> = crate::snapshot::f64_seq_field(state, "window")?;
-        if values.iter().any(|v| !v.is_finite()) {
-            return Err(invalid("window contains non-finite values".to_string()));
-        }
         let split = usize::try_from(snapshot_field::<u64>(state, "split")?)
             .map_err(|_| invalid("`split` out of range".to_string()))?;
         let hist_raw = moments_from_value(
@@ -1078,24 +1086,29 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("version"));
 
-        // Non-finite moment accumulators are rejected.
+        // Non-finite moment accumulators restore verbatim (saturation is a
+        // reachable live state, not corruption) and round-trip bit-exactly.
         let serde::Value::Object(mut fields) = state.clone() else {
             panic!("snapshot must be an object")
         };
         for (k, v) in &mut fields {
-            if k == "hist_moments" {
-                *v = serde::Value::Array(vec![
-                    serde::Value::UInt(1),
-                    serde::Value::Float(f64::NAN),
-                    serde::Value::Float(0.0),
-                    serde::Value::Float(0.0),
-                ]);
+            if k == "new_moments" {
+                let serde::Value::Array(items) = v else {
+                    panic!("moments must be an array")
+                };
+                items[2] = serde::Value::Float(f64::INFINITY);
+                items[3] = serde::Value::Float(f64::NAN);
             }
         }
-        let err = other
-            .restore_state(&serde::Value::Object(fields))
-            .unwrap_err();
-        assert!(err.to_string().contains("finite"), "{err}");
+        let saturated = serde::Value::Object(fields);
+        other.restore_state(&saturated).unwrap();
+        let round_tripped = other.snapshot_state().unwrap();
+        let moments = round_tripped.get("new_moments").unwrap();
+        let serde::Value::Array(items) = moments else {
+            panic!("moments must be an array")
+        };
+        assert!(matches!(items[2], serde::Value::Float(x) if x == f64::INFINITY));
+        assert!(matches!(items[3], serde::Value::Float(x) if x.is_nan()));
 
         // A failure after the window has been parsed must leave the detector
         // untouched (no half-restored state): advance the detector past the

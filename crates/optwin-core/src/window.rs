@@ -54,6 +54,15 @@ impl SplitWindow {
         self.buf.len()
     }
 
+    /// Bytes of heap storage owned by the ring buffer. The buffer is
+    /// allocated eagerly at full capacity, so this is
+    /// `capacity * size_of::<f64>()` regardless of how many elements are
+    /// currently stored — exactly what a memory audit should count.
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        self.buf.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Reduces a ring index in `[0, 2·capacity)` into `[0, capacity)`.
     ///
     /// `head` stays below the capacity and offsets never exceed it, so a

@@ -12,6 +12,7 @@ use crate::fleet::FleetConfig;
 use crate::handle::{
     spawn_engine, DetectorSource, EngineHandle, SharedDetectorFactory, StreamState,
 };
+use crate::hibernate::{HibernatedDetector, HibernationPolicy};
 use crate::persist::EngineSnapshot;
 use crate::sink::EventSink;
 
@@ -47,6 +48,7 @@ pub struct EngineBuilder {
     spec_streams: Vec<(u64, DetectorSpec)>,
     auto_rebalance: Option<f64>,
     snapshot_encoding: SnapshotEncoding,
+    hibernation: Option<HibernationPolicy>,
 }
 
 impl Default for EngineBuilder {
@@ -96,6 +98,7 @@ impl EngineBuilder {
             spec_streams: Vec::new(),
             auto_rebalance: None,
             snapshot_encoding: SnapshotEncoding::Json,
+            hibernation: None,
         }
     }
 
@@ -182,6 +185,23 @@ impl EngineBuilder {
     /// [`EngineBuilder::restore`] accepts every version (v1–v4).
     pub fn snapshot_encoding(mut self, encoding: SnapshotEncoding) -> Self {
         self.snapshot_encoding = encoding;
+        self
+    }
+
+    /// Enables the hibernation tier (see [`crate::hibernate`]): at every
+    /// [`EngineHandle::flush`] barrier, each shard worker compresses the
+    /// detector state of streams that have been idle for
+    /// [`HibernationPolicy::cold_after_flushes`] consecutive barriers into
+    /// a compact blob and frees the detector. The next record for such a
+    /// stream rebuilds the detector from the stream's [`DetectorSpec`] and
+    /// restores the blob — bit-exact, so the fleet's events and `seq`
+    /// numbers are byte-identical to a never-hibernating run. Only
+    /// spec-registered streams participate. Restoring a snapshot with
+    /// hibernated entries through a builder with this knob set re-creates
+    /// those streams still asleep (their detectors are never materialized);
+    /// without it they restore awake. Default: no hibernation.
+    pub fn hibernation(mut self, policy: HibernationPolicy) -> Self {
+        self.hibernation = Some(policy);
         self
     }
 
@@ -325,6 +345,42 @@ impl EngineBuilder {
                 let target = stream_snapshot
                     .shard
                     .map_or_else(|| shard_of(stream), |shard| shard % self.shards);
+                // Hibernated entry restoring into a hibernating engine: keep
+                // the stream asleep — its state tree becomes the blob
+                // directly and no detector is materialized, so a snapshot of
+                // a mostly-cold million-stream fleet restores in the cold
+                // footprint. Falls through to the awake path (always
+                // correct) when the entry lacks the counters the sleeper
+                // caches, or for a non-hibernating builder.
+                if self.hibernation.is_some() && stream_snapshot.hibernated {
+                    if let Some(spec) = &stream_snapshot.spec {
+                        if spec.detector_name() != stream_snapshot.detector {
+                            return Err(EngineError::InvalidSnapshot(format!(
+                                "stream {}: snapshot was taken from a `{}` detector but the \
+                                 embedded spec `{}` builds `{}`",
+                                stream,
+                                stream_snapshot.detector,
+                                spec,
+                                spec.detector_name()
+                            )));
+                        }
+                        if let Some(sleeper) = HibernatedDetector::from_persisted(
+                            spec.detector_name(),
+                            &stream_snapshot.state,
+                        ) {
+                            let mut state = StreamState::asleep(sleeper, spec.clone());
+                            state.restore_position(
+                                stream_snapshot.seq,
+                                stream_snapshot.detector_seconds,
+                            );
+                            if !seen.insert(stream) {
+                                return Err(EngineError::DuplicateStream(stream));
+                            }
+                            initial[target].insert(stream, state);
+                            continue;
+                        }
+                    }
+                }
                 // v2 self-describing entry: rebuild from the embedded spec.
                 // Spec-less entry: fall back to the default spec/factory.
                 let (mut detector, spec) = match &stream_snapshot.spec {
@@ -361,8 +417,7 @@ impl EngineBuilder {
                     .restore_state(&stream_snapshot.state)
                     .map_err(|e| EngineError::InvalidSnapshot(format!("stream {stream}: {e}")))?;
                 let mut state = StreamState::with_spec(detector, spec);
-                state.seq = stream_snapshot.seq;
-                state.seconds = stream_snapshot.detector_seconds;
+                state.restore_position(stream_snapshot.seq, stream_snapshot.detector_seconds);
                 if !seen.insert(stream) {
                     return Err(EngineError::DuplicateStream(stream));
                 }
@@ -398,6 +453,7 @@ impl EngineBuilder {
             initial,
             self.auto_rebalance,
             self.snapshot_encoding,
+            self.hibernation,
         ))
     }
 }

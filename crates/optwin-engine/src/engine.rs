@@ -53,6 +53,15 @@ pub enum EngineError {
     InvalidFleetConfig(String),
     /// An auto-rebalance threshold was not a finite ratio above 1.0.
     InvalidRebalanceThreshold(String),
+    /// A hibernated stream could not be rehydrated (corrupt or mismatched
+    /// state blob). The stream stays asleep; its pending records are
+    /// dropped and the error is reported through the usual drain path.
+    Hibernation {
+        /// The stream that failed to wake.
+        stream: u64,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -93,6 +102,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::InvalidRebalanceThreshold(message) => {
                 write!(f, "invalid auto-rebalance threshold: {message}")
+            }
+            EngineError::Hibernation { stream, message } => {
+                write!(f, "stream {stream}: hibernation failure: {message}")
             }
         }
     }
@@ -181,6 +193,14 @@ pub struct StreamSnapshot {
     /// with, when registered declaratively (`None` for explicit-instance and
     /// closure-factory streams).
     pub spec: Option<optwin_baselines::DetectorSpec>,
+    /// Whether the stream is currently hibernated: its detector compressed
+    /// to a state blob, to be rehydrated transparently on the next record
+    /// (see [`crate::HibernationPolicy`]).
+    pub hibernated: bool,
+    /// Resident bytes this stream currently costs: the live detector's
+    /// [`optwin_core::DriftDetector::mem_footprint`], or the hibernated
+    /// blob plus its bookkeeping.
+    pub mem_bytes: usize,
 }
 
 thread_local! {
@@ -738,6 +758,13 @@ mod tests {
             (
                 EngineError::InvalidRebalanceThreshold("got 0.5".to_string()),
                 "0.5",
+            ),
+            (
+                EngineError::Hibernation {
+                    stream: 11,
+                    message: "blob truncated".to_string(),
+                },
+                "blob truncated",
             ),
         ];
         for (error, needle) in cases {

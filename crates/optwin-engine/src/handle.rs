@@ -32,6 +32,7 @@ use optwin_core::{DriftDetector, DriftStatus, SnapshotEncoding};
 
 use crate::engine::{EngineConfig, EngineError, StreamSnapshot};
 use crate::event::DriftEvent;
+use crate::hibernate::{DetectorSlot, HibernatedDetector, HibernationPolicy};
 use crate::persist::{wire_version, EngineSnapshot, StreamStateSnapshot};
 use crate::router::Router;
 use crate::sink::EventSink;
@@ -100,6 +101,18 @@ pub struct ShardLoad {
     /// worker spends processing one submitted batch partition. Zero until
     /// the first batch lands.
     pub batch_ewma_seconds: f64,
+    /// Resident detector bytes of the streams placed on this shard: each
+    /// live detector's [`DriftDetector::mem_footprint`] plus each sleeping
+    /// stream's compressed-state bookkeeping — the memory counterpart of
+    /// [`ShardLoad::stream_records`].
+    pub resident_bytes: usize,
+    /// Streams currently hibernated on this shard.
+    pub hibernated_streams: usize,
+    /// Bytes held in hibernated state blobs on this shard (a subset of
+    /// [`ShardLoad::resident_bytes`]).
+    pub hibernated_bytes: usize,
+    /// Lifetime hibernated→live rehydrations this worker has performed.
+    pub rehydrations: u64,
 }
 
 /// Aggregate lifetime counters across all streams of an engine, plus the
@@ -135,6 +148,48 @@ impl EngineStats {
                 .collect::<Vec<_>>(),
         )
     }
+
+    /// Resident detector bytes across all shards (live footprints plus
+    /// hibernated blobs) — see [`ShardLoad::resident_bytes`].
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.resident_bytes).sum()
+    }
+
+    /// Streams currently hibernated across all shards.
+    #[must_use]
+    pub fn hibernated_streams(&self) -> usize {
+        self.shards.iter().map(|s| s.hibernated_streams).sum()
+    }
+
+    /// Bytes held in hibernated state blobs across all shards.
+    #[must_use]
+    pub fn hibernated_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.hibernated_bytes).sum()
+    }
+
+    /// Lifetime hibernated→live rehydrations across all shards.
+    #[must_use]
+    pub fn rehydrations(&self) -> u64 {
+        self.shards.iter().map(|s| s.rehydrations).sum()
+    }
+}
+
+/// Renders a byte count with a binary-unit suffix (`1.5MiB`), for the
+/// [`EngineStats`] display table.
+fn fmt_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes}B")
+    } else {
+        format!("{value:.1}{}", UNITS[unit])
+    }
 }
 
 impl fmt::Display for EngineStats {
@@ -143,23 +198,30 @@ impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} streams · {} records · {} drifts · imbalance {:.2}",
+            "{} streams · {} records · {} drifts · imbalance {:.2} · mem {} \
+             ({} hibernated, {} blobs)",
             self.streams,
             self.elements,
             self.drifts,
-            self.imbalance()
+            self.imbalance(),
+            fmt_bytes(self.resident_bytes()),
+            self.hibernated_streams(),
+            fmt_bytes(self.hibernated_bytes())
         )?;
         for shard in &self.shards {
             writeln!(
                 f,
                 "  shard {}: {} streams · {} records · {} processed · queue {} · \
-                 batch EWMA {:.3}ms",
+                 batch EWMA {:.3}ms · mem {} ({} hibernated, {} blobs)",
                 shard.shard,
                 shard.streams,
                 shard.stream_records,
                 shard.records,
                 shard.queue_depth,
-                shard.batch_ewma_seconds * 1e3
+                shard.batch_ewma_seconds * 1e3,
+                fmt_bytes(shard.resident_bytes),
+                shard.hibernated_streams,
+                fmt_bytes(shard.hibernated_bytes)
             )?;
         }
         // Top-k selection, not a full sort: stats() carries one entry per
@@ -303,6 +365,14 @@ pub(crate) struct ShardReport {
     records: u64,
     /// EWMA of per-batch processing latency, seconds.
     batch_ewma_seconds: f64,
+    /// Resident detector bytes across the shard's streams.
+    resident_bytes: usize,
+    /// Streams currently hibernated.
+    hibernated_streams: usize,
+    /// Bytes held in hibernated state blobs.
+    hibernated_bytes: usize,
+    /// Lifetime rehydrations performed by this worker.
+    rehydrations: u64,
 }
 
 /// Queue accounting shared between producers and workers.
@@ -335,11 +405,14 @@ impl QueueState {
 
 /// Per-stream state owned by exactly one shard worker.
 pub(crate) struct StreamState {
-    pub(crate) detector: Box<dyn DriftDetector + Send>,
+    /// The detector — resident, or compressed to a hibernated blob.
+    pub(crate) slot: DetectorSlot,
     /// The spec the stream was registered with, when registered
     /// declaratively (`None` for closure-factory and explicit-instance
     /// registrations). Recorded so operators can introspect live streams
-    /// ([`EngineHandle::stream_spec`]) and snapshots are self-describing.
+    /// ([`EngineHandle::stream_spec`]) and snapshots are self-describing —
+    /// and, since the hibernation tier, so a sleeping stream's detector can
+    /// be rebuilt on its next record.
     pub(crate) spec: Option<DetectorSpec>,
     /// Elements ingested for this stream so far (the next element's sequence
     /// number).
@@ -348,6 +421,11 @@ pub(crate) struct StreamState {
     pub(crate) seconds: f64,
     /// Values staged for the current batch (reused across batches).
     staged: Vec<f64>,
+    /// [`StreamState::seq`] as observed at the previous flush barrier — the
+    /// idleness reference for the hibernation sweep.
+    last_flush_seq: u64,
+    /// Consecutive flush barriers at which `seq` had not moved.
+    idle_flushes: u32,
 }
 
 impl StreamState {
@@ -360,12 +438,81 @@ impl StreamState {
         spec: Option<DetectorSpec>,
     ) -> Self {
         Self {
-            detector,
+            slot: DetectorSlot::Live(detector),
             spec,
             seq: 0,
             seconds: 0.0,
             staged: Vec::new(),
+            last_flush_seq: 0,
+            idle_flushes: 0,
         }
+    }
+
+    /// A stream restored from a snapshot *without* materializing its
+    /// detector: the persisted state stays compressed until the stream's
+    /// next record. Only reachable from a builder with hibernation
+    /// configured (see [`crate::EngineBuilder::hibernation`]).
+    pub(crate) fn asleep(sleeper: HibernatedDetector, spec: DetectorSpec) -> Self {
+        Self {
+            slot: DetectorSlot::Hibernated(sleeper),
+            spec: Some(spec),
+            seq: 0,
+            seconds: 0.0,
+            staged: Vec::new(),
+            last_flush_seq: 0,
+            idle_flushes: 0,
+        }
+    }
+
+    /// Seeds the restored position: `seq`, lifetime seconds, and the
+    /// idleness reference (so a restored stream is not misread as
+    /// freshly-active at its first flush barrier).
+    pub(crate) fn restore_position(&mut self, seq: u64, seconds: f64) {
+        self.seq = seq;
+        self.seconds = seconds;
+        self.last_flush_seq = seq;
+    }
+
+    /// Compresses the live detector into a hibernated blob, freeing the
+    /// detector and the staging buffer. No-op (returning `false`) when the
+    /// stream is already asleep, has no spec to rebuild from, or runs a
+    /// detector without snapshot support.
+    fn hibernate(&mut self) -> bool {
+        let DetectorSlot::Live(detector) = &self.slot else {
+            return false;
+        };
+        if self.spec.is_none() {
+            return false;
+        }
+        debug_assert!(self.staged.is_empty(), "hibernating mid-batch");
+        let Some(sleeper) = HibernatedDetector::capture(detector.as_ref()) else {
+            return false;
+        };
+        self.slot = DetectorSlot::Hibernated(sleeper);
+        // Drop the staging buffer's capacity along with the detector: a
+        // cold stream should cost its blob, not its last batch size.
+        self.staged = Vec::new();
+        true
+    }
+
+    /// Decompresses a hibernated stream back into a live detector,
+    /// bit-exact with the one that was captured. No-op when already live.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Hibernation`] — see [`HibernatedDetector::wake`]. The
+    /// stream stays asleep (and its blob intact) on error.
+    fn rehydrate(&mut self, stream: u64) -> Result<(), EngineError> {
+        let DetectorSlot::Hibernated(sleeper) = &self.slot else {
+            return Ok(());
+        };
+        let spec = self.spec.as_ref().ok_or_else(|| EngineError::Hibernation {
+            stream,
+            message: "hibernated stream has no spec to rebuild its detector from".to_string(),
+        })?;
+        let detector = sleeper.wake(stream, spec)?;
+        self.slot = DetectorSlot::Live(detector);
+        Ok(())
     }
 }
 
@@ -387,6 +534,11 @@ struct ShardState {
     /// EWMA of the wall-clock seconds spent processing one batch partition
     /// (zero until the first batch).
     batch_ewma_seconds: f64,
+    /// When set, the sweep run at every flush barrier compresses cold
+    /// streams (see [`crate::hibernate`]).
+    hibernation: Option<HibernationPolicy>,
+    /// Lifetime hibernated→live rehydrations performed by this worker.
+    rehydrations: u64,
 }
 
 impl ShardState {
@@ -446,8 +598,21 @@ impl ShardState {
         self.events.clear();
         for &stream in &self.batch_order {
             let state = self.streams.get_mut(&stream).expect("staged above");
+            if state.slot.is_hibernated() {
+                if let Err(error) = state.rehydrate(stream) {
+                    // Keep the blob intact and drop this batch's records for
+                    // the stream; the next batch retries the wake.
+                    queue.record_error(error);
+                    state.staged.clear();
+                    continue;
+                }
+                self.rehydrations += 1;
+            }
+            let DetectorSlot::Live(detector) = &mut state.slot else {
+                unreachable!("rehydrated above");
+            };
             let started = Instant::now();
-            let outcome = state.detector.add_batch(&state.staged);
+            let outcome = detector.add_batch(&state.staged);
             state.seconds += started.elapsed().as_secs_f64();
 
             self.events
@@ -490,22 +655,40 @@ impl ShardState {
     }
 
     fn query(&self) -> ShardReport {
-        ShardReport {
-            streams: self
-                .streams
-                .iter()
-                .map(|(&stream, state)| StreamSnapshot {
+        let mut resident_bytes = 0usize;
+        let mut hibernated_streams = 0usize;
+        let mut hibernated_bytes = 0usize;
+        let streams = self
+            .streams
+            .iter()
+            .map(|(&stream, state)| {
+                let mem_bytes = state.slot.mem_bytes();
+                resident_bytes += mem_bytes;
+                if state.slot.is_hibernated() {
+                    hibernated_streams += 1;
+                    hibernated_bytes += state.slot.hibernated_bytes();
+                }
+                StreamSnapshot {
                     stream,
                     shard: self.shard_index,
                     elements: state.seq,
-                    drifts: state.detector.drifts_detected(),
+                    drifts: state.slot.drifts_detected(),
                     detector_seconds: state.seconds,
-                    detector: state.detector.name(),
+                    detector: state.slot.name(),
                     spec: state.spec.clone(),
-                })
-                .collect(),
+                    hibernated: state.slot.is_hibernated(),
+                    mem_bytes,
+                }
+            })
+            .collect();
+        ShardReport {
+            streams,
             records: self.records,
             batch_ewma_seconds: self.batch_ewma_seconds,
+            resident_bytes,
+            hibernated_streams,
+            hibernated_bytes,
+            rehydrations: self.rehydrations,
         }
     }
 
@@ -518,25 +701,56 @@ impl ShardState {
         ids.into_iter()
             .map(|stream| {
                 let state = &self.streams[&stream];
-                let detector_state =
-                    state
-                        .detector
+                // A sleeping stream embeds its blob verbatim — snapshotting
+                // a mostly-cold fleet never materializes its detectors. The
+                // blob is always wire-v4 binary-encoded state, which every
+                // restore path accepts regardless of the requested encoding.
+                let detector_state = match &state.slot {
+                    DetectorSlot::Live(detector) => detector
                         .snapshot_state_encoded(encoding)
                         .ok_or_else(|| EngineError::SnapshotUnsupported {
                             stream,
-                            detector: state.detector.name().to_string(),
-                        })?;
+                            detector: detector.name().to_string(),
+                        })?,
+                    DetectorSlot::Hibernated(sleeper) => sleeper.state_value(),
+                };
                 Ok(StreamStateSnapshot {
                     stream,
                     seq: state.seq,
-                    detector: state.detector.name().to_string(),
+                    detector: state.slot.name().to_string(),
                     detector_seconds: state.seconds,
                     spec: state.spec.clone(),
                     shard: Some(self.shard_index),
                     state: detector_state,
+                    hibernated: state.slot.is_hibernated(),
                 })
             })
             .collect()
+    }
+
+    /// The hibernation sweep, run at every flush barrier (before sinks
+    /// flush): advances each stream's idleness counter and compresses the
+    /// ones that crossed [`HibernationPolicy::cold_after_flushes`]. With
+    /// `cold_after_flushes == 0` every spec-registered stream hibernates at
+    /// every barrier, active or not — the forced mode equivalence tests use.
+    fn hibernation_sweep(&mut self) {
+        let Some(policy) = self.hibernation else {
+            return;
+        };
+        for state in self.streams.values_mut() {
+            if state.seq != state.last_flush_seq {
+                state.last_flush_seq = state.seq;
+                state.idle_flushes = 0;
+                if policy.cold_after_flushes > 0 {
+                    continue;
+                }
+            } else {
+                state.idle_flushes = state.idle_flushes.saturating_add(1);
+            }
+            if state.idle_flushes >= policy.cold_after_flushes {
+                state.hibernate();
+            }
+        }
     }
 }
 
@@ -592,6 +806,10 @@ fn worker_loop(
                 let _ = ack.send(shard.register(stream, detector, spec));
             }
             ShardMsg::Flush { ack } => {
+                // Flush barriers double as the hibernation sweep points: a
+                // batch never ends mid-flush, so every stream's staging
+                // buffer is empty here.
+                shard.hibernation_sweep();
                 for sink in &sinks {
                     sink.flush();
                 }
@@ -710,6 +928,7 @@ impl std::fmt::Debug for EngineHandle {
 /// the per-shard placement of restored and pre-registered streams; it seeds
 /// the routing table, so non-modulo placements (a restored v3 snapshot)
 /// stick.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn spawn_engine(
     config: EngineConfig,
     queue_capacity: usize,
@@ -718,6 +937,7 @@ pub(crate) fn spawn_engine(
     initial_streams: Vec<HashMap<u64, StreamState>>,
     auto_rebalance_threshold: Option<f64>,
     snapshot_encoding: SnapshotEncoding,
+    hibernation: Option<HibernationPolicy>,
 ) -> EngineHandle {
     debug_assert_eq!(initial_streams.len(), config.shards);
     let queue = Arc::new(QueueState {
@@ -741,6 +961,7 @@ pub(crate) fn spawn_engine(
         let shard = ShardState {
             shard_index,
             streams,
+            hibernation,
             ..ShardState::default()
         };
         let queue = Arc::clone(&queue);
@@ -1199,6 +1420,10 @@ impl EngineHandle {
                     records: report.records,
                     queue_depth: depths.get(shard).copied().unwrap_or(0),
                     batch_ewma_seconds: report.batch_ewma_seconds,
+                    resident_bytes: report.resident_bytes,
+                    hibernated_streams: report.hibernated_streams,
+                    hibernated_bytes: report.hibernated_bytes,
+                    rehydrations: report.rehydrations,
                 })
                 .collect(),
             stream_records,

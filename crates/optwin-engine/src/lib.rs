@@ -45,6 +45,13 @@
 //! * Whole fleets load from config files: [`FleetConfig`] /
 //!   [`EngineBuilder::from_config_json`] turn a JSON map of
 //!   `stream id → spec string` into a fully registered engine.
+//! * Million-stream fleets fit in memory through the **hibernation tier**
+//!   ([`EngineBuilder::hibernation`], [`HibernationPolicy`]): streams idle
+//!   across consecutive flush barriers have their detector state compressed
+//!   to a compact blob and the detector freed, then rehydrate bit-exactly
+//!   on their next record. [`EngineStats`] reports resident bytes,
+//!   hibernated counts and rehydrations per shard, and engine snapshots
+//!   persist sleeping streams without waking them.
 //!
 //! The original synchronous API survives as a thin blocking wrapper:
 //! [`DriftEngine::ingest_batch`] is exactly `submit` + `flush` + drain of an
@@ -122,6 +129,7 @@ mod engine;
 mod event;
 mod fleet;
 mod handle;
+pub mod hibernate;
 mod persist;
 mod router;
 mod sink;
@@ -133,6 +141,7 @@ pub use fleet::FleetConfig;
 pub use handle::{
     EngineHandle, EngineStats, RebalancePolicy, RebalanceReport, ShardLoad, SharedDetectorFactory,
 };
+pub use hibernate::HibernationPolicy;
 pub use persist::{wire_version, EngineSnapshot, StreamStateSnapshot, ENGINE_SNAPSHOT_VERSION};
 pub use sink::{CallbackSink, EventSink, JsonLinesSink, MemorySink};
 

@@ -54,6 +54,18 @@
 //! [`crate::EngineBuilder::snapshot_encoding`] knob) writes v4,
 //! [`crate::EngineHandle::snapshot`] defaults to v3 JSON.
 //!
+//! # Hibernated streams (no wire bump)
+//!
+//! A stream asleep in the hibernation tier (see [`crate::hibernate`])
+//! persists without being woken: its entry embeds the hibernation blob's
+//! state tree verbatim plus a `hibernated: true` marker. The marker is
+//! omitted for awake streams, so all-awake snapshots remain byte-identical
+//! to pre-hibernation output, and the embedded state is ordinary wire-v4
+//! binary-encoded detector state that **every** restore path already
+//! accepts — which is why hibernated entries require **no** wire version
+//! bump: they ride v3/v4 unchanged, and a reader that ignores the marker
+//! still restores correctly (awake).
+//!
 //! The snapshot deliberately excludes detector *configuration* beyond the
 //! spec string: restoration re-derives shared resources (e.g. OPTWIN cut
 //! tables) from the spec or factory. Shard count and warning policy are
@@ -95,7 +107,7 @@ pub fn wire_version(encoding: SnapshotEncoding) -> u64 {
 /// The persisted state of one stream: its position, optionally the
 /// [`DetectorSpec`] it was registered with, and its detector's serialized
 /// internals.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamStateSnapshot {
     /// The stream id.
     pub stream: u64,
@@ -119,11 +131,46 @@ pub struct StreamStateSnapshot {
     /// The detector state from
     /// [`optwin_core::DriftDetector::snapshot_state`].
     pub state: serde::Value,
+    /// Whether the stream was hibernated when the snapshot was taken. Such
+    /// an entry's `state` is the detector's complete wire-v4 binary-encoded
+    /// state (embedded from the hibernation blob, never by waking the
+    /// detector), so it restores on every path: a restoring builder with
+    /// [`crate::EngineBuilder::hibernation`] configured re-creates the
+    /// stream still asleep, any other builder materializes the detector as
+    /// for an awake entry. The flag is **omitted** on the wire when false —
+    /// all-awake snapshots stay byte-identical to what pre-hibernation
+    /// writers produced, which is why this needs no wire version bump.
+    pub hibernated: bool,
+}
+
+// Hand-written (rather than derived) so that the `hibernated` marker is
+// omitted when false: an all-awake snapshot must stay byte-identical to the
+// pre-hibernation wire output (golden fixtures and the size guard pin this).
+impl Serialize for StreamStateSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("stream".to_string(), self.stream.to_value()),
+            ("seq".to_string(), self.seq.to_value()),
+            ("detector".to_string(), self.detector.to_value()),
+            (
+                "detector_seconds".to_string(),
+                self.detector_seconds.to_value(),
+            ),
+            ("spec".to_string(), self.spec.to_value()),
+            ("shard".to_string(), self.shard.to_value()),
+            ("state".to_string(), self.state.to_value()),
+        ];
+        if self.hibernated {
+            fields.push(("hibernated".to_string(), serde::Value::Bool(true)));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 // Hand-written (rather than derived) so that the `spec` and `shard` entries
 // may be absent on the wire: v1 snapshots predate both and v2 predates
-// `shard`, and omitting-vs-null must both read back as `None`.
+// `shard`, and omitting-vs-null must both read back as `None` (likewise an
+// absent `hibernated` reads back as `false`).
 impl Deserialize for StreamStateSnapshot {
     fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
         let missing =
@@ -135,6 +182,10 @@ impl Deserialize for StreamStateSnapshot {
         let shard = match value.get("shard") {
             None | Some(serde::Value::Null) => None,
             Some(v) => Some(usize::from_value(v)?),
+        };
+        let hibernated = match value.get("hibernated") {
+            None | Some(serde::Value::Null) => false,
+            Some(v) => bool::from_value(v)?,
         };
         Ok(Self {
             stream: u64::from_value(value.get("stream").ok_or_else(|| missing("stream"))?)?,
@@ -150,6 +201,7 @@ impl Deserialize for StreamStateSnapshot {
             spec,
             shard,
             state: value.get("state").ok_or_else(|| missing("state"))?.clone(),
+            hibernated,
         })
     }
 }
@@ -249,6 +301,7 @@ mod tests {
                     // `Int` (not `UInt`): in-range unsigned values re-parse as
                     // `Int`, and the round-trip assertion compares value trees.
                     state: serde::Value::Object(vec![("split".to_string(), serde::Value::Int(10))]),
+                    hibernated: false,
                 },
                 StreamStateSnapshot {
                     stream: 9,
@@ -258,6 +311,7 @@ mod tests {
                     spec: None,
                     shard: None,
                     state: serde::Value::Null,
+                    hibernated: false,
                 },
             ],
         }
@@ -309,6 +363,23 @@ mod tests {
         assert!(snapshot.is_self_describing());
         assert_eq!(snapshot.streams[0].shard, None);
         assert!(!snapshot.records_placement());
+    }
+
+    #[test]
+    fn hibernated_marker_is_omitted_when_false_and_round_trips_when_true() {
+        // Awake entries must serialize byte-identically to pre-hibernation
+        // output: no `hibernated` key at all.
+        let snapshot = sample();
+        assert!(!snapshot.to_json().contains("hibernated"));
+
+        let mut sleeping = sample();
+        sleeping.streams[0].hibernated = true;
+        let json = sleeping.to_json();
+        assert!(json.contains(r#""hibernated":true"#));
+        let back = EngineSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, sleeping);
+        assert!(back.streams[0].hibernated);
+        assert!(!back.streams[1].hibernated);
     }
 
     #[test]

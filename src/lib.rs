@@ -69,8 +69,8 @@ pub use optwin_core::{
 };
 pub use optwin_engine::{
     CallbackSink, DriftEngine, DriftEvent, EngineBuilder, EngineConfig, EngineHandle,
-    EngineSnapshot, EngineStats, EventSink, FleetConfig, JsonLinesSink, MemorySink,
-    RebalancePolicy, RebalanceReport, ShardLoad,
+    EngineSnapshot, EngineStats, EventSink, FleetConfig, HibernationPolicy, JsonLinesSink,
+    MemorySink, RebalancePolicy, RebalanceReport, ShardLoad,
 };
 pub use optwin_eval::{DetectorFactory, Table1Experiment};
 pub use optwin_learners::{AdaptiveLearner, NaiveBayes, OnlineLearner};

@@ -14,11 +14,16 @@
 //! identically-placed NaN accumulator or a `-0.0` vs `0.0` divergence in the
 //! window fails the property).
 
-use optwin::{DetectorSpec, DriftDetector, DriftStatus};
+use optwin::{DetectorSpec, DriftDetector, DriftStatus, SnapshotEncoding};
 use proptest::prelude::*;
 
 /// Chunkings the batched detector replays the stream under.
 const CHUNK_SIZES: [usize; 4] = [1, 13, 256, usize::MAX];
+
+/// Chunkings for the forced-hibernation property (each chunk boundary costs
+/// a full compress → rebuild → restore cycle, so the per-element chunking is
+/// replaced with a small-but-not-trivial one).
+const CYCLE_CHUNK_SIZES: [usize; 3] = [7, 256, usize::MAX];
 
 /// Deterministic pseudo-random jitter in [-0.5, 0.5) (SplitMix64).
 fn jitter(i: u64) -> f64 {
@@ -151,6 +156,82 @@ proptest! {
                     prop_assert!(
                         value_bits_eq(&a, &b),
                         "{} chunk {}: batched state diverges bit-wise from scalar state",
+                        spec.id(),
+                        chunk
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The engine's hibernation tier in miniature, without the engine: after
+    /// every chunk the detector is compressed exactly as a shard worker
+    /// would (wire-v4 binary state → compact JSON blob), dropped, and a
+    /// fresh instance is rebuilt from the spec and restored from the blob.
+    /// For every detector kind and chunking, the cycled detector must make
+    /// the exact decisions of a never-hibernated scalar fold and finish in
+    /// the bit-identical state — even under adversarial values (signed
+    /// zeros, subnormals, ±1e300, constant runs).
+    #[test]
+    fn forced_hibernation_cycles_preserve_bit_exactness(stream in arb_stream()) {
+        for spec in DetectorSpec::all_defaults() {
+            let mut reference = spec.build().expect("default specs are valid");
+            let (expected_drifts, expected_warnings) = scalar_fold(reference.as_mut(), &stream);
+
+            for &chunk in &CYCLE_CHUNK_SIZES {
+                let chunk = chunk.min(stream.len());
+                let mut cycled = spec.build().expect("default specs are valid");
+                let mut drifts = Vec::new();
+                let mut warnings = Vec::new();
+                for (k, xs) in stream.chunks(chunk).enumerate() {
+                    let outcome = cycled.add_batch(xs);
+                    drifts.extend(outcome.drift_indices.iter().map(|&i| k * chunk + i));
+                    warnings.extend(outcome.warning_indices.iter().map(|&i| k * chunk + i));
+
+                    // The hibernation cycle: compress to the wire-v4 state
+                    // tree a shard worker would hold (deliberately *not*
+                    // JSON text — JSON cannot carry the ±inf accumulators
+                    // these streams provoke), free the detector, wake a
+                    // fresh one.
+                    let blob = cycled
+                        .snapshot_state_encoded(SnapshotEncoding::Binary)
+                        .expect("all shipped detectors support state snapshots");
+                    drop(cycled);
+                    cycled = spec.build().expect("default specs are valid");
+                    cycled
+                        .restore_state(&blob)
+                        .expect("own blob restores cleanly");
+                }
+
+                prop_assert!(
+                    drifts == expected_drifts,
+                    "{} cycle chunk {chunk}: drifts {drifts:?} != {expected_drifts:?}",
+                    spec.id()
+                );
+                prop_assert!(
+                    warnings == expected_warnings,
+                    "{} cycle chunk {chunk}: warnings {warnings:?} != {expected_warnings:?}",
+                    spec.id()
+                );
+                prop_assert!(
+                    cycled.elements_seen() == reference.elements_seen(),
+                    "{} cycle chunk {chunk}: elements_seen diverges",
+                    spec.id()
+                );
+                prop_assert!(
+                    cycled.drifts_detected() == reference.drifts_detected(),
+                    "{} cycle chunk {chunk}: drifts_detected diverges",
+                    spec.id()
+                );
+
+                // Fresh snapshots from both sides (neither has been through
+                // JSON), compared bit-wise.
+                if let (Some(a), Some(b)) = (reference.snapshot_state(), cycled.snapshot_state()) {
+                    prop_assert!(
+                        value_bits_eq(&a, &b),
+                        "{} cycle chunk {}: post-hibernation state diverges bit-wise",
                         spec.id(),
                         chunk
                     );

@@ -24,8 +24,8 @@ use std::sync::Arc;
 
 use optwin::engine::EngineError;
 use optwin::{
-    DetectorSpec, DriftEvent, EngineBuilder, EngineHandle, EngineSnapshot, EventSink, MemorySink,
-    SnapshotEncoding,
+    DetectorSpec, DriftEvent, EngineBuilder, EngineHandle, EngineSnapshot, EventSink,
+    HibernationPolicy, MemorySink, SnapshotEncoding,
 };
 
 /// Deterministic pseudo-random jitter in [-0.5, 0.5) (SplitMix64).
@@ -85,11 +85,26 @@ fn fixture_path(version: u64) -> PathBuf {
     fixtures_dir().join(format!("v{version}.json"))
 }
 
+fn hibernated_fixture_path() -> PathBuf {
+    fixtures_dir().join("v4-hibernated.json")
+}
+
 fn build_fleet(restore: Option<EngineSnapshot>, factory: bool) -> (EngineHandle, Arc<MemorySink>) {
+    build_fleet_with(restore, factory, None)
+}
+
+fn build_fleet_with(
+    restore: Option<EngineSnapshot>,
+    factory: bool,
+    hibernation: Option<HibernationPolicy>,
+) -> (EngineHandle, Arc<MemorySink>) {
     let sink = Arc::new(MemorySink::new());
     let mut builder = EngineBuilder::new()
         .shards(4)
         .sink(Arc::clone(&sink) as Arc<dyn EventSink>);
+    if let Some(policy) = hibernation {
+        builder = builder.hibernation(policy);
+    }
     if factory {
         // The v1 fixture embeds no specs; restoring it needs a factory that
         // knows the fleet layout — exactly the pre-v2 contract.
@@ -173,6 +188,19 @@ fn regenerate_golden_corpus() {
     for (version, snapshot) in [(1, &v1), (2, &v2), (3, &v3), (4, &v4)] {
         std::fs::write(fixture_path(version), snapshot.to_json()).expect("write fixture");
     }
+
+    // The hibernated variant: the same fleet run under the forced policy,
+    // so every stream is asleep when the snapshot is taken. Deliberately
+    // still wire format v4 — hibernation adds one optional key per sleeping
+    // stream, not a format generation.
+    let (handle, _sink) =
+        build_fleet_with(None, false, Some(HibernationPolicy::cold_after_flushes(0)));
+    feed(&handle, 0, CUT);
+    let hibernated = handle.snapshot_compact().expect("snapshot-capable");
+    handle.shutdown().expect("clean shutdown");
+    assert_eq!(hibernated.version, 4);
+    assert!(hibernated.streams.iter().all(|s| s.hibernated));
+    std::fs::write(hibernated_fixture_path(), hibernated.to_json()).expect("write fixture");
 }
 
 // ---------------------------------------------------------------------------
@@ -219,6 +247,83 @@ fn golden_corpus_restores_bit_exact() {
             "fixture v{version} must resume with identical decisions"
         );
     }
+}
+
+/// The hibernated golden fixture — the corpus fleet snapshotted while every
+/// stream was asleep under the forced policy — restores bit-exactly on
+/// **both** load paths: a hibernating builder re-creates the streams still
+/// asleep (no detector materialized until its first record), and a plain
+/// builder wakes everything eagerly. Either way the resumed fleet's
+/// decisions are identical to the uninterrupted reference.
+///
+/// This test is also the explicit no-wire-bump assertion: hibernation adds
+/// one optional `hibernated` key per sleeping stream and nothing else, so
+/// the fixture still self-reports **version 4** and parses with the same
+/// codec as the all-awake `v4.json` (whose bytes contain no trace of the
+/// key at all).
+#[test]
+fn hibernated_fixture_restores_on_both_load_paths() {
+    let (_early, expected_late) = reference_events();
+
+    let path = hibernated_fixture_path();
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} — run the ignored \
+             `regenerate_golden_corpus` test to rebuild the corpus: {e}",
+            path.display()
+        )
+    });
+    assert!(
+        text.contains("\"hibernated\""),
+        "the hibernated fixture must mark its sleeping streams"
+    );
+    let awake_text = std::fs::read_to_string(fixture_path(4)).expect("v4 fixture present");
+    assert!(
+        !awake_text.contains("hibernated"),
+        "an all-awake v4 snapshot must not mention hibernation at all"
+    );
+
+    let snapshot = EngineSnapshot::from_json(&text).expect("fixture parses");
+    assert_eq!(
+        snapshot.version, 4,
+        "hibernation must not bump the wire format"
+    );
+    assert_eq!(snapshot.stream_count(), STREAMS as usize);
+    assert!(
+        snapshot.streams.iter().all(|s| s.hibernated),
+        "every corpus stream was asleep at capture"
+    );
+
+    // Load path 1: a hibernating builder keeps the fleet asleep...
+    let (restored, sink) = build_fleet_with(
+        Some(snapshot.clone()),
+        false,
+        Some(HibernationPolicy::default()),
+    );
+    let stats = restored.stats().expect("engine running");
+    assert_eq!(stats.hibernated_streams(), STREAMS as usize);
+    assert_eq!(stats.elements, STREAMS * CUT as u64);
+    // ...until records arrive and wake the streams transparently.
+    feed(&restored, CUT, TOTAL);
+    let late = canonical(sink.drain());
+    assert_eq!(
+        restored.stats().expect("engine running").rehydrations(),
+        STREAMS
+    );
+    restored.shutdown().expect("clean shutdown");
+    assert_eq!(
+        late, expected_late,
+        "asleep load path must resume bit-exact"
+    );
+
+    // Load path 2: a plain builder materializes every detector eagerly.
+    let (restored, sink) = build_fleet(Some(snapshot), false);
+    let stats = restored.stats().expect("engine running");
+    assert_eq!(stats.hibernated_streams(), 0);
+    feed(&restored, CUT, TOTAL);
+    let late = canonical(sink.drain());
+    restored.shutdown().expect("clean shutdown");
+    assert_eq!(late, expected_late, "awake load path must resume bit-exact");
 }
 
 /// A v4 snapshot taken right now round-trips through JSON and restores
