@@ -1,0 +1,237 @@
+//! Durability I/O: delta-checkpoint sizing, WAL framing, and the ingest
+//! overhead of continuous checkpointing (wire v5).
+//!
+//! Three figures back the README's "Continuous durability" section and the
+//! CI size guard:
+//!
+//! * **Delta size vs dirty fraction.** After a full base checkpoint, a delta
+//!   overlay carries only the streams that changed since the last barrier.
+//!   The bench times a full incremental durability cycle (touch a fraction
+//!   of the fleet → flush → checkpoint) at 1 %, 10 % and 100 % dirty, and
+//!   *asserts* the acceptance bar: the 1 %-dirty delta must be at most
+//!   **5 %** of the base snapshot's bytes, so a sizing regression fails the
+//!   run rather than drifting on a dashboard.
+//! * **WAL frame codec throughput.** The `optwin_core::snapshot` framing
+//!   primitives (`wal_frame` / `wal_next_frame`) over a realistic 512-record
+//!   batch payload — the fixed per-batch cost every ingested batch pays
+//!   while a checkpoint directory is attached.
+//! * **Checkpointed-ingest overhead.** End-to-end submit+flush throughput
+//!   with the write-ahead log active versus an identically-specced fleet
+//!   with no durability at all, on the same workload.
+//!
+//! Scale down via `OPTWIN_CHECKPOINT_BENCH_STREAMS` (CI smoke uses 400).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use optwin_baselines::DetectorSpec;
+use optwin_core::snapshot::{wal_frame, wal_next_frame};
+use optwin_engine::{CheckpointPolicy, EngineBuilder, EngineHandle};
+
+fn n_streams() -> u64 {
+    std::env::var("OPTWIN_CHECKPOINT_BENCH_STREAMS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 100)
+        .unwrap_or(2_000)
+}
+
+/// Records each stream ingests while warming up, before the base checkpoint.
+const WARMUP_ELEMENTS: usize = 32;
+
+fn spec_of(stream: u64) -> DetectorSpec {
+    let kinds = DetectorSpec::all_defaults();
+    kinds[(stream % kinds.len() as u64) as usize].clone()
+}
+
+/// SplitMix64 jitter in [0, 1).
+fn unit(i: u64) -> f64 {
+    let mut x = i.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Binary error indicator — what the paper's detectors monitor in practice.
+fn element(stream: u64, i: usize) -> f64 {
+    f64::from(unit(stream.wrapping_mul(0x00C0_FFEE) ^ i as u64) < 0.07)
+}
+
+/// A scratch directory under the system temp dir, cleared on entry.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("optwin-bench-ckpt-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Builds an all-spec fleet; `policy` attaches a checkpoint directory (the
+/// build itself then writes the generation-0 full base). All policies used
+/// here disable the flush cadence so the bench controls every barrier.
+fn build_fleet(streams: u64, dir: Option<(&std::path::Path, CheckpointPolicy)>) -> EngineHandle {
+    let mut builder = EngineBuilder::new().shards(4).queue_capacity(256 * 1_024);
+    if let Some((dir, policy)) = dir {
+        builder = builder.checkpoint(dir, policy);
+    }
+    for stream in 0..streams {
+        builder = builder.stream_spec(stream, spec_of(stream));
+    }
+    builder.build().expect("valid engine")
+}
+
+/// Feeds every stream in `streams` a window of records and flushes once.
+fn feed(handle: &EngineHandle, streams: impl Iterator<Item = u64> + Clone, from: usize, n: usize) {
+    let mut records = Vec::new();
+    for i in from..from + n {
+        for stream in streams.clone() {
+            records.push((stream, element(stream, i)));
+        }
+    }
+    handle.submit(&records).expect("engine running");
+    handle.flush().expect("no ingestion errors");
+}
+
+fn bench_checkpoint_io(c: &mut Criterion) {
+    let streams = n_streams();
+    let one_percent = (streams / 100).max(1);
+
+    // The size guard: against a *warm* compacted base, a 1%-dirty delta
+    // overlay must stay at most 5% of the base snapshot. `compact_ratio(0)`
+    // forces the compaction: the build writes the empty generation-0 base,
+    // the first post-warmup barrier emits an all-streams delta, the next one
+    // compacts the chain into a warm full base, and only then does the
+    // 1%-dirty barrier produce the overlay under measurement. This is the
+    // same bar the CI workflow enforces through the engine_checkpoint suite.
+    let dir = scratch_dir("sizing");
+    let handle = build_fleet(
+        streams,
+        Some((&dir, CheckpointPolicy::every_flushes(0).compact_ratio(0.0))),
+    );
+    feed(&handle, 0..streams, 0, WARMUP_ELEMENTS);
+    let all_dirty = handle.checkpoint().expect("all-streams delta");
+    assert!(!all_dirty.full, "gen 1 rides on the build's empty base");
+    let warm_base = handle.checkpoint().expect("compacting checkpoint");
+    assert!(warm_base.full, "ratio 0 must compact the chain immediately");
+    feed(&handle, 0..one_percent, WARMUP_ELEMENTS, 1);
+    let delta = handle.checkpoint().expect("delta checkpoint");
+    assert!(!delta.full, "a 1%-dirty barrier must emit a delta overlay");
+    assert_eq!(delta.streams, one_percent as usize);
+    assert!(
+        delta.bytes * 20 <= delta.base_bytes,
+        "1%-dirty delta is {} B against a {} B base (> 5%)",
+        delta.bytes,
+        delta.base_bytes
+    );
+    println!(
+        "delta sizing: warm base = {} B, 1%-dirty delta ({} streams) = {} B \
+         ({:.2}% of base)",
+        delta.base_bytes,
+        delta.streams,
+        delta.bytes,
+        delta.bytes as f64 / delta.base_bytes as f64 * 100.0
+    );
+    handle.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Full incremental durability cycles at increasing dirty fractions:
+    // touch the fraction, flush (WAL append + barrier), delta checkpoint.
+    // `compact_ratio(∞)` keeps every cycle an overlay append.
+    let dir = scratch_dir("cycles");
+    let handle = build_fleet(
+        streams,
+        Some((
+            &dir,
+            CheckpointPolicy::every_flushes(0).compact_ratio(f64::INFINITY),
+        )),
+    );
+    feed(&handle, 0..streams, 0, WARMUP_ELEMENTS);
+    handle.checkpoint().expect("clear the warmup dirty set");
+    let mut cycles = c.benchmark_group(format!("delta_checkpoint_{streams}_streams"));
+    cycles.sample_size(10);
+    let mut epoch = WARMUP_ELEMENTS + 1;
+    for (label, dirty) in [
+        ("dirty_1pct", one_percent),
+        ("dirty_10pct", (streams / 10).max(1)),
+        ("dirty_100pct", streams),
+    ] {
+        cycles.throughput(Throughput::Elements(dirty));
+        cycles.bench_function(label, |b| {
+            b.iter(|| {
+                feed(&handle, 0..dirty, epoch, 1);
+                epoch += 1;
+                let report = handle.checkpoint().expect("delta checkpoint");
+                assert_eq!(report.streams, dirty as usize);
+                black_box(report.bytes)
+            });
+        });
+    }
+    cycles.finish();
+    handle.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // WAL frame codec: a realistic 512-record batch payload (count + 16 B
+    // per record), framed and re-parsed with the core primitives.
+    let mut payload = Vec::with_capacity(4 + 512 * 16);
+    payload.extend_from_slice(&512u32.to_le_bytes());
+    for i in 0u64..512 {
+        payload.extend_from_slice(&i.to_le_bytes());
+        payload.extend_from_slice(&element(i, 0).to_bits().to_le_bytes());
+    }
+    let mut codec = c.benchmark_group("wal_frame_codec");
+    codec.throughput(Throughput::Bytes(payload.len() as u64));
+    codec.bench_function("encode_512_records", |b| {
+        b.iter(|| black_box(wal_frame(0, black_box(&payload))).len());
+    });
+    let frame = wal_frame(0, &payload);
+    codec.bench_function("decode_512_records", |b| {
+        b.iter(|| {
+            let (kind, body, consumed) = wal_next_frame(black_box(&frame))
+                .expect("frame is well-formed")
+                .expect("frame is present");
+            assert_eq!((kind, consumed), (0, frame.len()));
+            black_box(body.len())
+        });
+    });
+    codec.finish();
+
+    // Ingest overhead: the same workload with the WAL active vs no
+    // durability. The build's generation-0 base already switched the
+    // checkpointed fleet's workers into logging mode, so every benched
+    // batch pays the append + flush on its way into the shard.
+    let batch_elements = 8usize;
+    let mut ingest = c.benchmark_group(format!("checkpointed_ingest_{streams}_streams"));
+    ingest.sample_size(10);
+    ingest.throughput(Throughput::Elements(streams * batch_elements as u64));
+    for (label, ckpt_dir) in [
+        ("wal_active", Some(scratch_dir("ingest"))),
+        ("no_durability", None),
+    ] {
+        let handle = build_fleet(
+            streams,
+            ckpt_dir.as_deref().map(|dir| {
+                (
+                    dir,
+                    CheckpointPolicy::every_flushes(0).compact_ratio(f64::INFINITY),
+                )
+            }),
+        );
+        feed(&handle, 0..streams, 0, 1);
+        let mut epoch = 1;
+        ingest.bench_function(label, |b| {
+            b.iter(|| {
+                feed(&handle, 0..streams, epoch, batch_elements);
+                epoch += batch_elements;
+                black_box(epoch)
+            });
+        });
+        handle.shutdown().expect("clean shutdown");
+        if let Some(dir) = ckpt_dir {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    ingest.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_io);
+criterion_main!(benches);

@@ -62,6 +62,12 @@ pub enum EngineError {
         /// What went wrong.
         message: String,
     },
+    /// A checkpoint or write-ahead-log I/O operation failed (disk full,
+    /// permissions, a vanished directory). Distinct from
+    /// [`EngineError::InvalidSnapshot`], which covers *reading* a damaged
+    /// checkpoint directory: this one means the engine could not *write*
+    /// durability data, so the loss window is no longer bounded.
+    Checkpoint(String),
 }
 
 impl fmt::Display for EngineError {
@@ -105,6 +111,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::Hibernation { stream, message } => {
                 write!(f, "stream {stream}: hibernation failure: {message}")
+            }
+            EngineError::Checkpoint(message) => {
+                write!(f, "checkpoint failure: {message}")
             }
         }
     }
@@ -765,6 +774,10 @@ mod tests {
                     message: "blob truncated".to_string(),
                 },
                 "blob truncated",
+            ),
+            (
+                EngineError::Checkpoint("disk full".to_string()),
+                "disk full",
             ),
         ];
         for (error, needle) in cases {

@@ -21,6 +21,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -30,6 +31,7 @@ use std::time::Instant;
 use optwin_baselines::DetectorSpec;
 use optwin_core::{DriftDetector, DriftStatus, SnapshotEncoding};
 
+use crate::checkpoint::{CheckpointConfig, CheckpointReport, CheckpointState, WalWriter};
 use crate::engine::{EngineConfig, EngineError, StreamSnapshot};
 use crate::event::DriftEvent;
 use crate::hibernate::{DetectorSlot, HibernatedDetector, HibernationPolicy};
@@ -353,6 +355,14 @@ enum ShardMsg {
         states: Vec<(u64, StreamState)>,
         ack: Sender<()>,
     },
+    /// Checkpoint barrier: finalize the current WAL segment, rotate to the
+    /// segment of `generation + 1`, and capture the dirty streams' entries
+    /// (every stream when `full`) — clearing their dirty bits (barrier).
+    Checkpoint {
+        generation: u64,
+        full: bool,
+        ack: Sender<Result<Vec<StreamStateSnapshot>, EngineError>>,
+    },
     /// Exit the worker loop after draining everything queued before this.
     Shutdown,
 }
@@ -426,6 +436,15 @@ pub(crate) struct StreamState {
     last_flush_seq: u64,
     /// Consecutive flush barriers at which `seq` had not moved.
     idle_flushes: u32,
+    /// `true` when this stream's persisted entry changed since the last
+    /// checkpoint capture: set at creation, after every ingested batch,
+    /// when the hibernation sweep compresses the stream (the entry's
+    /// `hibernated` flag and state layout change even though the logical
+    /// detector state does not), and when a migration installs the stream
+    /// on a new shard (the entry's `shard` changes). Cleared only by
+    /// checkpoint capture — the delta overlay holds exactly the streams
+    /// with this bit set.
+    dirty: bool,
 }
 
 impl StreamState {
@@ -445,6 +464,7 @@ impl StreamState {
             staged: Vec::new(),
             last_flush_seq: 0,
             idle_flushes: 0,
+            dirty: true,
         }
     }
 
@@ -461,6 +481,7 @@ impl StreamState {
             staged: Vec::new(),
             last_flush_seq: 0,
             idle_flushes: 0,
+            dirty: true,
         }
     }
 
@@ -539,6 +560,15 @@ struct ShardState {
     hibernation: Option<HibernationPolicy>,
     /// Lifetime hibernated→live rehydrations performed by this worker.
     rehydrations: u64,
+    /// Checkpoint directory WAL segments are written into (set iff the
+    /// engine checkpoints).
+    wal_dir: Option<PathBuf>,
+    /// The current write-ahead-log segment. `None` until the first
+    /// checkpoint barrier activates logging (everything before that barrier
+    /// is covered by the base it captures), and after a WAL I/O failure
+    /// (the error surfaces at the next flush; durability degrades to the
+    /// last checkpoint until a new one rotates segments successfully).
+    wal: Option<WalWriter>,
 }
 
 impl ShardState {
@@ -631,6 +661,7 @@ impl ShardState {
             }
             state.seq += state.staged.len() as u64;
             state.staged.clear();
+            state.dirty = true;
         }
 
         self.events.sort_unstable_by_key(|e| (e.stream, e.seq));
@@ -692,6 +723,39 @@ impl ShardState {
         }
     }
 
+    /// Serializes one stream's persisted entry. A sleeping stream embeds
+    /// its blob verbatim — snapshotting a mostly-cold fleet never
+    /// materializes its detectors. The blob is always wire-v4
+    /// binary-encoded state, which every restore path accepts regardless of
+    /// the requested encoding.
+    fn snapshot_entry(
+        &self,
+        stream: u64,
+        encoding: SnapshotEncoding,
+    ) -> Result<StreamStateSnapshot, EngineError> {
+        let state = &self.streams[&stream];
+        let detector_state =
+            match &state.slot {
+                DetectorSlot::Live(detector) => detector
+                    .snapshot_state_encoded(encoding)
+                    .ok_or_else(|| EngineError::SnapshotUnsupported {
+                        stream,
+                        detector: detector.name().to_string(),
+                    })?,
+                DetectorSlot::Hibernated(sleeper) => sleeper.state_value(),
+            };
+        Ok(StreamStateSnapshot {
+            stream,
+            seq: state.seq,
+            detector: state.slot.name().to_string(),
+            detector_seconds: state.seconds,
+            spec: state.spec.clone(),
+            shard: Some(self.shard_index),
+            state: detector_state,
+            hibernated: state.slot.is_hibernated(),
+        })
+    }
+
     fn snapshot(
         &self,
         encoding: SnapshotEncoding,
@@ -699,33 +763,48 @@ impl ShardState {
         let mut ids: Vec<u64> = self.streams.keys().copied().collect();
         ids.sort_unstable();
         ids.into_iter()
-            .map(|stream| {
-                let state = &self.streams[&stream];
-                // A sleeping stream embeds its blob verbatim — snapshotting
-                // a mostly-cold fleet never materializes its detectors. The
-                // blob is always wire-v4 binary-encoded state, which every
-                // restore path accepts regardless of the requested encoding.
-                let detector_state = match &state.slot {
-                    DetectorSlot::Live(detector) => detector
-                        .snapshot_state_encoded(encoding)
-                        .ok_or_else(|| EngineError::SnapshotUnsupported {
-                            stream,
-                            detector: detector.name().to_string(),
-                        })?,
-                    DetectorSlot::Hibernated(sleeper) => sleeper.state_value(),
-                };
-                Ok(StreamStateSnapshot {
-                    stream,
-                    seq: state.seq,
-                    detector: state.slot.name().to_string(),
-                    detector_seconds: state.seconds,
-                    spec: state.spec.clone(),
-                    shard: Some(self.shard_index),
-                    state: detector_state,
-                    hibernated: state.slot.is_hibernated(),
-                })
-            })
+            .map(|stream| self.snapshot_entry(stream, encoding))
             .collect()
+    }
+
+    /// The worker half of a checkpoint barrier: finalizes the current WAL
+    /// segment, rotates to the segment of `generation + 1`, and captures
+    /// the dirty streams' entries (all streams when `full`), clearing their
+    /// dirty bits.
+    ///
+    /// Ordering matters for crash safety: the rotation happens *before*
+    /// the capture, so if the capture fails (or the handle side crashes
+    /// before the manifest lands) the finalized old segment is still ≥ the
+    /// last durable manifest generation and recovery replays it — nothing
+    /// processed is ever outside both the checkpoint and the log. Dirty
+    /// bits are cleared only after every entry serialized, so a failed
+    /// capture retries in full at the next barrier.
+    fn checkpoint_capture(
+        &mut self,
+        generation: u64,
+        full: bool,
+    ) -> Result<Vec<StreamStateSnapshot>, EngineError> {
+        if let Some(wal) = self.wal.take() {
+            wal.finish()?;
+        }
+        if let Some(dir) = &self.wal_dir {
+            self.wal = Some(WalWriter::create(dir, generation + 1, self.shard_index)?);
+        }
+        let mut ids: Vec<u64> = self
+            .streams
+            .iter()
+            .filter(|(_, state)| full || state.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        let entries = ids
+            .iter()
+            .map(|&stream| self.snapshot_entry(stream, SnapshotEncoding::Binary))
+            .collect::<Result<Vec<_>, _>>()?;
+        for stream in ids {
+            self.streams.get_mut(&stream).expect("listed above").dirty = false;
+        }
+        Ok(entries)
     }
 
     /// The hibernation sweep, run at every flush barrier (before sinks
@@ -747,8 +826,11 @@ impl ShardState {
             } else {
                 state.idle_flushes = state.idle_flushes.saturating_add(1);
             }
-            if state.idle_flushes >= policy.cold_after_flushes {
-                state.hibernate();
+            if state.idle_flushes >= policy.cold_after_flushes && state.hibernate() {
+                // A hibernation transition changes the persisted entry (the
+                // `hibernated` flag and blob form), so the next delta
+                // checkpoint must re-capture the stream.
+                state.dirty = true;
             }
         }
     }
@@ -793,6 +875,18 @@ fn worker_loop(
                     depth[shard_index] = depth[shard_index].saturating_sub(records.len());
                 }
                 queue.space.notify_all();
+                // Log-then-apply: the batch lands in the write-ahead log
+                // before any detector sees it, so a crash mid-batch replays
+                // it in full. A WAL I/O failure degrades durability rather
+                // than availability — the error surfaces at the next
+                // barrier and logging stops until the next checkpoint
+                // rotates a fresh segment in.
+                if let Some(wal) = shard.wal.as_mut() {
+                    if let Err(error) = wal.append_records(&records) {
+                        queue.record_error(error);
+                        shard.wal = None;
+                    }
+                }
                 let started = Instant::now();
                 shard.ingest(&records, source.as_ref(), &sinks, emit_warnings, &queue);
                 shard.note_batch(records.len(), started.elapsed().as_secs_f64());
@@ -803,7 +897,22 @@ fn worker_loop(
                 spec,
                 ack,
             } => {
-                let _ = ack.send(shard.register(stream, detector, spec));
+                // Spec-carrying registrations are durable: the spec string
+                // replays the registration verbatim during recovery.
+                // Explicit-instance registrations (no spec) cannot be
+                // logged — their detector is an opaque closure product —
+                // so recovery relies on the next checkpoint capturing them.
+                let logged_spec = spec.clone();
+                let result = shard.register(stream, detector, spec);
+                if result.is_ok() {
+                    if let (Some(wal), Some(spec)) = (shard.wal.as_mut(), logged_spec) {
+                        if let Err(error) = wal.append_register(stream, &spec) {
+                            queue.record_error(error);
+                            shard.wal = None;
+                        }
+                    }
+                }
+                let _ = ack.send(result);
             }
             ShardMsg::Flush { ack } => {
                 // Flush barriers double as the hibernation sweep points: a
@@ -835,14 +944,25 @@ fn worker_loop(
                 let _ = ack.send(extracted);
             }
             ShardMsg::Install { states, ack } => {
-                for (stream, state) in states {
+                for (stream, mut state) in states {
                     debug_assert!(
                         !shard.streams.contains_key(&stream),
                         "migration target already owns stream {stream}"
                     );
+                    // A migrated stream's persisted `shard` field changed,
+                    // so the next delta checkpoint must re-capture it here
+                    // (the source shard no longer owns it at all).
+                    state.dirty = true;
                     shard.streams.insert(stream, state);
                 }
                 let _ = ack.send(());
+            }
+            ShardMsg::Checkpoint {
+                generation,
+                full,
+                ack,
+            } => {
+                let _ = ack.send(shard.checkpoint_capture(generation, full));
             }
             ShardMsg::Shutdown => break,
         }
@@ -881,6 +1001,11 @@ struct HandleShared {
     /// population changes, so flush-per-batch callers do not pay a full
     /// plan computation on every flush forever.
     futile_auto_rebalance: Mutex<Option<(f64, usize)>>,
+    /// Durability bookkeeping for the checkpoint subsystem (wire v5):
+    /// the target directory, the policy, the next generation number and
+    /// the overlay-chain accounting driving base/delta decisions. `None`
+    /// when the engine was built without [`crate::EngineBuilder::checkpoint`].
+    checkpoint: Option<Mutex<CheckpointState>>,
 }
 
 /// A cheaply-cloneable, thread-safe front door to a running engine.
@@ -938,6 +1063,7 @@ pub(crate) fn spawn_engine(
     auto_rebalance_threshold: Option<f64>,
     snapshot_encoding: SnapshotEncoding,
     hibernation: Option<HibernationPolicy>,
+    checkpoint: Option<CheckpointConfig>,
 ) -> EngineHandle {
     debug_assert_eq!(initial_streams.len(), config.shards);
     let queue = Arc::new(QueueState {
@@ -962,6 +1088,11 @@ pub(crate) fn spawn_engine(
             shard_index,
             streams,
             hibernation,
+            // Workers start with the WAL *inactive* even when checkpointing
+            // is configured: logging begins at the first checkpoint barrier
+            // (the builder runs a full one right after spawn), so recovery
+            // replay itself is never re-logged against a stale generation.
+            wal_dir: checkpoint.as_ref().map(|c| c.dir.clone()),
             ..ShardState::default()
         };
         let queue = Arc::clone(&queue);
@@ -990,6 +1121,7 @@ pub(crate) fn spawn_engine(
             snapshot_encoding,
             auto_rebalance_threshold,
             futile_auto_rebalance: Mutex::new(None),
+            checkpoint: checkpoint.map(|config| Mutex::new(CheckpointState::new(config))),
         }),
     }
 }
@@ -1304,6 +1436,20 @@ impl EngineHandle {
                 }
             }
         }
+        // Checkpoint cadence rides the same barrier: with the queues
+        // drained, the dirty sets are exact and the capture is a clean
+        // cut. `every_flushes == 0` disables the automatic cadence
+        // (explicit [`EngineHandle::checkpoint`] calls only).
+        if let Some(state) = &self.shared.checkpoint {
+            let due = {
+                let mut state = state.lock().map_err(|_| EngineError::Poisoned)?;
+                state.flushes_since += 1;
+                state.policy.every_flushes > 0 && state.flushes_since >= state.policy.every_flushes
+            };
+            if due {
+                self.run_checkpoint(false, false)?;
+            }
+        }
         Ok(())
     }
 
@@ -1595,7 +1741,111 @@ impl EngineHandle {
         // Only now does the routing table flip: every record submitted
         // after the write lock releases follows the new placement.
         router.repin(assignment);
+
+        // A migration changes stream → shard ownership, which the WAL
+        // cannot express (segments are per-shard and replay in shard
+        // order). Cutting a checkpoint at the migration barrier — while
+        // the router write lock still excludes new records — keeps
+        // recovery exact: everything before the move is covered by the
+        // checkpoint, everything after logs under the new owner.
+        if self.shared.checkpoint.is_some() {
+            self.run_checkpoint(false, true)?;
+        }
         Ok(report)
+    }
+
+    /// Cuts a checkpoint **now**, as a barrier: everything submitted by
+    /// this thread before the call is covered. Writes a delta overlay of
+    /// the streams dirty since the previous checkpoint — or a fresh full
+    /// base when there is none yet or the overlay chain has outgrown
+    /// [`crate::CheckpointPolicy::compact_ratio`] × the base (compaction) —
+    /// then the manifest, then prunes files no longer referenced.
+    /// Checkpoints also run automatically at flush barriers per
+    /// [`crate::CheckpointPolicy::every_flushes`]; this method is for
+    /// explicit cut points (before a planned handover, after a bulk load).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Checkpoint`] when the engine was built
+    /// without [`crate::EngineBuilder::checkpoint`] or when writing to the
+    /// checkpoint directory fails, [`EngineError::SnapshotUnsupported`]
+    /// when a dirty stream runs a custom detector without state
+    /// serialization, or [`EngineError::ChannelClosed`] when the engine
+    /// has shut down.
+    pub fn checkpoint(&self) -> Result<CheckpointReport, EngineError> {
+        self.run_checkpoint(false, false)
+    }
+
+    /// The checkpoint cycle shared by [`EngineHandle::checkpoint`], the
+    /// flush cadence and the rebalance hook. `router_locked` is `true` when
+    /// the caller already holds the router write lock (rebalance) —
+    /// `std::sync::RwLock` is not reentrant.
+    ///
+    /// Write ordering is the crash-safety contract: delta/base file first,
+    /// manifest (the commit point) second, garbage collection last — and
+    /// every file lands via write-to-temp + rename. A crash between any
+    /// two steps leaves the previous manifest authoritative and the WAL
+    /// segments it needs intact.
+    pub(crate) fn run_checkpoint(
+        &self,
+        force_full: bool,
+        router_locked: bool,
+    ) -> Result<CheckpointReport, EngineError> {
+        let Some(state_mutex) = &self.shared.checkpoint else {
+            return Err(EngineError::Checkpoint(
+                "engine was built without a checkpoint directory \
+                 (EngineBuilder::checkpoint)"
+                    .to_string(),
+            ));
+        };
+        let mut state = state_mutex.lock().map_err(|_| EngineError::Poisoned)?;
+        let full = force_full || state.wants_full();
+        let generation = state.next_generation;
+
+        // The capture barrier: every worker finalizes its WAL segment,
+        // rotates to generation + 1 and returns its (dirty or full) entry
+        // set. Holding the checkpoint lock serializes concurrent cuts;
+        // the router read lock keeps the shard set stable underneath.
+        let mut acks = Vec::with_capacity(self.senders.len());
+        {
+            let _router = (!router_locked).then(|| self.shared.router.read());
+            for sender in &self.senders {
+                let (ack, response) = channel();
+                sender
+                    .send(ShardMsg::Checkpoint {
+                        generation,
+                        full,
+                        ack,
+                    })
+                    .map_err(|_| EngineError::ChannelClosed)?;
+                acks.push(response);
+            }
+        }
+        // Past the barrier, shards have already cleared dirty bits; any
+        // failure before the manifest lands marks the state degraded so the
+        // next checkpoint writes a full base instead of a (possibly
+        // incomplete) delta.
+        let collected: Result<Vec<StreamStateSnapshot>, EngineError> = (|| {
+            let mut streams = Vec::new();
+            for response in acks {
+                streams.extend(response.recv().map_err(|_| EngineError::ChannelClosed)??);
+            }
+            Ok(streams)
+        })();
+        let result = collected.and_then(|mut streams| {
+            streams.sort_unstable_by_key(|entry| entry.stream);
+            state.commit(
+                generation,
+                full,
+                streams,
+                self.senders.len(),
+                self.shared.config.emit_warnings,
+            )
+        });
+        if result.is_err() {
+            state.degraded = true;
+        }
+        result
     }
 
     /// Serializes the state of every stream into an [`EngineSnapshot`], as

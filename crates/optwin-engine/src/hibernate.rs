@@ -32,6 +32,15 @@
 //! `hibernated` flag, and persist inside engine snapshots *without being
 //! woken* — their blob is embedded verbatim, and a restoring builder with
 //! hibernation configured re-creates them still asleep.
+//!
+//! The tier composes with the [`crate::checkpoint`] durability subsystem
+//! (wire v5) through the per-stream dirty bit: falling asleep is a state
+//! *transition*, so the sweep marks the stream dirty and the next delta
+//! overlay captures its compressed entry — after which the sleeper costs
+//! nothing at every subsequent barrier until it wakes. A fleet recovered
+//! from a checkpoint directory therefore brings its cold tier back
+//! *asleep*, blobs verbatim, with rehydration deferred exactly as a plain
+//! snapshot restore would.
 
 use optwin_baselines::DetectorSpec;
 use optwin_core::{DriftDetector, SnapshotEncoding};

@@ -52,6 +52,16 @@
 //!   on their next record. [`EngineStats`] reports resident bytes,
 //!   hibernated counts and rehydrations per shard, and engine snapshots
 //!   persist sleeping streams without waking them.
+//! * Long-running services stay durable through the **checkpoint
+//!   subsystem** (wire format v5, [`EngineBuilder::checkpoint`] /
+//!   [`CheckpointPolicy`]): checkpoints write a base snapshot once and
+//!   then **delta overlays** of only the streams dirty since the previous
+//!   barrier, a per-shard **write-ahead log** covers the record batches in
+//!   between, and the delta chain compacts back into a fresh base past a
+//!   configurable size ratio. After a crash,
+//!   [`EngineBuilder::recover_from_dir`] replays base → deltas → WAL tail
+//!   and resumes **bit-exactly** — same events, same `seq` numbers, and
+//!   hibernated streams recover still asleep (see [`checkpoint`]).
 //!
 //! The original synchronous API survives as a thin blocking wrapper:
 //! [`DriftEngine::ingest_batch`] is exactly `submit` + `flush` + drain of an
@@ -125,6 +135,7 @@
 #![warn(clippy::all)]
 
 mod builder;
+pub mod checkpoint;
 mod engine;
 mod event;
 mod fleet;
@@ -135,6 +146,9 @@ mod router;
 mod sink;
 
 pub use builder::{EngineBuilder, DEFAULT_QUEUE_CAPACITY};
+pub use checkpoint::{
+    load_checkpoint_dir, CheckpointPolicy, CheckpointReport, CHECKPOINT_WIRE_VERSION,
+};
 pub use engine::{DriftEngine, EngineConfig, EngineError, StreamSnapshot};
 pub use event::DriftEvent;
 pub use fleet::FleetConfig;

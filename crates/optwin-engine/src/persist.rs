@@ -70,6 +70,23 @@
 //! spec string: restoration re-derives shared resources (e.g. OPTWIN cut
 //! tables) from the spec or factory. Shard count and warning policy are
 //! recorded as provenance and do not constrain the restoring builder.
+//!
+//! # Wire format v5: checkpoint directories (built on v4)
+//!
+//! Whole-fleet snapshots are point-in-time; the [`crate::checkpoint`]
+//! subsystem turns them into *continuous* durability without defining a new
+//! stream encoding. A checkpoint **directory** (wire v5) holds a full v4
+//! [`EngineSnapshot`] as its base, delta overlays listing only the streams
+//! each barrier found dirty (same per-stream `{spec, seq, state, shard,
+//! hibernated}` entries, reusing this module's serialization verbatim), and
+//! per-shard write-ahead-log segments covering the records since the last
+//! barrier. Shard workers track a per-stream **dirty bit** — set on
+//! creation, after every ingested batch, on hibernation transitions and on
+//! migration, cleared only when a checkpoint captures the stream — which is
+//! what makes the overlays sparse. Recovery merges base → overlays → WAL
+//! tail through the ordinary restore path of this module, so everything
+//! above about bit-exactness, factory-less spec restore, placement and
+//! hibernated entries applies to recovered fleets unchanged.
 
 use optwin_baselines::DetectorSpec;
 use optwin_core::SnapshotEncoding;
@@ -91,6 +108,10 @@ use crate::engine::EngineError;
 ///   binary blobs instead of JSON number arrays. v1–v3 snapshots still
 ///   parse and restore unchanged; v3 remains the default *write* format
 ///   ([`wire_version`]).
+///
+/// Wire **v5** is a checkpoint *directory* format
+/// ([`crate::checkpoint::CHECKPOINT_WIRE_VERSION`]) layered on top of v4
+/// snapshots — it does not bump this constant.
 pub const ENGINE_SNAPSHOT_VERSION: u64 = 4;
 
 /// The wire version written for a given sequence layout: v3 for

@@ -26,12 +26,16 @@
 //! * wakes one cold stream with a single record — transparent rehydration,
 //! * snapshots the sleeping fleet and restores it **without waking it**:
 //!   hibernated streams embed their blob verbatim in the v4 snapshot, and a
-//!   hibernating builder re-creates them still asleep.
+//!   hibernating builder re-creates them still asleep,
+//! * attaches **continuous durability** (wire v5) to a sub-fleet: delta
+//!   checkpoints plus a write-ahead log, then kills the fleet without a
+//!   final checkpoint and recovers it from disk — base → overlays → WAL
+//!   tail — with every record accounted for.
 
 use std::time::Instant;
 
 use optwin::engine::{EngineBuilder, EngineHandle, EngineSnapshot};
-use optwin::{DetectorSpec, HibernationPolicy};
+use optwin::{CheckpointPolicy, DetectorSpec, HibernationPolicy};
 
 /// The hot set: streams fed on every wave, hence resident.
 const HOT: u64 = 1_024;
@@ -181,5 +185,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.resident_bytes() / (1024 * 1024),
     );
     restored.shutdown()?;
+
+    // Continuous durability on a scaled sub-fleet: every flush barrier
+    // emits a delta overlay with only the streams that changed, and every
+    // ingested batch hits the write-ahead log first. We then "crash" the
+    // fleet — stop it without taking a final checkpoint, stranding the last
+    // batches in the WAL tail — and recover from the directory alone.
+    let durable_streams = 2 * HOT;
+    let checkpoint_dir = std::env::temp_dir().join(format!(
+        "optwin-million-stream-checkpoint-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&checkpoint_dir);
+    println!(
+        "\nattaching durability to a {durable_streams}-stream sub-fleet \
+         (checkpoints in {})...",
+        checkpoint_dir.display()
+    );
+    let mut builder = EngineBuilder::new()
+        .shards(4)
+        .checkpoint(&checkpoint_dir, CheckpointPolicy::every_flushes(1));
+    for stream in 0..durable_streams {
+        builder = builder.stream_spec(stream, spec_of(stream));
+    }
+    let durable = builder.build()?;
+    for _ in 0..4 {
+        feed_wave(&durable, 0..durable_streams)?;
+    }
+    let report = durable.checkpoint()?;
+    println!("last checkpoint: {report}");
+
+    // The crash window: records the WAL holds but no checkpoint covers.
+    let tail: Vec<(u64, f64)> = (0..durable_streams)
+        .map(|stream| (stream, element(stream, usize::MAX / 2)))
+        .collect();
+    durable.submit(&tail)?;
+    let before = durable.stats()?;
+    durable.shutdown()?; // no final checkpoint — the tail lives only in the WAL
+
+    let recovering = Instant::now();
+    let recovered = EngineBuilder::new()
+        .shards(4)
+        .recover_from_dir(&checkpoint_dir)?
+        .build()?;
+    let stats = recovered.stats()?;
+    println!(
+        "recovered in {:.2?}: {} of {} records survived the crash \
+         (base + {} delta overlays + WAL tail)",
+        recovering.elapsed(),
+        stats.elements,
+        before.elements,
+        report.generation,
+    );
+    assert_eq!(stats.elements, before.elements, "no record may be lost");
+    recovered.shutdown()?;
+    let _ = std::fs::remove_dir_all(&checkpoint_dir);
     Ok(())
 }

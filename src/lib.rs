@@ -68,9 +68,9 @@ pub use optwin_core::{
     OptwinConfig, SnapshotEncoding,
 };
 pub use optwin_engine::{
-    CallbackSink, DriftEngine, DriftEvent, EngineBuilder, EngineConfig, EngineHandle,
-    EngineSnapshot, EngineStats, EventSink, FleetConfig, HibernationPolicy, JsonLinesSink,
-    MemorySink, RebalancePolicy, RebalanceReport, ShardLoad,
+    load_checkpoint_dir, CallbackSink, CheckpointPolicy, CheckpointReport, DriftEngine, DriftEvent,
+    EngineBuilder, EngineConfig, EngineHandle, EngineSnapshot, EngineStats, EventSink, FleetConfig,
+    HibernationPolicy, JsonLinesSink, MemorySink, RebalancePolicy, RebalanceReport, ShardLoad,
 };
 pub use optwin_eval::{DetectorFactory, Table1Experiment};
 pub use optwin_learners::{AdaptiveLearner, NaiveBayes, OnlineLearner};

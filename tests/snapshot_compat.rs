@@ -18,14 +18,20 @@
 //! [`EngineError::InvalidSnapshot`] with the stream and field named, never
 //! a panic) and guards the headline size win: the v4 snapshot of a fixed
 //! 64-stream fleet must stay at or below **40 %** of its v3 size.
+//!
+//! Wire format **v5** is a checkpoint *directory*, not a single file: the
+//! checked-in `v5/` fixture holds a manifest, a base, a delta-overlay chain
+//! and a write-ahead-log tail, and must keep **recovering** (base → deltas
+//! → WAL replay) into a bit-exact engine forever. Its tests recover from a
+//! scratch copy, since recovery itself checkpoints into the directory.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use optwin::engine::EngineError;
 use optwin::{
-    DetectorSpec, DriftEvent, EngineBuilder, EngineHandle, EngineSnapshot, EventSink,
-    HibernationPolicy, MemorySink, SnapshotEncoding,
+    load_checkpoint_dir, CheckpointPolicy, DetectorSpec, DriftEvent, EngineBuilder, EngineHandle,
+    EngineSnapshot, EventSink, HibernationPolicy, MemorySink, SnapshotEncoding,
 };
 
 /// Deterministic pseudo-random jitter in [-0.5, 0.5) (SplitMix64).
@@ -87,6 +93,37 @@ fn fixture_path(version: u64) -> PathBuf {
 
 fn hibernated_fixture_path() -> PathBuf {
     fixtures_dir().join("v4-hibernated.json")
+}
+
+/// The v5 fixture is a whole checkpoint **directory** (manifest + base +
+/// delta chain + WAL tail), covering `0..V5_CHECKPOINTED` through
+/// checkpoints and `V5_CHECKPOINTED..CUT` through the log alone.
+fn v5_fixture_dir() -> PathBuf {
+    fixtures_dir().join("v5")
+}
+
+const V5_CHECKPOINTED: usize = 2_000;
+
+/// Copies the v5 fixture into a scratch directory: recovery checkpoints and
+/// garbage-collects *into* the directory it recovers, and the checked-in
+/// corpus must never be touched.
+fn v5_scratch_copy(name: &str) -> PathBuf {
+    let scratch =
+        std::env::temp_dir().join(format!("optwin-v5-fixture-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    let entries = std::fs::read_dir(v5_fixture_dir()).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} — run the ignored `regenerate_golden_corpus` \
+             test to rebuild the corpus: {e}",
+            v5_fixture_dir().display()
+        )
+    });
+    for entry in entries {
+        let entry = entry.expect("fixture dir entry");
+        std::fs::copy(entry.path(), scratch.join(entry.file_name())).expect("copy fixture file");
+    }
+    scratch
 }
 
 fn build_fleet(restore: Option<EngineSnapshot>, factory: bool) -> (EngineHandle, Arc<MemorySink>) {
@@ -201,6 +238,56 @@ fn regenerate_golden_corpus() {
     assert_eq!(hibernated.version, 4);
     assert!(hibernated.streams.iter().all(|s| s.hibernated));
     std::fs::write(hibernated_fixture_path(), hibernated.to_json()).expect("write fixture");
+
+    // The v5 fixture: the same fleet run *with durability on*. Flushing
+    // every 500 elements under `every_flushes(1)` leaves a generation-0
+    // base plus four delta overlays (the infinite compact ratio keeps the
+    // chain); the final `V5_CHECKPOINTED..CUT` window is processed — the
+    // stats barrier proves it — but never checkpointed, so it survives only
+    // in the write-ahead log, exactly like a crash. The directory is
+    // checked in verbatim: manifest, base, deltas, WAL segments.
+    let v5_dir = v5_fixture_dir();
+    let _ = std::fs::remove_dir_all(&v5_dir);
+    let sink = Arc::new(MemorySink::new());
+    let mut builder = EngineBuilder::new()
+        .shards(4)
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+        .checkpoint(
+            &v5_dir,
+            CheckpointPolicy::every_flushes(1).compact_ratio(f64::INFINITY),
+        );
+    for stream in 0..STREAMS {
+        builder = builder.stream_spec(stream, spec_of(stream));
+    }
+    let handle = builder.build().expect("valid engine");
+    for start in (0..V5_CHECKPOINTED).step_by(500) {
+        let mut records = Vec::new();
+        for stream in 0..STREAMS {
+            for i in start..start + 500 {
+                records.push((stream, element(stream, i)));
+            }
+        }
+        handle.submit(&records).expect("engine running");
+        handle.flush().expect("no ingestion errors");
+    }
+    let mut tail = Vec::new();
+    for stream in 0..STREAMS {
+        for i in V5_CHECKPOINTED..CUT {
+            tail.push((stream, element(stream, i)));
+        }
+    }
+    handle.submit(&tail).expect("engine running");
+    let _ = handle.stats().expect("engine running");
+    handle.shutdown().expect("clean shutdown");
+
+    let merged = load_checkpoint_dir(&v5_dir).expect("fixture recovers");
+    assert!(
+        merged
+            .streams
+            .iter()
+            .all(|s| s.seq == V5_CHECKPOINTED as u64),
+        "v5 checkpoints must cover exactly the flushed prefix"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -324,6 +411,141 @@ fn hibernated_fixture_restores_on_both_load_paths() {
     let late = canonical(sink.drain());
     restored.shutdown().expect("clean shutdown");
     assert_eq!(late, expected_late, "awake load path must resume bit-exact");
+}
+
+/// The v5 checkpoint-directory fixture recovers bit-exactly: base → delta
+/// overlays → WAL replay, then the remaining stream, must reproduce the
+/// uninterrupted reference's events from the last checkpoint's coverage
+/// onward (the recovered engine re-emits the replayed `2000..2500` window —
+/// that is the durability contract, not an artifact).
+#[test]
+fn v5_checkpoint_fixture_recovers_bit_exact() {
+    let (early, late) = reference_events();
+    let mut expected: Vec<DriftEvent> = early
+        .into_iter()
+        .filter(|e| e.seq as usize >= V5_CHECKPOINTED)
+        .collect();
+    expected.extend(late);
+    let expected = canonical(expected);
+    assert!(
+        !expected.is_empty(),
+        "the corpus workload must drift after the checkpointed prefix"
+    );
+
+    // The checked-in directory self-reports v5 and carries all three file
+    // classes the format defines.
+    let manifest =
+        std::fs::read_to_string(v5_fixture_dir().join("MANIFEST.json")).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} — run the ignored `regenerate_golden_corpus` \
+                 test to rebuild the corpus: {e}",
+                v5_fixture_dir().display()
+            )
+        });
+    assert!(manifest.contains("\"version\":5"), "{manifest}");
+    let names: Vec<String> = std::fs::read_dir(v5_fixture_dir())
+        .expect("fixture dir")
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(names.iter().any(|n| n.starts_with("base-")));
+    assert!(
+        names.iter().filter(|n| n.starts_with("delta-")).count() >= 3,
+        "the fixture must exercise a real overlay chain: {names:?}"
+    );
+    assert!(names.iter().any(|n| n.starts_with("wal-")));
+
+    let scratch = v5_scratch_copy("recover");
+    let merged = load_checkpoint_dir(&scratch).expect("fixture loads");
+    assert_eq!(merged.stream_count(), STREAMS as usize);
+    assert!(merged
+        .streams
+        .iter()
+        .all(|s| s.seq == V5_CHECKPOINTED as u64));
+
+    let sink = Arc::new(MemorySink::new());
+    let recovered = EngineBuilder::new()
+        .shards(4)
+        .sink(Arc::clone(&sink) as Arc<dyn EventSink>)
+        .recover_from_dir(&scratch)
+        .expect("fixture recovers")
+        .build()
+        .expect("valid engine");
+    let stats = recovered.stats().expect("engine running");
+    assert_eq!(
+        stats.elements,
+        STREAMS * CUT as u64,
+        "WAL replay must roll every stream forward to the crash point"
+    );
+    feed(&recovered, CUT, TOTAL);
+    let events = canonical(sink.drain());
+    recovered.shutdown().expect("clean shutdown");
+    assert_eq!(
+        events, expected,
+        "fixture v5 must recover with identical decisions"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Corruption fuzzing against the checked-in v5 fixture: a truncated delta
+/// overlay, a flipped WAL payload byte and a missing base must each surface
+/// as [`EngineError::InvalidSnapshot`] — never a panic — from a scratch
+/// copy of the corpus directory.
+#[test]
+fn corrupted_v5_fixture_fails_recovery_cleanly() {
+    let recovery_error = |dir: &Path| -> EngineError {
+        match EngineBuilder::new().shards(2).recover_from_dir(dir) {
+            Err(error) => error,
+            Ok(builder) => builder
+                .build()
+                .expect_err("corrupted fixture must fail recovery"),
+        }
+    };
+    let find = |dir: &Path, prefix: &str| -> PathBuf {
+        std::fs::read_dir(dir)
+            .expect("scratch dir")
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(prefix))
+            })
+            .max()
+            .unwrap_or_else(|| panic!("fixture has no `{prefix}*` file"))
+    };
+
+    let scratch = v5_scratch_copy("truncated-delta");
+    let delta = find(&scratch, "delta-");
+    let text = std::fs::read_to_string(&delta).expect("delta readable");
+    std::fs::write(&delta, &text[..text.len() / 2]).expect("truncate delta");
+    assert!(
+        matches!(recovery_error(&scratch), EngineError::InvalidSnapshot(_)),
+        "truncated overlay"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let scratch = v5_scratch_copy("flipped-wal");
+    let wal = find(&scratch, "wal-");
+    let mut bytes = std::fs::read(&wal).expect("segment readable");
+    assert!(bytes.len() > 31, "the fixture's WAL tail holds a batch");
+    bytes[30] ^= 0x5a; // past the 17-byte segment header + 9-byte frame header
+    std::fs::write(&wal, &bytes).expect("flip WAL byte");
+    let error = recovery_error(&scratch);
+    assert!(
+        matches!(&error, EngineError::InvalidSnapshot(m) if m.contains("checksum")),
+        "flipped WAL byte must fail the frame checksum, got {error:?}"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let scratch = v5_scratch_copy("missing-base");
+    std::fs::remove_file(find(&scratch, "base-")).expect("remove base");
+    let error = recovery_error(&scratch);
+    assert!(
+        matches!(&error, EngineError::InvalidSnapshot(m) if m.contains("base")),
+        "missing base must be named, got {error:?}"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 /// A v4 snapshot taken right now round-trips through JSON and restores
