@@ -203,7 +203,17 @@ impl DriftDetector for Ddm {
     fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
         check_version(state, SNAPSHOT_VERSION, "DDM")?;
         let n: u64 = field(state, "n")?;
+        let finite = |name: &str, x: f64| {
+            if x.is_finite() {
+                Ok(())
+            } else {
+                Err(optwin_core::snapshot::invalid(format!(
+                    "{name} ({x}) must be finite"
+                )))
+            }
+        };
         let errors = float_field(state, "errors")?;
+        finite("errors", errors)?;
         // `errors` counts whole observations, so it must stay within [0, n];
         // anything else makes the error-rate estimate p = errors/n nonsense.
         if !(0.0..=n as f64).contains(&errors) {
@@ -214,7 +224,9 @@ impl DriftDetector for Ddm {
         // `p_min`/`s_min` start at f64::MAX (which is finite), so the plain
         // finiteness check covers the pristine state too.
         let p_min = float_field(state, "p_min")?;
+        finite("p_min", p_min)?;
         let s_min = float_field(state, "s_min")?;
+        finite("s_min", s_min)?;
         let elements_seen: u64 = field(state, "elements_seen")?;
         let drifts_detected: u64 = field(state, "drifts_detected")?;
         let last_status: DriftStatus = field(state, "last_status")?;

@@ -35,6 +35,7 @@
 #![warn(clippy::all)]
 
 pub mod adwin;
+pub mod composite;
 pub mod ddm;
 pub mod ecdd;
 pub mod eddm;
@@ -44,6 +45,7 @@ pub mod spec;
 pub mod stepd;
 
 pub use adwin::{Adwin, AdwinConfig};
+pub use composite::{Cascade, CascadeConfig, Ensemble, EnsembleConfig};
 pub use ddm::{Ddm, DdmConfig};
 pub use ecdd::{Ecdd, EcddConfig};
 pub use eddm::{Eddm, EddmConfig};

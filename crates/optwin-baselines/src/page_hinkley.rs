@@ -190,9 +190,21 @@ impl DriftDetector for PageHinkley {
     fn restore_state(&mut self, state: &serde::Value) -> Result<(), CoreError> {
         check_version(state, SNAPSHOT_VERSION, "PageHinkley")?;
         let n: u64 = field(state, "n")?;
+        let finite = |name: &str, x: f64| {
+            if x.is_finite() {
+                Ok(())
+            } else {
+                Err(optwin_core::snapshot::invalid(format!(
+                    "{name} ({x}) must be finite"
+                )))
+            }
+        };
         let mean = float_field(state, "mean")?;
+        finite("mean", mean)?;
         let cumulative = float_field(state, "cumulative")?;
+        finite("cumulative", cumulative)?;
         let min_cumulative = float_field(state, "min_cumulative")?;
+        finite("min_cumulative", min_cumulative)?;
         let elements_seen: u64 = field(state, "elements_seen")?;
         let drifts_detected: u64 = field(state, "drifts_detected")?;
         let last_status: DriftStatus = field(state, "last_status")?;

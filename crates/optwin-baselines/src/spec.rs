@@ -16,6 +16,22 @@
 //! detector's config struct (e.g. `adwin:delta=0.002` or
 //! `kswin:window_size=300,stat_size=30,alpha=0.0001`).
 //!
+//! Two **composite** ids nest whole specs as values (see
+//! [`crate::composite`]):
+//!
+//! ```text
+//! cascade:guard=<spec>,confirm=<spec>,replay=256,cooldown=256
+//! ensemble:vote=2,members=[<spec>|<spec>|...]
+//! ```
+//!
+//! Nested spec values may be wrapped in `[`…`]`; the canonical `Display`
+//! form always wraps them, and the brackets are required whenever the
+//! nested spec itself contains a top-level comma (parameter separators are
+//! split bracket-aware, so `cascade:guard=ddm,confirm=optwin:delta=0.01`
+//! parses without any). Composites nest at most one level deep — a cascade
+//! inside an ensemble is fine, a cascade inside a cascade inside an
+//! ensemble is rejected by [`DetectorSpec::validate`].
+//!
 //! [`std::fmt::Display`] prints the **complete** parameter set, and
 //! `Display` → [`std::str::FromStr`] is an exact round trip (floats use
 //! Rust's shortest round-trip formatting), so a spec echoed anywhere — a
@@ -50,6 +66,7 @@ use std::str::FromStr;
 
 use optwin_core::{CoreError, DriftDetector, DriftDirection, Optwin, OptwinConfig};
 
+use crate::composite::{Cascade, CascadeConfig, Ensemble, EnsembleConfig};
 use crate::{
     Adwin, AdwinConfig, Ddm, DdmConfig, Ecdd, EcddConfig, Eddm, EddmConfig, Kswin, KswinConfig,
     PageHinkley, PageHinkleyConfig, Stepd, StepdConfig,
@@ -105,6 +122,16 @@ pub enum DetectorSpec {
     Kswin {
         /// The detector configuration.
         config: KswinConfig,
+    },
+    /// A cheap-first guard/confirmer cascade ([`Cascade`]).
+    Cascade {
+        /// The composite configuration, holding the nested child specs.
+        config: CascadeConfig,
+    },
+    /// A k-of-N voting ensemble ([`Ensemble`]).
+    Ensemble {
+        /// The composite configuration, holding the nested member specs.
+        config: EnsembleConfig,
     },
 }
 
@@ -162,10 +189,16 @@ impl DetectorSpec {
             "kswin" => Ok(DetectorSpec::Kswin {
                 config: KswinConfig::default(),
             }),
+            "cascade" => Ok(DetectorSpec::Cascade {
+                config: CascadeConfig::default(),
+            }),
+            "ensemble" => Ok(DetectorSpec::Ensemble {
+                config: EnsembleConfig::default(),
+            }),
             other => Err(invalid(
                 "detector",
                 format!(
-                    "unknown detector `{other}`; expected one of: {}",
+                    "unknown detector `{other}`; expected one of: {}, cascade, ensemble",
                     DETECTOR_IDS.join(", ")
                 ),
             )),
@@ -194,6 +227,23 @@ impl DetectorSpec {
             DetectorSpec::Ecdd { .. } => "ecdd",
             DetectorSpec::PageHinkley { .. } => "page_hinkley",
             DetectorSpec::Kswin { .. } => "kswin",
+            DetectorSpec::Cascade { .. } => "cascade",
+            DetectorSpec::Ensemble { .. } => "ensemble",
+        }
+    }
+
+    /// Composite nesting depth: `0` for a plain detector, `1 +` the deepest
+    /// child for a composite. [`DetectorSpec::validate`] caps this at 2
+    /// (a cascade inside an ensemble is the deepest supported shape).
+    fn depth(&self) -> usize {
+        match self {
+            DetectorSpec::Cascade { config } => {
+                1 + config.guard.depth().max(config.confirm.depth())
+            }
+            DetectorSpec::Ensemble { config } => {
+                1 + config.members.iter().map(Self::depth).max().unwrap_or(0)
+            }
+            _ => 0,
         }
     }
 
@@ -211,6 +261,8 @@ impl DetectorSpec {
             DetectorSpec::Ecdd { .. } => "ECDD",
             DetectorSpec::PageHinkley { .. } => "PageHinkley",
             DetectorSpec::Kswin { .. } => "KSWIN",
+            DetectorSpec::Cascade { .. } => "CASCADE",
+            DetectorSpec::Ensemble { .. } => "ENSEMBLE",
         }
     }
 
@@ -219,10 +271,16 @@ impl DetectorSpec {
     /// [`DriftDetector::supports_real_valued_input`].
     #[must_use]
     pub fn binary_only(&self) -> bool {
-        matches!(
-            self,
-            DetectorSpec::Ddm { .. } | DetectorSpec::Eddm { .. } | DetectorSpec::Ecdd { .. }
-        )
+        match self {
+            DetectorSpec::Ddm { .. } | DetectorSpec::Eddm { .. } | DetectorSpec::Ecdd { .. } => {
+                true
+            }
+            DetectorSpec::Cascade { config } => {
+                config.guard.binary_only() || config.confirm.binary_only()
+            }
+            DetectorSpec::Ensemble { config } => config.members.iter().any(Self::binary_only),
+            _ => false,
+        }
     }
 
     /// Validates every parameter, mirroring the constructor contracts of the
@@ -368,6 +426,56 @@ impl DetectorSpec {
                 }
                 Ok(())
             }
+            DetectorSpec::Cascade { config } => {
+                if self.depth() > 2 {
+                    return Err(invalid(
+                        "detector",
+                        format!(
+                            "composite nesting depth {} exceeds the maximum of 2",
+                            self.depth()
+                        ),
+                    ));
+                }
+                if config.replay == 0 {
+                    return Err(invalid("replay", "must be positive"));
+                }
+                if config.cooldown == 0 {
+                    return Err(invalid("cooldown", "must be positive"));
+                }
+                config.guard.validate()?;
+                config.confirm.validate()
+            }
+            DetectorSpec::Ensemble { config } => {
+                if self.depth() > 2 {
+                    return Err(invalid(
+                        "detector",
+                        format!(
+                            "composite nesting depth {} exceeds the maximum of 2",
+                            self.depth()
+                        ),
+                    ));
+                }
+                if config.members.is_empty() {
+                    return Err(invalid("members", "must name at least one member"));
+                }
+                if config.vote == 0 || config.vote > config.members.len() {
+                    return Err(invalid(
+                        "vote",
+                        format!(
+                            "must lie in 1..={}, got {}",
+                            config.members.len(),
+                            config.vote
+                        ),
+                    ));
+                }
+                if config.horizon == 0 {
+                    return Err(invalid("horizon", "must be positive"));
+                }
+                for member in &config.members {
+                    member.validate()?;
+                }
+                Ok(())
+            }
         }
     }
 
@@ -392,6 +500,8 @@ impl DetectorSpec {
             DetectorSpec::Ecdd { config } => Box::new(Ecdd::new(*config)),
             DetectorSpec::PageHinkley { config } => Box::new(PageHinkley::new(*config)),
             DetectorSpec::Kswin { config } => Box::new(Kswin::new(*config)),
+            DetectorSpec::Cascade { config } => Box::new(Cascade::new(config.clone())?),
+            DetectorSpec::Ensemble { config } => Box::new(Ensemble::new(config.clone())?),
         })
     }
 
@@ -408,6 +518,20 @@ impl DetectorSpec {
             out.push_str(&spec.to_string());
             out.push('\n');
         }
+        out.push_str(
+            "composite specs nest whole specs as values (brackets optional when the nested \
+             spec has no top-level comma):\n",
+        );
+        for id in ["cascade", "ensemble"] {
+            out.push_str("  ");
+            out.push_str(
+                &Self::default_for(id)
+                    .expect("composite ids are valid")
+                    .to_string(),
+            );
+            out.push('\n');
+        }
+        out.push_str("  e.g. cascade:guard=ddm,confirm=optwin:delta=0.01\n");
         out
     }
 }
@@ -472,6 +596,28 @@ impl fmt::Display for DetectorSpec {
                 "kswin:window_size={},stat_size={},alpha={}",
                 config.window_size, config.stat_size, config.alpha
             ),
+            // Nested spec values are always bracketed in the canonical form,
+            // so the complete child parameter lists (which contain commas)
+            // survive the bracket-aware top-level split on re-parse.
+            DetectorSpec::Cascade { config } => write!(
+                f,
+                "cascade:guard=[{}],confirm=[{}],replay={},cooldown={}",
+                config.guard, config.confirm, config.replay, config.cooldown
+            ),
+            DetectorSpec::Ensemble { config } => {
+                write!(
+                    f,
+                    "ensemble:vote={},horizon={},members=[",
+                    config.vote, config.horizon
+                )?;
+                for (i, member) in config.members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("|")?;
+                    }
+                    write!(f, "{member}")?;
+                }
+                f.write_str("]")
+            }
         }
     }
 }
@@ -480,6 +626,70 @@ fn parse_num<T: FromStr>(key: &'static str, value: &str) -> Result<T, CoreError>
     value
         .parse()
         .map_err(|_| invalid(key, format!("cannot parse `{value}`")))
+}
+
+/// Splits `s` at every `sep` that sits outside `[`…`]` brackets, so nested
+/// spec values survive the parameter split intact. Rejects unbalanced
+/// brackets.
+fn split_top_level(s: &str, sep: char) -> Result<Vec<&str>, CoreError> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| invalid("detector", format!("unbalanced `]` in `{s}`")))?;
+            }
+            c if c == sep && depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + sep.len_utf8();
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(invalid("detector", format!("unbalanced `[` in `{s}`")));
+    }
+    parts.push(&s[start..]);
+    Ok(parts)
+}
+
+/// Strips one fully-wrapping `[`…`]` layer, if present. The leading `[`
+/// must be closed by the final `]` — `[a]|[b]` is left untouched.
+fn strip_brackets(s: &str) -> &str {
+    let trimmed = s.trim();
+    let Some(inner) = trimmed
+        .strip_prefix('[')
+        .and_then(|rest| rest.strip_suffix(']'))
+    else {
+        return trimmed;
+    };
+    let mut depth = 1usize;
+    for c in inner.chars() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                if depth == 1 {
+                    return trimmed;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    inner.trim()
+}
+
+/// Parses a nested spec value (optionally bracketed) with the strict
+/// grammar; leniency only ever applies to the top-level key set.
+fn parse_nested(key: &'static str, value: &str) -> Result<DetectorSpec, CoreError> {
+    let inner = strip_brackets(value);
+    inner
+        .parse()
+        .map_err(|e: CoreError| invalid(key, format!("nested spec `{inner}` is invalid: {e}")))
 }
 
 impl FromStr for DetectorSpec {
@@ -560,7 +770,8 @@ impl DetectorSpec {
                     format!("`{id}:` has an empty parameter list; drop the `:` for defaults"),
                 ));
             }
-            for pair in params.split(',') {
+            let mut explicit_warning_delta = false;
+            for pair in split_top_level(params, ',')? {
                 let Some((key, value)) = pair.split_once('=') else {
                     return Err(invalid(
                         "detector",
@@ -568,6 +779,7 @@ impl DetectorSpec {
                     ));
                 };
                 let (key, value) = (key.trim(), value.trim());
+                explicit_warning_delta |= key == "warning_delta";
                 match spec.set_field(key, value) {
                     Ok(()) => {}
                     Err(FieldError::Unknown { valid_keys }) if lenient => warnings.push(format!(
@@ -584,6 +796,19 @@ impl DetectorSpec {
                         ))
                     }
                     Err(FieldError::Invalid(error)) => return Err(error),
+                }
+            }
+            // OPTWIN's warning confidence defaults to 0.95, which only makes
+            // sense below the drift confidence. When the user overrides
+            // `delta` below that default without saying anything about
+            // warnings (e.g. `optwin:delta=0.01`), the *default* is dropped
+            // rather than rejecting the spec — an explicit `warning_delta`
+            // is still validated strictly.
+            if !explicit_warning_delta {
+                if let DetectorSpec::Optwin { config } = &mut spec {
+                    if config.warning_delta.is_some_and(|w| w >= config.delta) {
+                        config.warning_delta = None;
+                    }
                 }
             }
         }
@@ -682,6 +907,32 @@ impl DetectorSpec {
                 "stat_size" => config.stat_size = parse_num("stat_size", value)?,
                 "alpha" => config.alpha = parse_num("alpha", value)?,
                 _ => return Err(unknown("window_size, stat_size, alpha")),
+            },
+            DetectorSpec::Cascade { config } => match key {
+                "guard" => *config.guard = parse_nested("guard", value)?,
+                "confirm" => *config.confirm = parse_nested("confirm", value)?,
+                "replay" => config.replay = parse_num("replay", value)?,
+                "cooldown" => config.cooldown = parse_num("cooldown", value)?,
+                _ => return Err(unknown("guard, confirm, replay, cooldown")),
+            },
+            DetectorSpec::Ensemble { config } => match key {
+                "vote" => config.vote = parse_num("vote", value)?,
+                "horizon" => config.horizon = parse_num("horizon", value)?,
+                "members" => {
+                    let mut members = Vec::new();
+                    for part in split_top_level(strip_brackets(value), '|')? {
+                        let part = part.trim();
+                        if part.is_empty() {
+                            return Err(FieldError::Invalid(invalid(
+                                "members",
+                                "has an empty member entry",
+                            )));
+                        }
+                        members.push(parse_nested("members", part)?);
+                    }
+                    config.members = members;
+                }
+                _ => return Err(unknown("vote, horizon, members")),
             },
         }
         Ok(())
@@ -893,6 +1144,142 @@ mod tests {
         for id in DETECTOR_IDS {
             assert!(help.contains(id), "missing {id} in:\n{help}");
         }
+        for id in ["cascade:", "ensemble:"] {
+            assert!(help.contains(id), "missing {id} in:\n{help}");
+        }
+    }
+
+    #[test]
+    fn composite_specs_parse_the_documented_forms() {
+        // The two literal forms from the grammar documentation.
+        let spec: DetectorSpec = "cascade:guard=ddm,confirm=optwin:delta=0.01"
+            .parse()
+            .unwrap();
+        let DetectorSpec::Cascade { config } = &spec else {
+            panic!("wrong variant")
+        };
+        assert_eq!(config.guard.id(), "ddm");
+        let DetectorSpec::Optwin { config: optwin } = config.confirm.as_ref() else {
+            panic!("confirm must be optwin")
+        };
+        assert_eq!(optwin.delta, 0.01);
+        // Unspecified composite keys keep the defaults.
+        assert_eq!(config.replay, 256);
+        assert_eq!(config.cooldown, 256);
+
+        let spec: DetectorSpec = "ensemble:vote=2,members=[ddm|ecdd|ph]".parse().unwrap();
+        let DetectorSpec::Ensemble { config } = &spec else {
+            panic!("wrong variant")
+        };
+        assert_eq!(config.vote, 2);
+        let ids: Vec<_> = config.members.iter().map(DetectorSpec::id).collect();
+        assert_eq!(ids, ["ddm", "ecdd", "page_hinkley"]);
+
+        // Bracketed nested values and nested overrides.
+        let spec: DetectorSpec =
+            "cascade:guard=[ddm:min_instances=50],confirm=[kswin:stat_size=40,window_size=200],\
+             replay=64,cooldown=32"
+                .parse()
+                .unwrap();
+        let DetectorSpec::Cascade { config } = &spec else {
+            panic!("wrong variant")
+        };
+        let DetectorSpec::Ddm { config: ddm } = config.guard.as_ref() else {
+            panic!("guard must be ddm")
+        };
+        assert_eq!(ddm.min_instances, 50);
+        assert_eq!((config.replay, config.cooldown), (64, 32));
+
+        // A cascade inside an ensemble (the deepest supported nesting).
+        let spec: DetectorSpec = "ensemble:vote=1,members=[cascade:guard=ddm,confirm=optwin|ecdd]"
+            .parse()
+            .unwrap();
+        let DetectorSpec::Ensemble { config } = &spec else {
+            panic!("wrong variant")
+        };
+        assert_eq!(config.members[0].id(), "cascade");
+        assert_eq!(config.members[1].id(), "ecdd");
+    }
+
+    #[test]
+    fn composite_display_round_trips_and_builds() {
+        for text in [
+            "cascade",
+            "ensemble",
+            "cascade:guard=ddm,confirm=optwin:delta=0.01",
+            "ensemble:vote=2,members=[ddm|ecdd|ph]",
+            "ensemble:vote=1,members=[cascade:guard=ddm,confirm=optwin:w_max=500|ecdd]",
+        ] {
+            let spec: DetectorSpec = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            let echoed: DetectorSpec = spec.to_string().parse().unwrap();
+            assert_eq!(echoed, spec, "{text} → {spec}");
+            let mut detector = spec.build().unwrap();
+            assert_eq!(detector.name(), spec.detector_name());
+            assert_eq!(
+                !detector.supports_real_valued_input(),
+                spec.binary_only(),
+                "{text}"
+            );
+            detector.add_element(0.0);
+        }
+        // Serde uses the same canonical string.
+        use serde::{Deserialize as _, Serialize as _};
+        let spec: DetectorSpec = "ensemble:vote=2,members=[ddm|ecdd|ph]".parse().unwrap();
+        assert_eq!(DetectorSpec::from_value(&spec.to_value()).unwrap(), spec);
+    }
+
+    #[test]
+    fn composite_specs_reject_malformed_input() {
+        for bad in [
+            "cascade:guard=frobnicate", // unknown nested id
+            "cascade:replay=0",         // out-of-range composite knob
+            "cascade:cooldown=0",
+            "cascade:wake=now",                   // unknown composite key
+            "ensemble:vote=0",                    // vote below 1
+            "ensemble:vote=4",                    // vote above member count
+            "ensemble:members=[]",                // empty member list
+            "ensemble:members=[ddm|]",            // empty member entry
+            "ensemble:members=[ddm",              // unbalanced bracket
+            "ensemble:members=ddm]",              // unbalanced bracket
+            "ensemble:members=[adwin:delta=2.0]", // nested value out of range
+        ] {
+            let err = bad.parse::<DetectorSpec>().unwrap_err();
+            assert!(
+                matches!(err, CoreError::InvalidConfig { .. }),
+                "{bad}: {err}"
+            );
+        }
+        // The unknown-key error lists the composite keys.
+        let err = "cascade:wake=now".parse::<DetectorSpec>().unwrap_err();
+        assert!(err.to_string().contains("guard, confirm"), "{err}");
+    }
+
+    #[test]
+    fn composite_nesting_depth_is_capped_at_two() {
+        // Depth 2 (cascade inside ensemble) is the maximum accepted...
+        let ok: DetectorSpec = "ensemble:vote=1,members=[cascade:guard=ddm,confirm=optwin|ecdd]"
+            .parse()
+            .unwrap();
+        ok.validate().unwrap();
+        // ...depth 3 is rejected by validate() during parsing.
+        let bad = "ensemble:vote=1,\
+                   members=[cascade:guard=[cascade:guard=ddm,confirm=eddm],confirm=optwin]";
+        let err = bad.parse::<DetectorSpec>().unwrap_err();
+        assert!(err.to_string().contains("depth"), "{err}");
+        // Same via the programmatic API.
+        let deep = DetectorSpec::Ensemble {
+            config: EnsembleConfig {
+                vote: 1,
+                members: vec![DetectorSpec::Cascade {
+                    config: CascadeConfig {
+                        guard: Box::new("cascade:guard=ddm,confirm=eddm".parse().unwrap()),
+                        ..CascadeConfig::default()
+                    },
+                }],
+                ..EnsembleConfig::default()
+            },
+        };
+        assert!(deep.validate().is_err());
     }
 
     mod round_trip_properties {
@@ -970,6 +1357,49 @@ mod tests {
                         stat_size: 10 + (alpha * 1e4) as usize,
                         alpha,
                     },
+                }),
+                // Composites: the shim has no tuple strategies, so one float
+                // encodes the guard/confirmer (or member) choices.
+                (0.0f64..1.0).prop_map(|x| {
+                    let n = (x * 64.0) as usize;
+                    DetectorSpec::Cascade {
+                        config: CascadeConfig {
+                            guard: Box::new(
+                                DetectorSpec::default_for(DETECTOR_IDS[n % 8]).unwrap(),
+                            ),
+                            confirm: Box::new(
+                                DetectorSpec::default_for(DETECTOR_IDS[(n / 8) % 8]).unwrap(),
+                            ),
+                            replay: 1 + (x * 1_000.0) as usize,
+                            cooldown: 1 + (x * 500.0) as u32,
+                        },
+                    }
+                }),
+                (0.0f64..1.0).prop_map(|x| {
+                    let n = (x * 512.0) as usize;
+                    let mut members = vec![
+                        DetectorSpec::default_for(DETECTOR_IDS[n % 8]).unwrap(),
+                        DetectorSpec::default_for(DETECTOR_IDS[(n / 8) % 8]).unwrap(),
+                    ];
+                    if n.is_multiple_of(2) {
+                        // Exercise a cascade nested inside the ensemble.
+                        members.push(DetectorSpec::Cascade {
+                            config: CascadeConfig {
+                                guard: Box::new(
+                                    DetectorSpec::default_for(DETECTOR_IDS[(n / 3) % 8]).unwrap(),
+                                ),
+                                replay: 1 + n,
+                                ..CascadeConfig::default()
+                            },
+                        });
+                    }
+                    DetectorSpec::Ensemble {
+                        config: EnsembleConfig {
+                            vote: 1 + (n / 64) % 2,
+                            members,
+                            horizon: 1 + (n % 300) as u32,
+                        },
+                    }
                 }),
             ]
         }

@@ -31,7 +31,9 @@ use std::time::Instant;
 use optwin_baselines::DetectorSpec;
 use optwin_core::{DriftDetector, DriftStatus, SnapshotEncoding};
 
-use crate::checkpoint::{CheckpointConfig, CheckpointReport, CheckpointState, WalWriter};
+use crate::checkpoint::{
+    CheckpointConfig, CheckpointReport, CheckpointState, Durability, WalWriter,
+};
 use crate::engine::{EngineConfig, EngineError, StreamSnapshot};
 use crate::event::DriftEvent;
 use crate::hibernate::{DetectorSlot, HibernatedDetector, HibernationPolicy};
@@ -563,6 +565,9 @@ struct ShardState {
     /// Checkpoint directory WAL segments are written into (set iff the
     /// engine checkpoints).
     wal_dir: Option<PathBuf>,
+    /// Durability level WAL segments are written with (from
+    /// [`crate::CheckpointPolicy::durability`]).
+    wal_durability: Durability,
     /// The current write-ahead-log segment. `None` until the first
     /// checkpoint barrier activates logging (everything before that barrier
     /// is covered by the base it captures), and after a WAL I/O failure
@@ -788,7 +793,12 @@ impl ShardState {
             wal.finish()?;
         }
         if let Some(dir) = &self.wal_dir {
-            self.wal = Some(WalWriter::create(dir, generation + 1, self.shard_index)?);
+            self.wal = Some(WalWriter::create(
+                dir,
+                generation + 1,
+                self.shard_index,
+                self.wal_durability,
+            )?);
         }
         let mut ids: Vec<u64> = self
             .streams
@@ -1093,6 +1103,10 @@ pub(crate) fn spawn_engine(
             // (the builder runs a full one right after spawn), so recovery
             // replay itself is never re-logged against a stale generation.
             wal_dir: checkpoint.as_ref().map(|c| c.dir.clone()),
+            wal_durability: checkpoint
+                .as_ref()
+                .map(|c| c.policy.durability)
+                .unwrap_or_default(),
             ..ShardState::default()
         };
         let queue = Arc::clone(&queue);

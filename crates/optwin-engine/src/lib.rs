@@ -147,7 +147,8 @@ mod sink;
 
 pub use builder::{EngineBuilder, DEFAULT_QUEUE_CAPACITY};
 pub use checkpoint::{
-    load_checkpoint_dir, CheckpointPolicy, CheckpointReport, CHECKPOINT_WIRE_VERSION,
+    fsync_count, load_checkpoint_dir, CheckpointPolicy, CheckpointReport, Durability,
+    CHECKPOINT_WIRE_VERSION,
 };
 pub use engine::{DriftEngine, EngineConfig, EngineError, StreamSnapshot};
 pub use event::DriftEvent;

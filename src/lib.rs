@@ -61,7 +61,8 @@ pub use optwin_stats as stats;
 pub use optwin_stream as stream;
 
 pub use optwin_baselines::{
-    Adwin, Ddm, DetectorKind, DetectorSpec, Ecdd, Eddm, Kswin, PageHinkley, Stepd,
+    Adwin, Cascade, CascadeConfig, Ddm, DetectorKind, DetectorSpec, Ecdd, Eddm, Ensemble,
+    EnsembleConfig, Kswin, PageHinkley, Stepd,
 };
 pub use optwin_core::{
     BatchOutcome, CutTable, CutTableRegistry, DetectorExt, DriftDetector, DriftStatus, Optwin,

@@ -14,12 +14,14 @@
 //! truncation, checksum flips and missing files — every corruption must
 //! surface as [`EngineError::InvalidSnapshot`], never a panic, while a torn
 //! WAL tail (the crash cut an append short) reads as clean end-of-log.
+//! Durability levels are pinned by a call-count probe: `PageCache` issues
+//! zero fsyncs, `Fsync` syncs every commit point and append barrier.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use optwin::core::{BatchOutcome, CoreError, DriftDetector, DriftStatus, SnapshotEncoding};
-use optwin::engine::{load_checkpoint_dir, CheckpointPolicy, EngineError};
+use optwin::engine::{fsync_count, load_checkpoint_dir, CheckpointPolicy, Durability, EngineError};
 use optwin::{
     DetectorSpec, DriftEvent, EngineBuilder, EngineHandle, EventSink, HibernationPolicy, MemorySink,
 };
@@ -871,6 +873,70 @@ fn torn_wal_tail_recovers_cleanly() {
         );
     }
     handle.shutdown().expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Durability levels: the fsync flag is honored (call-count probe)
+// ---------------------------------------------------------------------------
+
+/// Power loss cannot be simulated in a test, so the [`Durability::Fsync`]
+/// contract is pinned through a call-count probe instead:
+/// [`fsync_count`] tallies every `sync_data`/`sync_all` the checkpoint
+/// subsystem issues. A `PageCache` run (the default) must issue **none**;
+/// an `Fsync` run must sync at the base/MANIFEST commit, at every delta
+/// cut, and at every WAL append barrier — and its directory must still
+/// recover bit-exactly. Nothing else in this binary uses `Fsync`, so the
+/// process-global counter is stable around the PageCache phase.
+#[test]
+fn fsync_durability_flag_is_honored() {
+    // Phase 1 — PageCache (the default): checkpoints, WAL appends and a
+    // clean stop, with zero fsyncs issued.
+    let before = fsync_count();
+    let dir = scratch_dir("durability-pagecache");
+    let (handle, _sink) = build_fleet(Some((&dir, CheckpointPolicy::every_flushes(1))), None);
+    feed_flushing(&handle, 0, 500);
+    feed_wal_only(&handle, 500, 600);
+    handle.shutdown().expect("clean shutdown");
+    assert_eq!(
+        fsync_count(),
+        before,
+        "PageCache durability must never fsync"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Phase 2 — Fsync: the probe must tick at the build's base checkpoint,
+    // keep ticking across delta cuts, and tick again on WAL-only appends
+    // (the append barrier), not just at checkpoints.
+    let dir = scratch_dir("durability-fsync");
+    let policy = CheckpointPolicy::every_flushes(1).durability(Durability::Fsync);
+    let (handle, _sink) = build_fleet(Some((&dir, policy)), None);
+    let after_build = fsync_count();
+    assert!(
+        after_build > before,
+        "the build's generation-0 base must be fsynced"
+    );
+    feed_flushing(&handle, 0, COVERED);
+    let after_deltas = fsync_count();
+    assert!(
+        after_deltas > after_build,
+        "delta checkpoints must be fsynced"
+    );
+    feed_wal_only(&handle, COVERED, CRASH);
+    assert!(
+        fsync_count() > after_deltas,
+        "WAL append barriers must be fsynced even without a checkpoint"
+    );
+    handle.shutdown().expect("clean shutdown");
+
+    // The synced directory recovers exactly like a PageCache one would:
+    // durability changes when bytes hit the platter, never what they say.
+    let events = recover_and_finish(&dir, CRASH);
+    assert_eq!(
+        events,
+        reference_events_from(COVERED),
+        "Fsync-durability recovery must resume bit-exactly"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

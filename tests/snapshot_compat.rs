@@ -19,6 +19,12 @@
 //! a panic) and guards the headline size win: the v4 snapshot of a fixed
 //! 64-stream fleet must stay at or below **40 %** of its v3 size.
 //!
+//! Composite detectors add a fixture of their own: `v4-cascade.json`
+//! snapshots a cascade/ensemble fleet with the pilot cascade captured
+//! **mid-escalation** (live confirmer, warm replay ring) and still
+//! self-reports wire format 4 — composites are explicitly not a format
+//! generation (see the `cascade_fixture` module at the bottom).
+//!
 //! Wire format **v5** is a checkpoint *directory*, not a single file: the
 //! checked-in `v5/` fixture holds a manifest, a base, a delta-overlay chain
 //! and a write-ahead-log tail, and must keep **recovering** (base → deltas
@@ -806,4 +812,190 @@ fn v4_snapshot_is_at_most_40_percent_of_v3() {
         "the 0.6-error suffix must trigger detections"
     );
     handle.shutdown().expect("clean shutdown");
+}
+
+// ---------------------------------------------------------------------------
+// Composite golden fixture: a cascade captured mid-escalation
+// ---------------------------------------------------------------------------
+
+/// The composite half of the corpus: a three-stream fleet — two cascades
+/// and a voting ensemble, registered purely through nested spec strings —
+/// snapshotted at the exact element where the pilot cascade's confirmer is
+/// **live** (escalated past the drift point, drift not yet confirmed). The
+/// checked-in `v4-cascade.json` must keep restoring bit-exactly forever,
+/// and must keep self-reporting wire format **4**: composites serialize
+/// through the existing codec — nested child state inside the detector
+/// blob — and are explicitly *not* a format generation. Regenerate (only
+/// after a deliberate, versioned change) with:
+///
+/// ```text
+/// cargo test --test snapshot_compat regenerate_cascade_fixture -- --ignored
+/// ```
+mod cascade_fixture {
+    use super::*;
+    use optwin::{Cascade, DetectorSpec as Spec, DriftDetector};
+
+    const TOTAL: usize = 3_500;
+    const DRIFT_AT: usize = 1_700;
+
+    fn path() -> PathBuf {
+        fixtures_dir().join("v4-cascade.json")
+    }
+
+    /// The pilot stream's spec: the stream whose mid-escalation moment
+    /// decides the snapshot cut.
+    const PILOT: &str = "cascade:guard=ddm,confirm=[optwin:w_max=600],replay=256,cooldown=256";
+
+    fn specs() -> Vec<(u64, Spec)> {
+        [
+            PILOT,
+            "ensemble:vote=2,members=[ddm|ecdd|page_hinkley]",
+            "cascade:guard=page_hinkley,confirm=adwin,replay=512",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(stream, text)| (stream as u64, text.parse().expect("valid composite spec")))
+        .collect()
+    }
+
+    /// Bernoulli error indicators, rate 0.06 jumping to 0.5 at
+    /// [`DRIFT_AT`], decorrelated across the three streams.
+    fn element(stream: u64, i: usize) -> f64 {
+        let p = if i < DRIFT_AT { 0.06 } else { 0.5 };
+        let u = jitter(0x0CA5_CADE ^ stream.wrapping_mul(0x9E37_79B1) ^ i as u64) + 0.5;
+        f64::from(u < p)
+    }
+
+    /// A standalone replica of the pilot stream's cascade — the concrete
+    /// type, so the escalation flag is observable.
+    fn pilot_replica() -> Cascade {
+        match PILOT.parse::<Spec>().expect("valid composite spec") {
+            Spec::Cascade { config } => Cascade::new(config).expect("valid cascade config"),
+            _ => unreachable!("the pilot spec is a cascade"),
+        }
+    }
+
+    /// The snapshot cut: the first element past the drift point on which
+    /// the pilot cascade is escalated — confirmer live, warm ring, dormant
+    /// flag down. Pure function of the deterministic stream, so the
+    /// regeneration test and the compatibility test always agree.
+    fn mid_escalation_cut() -> usize {
+        let mut replica = pilot_replica();
+        for i in 0..TOTAL {
+            replica.add_element(element(0, i));
+            if i >= DRIFT_AT && replica.is_escalated() {
+                return i + 1;
+            }
+        }
+        panic!("the pilot cascade never escalated past the drift point");
+    }
+
+    fn build(restore: Option<EngineSnapshot>) -> (EngineHandle, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        let mut builder = EngineBuilder::new()
+            .shards(2)
+            .sink(Arc::clone(&sink) as Arc<dyn EventSink>);
+        match restore {
+            Some(snapshot) => builder = builder.restore(snapshot),
+            None => {
+                for (stream, spec) in specs() {
+                    builder = builder.stream_spec(stream, spec);
+                }
+            }
+        }
+        (builder.build().expect("valid engine"), sink)
+    }
+
+    fn feed(handle: &EngineHandle, from: usize, to: usize) {
+        let streams = specs().len() as u64;
+        let mut records = Vec::new();
+        for start in (from..to).step_by(250) {
+            let end = (start + 250).min(to);
+            records.clear();
+            for stream in 0..streams {
+                for i in start..end {
+                    records.push((stream, element(stream, i)));
+                }
+            }
+            handle.submit(&records).expect("engine running");
+        }
+        handle.flush().expect("no ingestion errors");
+    }
+
+    /// Writes the composite fixture; see the module docs.
+    #[test]
+    #[ignore = "regenerates the checked-in cascade fixture"]
+    fn regenerate_cascade_fixture() {
+        let cut = mid_escalation_cut();
+        let (handle, _sink) = build(None);
+        feed(&handle, 0, cut);
+        let snapshot = handle
+            .snapshot_with(SnapshotEncoding::Binary)
+            .expect("snapshot-capable");
+        handle.shutdown().expect("clean shutdown");
+        assert_eq!(
+            snapshot.version, 4,
+            "composites must not bump the wire format"
+        );
+        assert_eq!(snapshot.stream_count(), specs().len());
+        std::fs::create_dir_all(fixtures_dir()).expect("fixtures dir");
+        std::fs::write(path(), snapshot.to_json()).expect("write fixture");
+    }
+
+    /// The checked-in fixture parses with the unchanged v4 codec, restores
+    /// a fleet whose pilot cascade is verifiably mid-escalation, and the
+    /// resumed fleet's decisions are byte-identical to an uninterrupted
+    /// reference — the cascade confirms the pending drift exactly where it
+    /// always would have.
+    #[test]
+    fn cascade_fixture_restores_mid_escalation_bit_exact() {
+        let cut = mid_escalation_cut();
+        // Double-check what "mid-escalation" means at this cut: a live
+        // confirmer with the drift still unconfirmed.
+        {
+            let mut replica = pilot_replica();
+            for i in 0..cut {
+                replica.add_element(element(0, i));
+            }
+            assert!(replica.is_escalated(), "the cut lands mid-escalation");
+            assert_eq!(
+                replica.drifts_detected(),
+                0,
+                "the pending drift is unconfirmed at the cut"
+            );
+        }
+
+        let (handle, sink) = build(None);
+        feed(&handle, 0, TOTAL);
+        let all = canonical(sink.drain());
+        handle.shutdown().expect("clean shutdown");
+        let expected: Vec<DriftEvent> = all.into_iter().filter(|e| e.seq as usize >= cut).collect();
+        assert!(
+            !expected.is_empty(),
+            "the fleet must confirm drifts after the cut"
+        );
+
+        let text = std::fs::read_to_string(path()).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {} — run the ignored \
+                 `regenerate_cascade_fixture` test to rebuild it: {e}",
+                path().display()
+            )
+        });
+        let snapshot = EngineSnapshot::from_json(&text).expect("fixture parses");
+        assert_eq!(
+            snapshot.version, 4,
+            "composite detectors must not bump the snapshot wire format"
+        );
+        assert_eq!(snapshot.stream_count(), specs().len());
+
+        let (restored, sink) = build(Some(snapshot));
+        feed(&restored, cut, TOTAL);
+        let events = canonical(sink.drain());
+        restored.shutdown().expect("clean shutdown");
+        assert_eq!(
+            events, expected,
+            "the mid-escalation fixture must resume with identical decisions"
+        );
+    }
 }
