@@ -45,6 +45,11 @@
 //! * Whole fleets load from config files: [`FleetConfig`] /
 //!   [`EngineBuilder::from_config_json`] turn a JSON map of
 //!   `stream id → spec string` into a fully registered engine.
+//! * Production-shaped traffic replays through the [`replay()`] driver:
+//!   Zipf-skewed, burst-interleaved arrivals across thousands of streams,
+//!   submitted through the ordinary [`EngineHandle::submit`] path with
+//!   per-stream order (and therefore every detection) bit-exact versus a
+//!   sequential feed — the ingestion layer of the `driftbench` suite.
 //! * Million-stream fleets fit in memory through the **hibernation tier**
 //!   ([`EngineBuilder::hibernation`], [`HibernationPolicy`]): streams idle
 //!   across consecutive flush barriers have their detector state compressed
@@ -142,6 +147,7 @@ mod fleet;
 mod handle;
 pub mod hibernate;
 mod persist;
+pub mod replay;
 mod router;
 mod sink;
 
@@ -158,6 +164,7 @@ pub use handle::{
 };
 pub use hibernate::HibernationPolicy;
 pub use persist::{wire_version, EngineSnapshot, StreamStateSnapshot, ENGINE_SNAPSHOT_VERSION};
+pub use replay::{replay, ReplayConfig, ReplayReport};
 pub use sink::{CallbackSink, EventSink, JsonLinesSink, MemorySink};
 
 // Re-exported so engine users can pick a snapshot layout without depending

@@ -19,6 +19,10 @@
 //!   accounting.
 //! * [`report`] — plain-text table rendering and JSON-serialisable result
 //!   records used by the benchmark binaries.
+//! * [`driftbench`] — the adversarial scenario grid: every detector spec
+//!   kind plus composite cascades/ensembles across the full
+//!   [`optwin_stream::ScenarioKind`] catalogue, replayed through the sharded
+//!   engine and scored into a JSON-serialisable quality report.
 //!
 //! ```
 //! use optwin_eval::metrics::score_detections;
@@ -36,6 +40,7 @@
 #![warn(clippy::all)]
 
 pub mod classification;
+pub mod driftbench;
 pub mod experiment;
 pub mod factory;
 pub mod metrics;
@@ -43,6 +48,9 @@ pub mod nn_pipeline;
 pub mod report;
 
 pub use classification::{ClassificationExperiment, ClassificationOutcome};
+pub use driftbench::{
+    default_lineup, run_driftbench, DriftbenchCell, DriftbenchConfig, DriftbenchReport,
+};
 pub use experiment::{
     run_table1_experiment, run_table1_experiment_sharded, run_table1_fleet, run_table1_specs,
     DetectionRun, Table1Aggregate, Table1Experiment,

@@ -5,13 +5,26 @@
 //! plus the detection delay. The matching rule implemented here follows the
 //! common MOA evaluation convention the paper relies on:
 //!
-//! * the stream is divided into segments by the true drift positions;
-//! * the **first** detection inside the segment that starts at a true drift
-//!   is that drift's true positive, and its distance from the drift position
-//!   is the detection delay;
+//! * the stream is divided into segments by the true drift positions — a
+//!   drift's segment opens at [`DriftSchedule::transition_start`], i.e. the
+//!   drift position itself for sudden drifts (`width <= 1`) and `width / 2`
+//!   elements **before** the recorded start for gradual drifts, because the
+//!   generators already sample the new concept inside the leading half of
+//!   the sigmoid transition;
+//! * the **earliest** detection (by stream index — the input order of
+//!   `detections` is irrelevant, the scorer sorts internally) inside a
+//!   drift's segment is that drift's true positive, and its distance from
+//!   the drift *start position* is the detection delay — clamped at 0 for
+//!   detections fired inside the transition window but before the recorded
+//!   start;
 //! * every additional detection in the same segment — and any detection
-//!   before the first true drift — is a false positive;
+//!   before the first drift's transition window — is a false positive;
 //! * a true drift whose segment contains no detection is a false negative.
+//!
+//! Every detection is attributed to exactly one drift segment (or to the
+//! pre-drift prefix), so `TP + FN == n_drifts` and
+//! `TP + FP == detections.len()` hold unconditionally — the invariants the
+//! `driftbench_quality` proptest pins down.
 
 use serde::{Deserialize, Serialize};
 
@@ -70,30 +83,52 @@ impl DetectionOutcome {
 }
 
 /// Scores a list of detection indices against the ground-truth schedule.
+///
+/// `detections` may arrive in any order (e.g. merged from multiple engine
+/// shards or sinks): the scorer sorts a copy internally, so the outcome is
+/// invariant under permutation of the input. For gradual schedules a
+/// detection inside the transition window — from
+/// [`DriftSchedule::transition_start`] up to the next drift's transition
+/// start — is credited to that drift, with the delay measured from the
+/// recorded drift start and clamped at 0.
 #[must_use]
 pub fn score_detections(schedule: &DriftSchedule, detections: &[usize]) -> DetectionOutcome {
     let positions = schedule.positions();
+    let mut sorted: Vec<usize> = detections.to_vec();
+    sorted.sort_unstable();
+
     let mut true_positives = 0usize;
     let mut false_positives = 0usize;
     let mut false_negatives = 0usize;
     let mut delays = Vec::new();
 
-    // Detections before the first drift are false positives.
-    let first_drift = positions.first().copied().unwrap_or(usize::MAX);
-    false_positives += detections.iter().filter(|&&d| d < first_drift).count();
+    // Detections before the first drift's transition window are false
+    // positives.
+    let first_window = if positions.is_empty() {
+        usize::MAX
+    } else {
+        schedule.transition_start(0)
+    };
+    false_positives += sorted.iter().filter(|&&d| d < first_window).count();
 
     for (k, &drift_pos) in positions.iter().enumerate() {
-        let segment_end = positions
-            .get(k + 1)
-            .copied()
-            .unwrap_or(schedule.stream_len());
-        let mut in_segment = detections
+        let window_start = schedule.transition_start(k);
+        // A drift's candidate window closes where the next drift's opens;
+        // the last segment runs to the end (stray indices past the stream
+        // length still score as FPs there rather than vanishing, keeping
+        // TP + FP == detections.len()).
+        let segment_end = if k + 1 < positions.len() {
+            schedule.transition_start(k + 1)
+        } else {
+            usize::MAX
+        };
+        let mut in_segment = sorted
             .iter()
-            .filter(|&&d| d >= drift_pos && d < segment_end);
+            .filter(|&&d| d >= window_start && d < segment_end);
         match in_segment.next() {
             Some(&first) => {
                 true_positives += 1;
-                delays.push((first - drift_pos) as f64);
+                delays.push(first.saturating_sub(drift_pos) as f64);
                 false_positives += in_segment.count();
             }
             None => {
@@ -283,5 +318,92 @@ mod tests {
         let json = serde_json::to_string(&o).unwrap();
         let back: DetectionOutcome = serde_json::from_str(&json).unwrap();
         assert_eq!(o, back);
+    }
+
+    #[test]
+    fn scoring_is_permutation_invariant() {
+        // Detections merged from multiple engine shards/sinks arrive in
+        // arbitrary order; the outcome must not depend on list order. The
+        // old scorer credited whichever detection appeared first in *list*
+        // order as the TP, corrupting the delay and the FP split.
+        let dets = [3_100, 1_700, 2_005, 500, 1_010, 1_500];
+        let reference = score_detections(&schedule(), &[500, 1_010, 1_500, 1_700, 2_005, 3_100]);
+        let shuffled = score_detections(&schedule(), &dets);
+        assert_eq!(shuffled, reference);
+        assert_eq!(shuffled.true_positives, 3);
+        assert_eq!(shuffled.false_positives, 3);
+        // The delay of segment 1 must come from its *earliest* detection
+        // (1 010), not from 1 700 which precedes it in list order.
+        assert!((shuffled.delays[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_reversed_input_matches_sorted() {
+        let mut dets = vec![1_010, 1_500, 2_005, 3_100];
+        let sorted = score_detections(&schedule(), &dets);
+        dets.reverse();
+        assert_eq!(score_detections(&schedule(), &dets), sorted);
+    }
+
+    #[test]
+    fn sudden_width_one_has_no_transition_window() {
+        // Boundary test at width 1: one element before the drift is still a
+        // false positive, the drift position itself is a zero-delay TP.
+        let s = DriftSchedule::new(vec![1_000], 1, 2_000);
+        let o = score_detections(&s, &[999]);
+        assert_eq!(
+            (o.true_positives, o.false_positives, o.false_negatives),
+            (0, 1, 1)
+        );
+        let o = score_detections(&s, &[1_000]);
+        assert_eq!(
+            (o.true_positives, o.false_positives, o.false_negatives),
+            (1, 0, 0)
+        );
+        assert_eq!(o.delays, vec![0.0]);
+    }
+
+    #[test]
+    fn gradual_transition_window_credits_early_detections() {
+        // Boundary test at width 1000: the transition window opens 500
+        // elements before the recorded drift start (the generators already
+        // sample the new concept there), so a detection at 1 500 is a TP
+        // with delay clamped to 0 — the old scorer counted it as an FP and
+        // the drift as an FN.
+        let s = DriftSchedule::new(vec![2_000], 1_000, 4_000);
+        let o = score_detections(&s, &[1_500]);
+        assert_eq!(
+            (o.true_positives, o.false_positives, o.false_negatives),
+            (1, 0, 0)
+        );
+        assert_eq!(o.delays, vec![0.0]);
+        // One element before the window opens: still a false positive.
+        let o = score_detections(&s, &[1_499]);
+        assert_eq!(
+            (o.true_positives, o.false_positives, o.false_negatives),
+            (0, 1, 1)
+        );
+        // Past the drift start the delay is measured from the start.
+        let o = score_detections(&s, &[2_300]);
+        assert_eq!(o.delays, vec![300.0]);
+        // Earliest in-window detection wins; later ones are FPs even when
+        // they sit closer to the recorded start.
+        let o = score_detections(&s, &[2_300, 1_600]);
+        assert_eq!((o.true_positives, o.false_positives), (1, 1));
+        assert_eq!(o.delays, vec![0.0]);
+    }
+
+    #[test]
+    fn gradual_windows_partition_multi_drift_schedules() {
+        // With two gradual drifts the first segment closes where the second
+        // drift's transition window opens: a detection at 2 600 belongs to
+        // drift 1 (delay clamped to 0), not to drift 0's segment.
+        let s = DriftSchedule::new(vec![1_000, 3_000], 800, 5_000);
+        let o = score_detections(&s, &[1_050, 2_600]);
+        assert_eq!(
+            (o.true_positives, o.false_positives, o.false_negatives),
+            (2, 0, 0)
+        );
+        assert_eq!(o.delays, vec![50.0, 0.0]);
     }
 }

@@ -16,6 +16,10 @@
 //!   or gradual drifts, bypassing any learner.
 //! * [`realworld`] — synthetic stand-ins for the Electricity and Covertype
 //!   datasets (see DESIGN.md §3 for the substitution rationale).
+//! * [`scenario`] — the `driftbench` scenario catalogue: the paper's
+//!   abrupt/gradual pair plus five adversarial workloads (recurring
+//!   concepts, slow ramps, seasonal oscillation, variance-only drift,
+//!   heavy-tailed noise), each with ground truth.
 //! * [`schedule`] — ground-truth drift schedules shared by generators and
 //!   the evaluation harness.
 //!
@@ -40,9 +44,11 @@ pub mod error_stream;
 pub mod generators;
 pub mod instance;
 pub mod realworld;
+pub mod scenario;
 pub mod schedule;
 
 pub use drift::{ConceptDriftStream, MultiConceptStream};
 pub use error_stream::{DriftKind, ErrorStream, ErrorStreamConfig, SignalKind};
 pub use instance::{Feature, FeatureKind, Instance, InstanceStream};
+pub use scenario::{GeneratedScenario, ScenarioKind};
 pub use schedule::DriftSchedule;

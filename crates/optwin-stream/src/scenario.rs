@@ -1,0 +1,425 @@
+//! Adversarial drift scenarios — the `driftbench` catalogue.
+//!
+//! The paper evaluates detectors on exactly two error-stream drift shapes
+//! (abrupt and gradual mean shifts). Production traffic misbehaves in many
+//! more ways, and a detector tuned on the paper pair can fail silently on
+//! them. This module widens the catalogue to seven scenario kinds — the two
+//! paper shapes plus five adversarial ones:
+//!
+//! | id | shape | ground truth |
+//! |----|-------|--------------|
+//! | `abrupt` | sudden Bernoulli error-rate jumps (5 % ↔ 25 %) | drift at every jump |
+//! | `gradual` | sigmoid-width error-rate ramps (the paper's gradual pair) | drift at every ramp start |
+//! | `recurring` | the error rate cycles through three levels and *returns to previously seen concepts* | drift at every switch |
+//! | `ramp` | one slow linear ramp stretching over half the stream | a single wide drift |
+//! | `seasonal` | sinusoidal error-rate oscillation, period ≪ stream length | **no drift** — every detection is an FP |
+//! | `variance` | real-valued losses, mean pinned, standard deviation jumps | drift at every σ jump |
+//! | `heavy-tail` | stationary real-valued losses contaminated by Pareto outliers | **no drift** — every detection is an FP |
+//!
+//! Every scenario emits a value sequence plus its ground-truth
+//! [`DriftSchedule`], fully determined by `(kind, stream_len, seed)`, so
+//! detection quality over the grid is reproducible and can be pinned by a
+//! golden results file (`tests/driftbench_quality.rs`).
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error_stream::{DriftKind, ErrorStream, ErrorStreamConfig};
+use crate::schedule::DriftSchedule;
+
+/// Base Bernoulli error rate shared by the mean-shift scenarios (the
+/// paper's 5 %).
+const BASE_RATE: f64 = 0.05;
+/// Drifted Bernoulli error rate shared by the mean-shift scenarios (the
+/// paper's 25 %).
+const DRIFTED_RATE: f64 = 0.25;
+
+/// One of the seven `driftbench` scenario kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Sudden Bernoulli error-rate jumps — the paper's abrupt experiments.
+    AbruptMeanShift,
+    /// Sigmoid-width error-rate ramps — the paper's gradual experiments.
+    GradualMeanShift,
+    /// The error rate cycles through three levels, returning to concepts it
+    /// has visited before. Detectors that reset their baseline on drift see
+    /// every return as a fresh drift; detectors with long memories may
+    /// recognise the old concept and stay quiet — both behaviours show up
+    /// as recall on this scenario.
+    RecurringConcepts,
+    /// One linear error-rate ramp stretched over half the stream: so slow
+    /// that window-based detectors straddle the ramp with both
+    /// sub-windows and short-memory detectors absorb it into their
+    /// baseline.
+    LinearRamp,
+    /// Sinusoidal error-rate oscillation around a stationary mean. The
+    /// schedule records **no drift**: a mean-shift detector that fires on
+    /// the seasonal swing produces pure false positives.
+    SeasonalOscillation,
+    /// Real-valued losses whose mean never moves while the standard
+    /// deviation jumps. Mean-shift detectors are structurally blind here;
+    /// the scenario measures exactly that blind spot (and rewards
+    /// distribution-shape detectors such as KSWIN).
+    VarianceOnly,
+    /// Stationary real-valued losses contaminated by heavy-tailed Pareto
+    /// outliers. The schedule records **no drift**: a detector robust to
+    /// outliers stays quiet, a fragile one pays in false positives.
+    HeavyTailedNoise,
+}
+
+impl ScenarioKind {
+    /// All seven scenarios in catalogue order (paper pair first).
+    #[must_use]
+    pub fn all() -> [ScenarioKind; 7] {
+        [
+            ScenarioKind::AbruptMeanShift,
+            ScenarioKind::GradualMeanShift,
+            ScenarioKind::RecurringConcepts,
+            ScenarioKind::LinearRamp,
+            ScenarioKind::SeasonalOscillation,
+            ScenarioKind::VarianceOnly,
+            ScenarioKind::HeavyTailedNoise,
+        ]
+    }
+
+    /// Stable kebab-case id used in JSON reports and on the CLI.
+    #[must_use]
+    pub fn id(&self) -> &'static str {
+        match self {
+            ScenarioKind::AbruptMeanShift => "abrupt",
+            ScenarioKind::GradualMeanShift => "gradual",
+            ScenarioKind::RecurringConcepts => "recurring",
+            ScenarioKind::LinearRamp => "ramp",
+            ScenarioKind::SeasonalOscillation => "seasonal",
+            ScenarioKind::VarianceOnly => "variance",
+            ScenarioKind::HeavyTailedNoise => "heavy-tail",
+        }
+    }
+
+    /// Human-readable label for tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioKind::AbruptMeanShift => "abrupt mean shift",
+            ScenarioKind::GradualMeanShift => "gradual mean shift",
+            ScenarioKind::RecurringConcepts => "recurring concepts",
+            ScenarioKind::LinearRamp => "slow linear ramp",
+            ScenarioKind::SeasonalOscillation => "seasonal oscillation",
+            ScenarioKind::VarianceOnly => "variance-only drift",
+            ScenarioKind::HeavyTailedNoise => "heavy-tailed noise",
+        }
+    }
+
+    /// `true` when the scenario emits binary (Bernoulli) error indicators —
+    /// the only signal kind the binary-only detectors (DDM, EDDM, ECDD)
+    /// accept. The variance-only and heavy-tail scenarios are necessarily
+    /// real-valued (a Bernoulli stream cannot move its variance without
+    /// moving its mean, nor grow a heavy tail), so those detectors are
+    /// skipped there, mirroring the paper's treatment of the non-binary
+    /// rows.
+    #[must_use]
+    pub fn binary_signal(&self) -> bool {
+        !matches!(
+            self,
+            ScenarioKind::VarianceOnly | ScenarioKind::HeavyTailedNoise
+        )
+    }
+
+    /// Number of ground-truth drifts the scenario injects into a stream of
+    /// `stream_len` elements.
+    #[must_use]
+    pub fn n_drifts(&self, stream_len: usize) -> usize {
+        self.generate_schedule(stream_len).n_drifts()
+    }
+
+    /// The ground-truth schedule for a stream of `stream_len` elements
+    /// (independent of the seed — only the noise is random, never the drift
+    /// layout).
+    #[must_use]
+    pub fn generate_schedule(&self, stream_len: usize) -> DriftSchedule {
+        let interval = (stream_len / 5).max(1);
+        match self {
+            ScenarioKind::AbruptMeanShift => DriftSchedule::every(interval, stream_len, 1),
+            ScenarioKind::GradualMeanShift => {
+                DriftSchedule::every(interval, stream_len, 1_000.min((interval / 2).max(1)))
+            }
+            ScenarioKind::RecurringConcepts => {
+                let step = (stream_len / 6).max(1);
+                DriftSchedule::every(step, stream_len, 1)
+            }
+            ScenarioKind::LinearRamp => {
+                // One ramp covering 40% of the stream, starting at the
+                // midpoint: slow enough to defeat short windows, while the
+                // scoring pre-window (width / 2 before the start) still
+                // leaves a genuine false-positive region at the front.
+                let start = (stream_len / 2).max(1);
+                let width = (stream_len * 2 / 5).max(1);
+                DriftSchedule::new(vec![start], width, stream_len)
+            }
+            ScenarioKind::SeasonalOscillation | ScenarioKind::HeavyTailedNoise => {
+                DriftSchedule::stationary(stream_len)
+            }
+            ScenarioKind::VarianceOnly => DriftSchedule::every(interval, stream_len, 1),
+        }
+    }
+
+    /// Generates the scenario: `stream_len` error values plus the
+    /// ground-truth schedule. Fully deterministic in `(self, stream_len,
+    /// seed)`.
+    #[must_use]
+    pub fn generate(&self, stream_len: usize, seed: u64) -> GeneratedScenario {
+        let schedule = self.generate_schedule(stream_len);
+        let values = match self {
+            // The paper pair delegates to the Table 1 error streams.
+            ScenarioKind::AbruptMeanShift => ErrorStream::new(
+                ErrorStreamConfig::binary(DriftKind::Sudden, schedule.clone()),
+                seed,
+            )
+            .collect_all(),
+            ScenarioKind::GradualMeanShift | ScenarioKind::LinearRamp => ErrorStream::new(
+                ErrorStreamConfig::binary(DriftKind::Gradual, schedule.clone()),
+                seed,
+            )
+            .collect_all(),
+            ScenarioKind::RecurringConcepts => {
+                // Segment s draws Bernoulli(RATES[s % 3]): segment 3 returns
+                // to segment 0's concept, segment 4 to segment 1's, …
+                const RATES: [f64; 3] = [BASE_RATE, DRIFTED_RATE, 0.12];
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..stream_len)
+                    .map(|i| {
+                        let p = RATES[schedule.concept_at(i) % RATES.len()];
+                        f64::from(rng.gen::<f64>() < p)
+                    })
+                    .collect()
+            }
+            ScenarioKind::SeasonalOscillation => {
+                // Period well below the stream length, amplitude well below
+                // the abrupt scenario's jump: a detector tuned for the
+                // 5 % -> 25 % shift should ride the swell without firing.
+                let period = (stream_len / 10).max(200) as f64;
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..stream_len)
+                    .map(|i| {
+                        let phase = 2.0 * std::f64::consts::PI * i as f64 / period;
+                        let p = 0.15 + 0.08 * phase.sin();
+                        f64::from(rng.gen::<f64>() < p)
+                    })
+                    .collect()
+            }
+            ScenarioKind::VarianceOnly => {
+                // Mean pinned at 0.5; sigma alternates 0.05 <-> 0.15 at the
+                // drift positions.
+                let mut gen = Gaussian::new(seed);
+                (0..stream_len)
+                    .map(|i| {
+                        let sigma = if schedule.concept_at(i) % 2 == 1 {
+                            0.15
+                        } else {
+                            0.05
+                        };
+                        (0.5 + sigma * gen.next()).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            }
+            ScenarioKind::HeavyTailedNoise => {
+                // Stationary Gaussian core with 3 % Pareto contamination
+                // (alpha = 1.3: finite mean, infinite variance — values are
+                // deliberately NOT clamped, the tail is the adversary).
+                let mut gen = Gaussian::new(seed);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+                (0..stream_len)
+                    .map(|_| {
+                        if rng.gen::<f64>() < 0.03 {
+                            let u: f64 = rng.gen_range(1e-12..1.0);
+                            0.3 / u.powf(1.0 / 1.3)
+                        } else {
+                            (0.2 + 0.05 * gen.next()).clamp(0.0, 1.0)
+                        }
+                    })
+                    .collect()
+            }
+        };
+        GeneratedScenario { values, schedule }
+    }
+}
+
+impl fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+impl FromStr for ScenarioKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ScenarioKind::all()
+            .into_iter()
+            .find(|k| k.id() == s)
+            .ok_or_else(|| {
+                let ids: Vec<&str> = ScenarioKind::all().iter().map(|k| k.id()).collect();
+                format!(
+                    "unknown scenario `{s}`; expected one of: {}",
+                    ids.join(", ")
+                )
+            })
+    }
+}
+
+/// A generated scenario: the error values a detector consumes plus the
+/// ground truth the scorer needs.
+#[derive(Debug, Clone)]
+pub struct GeneratedScenario {
+    /// The error sequence (`stream_len` values).
+    pub values: Vec<f64>,
+    /// Ground-truth drift schedule of the sequence.
+    pub schedule: DriftSchedule,
+}
+
+/// Seeded Box–Muller Gaussian source (both variates used, matching the
+/// generator idiom of [`crate::error_stream`]).
+struct Gaussian {
+    rng: StdRng,
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    fn next(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    fn variance(xs: &[f64]) -> f64 {
+        let m = mean(xs);
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn catalogue_ids_round_trip() {
+        for kind in ScenarioKind::all() {
+            let parsed: ScenarioKind = kind.id().parse().unwrap();
+            assert_eq!(parsed, kind);
+            assert_eq!(kind.to_string(), kind.id());
+            assert!(!kind.label().is_empty());
+        }
+        assert!("no-such-scenario".parse::<ScenarioKind>().is_err());
+    }
+
+    #[test]
+    fn every_scenario_is_deterministic_and_well_formed() {
+        for kind in ScenarioKind::all() {
+            let a = kind.generate(6_000, 7);
+            let b = kind.generate(6_000, 7);
+            assert_eq!(a.values, b.values, "{kind}");
+            assert_eq!(a.schedule, b.schedule, "{kind}");
+            assert_eq!(a.values.len(), 6_000, "{kind}");
+            assert_eq!(a.schedule.stream_len(), 6_000, "{kind}");
+            assert_eq!(kind.n_drifts(6_000), a.schedule.n_drifts(), "{kind}");
+            let c = kind.generate(6_000, 8);
+            assert_ne!(a.values, c.values, "{kind}: seed must matter");
+            if kind.binary_signal() {
+                assert!(
+                    a.values.iter().all(|&v| v == 0.0 || v == 1.0),
+                    "{kind} must be binary"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recurring_concepts_revisit_previous_levels() {
+        let s = ScenarioKind::RecurringConcepts.generate(12_000, 3);
+        assert_eq!(s.schedule.n_drifts(), 5);
+        let seg = |k: usize| mean(&s.values[k * 2_000..(k + 1) * 2_000]);
+        // Segments 0 and 3 share the base concept, 1 and 4 the drifted one.
+        assert!((seg(0) - seg(3)).abs() < 0.03, "{} vs {}", seg(0), seg(3));
+        assert!((seg(1) - seg(4)).abs() < 0.04, "{} vs {}", seg(1), seg(4));
+        assert!(seg(1) > seg(0) + 0.1);
+        assert!(seg(2) > seg(0) + 0.03 && seg(2) < seg(1) - 0.05);
+    }
+
+    #[test]
+    fn linear_ramp_is_slow_and_monotone() {
+        let s = ScenarioKind::LinearRamp.generate(20_000, 5);
+        assert_eq!(s.schedule.n_drifts(), 1);
+        assert_eq!(s.schedule.positions(), &[10_000]);
+        assert_eq!(s.schedule.width(), 8_000);
+        // The scoring pre-window opens at 10 000 - 4 000 = 6 000, so
+        // [0, 6 000) stays a genuine false-positive region.
+        assert_eq!(s.schedule.transition_start(0), 6_000);
+        let before = mean(&s.values[..5_500]);
+        let middle = mean(&s.values[13_500..14_500]);
+        let after = mean(&s.values[18_500..]);
+        assert!(before < 0.08, "{before}");
+        assert!(after > 0.2, "{after}");
+        assert!(middle > before + 0.05 && middle < after - 0.02, "{middle}");
+    }
+
+    #[test]
+    fn seasonal_oscillation_has_no_ground_truth_drift() {
+        let s = ScenarioKind::SeasonalOscillation.generate(10_000, 11);
+        assert_eq!(s.schedule.n_drifts(), 0);
+        // The rate genuinely oscillates: peak windows run hotter than
+        // trough windows (period = 1 000 here; peak near i = 250, trough
+        // near i = 750 within each cycle).
+        let peak: Vec<f64> = (0..10)
+            .flat_map(|c| s.values[c * 1_000 + 150..c * 1_000 + 350].to_vec())
+            .collect();
+        let trough: Vec<f64> = (0..10)
+            .flat_map(|c| s.values[c * 1_000 + 650..c * 1_000 + 850].to_vec())
+            .collect();
+        assert!(mean(&peak) > mean(&trough) + 0.08);
+    }
+
+    #[test]
+    fn variance_only_moves_sigma_not_mean() {
+        let s = ScenarioKind::VarianceOnly.generate(10_000, 13);
+        assert_eq!(s.schedule.n_drifts(), 4);
+        let calm = &s.values[..2_000];
+        let loud = &s.values[2_000..4_000];
+        assert!((mean(calm) - mean(loud)).abs() < 0.02, "mean must not move");
+        assert!(variance(loud) > variance(calm) * 4.0, "sigma must jump");
+    }
+
+    #[test]
+    fn heavy_tail_contaminates_a_stationary_core() {
+        let s = ScenarioKind::HeavyTailedNoise.generate(20_000, 17);
+        assert_eq!(s.schedule.n_drifts(), 0);
+        // ~3% of elements are Pareto draws; roughly a fifth of those exceed
+        // 1.0 (P[x > 1] = (0.3)^1.3 ≈ 0.21), and the tail reaches far past
+        // the clamped Gaussian core.
+        let outliers = s.values.iter().filter(|&&v| v > 1.0).count();
+        assert!(outliers > 50 && outliers < 300, "{outliers}");
+        assert!(s.values.iter().cloned().fold(0.0, f64::max) > 3.0);
+        // The core stays near its stationary mean.
+        let core: Vec<f64> = s.values.iter().copied().filter(|&v| v <= 1.0).collect();
+        assert!((mean(&core) - 0.2).abs() < 0.02);
+    }
+}

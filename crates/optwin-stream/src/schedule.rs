@@ -23,10 +23,17 @@ impl DriftSchedule {
     /// # Panics
     ///
     /// Panics if positions are not strictly increasing or exceed
-    /// `stream_len`, or if `width` is zero.
+    /// `stream_len`, if the first position is 0 (a drift at element 0 leaves
+    /// no pre-drift segment, so every detection would become a true-positive
+    /// candidate for it — reject it rather than score it arbitrarily), or if
+    /// `width` is zero.
     #[must_use]
     pub fn new(positions: Vec<usize>, width: usize, stream_len: usize) -> Self {
         assert!(width >= 1, "drift width must be at least 1");
+        assert!(
+            positions.first() != Some(&0),
+            "first drift position must be positive: a drift at element 0 has no pre-drift segment"
+        );
         let mut prev = 0usize;
         for (i, &p) in positions.iter().enumerate() {
             assert!(
@@ -110,6 +117,32 @@ impl DriftSchedule {
             .copied()
             .unwrap_or(self.stream_len)
     }
+
+    /// First element index at which drift `k`'s transition is already
+    /// observable.
+    ///
+    /// For sudden drifts (`width <= 1`) this is the drift position itself.
+    /// For gradual drifts the generators begin sampling the new concept
+    /// *before* the recorded start position (the sigmoid of
+    /// [`crate::drift::ConceptDriftStream`] is centred at
+    /// `position + width/2`, so its leading tail reaches back to roughly
+    /// `position - width/2`), hence the transition window opens `width / 2`
+    /// elements early — clamped so it never reaches at or before the
+    /// previous drift's start position, and never before element 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n_drifts()`.
+    #[must_use]
+    pub fn transition_start(&self, k: usize) -> usize {
+        let pre = if self.width <= 1 { 0 } else { self.width / 2 };
+        let start = self.positions[k].saturating_sub(pre);
+        if k == 0 {
+            start
+        } else {
+            start.max(self.positions[k - 1] + 1)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +201,31 @@ mod tests {
     #[should_panic(expected = "width must be at least 1")]
     fn rejects_zero_width() {
         let _ = DriftSchedule::new(vec![10], 0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "first drift position must be positive")]
+    fn rejects_drift_at_position_zero() {
+        let _ = DriftSchedule::new(vec![0, 50], 1, 100);
+    }
+
+    #[test]
+    fn transition_start_is_width_aware() {
+        // Sudden drifts: the transition starts exactly at the position.
+        let sudden = DriftSchedule::new(vec![100, 300], 1, 500);
+        assert_eq!(sudden.transition_start(0), 100);
+        assert_eq!(sudden.transition_start(1), 300);
+        // Gradual drifts: the window opens width/2 early.
+        let gradual = DriftSchedule::new(vec![2_000], 1_000, 4_000);
+        assert_eq!(gradual.transition_start(0), 1_500);
+        // Clamped at 0 when the pre-window would underflow the stream start.
+        let early = DriftSchedule::new(vec![100], 1_000, 4_000);
+        assert_eq!(early.transition_start(0), 0);
+        // Clamped past the previous drift position when widths overlap.
+        let dense = DriftSchedule::new(vec![1_000, 1_200], 1_000, 4_000);
+        assert_eq!(dense.transition_start(0), 500);
+        assert_eq!(dense.transition_start(1), 1_001);
+        // transition_start is strictly increasing even under clamping.
+        assert!(dense.transition_start(0) < dense.transition_start(1));
     }
 }

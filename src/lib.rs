@@ -73,9 +73,12 @@ pub use optwin_engine::{
     EngineBuilder, EngineConfig, EngineHandle, EngineSnapshot, EngineStats, EventSink, FleetConfig,
     HibernationPolicy, JsonLinesSink, MemorySink, RebalancePolicy, RebalanceReport, ShardLoad,
 };
-pub use optwin_eval::{DetectorFactory, Table1Experiment};
+pub use optwin_eval::{
+    default_lineup, run_driftbench, DetectorFactory, DriftbenchCell, DriftbenchConfig,
+    DriftbenchReport, Table1Experiment,
+};
 pub use optwin_learners::{AdaptiveLearner, NaiveBayes, OnlineLearner};
-pub use optwin_stream::{DriftSchedule, InstanceStream};
+pub use optwin_stream::{DriftSchedule, InstanceStream, ScenarioKind};
 
 #[cfg(test)]
 mod tests {
